@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks of the aggregation kernels underlying every
+//! Flare handler: elementwise reduction per datatype and the three block
+//! aggregators (single / multi / tree).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use flare_core::dense::{MultiBufferBlock, SingleBufferBlock, TreeBlock};
+use flare_core::dtype::{Element, F16};
+use flare_core::op::Sum;
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elementwise_sum");
+    fn run<T: Element>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+        let n = 4096usize;
+        let a: Vec<T> = (0..n).map(|i| T::from_seed(i as u64)).collect();
+        let b: Vec<T> = (0..n).map(|i| T::from_seed(i as u64 + 7)).collect();
+        g.throughput(Throughput::Bytes((n * T::WIRE_BYTES) as u64));
+        g.bench_function(BenchmarkId::from_parameter(T::NAME), |bench| {
+            bench.iter(|| {
+                let mut acc = a.clone();
+                for (x, y) in acc.iter_mut().zip(&b) {
+                    *x = x.add(*y);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    run::<i32>(&mut g);
+    run::<i16>(&mut g);
+    run::<i8>(&mut g);
+    run::<f32>(&mut g);
+    run::<F16>(&mut g);
+    g.finish();
+}
+
+fn bench_block_aggregators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_aggregators");
+    let children = 64u16;
+    let n = 256usize;
+    let data: Vec<Vec<f32>> = (0..children)
+        .map(|ch| (0..n).map(|i| (ch as usize * n + i) as f32).collect())
+        .collect();
+    g.throughput(Throughput::Bytes((children as usize * n * 4) as u64));
+    g.bench_function("single_buffer", |b| {
+        b.iter(|| {
+            let mut blk = SingleBufferBlock::new(children);
+            let mut out = None;
+            for (ch, v) in data.iter().enumerate() {
+                if let Some(r) = blk.insert(&Sum, ch as u16, v).result {
+                    out = Some(r);
+                }
+            }
+            black_box(out)
+        })
+    });
+    g.bench_function("multi_buffer_4", |b| {
+        b.iter(|| {
+            let mut blk = MultiBufferBlock::new(children, 4);
+            let mut out = None;
+            for (ch, v) in data.iter().enumerate() {
+                if let Some(r) = blk.insert(&Sum, ch % 4, ch as u16, v).result {
+                    out = Some(r);
+                }
+            }
+            black_box(out)
+        })
+    });
+    g.bench_function("tree", |b| {
+        b.iter(|| {
+            let mut blk = TreeBlock::new(children);
+            let mut out = None;
+            for (ch, v) in data.iter().enumerate() {
+                if let Some(r) = blk.insert(&Sum, ch as u16, v).result {
+                    out = Some(r);
+                }
+            }
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_elementwise, bench_block_aggregators);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmark of the discrete-event core: event-queue throughput
+//! bounds every simulation in the workspace.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use flare_des::{EventQueue, Simulator, Time};
+
+struct Relay {
+    remaining: u64,
+}
+
+impl Simulator for Relay {
+    type Event = u32;
+    fn handle(&mut self, _t: Time, ev: u32, q: &mut EventQueue<u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            q.schedule_in(1 + (ev as u64 % 7), ev.wrapping_mul(2654435761));
+        }
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    let events = 100_000u64;
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("relay_chain", |b| {
+        b.iter(|| {
+            let mut sim = Relay { remaining: events };
+            let mut q = EventQueue::new();
+            q.schedule_at(0, 1u32);
+            flare_des::run(&mut sim, &mut q);
+            black_box(q.processed())
+        })
+    });
+    g.bench_function("bulk_schedule_drain", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..events {
+                q.schedule_at(i % 1000, i as u32);
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

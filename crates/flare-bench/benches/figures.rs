@@ -1,0 +1,42 @@
+//! Criterion wrappers over the per-figure row generators: one bench per
+//! paper table/figure. Model-based figures (5/7/10/13 and Table 1) run at
+//! full fidelity; simulation-based ones (11/14/15) run at reduced scale so
+//! the group finishes quickly — the `fig*` binaries regenerate them at
+//! paper scale.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flare_bench::{fig05, fig07, fig10, fig11, fig13, fig14, fig15, table1};
+use flare_model::units::KIB;
+use flare_model::{AggKind, SparseStorage};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| black_box(table1::rows())));
+    g.bench_function("fig05_scenarios", |b| b.iter(|| black_box(fig05::rows())));
+    g.bench_function("fig07_model", |b| b.iter(|| black_box(fig07::rows())));
+    g.bench_function("fig10_model", |b| b.iter(|| black_box(fig10::rows())));
+    g.bench_function("fig11_sim_64kib_tree", |b| {
+        b.iter(|| black_box(fig11::simulate_dense::<i32>(AggKind::Tree, 64 * KIB, 1)))
+    });
+    g.bench_function("fig13_model", |b| b.iter(|| black_box(fig13::rows())));
+    g.bench_function("fig14_sim_quick", |b| {
+        b.iter(|| black_box(fig14::simulate(SparseStorage::Hash, 0.10, 0.02, 3)))
+    });
+    g.bench_function("fig15_sim_quick", |b| {
+        let cfg = fig15::Config {
+            hosts: 16,
+            elems: 16 * 1024,
+            bucket: 512,
+            seed: 3,
+        };
+        b.iter(|| black_box(fig15::rows(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

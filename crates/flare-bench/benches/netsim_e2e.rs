@@ -1,0 +1,72 @@
+//! Criterion benchmark of the end-to-end network simulation: a complete
+//! in-network allreduce on a small fat tree (the Figure 15 machinery at
+//! reduced scale), compared against a simulated ring allreduce.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use flare_baselines::ring::RingHost;
+use flare_core::collectives::{run_dense_allreduce, RunOptions};
+use flare_core::host::result_sink;
+use flare_core::manager::{AllreduceRequest, NetworkManager};
+use flare_core::op::Sum;
+use flare_net::{LinkSpec, NetSim, Topology};
+
+const N: usize = 32 * 1024; // 128 KiB per host
+
+fn bench_flare_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_e2e");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((N * 4 * 8) as u64));
+    g.bench_function("flare_dense_fat_tree_8", |b| {
+        b.iter(|| {
+            let (topo, ft) = Topology::fat_tree_two_level(2, 4, 2, LinkSpec::hundred_gig());
+            let mut mgr = NetworkManager::new(64 << 20);
+            let plan = mgr
+                .create_allreduce(
+                    &topo,
+                    &ft.hosts,
+                    &AllreduceRequest {
+                        data_bytes: (N * 4) as u64,
+                        packet_bytes: 1024,
+                        reproducible: false,
+                    },
+                )
+                .unwrap();
+            let inputs: Vec<Vec<f32>> = (0..8).map(|h| vec![h as f32; N]).collect();
+            let (results, _) =
+                run_dense_allreduce(topo, &ft.hosts, &plan, Sum, inputs, &RunOptions::default());
+            black_box(results)
+        })
+    });
+    g.bench_function("ring_fat_tree_8", |b| {
+        b.iter(|| {
+            let (topo, ft) = Topology::fat_tree_two_level(2, 4, 2, LinkSpec::hundred_gig());
+            let mut sim = NetSim::new(topo, 3);
+            let mut sinks = Vec::new();
+            for (rank, &h) in ft.hosts.iter().enumerate() {
+                let sink = result_sink();
+                sinks.push(sink.clone());
+                sim.install_host(
+                    h,
+                    Box::new(RingHost::new(
+                        rank,
+                        ft.hosts.clone(),
+                        1,
+                        Sum,
+                        vec![rank as f32; N],
+                        4096,
+                        sink,
+                    )),
+                );
+            }
+            let report = sim.run(None);
+            black_box(report.last_done)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flare_dense);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmark of the PsPIN engine itself: dense tree aggregation
+//! of a 64 KiB allreduce on the full 512-core switch (the Figure 11
+//! workhorse), measuring simulator throughput in simulated packets/s.
+
+use std::hint::black_box;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use flare_core::handlers::{DenseAllreduceHandler, DenseHandlerConfig};
+use flare_core::op::Sum;
+use flare_core::wire::{encode_dense, Header, PacketKind};
+use flare_model::AggKind;
+use flare_pspin::engine::run_trace;
+use flare_pspin::{ArrivalTrace, PspinConfig, StaggerMode, TraceConfig};
+
+fn payload(child: u16, block: u64) -> Bytes {
+    let vals: Vec<i32> = (0..256).map(|i| i + child as i32).collect();
+    let header = Header {
+        allreduce: 1,
+        block: block as u32,
+        child,
+        kind: PacketKind::DenseContrib,
+        last_shard: false,
+        shard_count: 0,
+        elem_count: 0,
+    };
+    encode_dense(header, &vals)
+}
+
+fn bench_pspin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pspin_engine");
+    let children = 64usize;
+    let blocks = 64u64;
+    g.throughput(Throughput::Elements(children as u64 * blocks));
+    g.sample_size(20);
+    for kind in [AggKind::SingleBuffer, AggKind::Tree] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let trace = TraceConfig {
+                    flow: 1,
+                    children,
+                    blocks,
+                    header_bytes: 0,
+                    delta: 2,
+                    stagger: StaggerMode::Target(1024),
+                    exponential_jitter: true,
+                    seed: 11,
+                };
+                let arrivals = ArrivalTrace::generate(&trace, payload);
+                let handler: DenseAllreduceHandler<i32, Sum> = DenseAllreduceHandler::new(
+                    DenseHandlerConfig {
+                        allreduce: 1,
+                        children: children as u16,
+                        algorithm: kind,
+                        capture_results: false,
+                    },
+                    Sum,
+                );
+                let (report, _) = run_trace(PspinConfig::paper(), handler, arrivals, false);
+                black_box(report.blocks_completed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pspin);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the sparse storage backends: hash insert
+//! (with and without spilling) vs array store, plus the drain paths whose
+//! asymmetry drives Figures 13/14.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use flare_core::op::Sum;
+use flare_core::sparse::{SparseArrayStore, SparseHashStore};
+
+fn inputs(n: usize, span: u32) -> Vec<(u32, f32)> {
+    (0..n)
+        .map(|i| (((i as u64 * 2654435761) % span as u64) as u32, i as f32))
+        .collect()
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_insert");
+    let pairs = inputs(1024, 16 * 1024);
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_function("hash_roomy", |b| {
+        b.iter(|| {
+            let mut h = SparseHashStore::<f32>::new(4096, 512);
+            for &(i, v) in &pairs {
+                black_box(h.insert(&Sum, i, v));
+            }
+            black_box(h.occupied())
+        })
+    });
+    g.bench_function("hash_spilling", |b| {
+        b.iter(|| {
+            let mut h = SparseHashStore::<f32>::new(128, 64);
+            for &(i, v) in &pairs {
+                black_box(h.insert(&Sum, i, v));
+            }
+            black_box(h.occupied())
+        })
+    });
+    g.bench_function("array", |b| {
+        b.iter(|| {
+            let mut a = SparseArrayStore::<f32>::new(&Sum, 16 * 1024);
+            for &(i, v) in &pairs {
+                a.insert(&Sum, i, v);
+            }
+            black_box(a.nonzero())
+        })
+    });
+    g.finish();
+}
+
+fn bench_drains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_drain");
+    let pairs = inputs(1024, 128 * 1024);
+    g.bench_function("hash", |b| {
+        b.iter_with_setup(
+            || {
+                let mut h = SparseHashStore::<f32>::new(4096, 512);
+                for &(i, v) in &pairs {
+                    h.insert(&Sum, i, v);
+                }
+                h
+            },
+            |mut h| black_box(h.drain()),
+        )
+    });
+    // The array drain scans the whole (mostly empty) span: the 1/density
+    // flush cost of Section 7.
+    g.bench_function("array_sparse_span", |b| {
+        b.iter_with_setup(
+            || {
+                let mut a = SparseArrayStore::<f32>::new(&Sum, 128 * 1024);
+                for &(i, v) in &pairs {
+                    a.insert(&Sum, i, v);
+                }
+                a
+            },
+            |mut a| black_box(a.drain()),
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_drains);
+criterion_main!(benches);

@@ -1,0 +1,323 @@
+//! Ablation studies over the design choices DESIGN.md calls out — beyond
+//! the paper's figures, these sweep the knobs the paper discusses in text:
+//!
+//! * **subset size `S`** (Section 5): the locality/queueing trade-off at
+//!   finer granularity than the paper's S=1 vs S=C endpoints,
+//! * **remote-L1 penalty** (Section 3/5): how much hierarchical FCFS
+//!   actually buys as the penalty factor varies,
+//! * **staggered sending** (Section 5): bandwidth, buffering and lock
+//!   waits with and without it,
+//! * **spill-buffer capacity** (Section 7): the early-forwarding trade-off
+//!   between switch memory and extra traffic.
+
+use bytes::Bytes;
+
+use flare_core::handlers::{
+    DenseAllreduceHandler, DenseHandlerConfig, SparseAllreduceHandler, SparseHandlerConfig,
+    SparseStorageKind,
+};
+use flare_core::op::Sum;
+use flare_core::wire::{encode_dense, encode_sparse, Header, PacketKind};
+use flare_model::AggKind;
+use flare_pspin::engine::run_trace;
+use flare_pspin::{ArrivalTrace, PspinConfig, Report, SchedulingPolicy, StaggerMode, TraceConfig};
+
+fn dense_payload(c: u16, b: u64) -> Bytes {
+    let vals: Vec<i32> = (0..256).map(|i| i + c as i32).collect();
+    let header = Header {
+        allreduce: 1,
+        block: b as u32,
+        child: c,
+        kind: PacketKind::DenseContrib,
+        last_shard: false,
+        shard_count: 0,
+        elem_count: 0,
+    };
+    encode_dense(header, &vals)
+}
+
+fn dense_run(
+    cfg: PspinConfig,
+    kind: AggKind,
+    blocks: u64,
+    stagger: StaggerMode,
+    seed: u64,
+) -> Report {
+    let trace = TraceConfig {
+        flow: 1,
+        children: 64,
+        blocks,
+        header_bytes: 0,
+        delta: cfg.line_rate_delta(1024),
+        stagger,
+        exponential_jitter: true,
+        seed,
+    };
+    let arrivals = ArrivalTrace::generate(&trace, dense_payload);
+    let handler: DenseAllreduceHandler<i32, Sum> = DenseAllreduceHandler::new(
+        DenseHandlerConfig {
+            allreduce: 1,
+            children: 64,
+            algorithm: kind,
+            capture_results: false,
+        },
+        Sum,
+    );
+    run_trace(cfg, handler, arrivals, false).0
+}
+
+/// One subset-size ablation point.
+#[derive(Debug, Clone)]
+pub struct SubsetRow {
+    /// Cores per scheduling subset.
+    pub s: usize,
+    /// Algorithm.
+    pub kind: AggKind,
+    /// Achieved bandwidth (Tbps).
+    pub tbps: f64,
+    /// Peak input-buffer occupancy (bytes).
+    pub input_buffer_peak: i64,
+    /// Total lock-wait cycles.
+    pub lock_wait: u64,
+}
+
+/// Sweep `S ∈ {1, 2, 4, 8}` for single-buffer and tree at 64 KiB — the
+/// regime where the paper's Figure 7 shows the S trade-off.
+pub fn subset_sweep() -> Vec<SubsetRow> {
+    let mut out = Vec::new();
+    for s in [1usize, 2, 4, 8] {
+        for kind in [AggKind::SingleBuffer, AggKind::Tree] {
+            let cfg = PspinConfig {
+                policy: SchedulingPolicy::Hierarchical { subset_size: s },
+                ..PspinConfig::paper()
+            };
+            let report = dense_run(cfg, kind, 64, StaggerMode::Target(1024), 5);
+            out.push(SubsetRow {
+                s,
+                kind,
+                tbps: report.ingress_tbps,
+                input_buffer_peak: report.input_buffer_peak,
+                lock_wait: report.lock_wait_cycles,
+            });
+        }
+    }
+    out
+}
+
+/// One remote-penalty ablation point.
+#[derive(Debug, Clone)]
+pub struct RemoteRow {
+    /// Remote-L1 penalty factor.
+    pub factor: u64,
+    /// Global-FCFS bandwidth (Tbps).
+    pub global_tbps: f64,
+    /// Hierarchical bandwidth (Tbps) — unaffected by the factor.
+    pub hierarchical_tbps: f64,
+}
+
+/// Sweep the remote-L1 penalty: how badly global FCFS degrades and why
+/// PsPIN's 25× makes hierarchical scheduling mandatory.
+pub fn remote_penalty_sweep() -> Vec<RemoteRow> {
+    let mut out = Vec::new();
+    for factor in [1u64, 5, 25] {
+        let mk = |policy| PspinConfig {
+            clusters: 8,
+            remote_l1_factor: factor,
+            policy,
+            ..PspinConfig::paper()
+        };
+        let global = dense_run(
+            mk(SchedulingPolicy::GlobalFcfs),
+            AggKind::SingleBuffer,
+            64,
+            StaggerMode::Full,
+            7,
+        );
+        let hier = dense_run(
+            mk(SchedulingPolicy::Hierarchical { subset_size: 8 }),
+            AggKind::SingleBuffer,
+            64,
+            StaggerMode::Full,
+            7,
+        );
+        out.push(RemoteRow {
+            factor,
+            global_tbps: global.ingress_tbps,
+            hierarchical_tbps: hier.ingress_tbps,
+        });
+    }
+    out
+}
+
+/// One staggering ablation point.
+#[derive(Debug, Clone)]
+pub struct StaggerRow {
+    /// Stagger mode label.
+    pub mode: &'static str,
+    /// Bandwidth (Tbps).
+    pub tbps: f64,
+    /// Peak input buffers (bytes).
+    pub input_buffer_peak: i64,
+    /// Lock-wait cycles.
+    pub lock_wait: u64,
+}
+
+/// Staggered sending on/off/full at 256 KiB, single buffer.
+pub fn stagger_sweep() -> Vec<StaggerRow> {
+    let cfg = || PspinConfig::paper();
+    [
+        ("none", StaggerMode::None),
+        ("target L", StaggerMode::Target(1024)),
+        ("full", StaggerMode::Full),
+    ]
+    .into_iter()
+    .map(|(label, mode)| {
+        let report = dense_run(cfg(), AggKind::SingleBuffer, 256, mode, 11);
+        StaggerRow {
+            mode: label,
+            tbps: report.ingress_tbps,
+            input_buffer_peak: report.input_buffer_peak,
+            lock_wait: report.lock_wait_cycles,
+        }
+    })
+    .collect()
+}
+
+/// One spill-capacity ablation point.
+#[derive(Debug, Clone)]
+pub struct SpillRow {
+    /// Spill-buffer capacity (elements).
+    pub spill_cap: usize,
+    /// Bandwidth (Tbps).
+    pub tbps: f64,
+    /// Elements forwarded unaggregated.
+    pub spilled_elems: u64,
+}
+
+/// Sweep the sparse spill-buffer capacity at 10 % density: larger buffers
+/// hold data longer (more chances to aggregate downstream packets of the
+/// same flush), smaller ones forward earlier.
+pub fn spill_sweep() -> Vec<SpillRow> {
+    let mut out = Vec::new();
+    for spill_cap in [8usize, 32, 128] {
+        let cfg = PspinConfig {
+            policy: SchedulingPolicy::Hierarchical { subset_size: 8 },
+            ..PspinConfig::paper()
+        };
+        let trace = TraceConfig {
+            flow: 1,
+            children: 16,
+            blocks: 64,
+            header_bytes: 0,
+            delta: cfg.line_rate_delta(3072),
+            stagger: StaggerMode::Target(3072),
+            exponential_jitter: true,
+            seed: 13,
+        };
+        let density = 0.1f64;
+        let span = (128.0 / density) as usize;
+        let arrivals = ArrivalTrace::generate(&trace, |c, b| {
+            let mut rng = flare_des::rng::rng_stream(99, (b << 8) | c as u64);
+            use rand::RngExt;
+            let mut pairs: Vec<(u32, f32)> = Vec::new();
+            for idx in 0..span as u32 {
+                if rng.random::<f64>() < density {
+                    pairs.push((idx, 1.0));
+                }
+            }
+            pairs.truncate(128);
+            let header = Header {
+                allreduce: 1,
+                block: b as u32,
+                child: c,
+                kind: PacketKind::SparseContrib,
+                last_shard: true,
+                shard_count: 1,
+                elem_count: 0,
+            };
+            encode_sparse(header, &pairs)
+        });
+        let handler: SparseAllreduceHandler<f32, Sum> = SparseAllreduceHandler::new(
+            SparseHandlerConfig {
+                allreduce: 1,
+                children: 16,
+                storage: SparseStorageKind::Hash {
+                    slots: 256,
+                    spill_cap,
+                },
+                pairs_per_packet: 128,
+                capture_results: false,
+            },
+            Sum,
+        );
+        let (report, engine) = run_trace(cfg, handler, arrivals, false);
+        out.push(SpillRow {
+            spill_cap,
+            tbps: report.ingress_tbps,
+            spilled_elems: engine.handler().spilled_elems(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_sweep_shows_the_tradeoff() {
+        let rows = subset_sweep();
+        // Single buffer: S=1 avoids contention entirely (no lock waits);
+        // larger subsets contend at this (small) size.
+        let single_s1 = rows
+            .iter()
+            .find(|r| r.s == 1 && r.kind == AggKind::SingleBuffer)
+            .unwrap();
+        let single_s8 = rows
+            .iter()
+            .find(|r| r.s == 8 && r.kind == AggKind::SingleBuffer)
+            .unwrap();
+        assert_eq!(single_s1.lock_wait, 0);
+        assert!(single_s8.lock_wait > 0);
+        // Tree is contention-free at every S.
+        for r in rows.iter().filter(|r| r.kind == AggKind::Tree) {
+            assert_eq!(r.lock_wait, 0, "S={}", r.s);
+        }
+    }
+
+    #[test]
+    fn remote_penalty_only_hurts_global_fcfs() {
+        let rows = remote_penalty_sweep();
+        // Hierarchical is flat across factors.
+        let h: Vec<f64> = rows.iter().map(|r| r.hierarchical_tbps).collect();
+        assert!((h[0] - h[2]).abs() / h[0] < 0.05, "{h:?}");
+        // Global degrades monotonically with the factor.
+        assert!(rows[0].global_tbps > rows[1].global_tbps);
+        assert!(rows[1].global_tbps > rows[2].global_tbps);
+        // At factor 1 global FCFS is competitive.
+        assert!(rows[0].global_tbps > 0.7 * rows[0].hierarchical_tbps);
+    }
+
+    #[test]
+    fn staggering_reduces_waits_and_buffers() {
+        let rows = stagger_sweep();
+        let none = &rows[0];
+        let full = &rows[2];
+        assert!(full.lock_wait < none.lock_wait / 2);
+        assert!(full.input_buffer_peak <= none.input_buffer_peak);
+        assert!(full.tbps > none.tbps);
+    }
+
+    #[test]
+    fn smaller_spill_buffers_spill_no_less(
+    ) {
+        let rows = spill_sweep();
+        // Spilled volume is set by collisions, which depend on the table,
+        // not the spill buffer; capacity only batches the flushes.
+        let s: Vec<u64> = rows.iter().map(|r| r.spilled_elems).collect();
+        assert!(s.iter().all(|&x| x > 0));
+        let max = *s.iter().max().unwrap() as f64;
+        let min = *s.iter().min().unwrap() as f64;
+        assert!(min / max > 0.8, "{s:?}");
+    }
+}

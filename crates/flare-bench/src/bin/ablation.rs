@@ -1,0 +1,78 @@
+//! Ablation studies over Flare's design choices (beyond the paper's
+//! figures): scheduling subset size, remote-L1 penalty, staggered sending
+//! and sparse spill capacity.
+
+use flare_bench::ablation;
+use flare_bench::table::{f2, render};
+
+fn main() {
+    println!("Ablation 1: scheduling subset size S (64 KiB, i32)");
+    let rows: Vec<Vec<String>> = ablation::subset_sweep()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.s.to_string(),
+                r.kind.label(),
+                f2(r.tbps),
+                format!("{:.2}", r.input_buffer_peak as f64 / (1 << 20) as f64),
+                r.lock_wait.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["S", "algorithm", "Tbps", "inbuf peak (MiB)", "lock-wait cyc"],
+            &rows
+        )
+    );
+
+    println!("Ablation 2: remote-L1 penalty factor (global FCFS vs hierarchical)");
+    let rows: Vec<Vec<String>> = ablation::remote_penalty_sweep()
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{}x", r.factor),
+                f2(r.global_tbps),
+                f2(r.hierarchical_tbps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["penalty", "global FCFS (Tbps)", "hierarchical (Tbps)"], &rows)
+    );
+
+    println!("Ablation 3: staggered sending (256 KiB, single buffer)");
+    let rows: Vec<Vec<String>> = ablation::stagger_sweep()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                f2(r.tbps),
+                format!("{:.2}", r.input_buffer_peak as f64 / (1 << 20) as f64),
+                r.lock_wait.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["stagger", "Tbps", "inbuf peak (MiB)", "lock-wait cyc"], &rows)
+    );
+
+    println!("Ablation 4: sparse spill-buffer capacity (10% density, hash)");
+    let rows: Vec<Vec<String>> = ablation::spill_sweep()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.spill_cap.to_string(),
+                f2(r.tbps),
+                r.spilled_elems.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["spill cap", "Tbps", "spilled elems"], &rows)
+    );
+}

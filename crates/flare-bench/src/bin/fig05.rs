@@ -1,0 +1,32 @@
+//! Regenerate paper Figure 5: scheduling scenarios A/B/C — queue build-up
+//! as a function of subset size S and intra-block interarrival δc, model
+//! vs PsPIN-engine simulation.
+
+use flare_bench::fig05;
+use flare_bench::table::render;
+
+fn main() {
+    let rows: Vec<Vec<String>> = fig05::rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                r.s.to_string(),
+                r.delta_c.to_string(),
+                format!("{:.1}", r.model_q),
+                r.sim_queue_peak.to_string(),
+            ]
+        })
+        .collect();
+    println!("Figure 5: hierarchical FCFS scheduling scenarios (K=4, tau=4, delta=1, P=4)");
+    println!();
+    println!(
+        "{}",
+        render(
+            &["scenario", "S", "delta_c", "model Q/core", "sim queued peak"],
+            &rows
+        )
+    );
+    println!("A: global FCFS; B: per-block core pinning builds bursts;");
+    println!("C: staggered sending keeps pinning without the queues.");
+}

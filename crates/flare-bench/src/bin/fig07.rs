@@ -1,0 +1,30 @@
+//! Regenerate paper Figure 7: single-buffer aggregation — modeled
+//! bandwidth, input-buffer occupancy and working memory for S=1 vs S=C.
+
+use flare_bench::fig07;
+use flare_bench::table::{f2, mib, render};
+use flare_model::units::fmt_bytes;
+
+fn main() {
+    let rows: Vec<Vec<String>> = fig07::rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                fmt_bytes(r.data_bytes),
+                if r.s == 1 { "S=1".into() } else { "S=C".into() },
+                f2(r.bandwidth_tbps),
+                mib(r.input_buffer_bytes),
+                mib(r.working_memory_bytes),
+            ]
+        })
+        .collect();
+    println!("Figure 7: single-buffer aggregation, modeled (P=64, K=512, C=8, f32)");
+    println!();
+    println!(
+        "{}",
+        render(
+            &["data", "sched", "bandwidth (Tbps)", "input buf (MiB)", "work mem (MiB)"],
+            &rows
+        )
+    );
+}

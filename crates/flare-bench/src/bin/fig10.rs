@@ -1,0 +1,28 @@
+//! Regenerate paper Figure 10: modeled bandwidth and memory occupancy of
+//! all four dense aggregation designs at S=C.
+
+use flare_bench::fig10;
+use flare_bench::table::{f2, mib, render};
+use flare_model::units::fmt_bytes;
+
+fn main() {
+    let rows: Vec<Vec<String>> = fig10::rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                fmt_bytes(r.data_bytes),
+                r.kind.label(),
+                f2(r.bandwidth_tbps),
+                mib(r.memory_bytes),
+            ]
+        })
+        .collect();
+    println!("Figure 10: dense aggregation designs, modeled (S=C)");
+    println!();
+    println!(
+        "{}",
+        render(&["data", "algorithm", "bandwidth (Tbps)", "memory (MiB)"], &rows)
+    );
+    println!("Selection policy (Section 6.4): >512KiB single, >256KiB multi(4),");
+    println!(">128KiB multi(2), else tree; reproducible => always tree.");
+}

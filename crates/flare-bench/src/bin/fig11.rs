@@ -1,0 +1,51 @@
+//! Regenerate paper Figure 11: PsPIN-simulated aggregation bandwidth vs
+//! data size (left) and aggregated elements/s by datatype (right), with
+//! the SwitchML and SHARP reference lines.
+
+use flare_bench::fig11;
+use flare_bench::table::{f2, render};
+use flare_model::units::fmt_bytes;
+
+fn main() {
+    println!("Figure 11 (left): simulated bandwidth vs data size, i32");
+    println!();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let data = fig11::bandwidth_rows();
+    for size in fig11::SIZES {
+        let mut row = vec![fmt_bytes(size)];
+        for r in data.iter().filter(|r| r.data_bytes == size) {
+            row.push(f2(r.tbps));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render(&["data", "single (Tbps)", "multi(4)", "tree"], &rows)
+    );
+    for (name, tbps) in fig11::reference_lines() {
+        println!("reference: {name} = {tbps} Tbps");
+    }
+
+    println!();
+    println!("Figure 11 (right): elements aggregated per second, 1 MiB data");
+    println!();
+    let rows: Vec<Vec<String>> = fig11::dtype_rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.dtype.to_string(),
+                format!("{:.2e}", r.flare_eps),
+                if r.switchml_eps > 0.0 {
+                    format!("{:.2e}", r.switchml_eps)
+                } else {
+                    "n/a".into()
+                },
+                format!("{:.2e}", r.sharp_eps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["dtype", "Flare (elem/s)", "SwitchML", "SHARP"], &rows)
+    );
+}

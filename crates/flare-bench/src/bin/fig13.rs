@@ -1,0 +1,27 @@
+//! Regenerate paper Figure 13: modeled sparse-allreduce bandwidth, hash vs
+//! array storage, 10 % density.
+
+use flare_bench::fig13;
+use flare_bench::table::{f2, render};
+use flare_model::units::fmt_bytes;
+
+fn main() {
+    println!(
+        "Figure 13: modeled sparse allreduce bandwidth (density {:.0} %)",
+        fig13::DENSITY * 100.0
+    );
+    println!();
+    let data = fig13::rows();
+    let mut rows = Vec::new();
+    for size in fig13::SIZES {
+        let mut row = vec![fmt_bytes(size)];
+        for r in data.iter().filter(|r| r.data_bytes == size) {
+            row.push(f2(r.bandwidth_tbps));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render(&["sparsified data", "hash (Tbps)", "array (Tbps)"], &rows)
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerate paper Figure 14: simulated sparse allreduce — bandwidth,
+//! per-block memory and extra (spill) traffic across densities.
+//!
+//! Pass `--quick` for a reduced-scale run.
+
+use flare_bench::fig14;
+use flare_bench::table::{f2, kib, render};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 0.1 } else { 1.0 };
+    println!(
+        "Figure 14: simulated sparse allreduce, 1 MiB sparsified data{}",
+        if quick { " (quick scale 0.1)" } else { "" }
+    );
+    println!();
+    let rows: Vec<Vec<String>> = fig14::rows_scaled(scale)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.density * 100.0),
+                r.storage.label().to_string(),
+                r.tbps.map(f2).unwrap_or_else(|| "n/a (memory)".into()),
+                kib(r.block_memory_bytes as f64),
+                format!("{:.0}%", r.extra_traffic_frac * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["density", "storage", "bandwidth (Tbps)", "block mem (KiB)", "extra traffic"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerate paper Figure 15: the 64-node fat-tree comparison — host-based
+//! ring, Flare dense, SparCML, Flare sparse — completion time and traffic.
+//!
+//! Defaults to 4 MiB/host gradients (the same bandwidth-bound shape as the
+//! paper's 100 MiB at a fraction of the memory); pass `--full` for the
+//! paper-scale run (needs tens of GiB of RAM) or `--quick` for 1 MiB/host.
+
+use flare_bench::fig15::{self, Config};
+use flare_bench::table::{f2, render};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--full") {
+        Config::full_scale()
+    } else if args.iter().any(|a| a == "--quick") {
+        Config {
+            elems: 256 * 1024,
+            ..Config::default()
+        }
+    } else {
+        Config::default()
+    };
+    println!(
+        "Figure 15: 64-node 2-level fat tree (8-port 100 Gbps), {} MiB f32 per host,",
+        cfg.elems * 4 / (1 << 20)
+    );
+    println!(
+        "ResNet50-style sparsified gradients (top-1 per bucket of {} => ~0.2% density)",
+        cfg.bucket
+    );
+    println!();
+    let rows: Vec<Vec<String>> = fig15::rows(&cfg)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                f2(r.time_ms()),
+                format!("{:.3}", r.traffic_gib()),
+            ]
+        })
+        .collect();
+    println!("{}", render(&["system", "time (ms)", "traffic (GiB)"], &rows));
+}

@@ -1,0 +1,26 @@
+//! Regenerate paper Table 1: the feature matrix.
+
+use flare_bench::table::render;
+use flare_bench::table1;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1::rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                table1::class_label(r.class).to_string(),
+                r.custom_ops.glyph().to_string(),
+                r.sparse.glyph().to_string(),
+                r.reproducible.glyph().to_string(),
+            ]
+        })
+        .collect();
+    println!("Table 1: in-network allreduce feature comparison");
+    println!("(F1 custom ops/types, F2 sparse data, F3 reproducibility)");
+    println!();
+    println!(
+        "{}",
+        render(&["system", "class", "F1", "F2", "F3"], &rows)
+    );
+}

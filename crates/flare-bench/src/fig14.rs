@@ -1,0 +1,267 @@
+//! Figure 14: *simulated* sparse allreduce on the PsPIN engine — bandwidth,
+//! working memory per block, and extra traffic from spilling, for density
+//! 20 % / 10 % / 1 % and both storage backends (1 MiB sparsified data).
+//!
+//! The paper cannot run array storage at 1 % density (the per-block array
+//! outgrows the working memory); this harness reports that cell as `None`.
+
+use bytes::Bytes;
+
+use flare_core::handlers::{SparseAllreduceHandler, SparseHandlerConfig, SparseStorageKind};
+use flare_core::op::Sum;
+use flare_core::wire::{encode_sparse, Header, PacketKind};
+use flare_model::sparse::SPARSE_ELEM_BYTES;
+use flare_model::units::MIB;
+use flare_model::{SparseStorage, SwitchParams};
+use flare_pspin::engine::run_trace;
+use flare_pspin::{ArrivalTrace, PspinConfig, SchedulingPolicy, StaggerMode, TraceConfig};
+
+use flare_des::rng::{rng_stream, splitmix64};
+use rand::RngExt;
+
+/// One figure point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Data density.
+    pub density: f64,
+    /// Storage backend.
+    pub storage: SparseStorage,
+    /// Simulated bandwidth (Tbps); `None` when the configuration does not
+    /// fit in memory (the paper's missing array/1 % bars).
+    pub tbps: Option<f64>,
+    /// Working memory per block (bytes).
+    pub block_memory_bytes: u64,
+    /// Extra traffic from spilling, as a fraction of the ingress bytes.
+    pub extra_traffic_frac: f64,
+}
+
+/// Densities of the figure.
+pub const DENSITIES: [f64; 3] = [0.20, 0.10, 0.01];
+/// Sparsified data size.
+pub const DATA_BYTES: u64 = MIB;
+
+fn full_switch() -> PspinConfig {
+    PspinConfig {
+        policy: SchedulingPolicy::Hierarchical { subset_size: 8 },
+        ..PspinConfig::paper()
+    }
+}
+
+/// Working-memory budget per block: with ~32 blocks in flight per cluster
+/// a block must stay within 1 MiB / 32 = 32 KiB of L1. Beyond this the
+/// configuration is rejected, mirroring the paper's infeasible array/1 %
+/// point ("all the concurrently processed blocks do not fit in Flare
+/// memory").
+const BLOCK_MEMORY_LIMIT: usize = 32 << 10;
+
+/// Children feeding the switch in this figure. The paper does not state
+/// the port count of its Fig. 14 runs; 16 reproduces the published
+/// extra-traffic magnitudes (~100 % at 20 % density) with the same 2 KiB
+/// hash tables (see EXPERIMENTS.md).
+const CHILDREN: usize = 16;
+
+/// Simulate one `(storage, density)` cell. `scale` shrinks the data size
+/// (blocks) for quick runs; 1.0 = the full 1 MiB figure point.
+pub fn simulate(storage: SparseStorage, density: f64, scale: f64, seed: u64) -> Row {
+    let params = SwitchParams::paper();
+    let children = CHILDREN;
+    let pairs_per_packet = params.packet_bytes / SPARSE_ELEM_BYTES; // 128
+    let span = (pairs_per_packet as f64 / density).ceil() as usize;
+    let blocks = (((DATA_BYTES as f64 * scale) as u64) / params.packet_bytes as u64).max(4);
+    let storage_kind = match storage {
+        SparseStorage::Hash => SparseStorageKind::Hash {
+            slots: pairs_per_packet * 2,
+            spill_cap: pairs_per_packet / 2,
+        },
+        SparseStorage::Array => SparseStorageKind::Array { span },
+    };
+    let block_memory = match storage_kind {
+        SparseStorageKind::Hash { slots, spill_cap } => {
+            (slots + spill_cap) * (4 + 4)
+        }
+        SparseStorageKind::Array { span } => span * 4 + span / 8,
+    };
+    if block_memory > BLOCK_MEMORY_LIMIT {
+        return Row {
+            density,
+            storage,
+            tbps: None,
+            block_memory_bytes: block_memory as u64,
+            extra_traffic_frac: 0.0,
+        };
+    }
+
+    // Sparse handlers are slower than dense ones; offer packets at the
+    // sparse line rate so the measurement reflects capacity, not queueing
+    // collapse. τ ≈ pairs × insert cycles.
+    let per_elem = match storage {
+        SparseStorage::Hash => flare_model::sparse::HASH_INSERT_CYCLES,
+        SparseStorage::Array => flare_model::sparse::ARRAY_STORE_CYCLES,
+    };
+    let tau = (pairs_per_packet as f64 * per_elem) as u64;
+    let delta = full_switch().line_rate_delta(tau);
+    let trace = TraceConfig {
+        flow: 1,
+        children,
+        blocks,
+        header_bytes: 0,
+        delta,
+        stagger: StaggerMode::Target(tau),
+        exponential_jitter: true,
+        seed,
+    };
+    // Track the ideal aggregated output per block (distinct indexes):
+    // the baseline against which spilling is "extra" traffic.
+    let mut union_bits: Vec<Vec<u64>> = vec![vec![0u64; span.div_ceil(64)]; blocks as usize];
+    let arrivals = ArrivalTrace::generate(&trace, |c, b| {
+        let payload = sparse_payload(c, b, span, density, pairs_per_packet, seed);
+        if let Ok((_, pairs)) = flare_core::wire::decode_sparse::<f32>(&payload) {
+            let bits = &mut union_bits[b as usize];
+            for (idx, _) in pairs {
+                bits[idx as usize / 64] |= 1 << (idx % 64);
+            }
+        }
+        payload
+    });
+    let ideal_elems: u64 = union_bits
+        .iter()
+        .map(|bits| bits.iter().map(|w| w.count_ones() as u64).sum::<u64>())
+        .sum();
+    let handler: SparseAllreduceHandler<f32, Sum> = SparseAllreduceHandler::new(
+        SparseHandlerConfig {
+            allreduce: 1,
+            children: children as u16,
+            storage: storage_kind,
+            pairs_per_packet,
+            capture_results: false,
+        },
+        Sum,
+    );
+    let (report, _engine) = run_trace(full_switch(), handler, arrivals, false);
+    // Everything the switch emits (spill flushes + drained results) goes
+    // on the wire; a perfect aggregation would emit exactly the per-block
+    // index unions. The surplus is the paper's "extra traffic".
+    let emitted_elems =
+        (report.bytes_out.saturating_sub(16 * report.packets_out)) / SPARSE_ELEM_BYTES as u64;
+    Row {
+        density,
+        storage,
+        tbps: Some(report.ingress_tbps),
+        block_memory_bytes: block_memory as u64,
+        extra_traffic_frac: emitted_elems.saturating_sub(ideal_elems) as f64
+            / ideal_elems.max(1) as f64,
+    }
+}
+
+/// One child's contribution to one block: ~Binomial(span, density)
+/// non-zeros, i.e. about one packet's worth on average (Section 7).
+fn sparse_payload(
+    child: u16,
+    block: u64,
+    span: usize,
+    density: f64,
+    pairs_per_packet: usize,
+    seed: u64,
+) -> Bytes {
+    let mut rng = rng_stream(seed, splitmix64(block) ^ child as u64);
+    let mut pairs: Vec<(u32, f32)> = Vec::with_capacity(pairs_per_packet + 16);
+    for idx in 0..span as u32 {
+        if rng.random::<f64>() < density {
+            pairs.push((idx, rng.random::<f32>() + 0.1));
+        }
+    }
+    // One shard per block in this single-switch study: hosts size blocks
+    // so a block fits one packet on average; truncate the tail beyond the
+    // MTU (the real host would shard — covered by the system-level sim).
+    pairs.truncate(pairs_per_packet);
+    let header = Header {
+        allreduce: 1,
+        block: block as u32,
+        child,
+        kind: PacketKind::SparseContrib,
+        last_shard: true,
+        shard_count: 1,
+        elem_count: 0,
+    };
+    encode_sparse(header, &pairs)
+}
+
+/// Compute all figure cells (full scale).
+pub fn rows() -> Vec<Row> {
+    rows_scaled(1.0)
+}
+
+/// Compute all cells at a reduced data scale (for quick runs and tests).
+/// The six cells are independent simulations and fan out with rayon.
+pub fn rows_scaled(scale: f64) -> Vec<Row> {
+    use rayon::prelude::*;
+    let mut cells = Vec::new();
+    for &density in &DENSITIES {
+        for storage in [SparseStorage::Hash, SparseStorage::Array] {
+            cells.push((storage, density));
+        }
+    }
+    cells
+        .into_par_iter()
+        .map(|(storage, density)| simulate(storage, density, scale, 9))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_constant_array_density_dependent() {
+        let rows = rows_scaled(0.05);
+        let hash: Vec<&Row> = rows.iter().filter(|r| r.storage == SparseStorage::Hash).collect();
+        // Hash: bandwidth and memory roughly density-independent.
+        let b0 = hash[0].tbps.unwrap();
+        for r in &hash {
+            let b = r.tbps.unwrap();
+            assert!((b - b0).abs() / b0 < 0.25, "{b} vs {b0}");
+            assert_eq!(r.block_memory_bytes, hash[0].block_memory_bytes);
+        }
+        // Array at 1%: infeasible (the paper's missing bar).
+        let a1 = rows
+            .iter()
+            .find(|r| r.storage == SparseStorage::Array && r.density == 0.01)
+            .unwrap();
+        assert!(a1.tbps.is_none());
+        // Array memory grows as 1/density.
+        let a20 = rows
+            .iter()
+            .find(|r| r.storage == SparseStorage::Array && r.density == 0.20)
+            .unwrap();
+        let a10 = rows
+            .iter()
+            .find(|r| r.storage == SparseStorage::Array && r.density == 0.10)
+            .unwrap();
+        assert!(a10.block_memory_bytes > a20.block_memory_bytes * 3 / 2);
+    }
+
+    #[test]
+    fn array_never_spills_hash_spills_more_when_denser() {
+        let rows = rows_scaled(0.05);
+        for r in &rows {
+            if r.storage == SparseStorage::Array {
+                assert_eq!(r.extra_traffic_frac, 0.0);
+            }
+        }
+        let h20 = rows
+            .iter()
+            .find(|r| r.storage == SparseStorage::Hash && r.density == 0.20)
+            .unwrap();
+        let h01 = rows
+            .iter()
+            .find(|r| r.storage == SparseStorage::Hash && r.density == 0.01)
+            .unwrap();
+        assert!(
+            h20.extra_traffic_frac > h01.extra_traffic_frac,
+            "{} vs {}",
+            h20.extra_traffic_frac,
+            h01.extra_traffic_frac
+        );
+        assert!(h20.extra_traffic_frac > 0.05, "{}", h20.extra_traffic_frac);
+    }
+}

@@ -1,0 +1,16 @@
+//! Benchmark harness for the Flare reproduction.
+//!
+//! One module per paper table/figure computes the rows; the `src/bin/*`
+//! binaries print them in the paper's layout, and `benches/` wraps the
+//! hot paths in criterion. See EXPERIMENTS.md for paper-vs-measured notes.
+
+pub mod ablation;
+pub mod fig05;
+pub mod fig07;
+pub mod fig10;
+pub mod fig11;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod table;
+pub mod table1;

@@ -1,0 +1,76 @@
+//! Minimal aligned-table printer for figure binaries.
+
+/// Render rows of cells as an aligned text table with a header rule.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let pad = widths.get(i).copied().unwrap_or(0);
+            line.push_str(&format!("{cell:>pad$}  "));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a byte count in MiB with 2 decimals.
+pub fn mib(x: f64) -> String {
+    format!("{:.2}", x / (1024.0 * 1024.0))
+}
+
+/// Format a byte count in KiB with 1 decimal.
+pub fn kib(x: f64) -> String {
+    format!("{:.1}", x / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = render(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name") && lines[0].contains("value"));
+        assert!(lines[3].contains("longer"));
+    }
+
+    #[test]
+    fn unit_formatters() {
+        assert_eq!(f2(1.005), "1.00"); // rounds-to-even display is fine
+        assert_eq!(mib(2.0 * 1024.0 * 1024.0), "2.00");
+        assert_eq!(kib(1536.0), "1.5");
+    }
+}

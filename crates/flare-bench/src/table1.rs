@@ -1,0 +1,29 @@
+//! Table 1: the feature-comparison matrix, rendered from the
+//! machine-readable capability descriptors in `flare_core::features`.
+
+use flare_core::features::{table1, SystemClass, SystemRow};
+
+/// Rows, straight from flare-core.
+pub fn rows() -> Vec<SystemRow> {
+    table1()
+}
+
+/// Class label as printed in the table.
+pub fn class_label(c: SystemClass) -> &'static str {
+    match c {
+        SystemClass::FixedFunction => "fixed-function",
+        SystemClass::Fpga => "FPGA",
+        SystemClass::Programmable => "programmable",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_thirteen_systems_render() {
+        assert_eq!(rows().len(), 13);
+        assert_eq!(class_label(SystemClass::Fpga), "FPGA");
+    }
+}

@@ -1,0 +1,324 @@
+//! High-level collective drivers and the Horovod-style sequencer
+//! (paper Section 8).
+//!
+//! [`run_dense_allreduce`] / [`run_sparse_allreduce`] wire a network
+//! manager plan, per-switch Flare programs and per-host participants into
+//! a [`flare_net::NetSim`] run — the glue the examples and the Figure 15
+//! harness use. Reduce, broadcast and barrier are built on the same
+//! machinery: reduce/broadcast contribute the operator identity on
+//! non-root ranks, barrier is a 1-element allreduce (paper: "a barrier can
+//! simply be implemented as an in-network allreduce with 0-bytes data").
+//!
+//! [`Sequencer`] resolves the deadlock the paper describes for frameworks
+//! like Horovod, where ranks issue multiple outstanding allreduces in
+//! different orders: it computes the unique execution order all ranks must
+//! follow (the set of operations ready on every rank, in rank-0 issue
+//! order).
+
+use flare_des::Time;
+use flare_net::{NetReport, NetSim, Topology};
+
+use crate::dtype::Element;
+use crate::host::{result_sink, DenseFlareHost, HostConfig, ResultSink, SparseFlareHost};
+use crate::manager::AllreducePlan;
+use crate::op::ReduceOp;
+use crate::switch_prog::{FlareDenseProgram, FlareSparseProgram, TreePlacement};
+use crate::handlers::SparseStorageKind;
+
+/// Options for a driver run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Packet payload in elements (dense) — the paper's 256×f32 = 1 KiB.
+    pub elems_per_packet: usize,
+    /// Pairs per packet (sparse) — the paper's 128 pairs = 1 KiB.
+    pub pairs_per_packet: usize,
+    /// Switch processing rate in bytes/ns (PsPIN-calibrated).
+    pub switch_proc_rate: f64,
+    /// Retransmission timeout for dense hosts (None = reliable network).
+    pub retransmit_after: Option<Time>,
+    /// RNG seed (loss injection etc.).
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            elems_per_packet: 256,
+            pairs_per_packet: 128,
+            // 512 cores / 1024 cycles per 1 KiB packet = 0.5 pkt/ns ≈
+            // 512 B/ns — the full-switch dense aggregation rate measured
+            // on the PsPIN engine.
+            switch_proc_rate: 512.0,
+            retransmit_after: None,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-rank stagger step (in blocks) that is safe under windowing.
+///
+/// A block stays open until the largest-offset host reaches it, so the
+/// total offset spread must fit inside the window with slack left for
+/// pipelining; when the window already covers every block, staggering is
+/// unconstrained and hosts spread maximally (the paper's Section 5 bound
+/// delta <= delta_c <= delta*Z/N).
+fn stagger_step(window: usize, blocks: u64, hosts: usize) -> u64 {
+    if window as u64 >= blocks {
+        (blocks / hosts as u64).max(1)
+    } else {
+        (window.saturating_sub(32) / hosts) as u64
+    }
+}
+
+fn placement_for(plan: &AllreducePlan, switch: flare_net::NodeId) -> TreePlacement {
+    let rec = plan.tree.switch(switch).expect("switch in tree");
+    TreePlacement {
+        allreduce: plan.id,
+        parent: rec.parent,
+        children: rec.children.clone(),
+        my_child_index: rec.my_child_index,
+    }
+}
+
+/// Build and run a dense allreduce over `inputs` (one vector per host, in
+/// the order of `hosts`). Returns each host's reduced vector plus the
+/// network report.
+pub fn run_dense_allreduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
+    topo: Topology,
+    hosts: &[flare_net::NodeId],
+    plan: &AllreducePlan,
+    op: O,
+    inputs: Vec<Vec<T>>,
+    opts: &RunOptions,
+) -> (Vec<Vec<T>>, NetReport) {
+    assert_eq!(hosts.len(), inputs.len(), "one input per host");
+    let mut sim = NetSim::new(topo, opts.seed);
+    for s in &plan.tree.switches {
+        let prog = FlareDenseProgram::new(placement_for(plan, s.switch), op.clone());
+        sim.install_switch(s.switch, Box::new(prog), opts.switch_proc_rate);
+    }
+    let blocks = inputs[0].len().div_ceil(opts.elems_per_packet) as u64;
+    let step = stagger_step(plan.window, blocks, hosts.len());
+    let mut sinks: Vec<ResultSink<T>> = Vec::with_capacity(hosts.len());
+    for (rank, (&h, data)) in hosts.iter().zip(inputs).enumerate() {
+        let (leaf, child_index) = plan.tree.host_attach[&h];
+        let sink = result_sink();
+        sinks.push(sink.clone());
+        let cfg = HostConfig {
+            allreduce: plan.id,
+            leaf,
+            child_index,
+            window: plan.window,
+            stagger_offset: rank as u64 * step,
+            retransmit_after: opts.retransmit_after,
+        };
+        let host = DenseFlareHost::new(cfg, opts.elems_per_packet, data, sink);
+        sim.install_host(h, Box::new(host));
+    }
+    let report = sim.run(None);
+    let results = sinks
+        .into_iter()
+        .map(|s| s.borrow_mut().take().expect("host completed"))
+        .collect();
+    (results, report)
+}
+
+/// Sparse storage policy along the tree: the paper stores data "in hash
+/// tables in the leaves switches, and in an array in the root switch"
+/// because sparse data densifies toward the root.
+#[derive(Debug, Clone, Copy)]
+pub struct SparsePolicy {
+    /// Hash slots per block at non-root switches.
+    pub hash_slots: usize,
+    /// Spill-buffer capacity at non-root switches.
+    pub spill_cap: usize,
+    /// Block span in elements (≈ pairs-per-packet / density).
+    pub span: usize,
+    /// Use array storage at the root (otherwise hash everywhere).
+    pub array_at_root: bool,
+}
+
+/// Build and run a sparse allreduce: `inputs[r]` is host `r`'s sparsified
+/// `(global index, value)` list over `total_elems` elements.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sparse_allreduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
+    topo: Topology,
+    hosts: &[flare_net::NodeId],
+    plan: &AllreducePlan,
+    op: O,
+    total_elems: usize,
+    inputs: Vec<Vec<(u32, T)>>,
+    policy: SparsePolicy,
+    opts: &RunOptions,
+) -> (Vec<Vec<T>>, NetReport) {
+    assert_eq!(hosts.len(), inputs.len());
+    let mut sim = NetSim::new(topo, opts.seed);
+    for s in &plan.tree.switches {
+        let storage = if s.parent.is_none() && policy.array_at_root {
+            SparseStorageKind::Array { span: policy.span }
+        } else {
+            SparseStorageKind::Hash {
+                slots: policy.hash_slots,
+                spill_cap: policy.spill_cap,
+            }
+        };
+        let prog = FlareSparseProgram::new(
+            placement_for(plan, s.switch),
+            op.clone(),
+            storage,
+            opts.pairs_per_packet,
+        );
+        sim.install_switch(s.switch, Box::new(prog), opts.switch_proc_rate);
+    }
+    let blocks = total_elems.div_ceil(policy.span) as u64;
+    let step = stagger_step(plan.window, blocks, hosts.len());
+    let mut sinks: Vec<ResultSink<T>> = Vec::with_capacity(hosts.len());
+    for (rank, (&h, pairs)) in hosts.iter().zip(inputs).enumerate() {
+        let (leaf, child_index) = plan.tree.host_attach[&h];
+        let sink = result_sink();
+        sinks.push(sink.clone());
+        let cfg = HostConfig {
+            allreduce: plan.id,
+            leaf,
+            child_index,
+            window: plan.window,
+            stagger_offset: rank as u64 * step,
+            retransmit_after: None,
+        };
+        let host = SparseFlareHost::new(
+            cfg,
+            op.clone(),
+            total_elems,
+            policy.span,
+            opts.pairs_per_packet,
+            pairs,
+            sink,
+        );
+        sim.install_host(h, Box::new(host));
+    }
+    let report = sim.run(None);
+    let results = sinks
+        .into_iter()
+        .map(|s| s.borrow_mut().take().expect("host completed"))
+        .collect();
+    (results, report)
+}
+
+/// In-network **reduce**: only `root_rank`'s output is meaningful; other
+/// ranks contribute normally but discard. Built on allreduce (the result
+/// still travels the tree; the paper lists reduce among the collectives
+/// Flare accelerates).
+pub fn run_reduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
+    topo: Topology,
+    hosts: &[flare_net::NodeId],
+    plan: &AllreducePlan,
+    op: O,
+    inputs: Vec<Vec<T>>,
+    root_rank: usize,
+    opts: &RunOptions,
+) -> (Vec<T>, NetReport) {
+    let (mut results, report) = run_dense_allreduce(topo, hosts, plan, op, inputs, opts);
+    (results.swap_remove(root_rank), report)
+}
+
+/// In-network **broadcast** of `root_rank`'s vector: non-root ranks
+/// contribute the operator identity, so the allreduce result *is* the
+/// root's data.
+pub fn run_broadcast<T: Element, O: ReduceOp<T> + Clone + 'static>(
+    topo: Topology,
+    hosts: &[flare_net::NodeId],
+    plan: &AllreducePlan,
+    op: O,
+    root_rank: usize,
+    data: Vec<T>,
+    opts: &RunOptions,
+) -> (Vec<Vec<T>>, NetReport) {
+    let identity = vec![op.identity(); data.len()];
+    let inputs: Vec<Vec<T>> = (0..hosts.len())
+        .map(|r| if r == root_rank { data.clone() } else { identity.clone() })
+        .collect();
+    run_dense_allreduce(topo, hosts, plan, op, inputs, opts)
+}
+
+/// In-network **barrier**: a one-element allreduce; returns the time at
+/// which the last host observed completion.
+pub fn run_barrier(
+    topo: Topology,
+    hosts: &[flare_net::NodeId],
+    plan: &AllreducePlan,
+    opts: &RunOptions,
+) -> (Time, NetReport) {
+    let inputs: Vec<Vec<i32>> = vec![vec![1]; hosts.len()];
+    let (_, report) = run_dense_allreduce(topo, hosts, plan, crate::op::Sum, inputs, opts);
+    (report.last_done.unwrap_or(report.makespan), report)
+}
+
+/// Horovod-style collective sequencer (paper Section 8): ranks may issue
+/// outstanding collectives in different orders, which can deadlock an
+/// in-order fabric. The sequencer computes the order every rank must
+/// execute: operations ready on *all* ranks, in rank-0 issue order.
+#[derive(Debug, Default)]
+pub struct Sequencer {
+    submissions: Vec<Vec<String>>,
+}
+
+impl Sequencer {
+    /// New empty negotiation round.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the ordered op names rank `rank` wants to execute.
+    pub fn submit(&mut self, rank: usize, ops: &[&str]) {
+        if self.submissions.len() <= rank {
+            self.submissions.resize_with(rank + 1, Vec::new);
+        }
+        self.submissions[rank] = ops.iter().map(|s| s.to_string()).collect();
+    }
+
+    /// The agreed execution order: ops present on every rank, in rank-0
+    /// issue order. Ops missing somewhere stay pending for a later round.
+    pub fn negotiate(&self) -> Vec<String> {
+        let Some(first) = self.submissions.first() else {
+            return Vec::new();
+        };
+        first
+            .iter()
+            .filter(|op| self.submissions.iter().all(|s| s.contains(op)))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequencer_orders_by_rank0_and_requires_all_ranks() {
+        let mut seq = Sequencer::new();
+        seq.submit(0, &["grad_a", "grad_b", "grad_c"]);
+        seq.submit(1, &["grad_c", "grad_a"]);
+        seq.submit(2, &["grad_a", "grad_c", "grad_d"]);
+        // grad_b and grad_d are not ready everywhere.
+        assert_eq!(seq.negotiate(), vec!["grad_a", "grad_c"]);
+    }
+
+    #[test]
+    fn sequencer_empty_cases() {
+        let seq = Sequencer::new();
+        assert!(seq.negotiate().is_empty());
+        let mut seq = Sequencer::new();
+        seq.submit(0, &["x"]);
+        seq.submit(1, &[]);
+        assert!(seq.negotiate().is_empty());
+    }
+
+    #[test]
+    fn sequencer_identical_orders_pass_through() {
+        let mut seq = Sequencer::new();
+        seq.submit(0, &["a", "b"]);
+        seq.submit(1, &["b", "a"]);
+        assert_eq!(seq.negotiate(), vec!["a", "b"], "rank-0 order wins");
+    }
+}

@@ -1,0 +1,490 @@
+//! Dense block aggregators (paper Section 6).
+//!
+//! These are the *functional* state machines behind the three aggregation
+//! designs — single buffer (6.1), multiple buffers (6.2) and tree (6.3).
+//! They perform the real elementwise arithmetic; the cycle costs and lock
+//! serialization are modeled by the callers (the PsPIN handlers in
+//! `handlers.rs` and the network switch program in `switch_prog.rs`).
+//!
+//! All three deduplicate retransmitted packets with a per-child bitmap
+//! (paper Section 4.1: "Flare can use a bitmap (with one bit per port)
+//! rather than a counter" so retransmissions are not aggregated twice).
+
+use crate::dtype::Element;
+use crate::op::ReduceOp;
+
+/// Per-child reception bitmap, sized for any number of children.
+#[derive(Debug, Clone, Default)]
+pub struct ChildBitmap {
+    words: Vec<u64>,
+    set_count: u16,
+}
+
+impl ChildBitmap {
+    /// Bitmap for `children` children, all unset.
+    pub fn new(children: u16) -> Self {
+        Self {
+            words: vec![0; (children as usize).div_ceil(64)],
+            set_count: 0,
+        }
+    }
+
+    /// Set bit `child`; returns `false` if it was already set (duplicate).
+    pub fn set(&mut self, child: u16) -> bool {
+        let (w, b) = (child as usize / 64, child as usize % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.set_count += 1;
+        true
+    }
+
+    /// Whether bit `child` is set.
+    pub fn is_set(&self, child: u16) -> bool {
+        let (w, b) = (child as usize / 64, child as usize % 64);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of distinct children seen.
+    pub fn count(&self) -> u16 {
+        self.set_count
+    }
+}
+
+/// What one packet insertion did to a block aggregator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertReport<T> {
+    /// Aggregation buffers newly allocated by this insertion.
+    pub buffers_allocated: usize,
+    /// Aggregation buffers released by this insertion (tree merges, final
+    /// folds, and block completion all free buffers).
+    pub buffers_freed: usize,
+    /// Buffer-to-buffer merge operations performed (tree levels climbed or
+    /// multi-buffer folds) — each costs a full `L` in the timing model.
+    pub merges: usize,
+    /// The packet was a retransmitted duplicate and was ignored.
+    pub duplicate: bool,
+    /// The fully-reduced block, when this insertion completed it.
+    pub result: Option<Vec<T>>,
+}
+
+impl<T> InsertReport<T> {
+    fn duplicate() -> Self {
+        Self {
+            buffers_allocated: 0,
+            buffers_freed: 0,
+            merges: 0,
+            duplicate: true,
+            result: None,
+        }
+    }
+}
+
+fn accumulate<T: Element, O: ReduceOp<T>>(op: &O, acc: &mut [T], vals: &[T]) {
+    debug_assert_eq!(acc.len(), vals.len(), "block size mismatch");
+    for (a, &b) in acc.iter_mut().zip(vals) {
+        *a = op.combine(*a, b);
+    }
+}
+
+/// Single shared aggregation buffer per block (Section 6.1).
+///
+/// The first packet is copied into the buffer; subsequent packets are
+/// folded in *arrival order*, so the aggregation order — and hence the
+/// result for order-sensitive operators — depends on packet timing.
+#[derive(Debug)]
+pub struct SingleBufferBlock<T> {
+    buf: Option<Vec<T>>,
+    seen: ChildBitmap,
+    expected: u16,
+}
+
+impl<T: Element> SingleBufferBlock<T> {
+    /// New block expecting one packet from each of `children` children.
+    pub fn new(children: u16) -> Self {
+        Self {
+            buf: None,
+            seen: ChildBitmap::new(children),
+            expected: children,
+        }
+    }
+
+    /// Fold one packet into the buffer.
+    pub fn insert<O: ReduceOp<T>>(&mut self, op: &O, child: u16, vals: &[T]) -> InsertReport<T> {
+        if !self.seen.set(child) {
+            return InsertReport::duplicate();
+        }
+        let mut allocated = 0;
+        match &mut self.buf {
+            None => {
+                self.buf = Some(vals.to_vec());
+                allocated = 1;
+            }
+            Some(acc) => accumulate(op, acc, vals),
+        }
+        let complete = self.seen.count() == self.expected;
+        InsertReport {
+            buffers_allocated: allocated,
+            buffers_freed: usize::from(complete),
+            merges: 0,
+            duplicate: false,
+            result: complete.then(|| self.buf.take().expect("buffer present")),
+        }
+    }
+
+    /// Children observed so far.
+    pub fn received(&self) -> u16 {
+        self.seen.count()
+    }
+}
+
+/// `B` interchangeable buffers per block (Section 6.2). The caller picks
+/// the buffer (whichever lock it acquired); the last packet folds the
+/// partial buffers together in index order.
+#[derive(Debug)]
+pub struct MultiBufferBlock<T> {
+    bufs: Vec<Option<Vec<T>>>,
+    seen: ChildBitmap,
+    expected: u16,
+}
+
+impl<T: Element> MultiBufferBlock<T> {
+    /// New block with `buffers` buffers expecting `children` packets.
+    pub fn new(children: u16, buffers: usize) -> Self {
+        assert!(buffers >= 1);
+        Self {
+            bufs: vec![None; buffers],
+            seen: ChildBitmap::new(children),
+            expected: children,
+        }
+    }
+
+    /// Number of buffers (`B`).
+    pub fn buffers(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Fold one packet into buffer `buffer` (the caller's acquired lock).
+    pub fn insert<O: ReduceOp<T>>(
+        &mut self,
+        op: &O,
+        buffer: usize,
+        child: u16,
+        vals: &[T],
+    ) -> InsertReport<T> {
+        if !self.seen.set(child) {
+            return InsertReport::duplicate();
+        }
+        let mut allocated = 0;
+        match &mut self.bufs[buffer] {
+            None => {
+                self.bufs[buffer] = Some(vals.to_vec());
+                allocated = 1;
+            }
+            Some(acc) => accumulate(op, acc, vals),
+        }
+        if self.seen.count() < self.expected {
+            return InsertReport {
+                buffers_allocated: allocated,
+                buffers_freed: 0,
+                merges: 0,
+                duplicate: false,
+                result: None,
+            };
+        }
+        // Last handler: fold the partial buffers together in index order
+        // ("aggregates the content of its packet with the content of B0,
+        // and then of B1", Section 6.2).
+        let mut filled: Vec<Vec<T>> = self.bufs.iter_mut().filter_map(Option::take).collect();
+        let folds = filled.len() - 1;
+        let mut acc = filled.remove(0);
+        for part in &filled {
+            accumulate(op, &mut acc, part);
+        }
+        InsertReport {
+            buffers_allocated: allocated,
+            buffers_freed: folds + 1,
+            merges: folds,
+            duplicate: false,
+            result: Some(acc),
+        }
+    }
+}
+
+/// Tree aggregation (Section 6.3): a fixed binary combining tree over the
+/// children. A packet from child `i` always lands in leaf `i`, merges only
+/// happen when both siblings are present, and operands keep a fixed
+/// left/right order — making the aggregation order independent of packet
+/// arrival order, hence bitwise-reproducible (F3), with no lock contention.
+#[derive(Debug)]
+pub struct TreeBlock<T> {
+    /// `levels[0]` are the (padded) leaves; `levels.last()` is the root.
+    levels: Vec<Vec<Option<Vec<T>>>>,
+    seen: ChildBitmap,
+    expected: u16,
+}
+
+impl<T: Element> TreeBlock<T> {
+    /// New combining tree over `children` leaves.
+    pub fn new(children: u16) -> Self {
+        assert!(children >= 1);
+        let leaves = (children as usize).next_power_of_two();
+        let depth = leaves.trailing_zeros() as usize;
+        let mut levels = Vec::with_capacity(depth + 1);
+        let mut width = leaves;
+        for _ in 0..=depth {
+            levels.push(vec![None; width]);
+            width = (width / 2).max(1);
+        }
+        Self {
+            levels,
+            seen: ChildBitmap::new(children),
+            expected: children,
+        }
+    }
+
+    /// Whether the subtree at `(level, idx)` contains any real leaf.
+    fn subtree_live(&self, level: usize, idx: usize) -> bool {
+        (idx << level) < self.expected as usize
+    }
+
+    /// Insert child `i`'s packet into leaf `i` and bubble merges upward.
+    pub fn insert<O: ReduceOp<T>>(&mut self, op: &O, child: u16, vals: &[T]) -> InsertReport<T> {
+        if !self.seen.set(child) {
+            return InsertReport::duplicate();
+        }
+        let mut level = 0;
+        let mut idx = child as usize;
+        self.levels[0][idx] = Some(vals.to_vec());
+        let mut merges = 0;
+        let mut freed = 0;
+        let top = self.levels.len() - 1;
+        while level < top {
+            let sibling = idx ^ 1;
+            let promoted = if !self.subtree_live(level, sibling) {
+                // Padding subtree: promote without an operation.
+                self.levels[level][idx].take()
+            } else if self.levels[level][sibling].is_some() {
+                // Both present: merge left-into-right operand order.
+                let left_idx = idx & !1;
+                let right_idx = left_idx + 1;
+                let mut left = self.levels[level][left_idx].take().expect("left present");
+                let right = self.levels[level][right_idx].take().expect("right present");
+                accumulate(op, &mut left, &right);
+                merges += 1;
+                freed += 1; // two buffers became one
+                Some(left)
+            } else {
+                // Sibling not ready: this handler is done.
+                return InsertReport {
+                    buffers_allocated: 1,
+                    buffers_freed: freed,
+                    merges,
+                    duplicate: false,
+                    result: None,
+                };
+            };
+            level += 1;
+            idx >>= 1;
+            self.levels[level][idx] = promoted;
+        }
+        let result = self.levels[top][0].take().expect("root present");
+        InsertReport {
+            buffers_allocated: 1,
+            buffers_freed: freed + 1,
+            merges,
+            duplicate: false,
+            result: Some(result),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{golden_reduce, Custom, Sum};
+
+    fn inputs(p: usize, n: usize) -> Vec<Vec<i32>> {
+        (0..p)
+            .map(|c| (0..n).map(|i| (c * 100 + i) as i32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn bitmap_sets_and_detects_duplicates() {
+        let mut bm = ChildBitmap::new(130);
+        assert!(bm.set(0));
+        assert!(bm.set(129));
+        assert!(!bm.set(0), "duplicate must be flagged");
+        assert!(bm.is_set(129) && !bm.is_set(64));
+        assert_eq!(bm.count(), 2);
+    }
+
+    #[test]
+    fn single_buffer_reduces_correctly() {
+        let data = inputs(4, 8);
+        let mut blk = SingleBufferBlock::new(4);
+        let mut result = None;
+        for (c, v) in data.iter().enumerate() {
+            let r = blk.insert(&Sum, c as u16, v);
+            if let Some(res) = r.result {
+                result = Some(res);
+            }
+        }
+        assert_eq!(result.unwrap(), golden_reduce(&Sum, &data));
+    }
+
+    #[test]
+    fn single_buffer_first_packet_allocates_and_completion_frees() {
+        let data = inputs(2, 4);
+        let mut blk = SingleBufferBlock::new(2);
+        let r0 = blk.insert(&Sum, 0, &data[0]);
+        assert_eq!((r0.buffers_allocated, r0.buffers_freed), (1, 0));
+        let r1 = blk.insert(&Sum, 1, &data[1]);
+        assert_eq!((r1.buffers_allocated, r1.buffers_freed), (0, 1));
+        assert!(r1.result.is_some());
+    }
+
+    #[test]
+    fn single_buffer_ignores_retransmissions() {
+        let data = inputs(3, 4);
+        let mut blk = SingleBufferBlock::new(3);
+        blk.insert(&Sum, 0, &data[0]);
+        let dup = blk.insert(&Sum, 0, &data[0]);
+        assert!(dup.duplicate);
+        blk.insert(&Sum, 1, &data[1]);
+        let fin = blk.insert(&Sum, 2, &data[2]);
+        assert_eq!(fin.result.unwrap(), golden_reduce(&Sum, &data));
+    }
+
+    #[test]
+    fn multi_buffer_folds_partials_in_index_order() {
+        let data = inputs(4, 4);
+        let mut blk = MultiBufferBlock::new(4, 2);
+        // Packets use alternating buffers, as lock acquisition would.
+        assert!(blk.insert(&Sum, 0, 0, &data[0]).result.is_none());
+        assert!(blk.insert(&Sum, 1, 1, &data[1]).result.is_none());
+        assert!(blk.insert(&Sum, 0, 2, &data[2]).result.is_none());
+        let fin = blk.insert(&Sum, 1, 3, &data[3]);
+        assert_eq!(fin.merges, 1, "one cross-buffer fold for B=2");
+        assert_eq!(fin.result.unwrap(), golden_reduce(&Sum, &data));
+    }
+
+    #[test]
+    fn multi_buffer_single_buffer_degenerate_case() {
+        let data = inputs(3, 2);
+        let mut blk = MultiBufferBlock::new(3, 1);
+        blk.insert(&Sum, 0, 0, &data[0]);
+        blk.insert(&Sum, 0, 1, &data[1]);
+        let fin = blk.insert(&Sum, 0, 2, &data[2]);
+        assert_eq!(fin.merges, 0);
+        assert_eq!(fin.result.unwrap(), golden_reduce(&Sum, &data));
+    }
+
+    #[test]
+    fn tree_reduces_correctly_for_any_child_count() {
+        for p in [1usize, 2, 3, 5, 8, 13, 64] {
+            let data = inputs(p, 4);
+            let mut blk = TreeBlock::new(p as u16);
+            let mut result = None;
+            for (c, v) in data.iter().enumerate() {
+                if let Some(r) = blk.insert(&Sum, c as u16, v).result {
+                    result = Some(r);
+                }
+            }
+            assert_eq!(result.unwrap(), golden_reduce(&Sum, &data), "P={p}");
+        }
+    }
+
+    #[test]
+    fn tree_merge_counts_total_p_minus_one() {
+        for p in [2usize, 3, 8, 11] {
+            let data = inputs(p, 2);
+            let mut blk = TreeBlock::new(p as u16);
+            let mut merges = 0;
+            for (c, v) in data.iter().enumerate() {
+                merges += blk.insert(&Sum, c as u16, v).merges;
+            }
+            assert_eq!(merges, p - 1, "P−1 aggregations (Section 6.3), P={p}");
+        }
+    }
+
+    #[test]
+    fn tree_result_is_arrival_order_independent() {
+        // The reproducibility property (F3): with a non-associative
+        // operator, tree aggregation yields bit-identical results for every
+        // arrival permutation, because operand placement is fixed.
+        let op = Custom::new("fp-ish", 0i32, false, |a: i32, b: i32| {
+            // A deliberately non-associative combiner.
+            a.wrapping_mul(2).wrapping_add(b)
+        });
+        let p = 6;
+        let data = inputs(p, 3);
+        let mut reference: Option<Vec<i32>> = None;
+        // All 720 permutations of arrival order.
+        let mut order: Vec<u16> = (0..p as u16).collect();
+        permute(&mut order, 0, &mut |perm| {
+            let mut blk = TreeBlock::new(p as u16);
+            let mut result = None;
+            for &c in perm {
+                if let Some(r) = blk.insert(&op, c, &data[c as usize]).result {
+                    result = Some(r);
+                }
+            }
+            let result = result.expect("completed");
+            match &reference {
+                None => reference = Some(result),
+                Some(r) => assert_eq!(*r, result, "perm {perm:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn single_buffer_is_arrival_order_dependent() {
+        // The counterpart: single-buffer aggregation with the same
+        // non-associative operator produces different results for
+        // different arrival orders (why Flare forces tree for F3).
+        let op = Custom::new("fp-ish", 0i32, false, |a: i32, b: i32| {
+            a.wrapping_mul(2).wrapping_add(b)
+        });
+        let data = inputs(3, 2);
+        let run = |order: &[u16]| {
+            let mut blk = SingleBufferBlock::new(3);
+            let mut out = None;
+            for &c in order {
+                if let Some(r) = blk.insert(&op, c, &data[c as usize]).result {
+                    out = Some(r);
+                }
+            }
+            out.unwrap()
+        };
+        assert_ne!(run(&[0, 1, 2]), run(&[2, 1, 0]));
+    }
+
+    #[test]
+    fn tree_frees_all_buffers_by_completion() {
+        let p = 7;
+        let data = inputs(p, 2);
+        let mut blk = TreeBlock::new(p as u16);
+        let mut alloc = 0i64;
+        for (c, v) in data.iter().enumerate() {
+            let r = blk.insert(&Sum, c as u16, v);
+            alloc += r.buffers_allocated as i64 - r.buffers_freed as i64;
+        }
+        assert_eq!(alloc, 0, "no leaked buffers");
+    }
+
+    fn permute<F: FnMut(&[u16])>(arr: &mut Vec<u16>, k: usize, f: &mut F) {
+        if k == arr.len() {
+            f(arr);
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+}

@@ -1,0 +1,789 @@
+//! sPIN packet handlers for Flare allreduce, runnable on the PsPIN engine.
+//!
+//! These implement [`flare_pspin::PacketHandler`]: each packet's arithmetic
+//! is executed for real (via the `dense`/`sparse` state machines) while the
+//! paper's cycle costs drive the [`flare_pspin::HpuCtx`] cursor:
+//!
+//! * header parse: a fixed small cost,
+//! * dense aggregation: `CYCLES_PER_ELEM × elements` inside the buffer's
+//!   critical section (single/multi buffer) or lock-free after a 64-cycle
+//!   DMA leaf copy (tree),
+//! * sparse aggregation: per-element hash-insert / array-store costs from
+//!   `flare_model::sparse`, spill-buffer flushes emitted as extra traffic,
+//!   and the array's span scan paid at block completion,
+//! * remote-L1 penalty whenever a packet is scheduled on a different
+//!   cluster than the block's aggregation buffer (global FCFS scheduling).
+
+use std::collections::HashMap;
+
+use flare_model::AggKind;
+use flare_pspin::{HpuCtx, PacketHandler, PspinPacket};
+
+use crate::dense::{MultiBufferBlock, SingleBufferBlock, TreeBlock};
+use crate::dtype::Element;
+use crate::op::ReduceOp;
+use crate::sparse::{HashInsert, ShardTracker, SparseArrayStore, SparseHashStore};
+use crate::wire::{decode_dense, decode_sparse, encode_dense, encode_sparse, Header, PacketKind};
+
+/// Fixed cost to parse the Flare header and dispatch (cycles).
+pub const PARSE_CYCLES: u64 = 32;
+
+/// How many recently-completed block ids a handler remembers, so that
+/// late retransmissions of finished blocks are ignored instead of opening
+/// a ghost block (and emitting a second result).
+const COMPLETED_MEMORY: usize = 4096;
+
+/// Bounded set of recently-completed block ids (FIFO eviction).
+#[derive(Debug, Default)]
+struct CompletedSet {
+    set: std::collections::HashSet<u64>,
+    fifo: std::collections::VecDeque<u64>,
+}
+
+impl CompletedSet {
+    fn insert(&mut self, block: u64) {
+        if self.fifo.len() >= COMPLETED_MEMORY {
+            if let Some(old) = self.fifo.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        self.fifo.push_back(block);
+        self.set.insert(block);
+    }
+
+    fn contains(&self, block: u64) -> bool {
+        self.set.contains(&block)
+    }
+}
+
+/// Cycles to aggregate `elems` elements of `T` (the paper's 4 cycles per
+/// f32, SIMD-scaled for narrower types).
+pub fn agg_cycles<T: Element>(elems: usize) -> u64 {
+    (elems as f64 * T::CYCLES_PER_ELEM).ceil() as u64
+}
+
+/// Configuration of a dense allreduce handler on one switch.
+#[derive(Debug, Clone)]
+pub struct DenseHandlerConfig {
+    /// Allreduce id this handler serves (packets of other flows are
+    /// dispatched to other handlers by the parser).
+    pub allreduce: u32,
+    /// Children in the reduction tree (`P`).
+    pub children: u16,
+    /// Aggregation algorithm (paper Section 6; selected per Section 6.4).
+    pub algorithm: AggKind,
+    /// Keep completed block results for inspection by tests/examples.
+    pub capture_results: bool,
+}
+
+struct DenseBlock<T> {
+    state: DenseBlockState<T>,
+    home_cluster: usize,
+}
+
+enum DenseBlockState<T> {
+    Single(SingleBufferBlock<T>),
+    Multi(MultiBufferBlock<T>),
+    Tree(TreeBlock<T>),
+}
+
+/// Dense allreduce handler: one instance per (switch, allreduce).
+pub struct DenseAllreduceHandler<T: Element, O> {
+    cfg: DenseHandlerConfig,
+    op: O,
+    blocks: HashMap<u64, DenseBlock<T>>,
+    completed: CompletedSet,
+    results: Vec<(u64, Vec<T>)>,
+}
+
+impl<T: Element, O: ReduceOp<T>> DenseAllreduceHandler<T, O> {
+    /// Create the handler (the network manager "installs" it).
+    pub fn new(cfg: DenseHandlerConfig, op: O) -> Self {
+        Self {
+            cfg,
+            op,
+            blocks: HashMap::new(),
+            completed: CompletedSet::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Completed `(block, result)` pairs, in completion order.
+    pub fn results(&self) -> &[(u64, Vec<T>)] {
+        &self.results
+    }
+
+    /// Blocks currently holding working memory.
+    pub fn open_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn emit_result(ctx: &mut HpuCtx<'_>, allreduce: u32, block: u64, result: &[T]) {
+        let header = Header {
+            allreduce,
+            block: block as u32,
+            child: 0,
+            kind: PacketKind::DenseResult,
+            last_shard: false,
+            shard_count: 0,
+            elem_count: 0,
+        };
+        // The PspinPacket payload carries the full Flare header + values;
+        // no extra link-layer header is modeled (header_bytes = 0).
+        let payload = encode_dense(header, result);
+        ctx.emit(PspinPacket::new(allreduce, block, 0, 0, payload));
+    }
+}
+
+impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
+    fn process(&mut self, ctx: &mut HpuCtx<'_>, pkt: &PspinPacket) {
+        ctx.compute(PARSE_CYCLES);
+        let (header, vals) = match decode_dense::<T>(&pkt.payload) {
+            Ok(x) => x,
+            Err(_) => return, // malformed: drop after parse
+        };
+        debug_assert_eq!(header.allreduce, self.cfg.allreduce);
+        if self.completed.contains(pkt.block) {
+            return; // late retransmission of a finished block
+        }
+        let n = vals.len();
+        let l_agg = agg_cycles::<T>(n);
+        let buf_bytes = (n * T::WIRE_BYTES) as i64;
+        let children = self.cfg.children;
+        let algorithm = self.cfg.algorithm;
+        let cluster = ctx.cluster;
+        let block_entry = self.blocks.entry(pkt.block).or_insert_with(|| DenseBlock {
+            state: match algorithm {
+                AggKind::SingleBuffer => DenseBlockState::Single(SingleBufferBlock::new(children)),
+                AggKind::MultiBuffer(b) => {
+                    DenseBlockState::Multi(MultiBufferBlock::new(children, b))
+                }
+                AggKind::Tree => DenseBlockState::Tree(TreeBlock::new(children)),
+            },
+            // The aggregation buffer lives in the L1 of the first cluster
+            // that touches the block; hierarchical FCFS keeps all later
+            // packets on that cluster, global FCFS does not and pays the
+            // remote-L1 penalty below.
+            home_cluster: cluster,
+        });
+        let home = block_entry.home_cluster;
+        let remote = home != ctx.cluster;
+        let remote_factor = if remote { ctx.remote_factor() } else { 1 };
+        let scaled = move |cycles: u64| cycles * remote_factor;
+
+        let report = match &mut block_entry.state {
+            DenseBlockState::Single(blk) => {
+                // Critical section around the shared buffer (Section 6.1).
+                ctx.acquire_any(&[(pkt.block, 0)], scaled(l_agg));
+                let r = blk.insert(&self.op, header.child, vals.as_slice());
+                if r.result.is_some() {
+                    ctx.release_buffer((pkt.block, 0));
+                }
+                r
+            }
+            DenseBlockState::Multi(blk) => {
+                let b = blk.buffers();
+                let candidates: Vec<(u64, u32)> = (0..b as u32).map(|i| (pkt.block, i)).collect();
+                let chosen = ctx.acquire_any(&candidates, scaled(l_agg));
+                let r = blk.insert(&self.op, chosen, header.child, vals.as_slice());
+                if r.merges > 0 {
+                    // Final fold of the B−1 other buffers (Section 6.2),
+                    // still inside the critical section.
+                    ctx.extend_hold(candidates[chosen], scaled(r.merges as u64 * l_agg));
+                }
+                if r.result.is_some() {
+                    for c in candidates {
+                        ctx.release_buffer(c);
+                    }
+                }
+                r
+            }
+            DenseBlockState::Tree(blk) => {
+                // Lock-free: DMA the packet into its fixed leaf buffer
+                // (64 cycles vs 1024 for aggregation, Section 6.3), then
+                // perform whatever merges both-ready subtrees allow.
+                ctx.dma_copy();
+                let r = blk.insert(&self.op, header.child, vals.as_slice());
+                if r.merges > 0 {
+                    ctx.compute_on_buffer(r.merges as u64 * l_agg, home);
+                }
+                r
+            }
+        };
+
+        if report.duplicate {
+            return; // retransmission: bitmap already covered this child
+        }
+        let mem_delta =
+            report.buffers_allocated as i64 * buf_bytes - report.buffers_freed as i64 * buf_bytes;
+        if mem_delta != 0 {
+            ctx.working_mem(mem_delta);
+        }
+        if let Some(result) = report.result {
+            self.blocks.remove(&pkt.block);
+            self.completed.insert(pkt.block);
+            Self::emit_result(ctx, self.cfg.allreduce, pkt.block, &result);
+            ctx.complete_block(pkt.block);
+            if self.cfg.capture_results {
+                self.results.push((pkt.block, result));
+            }
+        }
+    }
+}
+
+/// Storage choice for sparse aggregation (paper Section 7: hash tables in
+/// leaf switches, arrays at the root where data has densified).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseStorageKind {
+    /// Direct-mapped hash of `slots` buckets with a `spill_cap` spill buffer.
+    Hash {
+        /// Bucket count.
+        slots: usize,
+        /// Spill-buffer capacity in elements.
+        spill_cap: usize,
+    },
+    /// Dense array over a block span of `span` elements.
+    Array {
+        /// Block span in elements.
+        span: usize,
+    },
+}
+
+/// Configuration of a sparse allreduce handler.
+#[derive(Debug, Clone)]
+pub struct SparseHandlerConfig {
+    /// Allreduce id.
+    pub allreduce: u32,
+    /// Children in the reduction tree.
+    pub children: u16,
+    /// Storage backend.
+    pub storage: SparseStorageKind,
+    /// Max (index, value) pairs per emitted packet (MTU-derived).
+    pub pairs_per_packet: usize,
+    /// Keep completed results for inspection.
+    pub capture_results: bool,
+}
+
+struct SparseBlock<T: Element> {
+    store: SparseStoreState<T>,
+    shards: Vec<ShardTracker>,
+    children_done: u16,
+    home_cluster: usize,
+}
+
+enum SparseStoreState<T: Element> {
+    Hash(SparseHashStore<T>),
+    Array(SparseArrayStore<T>),
+}
+
+/// Sparse allreduce handler: one instance per (switch, allreduce).
+pub struct SparseAllreduceHandler<T: Element, O> {
+    cfg: SparseHandlerConfig,
+    op: O,
+    blocks: HashMap<u64, SparseBlock<T>>,
+    completed: CompletedSet,
+    results: Vec<(u64, Vec<(u32, T)>)>,
+    spilled_elems: u64,
+}
+
+impl<T: Element, O: ReduceOp<T>> SparseAllreduceHandler<T, O> {
+    /// Create the handler.
+    pub fn new(cfg: SparseHandlerConfig, op: O) -> Self {
+        assert!(cfg.pairs_per_packet > 0);
+        Self {
+            cfg,
+            op,
+            blocks: HashMap::new(),
+            completed: CompletedSet::default(),
+            results: Vec::new(),
+            spilled_elems: 0,
+        }
+    }
+
+    /// Completed `(block, pairs)` results in completion order.
+    pub fn results(&self) -> &[(u64, Vec<(u32, T)>)] {
+        &self.results
+    }
+
+    /// Total elements forwarded unaggregated due to spill flushes — the
+    /// source of the paper's Figure 14 "extra traffic".
+    pub fn spilled_elems(&self) -> u64 {
+        self.spilled_elems
+    }
+
+    fn new_block(&self, cluster: usize) -> SparseBlock<T> {
+        SparseBlock {
+            store: match self.cfg.storage {
+                SparseStorageKind::Hash { slots, spill_cap } => {
+                    SparseStoreState::Hash(SparseHashStore::new(slots, spill_cap))
+                }
+                SparseStorageKind::Array { span } => {
+                    SparseStoreState::Array(SparseArrayStore::new(&self.op, span))
+                }
+            },
+            shards: vec![ShardTracker::default(); self.cfg.children as usize],
+            children_done: 0,
+            home_cluster: cluster,
+        }
+    }
+
+    fn emit_pairs(
+        ctx: &mut HpuCtx<'_>,
+        allreduce: u32,
+        block: u64,
+        kind: PacketKind,
+        pairs_per_packet: usize,
+        pairs: &[(u32, T)],
+    ) -> usize {
+        let chunks = pairs.chunks(pairs_per_packet.max(1));
+        let mut count = 0;
+        let total = pairs.len().div_ceil(pairs_per_packet.max(1)).max(1);
+        for (i, chunk) in chunks.enumerate() {
+            let header = Header {
+                allreduce,
+                block: block as u32,
+                child: 0,
+                kind,
+                last_shard: i + 1 == total,
+                shard_count: total as u16,
+                elem_count: 0,
+            };
+            let payload = encode_sparse(header, chunk);
+            ctx.emit(PspinPacket::new(allreduce, block, 0, 0, payload));
+            count += 1;
+        }
+        if pairs.is_empty() {
+            // Empty block: still announce completion downstream.
+            let header = Header {
+                allreduce,
+                block: block as u32,
+                child: 0,
+                kind,
+                last_shard: true,
+                shard_count: 1,
+                elem_count: 0,
+            };
+            let payload = encode_sparse::<T>(header, &[]);
+            ctx.emit(PspinPacket::new(allreduce, block, 0, 0, payload));
+            count += 1;
+        }
+        count
+    }
+}
+
+impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> {
+    fn process(&mut self, ctx: &mut HpuCtx<'_>, pkt: &PspinPacket) {
+        ctx.compute(PARSE_CYCLES);
+        let (header, pairs) = match decode_sparse::<T>(&pkt.payload) {
+            Ok(x) => x,
+            Err(_) => return,
+        };
+        debug_assert_eq!(header.allreduce, self.cfg.allreduce);
+        if self.completed.contains(pkt.block) {
+            return; // late packet for a finished block
+        }
+        let cluster = ctx.cluster;
+        if !self.blocks.contains_key(&pkt.block) {
+            let fresh = self.new_block(cluster);
+            let bytes = match &fresh.store {
+                SparseStoreState::Hash(h) => h.memory_bytes(),
+                SparseStoreState::Array(a) => a.memory_bytes(),
+            };
+            ctx.working_mem(bytes as i64);
+            self.blocks.insert(pkt.block, fresh);
+        }
+        let block = self.blocks.get_mut(&pkt.block).expect("just inserted");
+        let remote_factor = if block.home_cluster != cluster {
+            ctx.remote_factor()
+        } else {
+            1
+        };
+
+        // Per-element insertion cost (flare-model calibration constants),
+        // executed in the block's critical section (Section 6.1 argument:
+        // sparse handlers need mutual exclusion anyway).
+        let per_elem = match block.store {
+            SparseStoreState::Hash(_) => flare_model::sparse::HASH_INSERT_CYCLES,
+            SparseStoreState::Array(_) => flare_model::sparse::ARRAY_STORE_CYCLES,
+        };
+        let hold = ((pairs.len() as f64 * per_elem).ceil() as u64 + 1) * remote_factor;
+        let lock = (pkt.block, 0u32);
+        ctx.acquire_any(&[lock], hold);
+
+        let mut flushed: Vec<(u32, T)> = Vec::new();
+        match &mut block.store {
+            SparseStoreState::Hash(h) => {
+                for (idx, val) in pairs {
+                    match h.insert(&self.op, idx, val) {
+                        HashInsert::SpillFlush(batch) => {
+                            let extra =
+                                (batch.len() as f64 * flare_model::sparse::SPILL_PUSH_CYCLES)
+                                    .ceil() as u64;
+                            ctx.extend_hold(lock, extra * remote_factor);
+                            flushed.extend(batch);
+                        }
+                        HashInsert::Spilled => {
+                            ctx.extend_hold(
+                                lock,
+                                flare_model::sparse::SPILL_PUSH_CYCLES as u64 * remote_factor,
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            SparseStoreState::Array(a) => {
+                for (idx, val) in pairs {
+                    a.insert(&self.op, idx, val);
+                }
+            }
+        }
+        if !flushed.is_empty() {
+            // Spilled data leaves the switch unaggregated: extra traffic.
+            self.spilled_elems += flushed.len() as u64;
+            Self::emit_pairs(
+                ctx,
+                self.cfg.allreduce,
+                pkt.block,
+                PacketKind::SparseSpill,
+                self.cfg.pairs_per_packet,
+                &flushed,
+            );
+        }
+
+        // Shard protocol: has this child delivered all its packets?
+        if block.shards[header.child as usize].on_shard(header.last_shard, header.shard_count) {
+            block.children_done += 1;
+        }
+        if block.children_done < self.cfg.children {
+            return;
+        }
+
+        // Block complete: drain the store (paying the flush cost) and emit.
+        let mut block = self.blocks.remove(&pkt.block).expect("present");
+        self.completed.insert(pkt.block);
+        let (result, flush_cycles, mem_bytes) = match &mut block.store {
+            SparseStoreState::Hash(h) => {
+                let mem = h.memory_bytes();
+                let out = h.drain();
+                let cycles =
+                    (out.len() as f64 * flare_model::sparse::EMIT_CYCLES).ceil() as u64;
+                (out, cycles, mem)
+            }
+            SparseStoreState::Array(a) => {
+                let mem = a.memory_bytes();
+                let span = a.span();
+                let out = a.drain();
+                let cycles = (span as f64 * flare_model::sparse::ARRAY_FLUSH_SCAN_CYCLES
+                    + out.len() as f64 * flare_model::sparse::EMIT_CYCLES)
+                    .ceil() as u64;
+                (out, cycles, mem)
+            }
+        };
+        ctx.extend_hold(lock, flush_cycles * remote_factor);
+        ctx.release_buffer(lock);
+        ctx.working_mem(-(mem_bytes as i64));
+        Self::emit_pairs(
+            ctx,
+            self.cfg.allreduce,
+            pkt.block,
+            PacketKind::SparseResult,
+            self.cfg.pairs_per_packet,
+            &result,
+        );
+        ctx.complete_block(pkt.block);
+        if self.cfg.capture_results {
+            let mut sorted = result;
+            sorted.sort_unstable_by_key(|&(i, _)| i);
+            self.results.push((pkt.block, sorted));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{golden_reduce, Sum};
+    use crate::wire::HEADER_BYTES;
+    use bytes::Bytes;
+    use flare_pspin::engine::run_trace;
+    use flare_pspin::{ArrivalTrace, PspinConfig, SchedulingPolicy, StaggerMode, TraceConfig};
+
+    fn contrib_payload<T: Element>(allreduce: u32, block: u64, child: u16, vals: &[T]) -> Bytes {
+        let h = Header {
+            allreduce,
+            block: block as u32,
+            child,
+            kind: PacketKind::DenseContrib,
+            last_shard: false,
+            shard_count: 0,
+            elem_count: 0,
+        };
+        encode_dense(h, vals)
+    }
+
+    fn small_cfg() -> PspinConfig {
+        PspinConfig {
+            clusters: 2,
+            cores_per_cluster: 4,
+            policy: SchedulingPolicy::Hierarchical { subset_size: 4 },
+            ..PspinConfig::paper()
+        }
+    }
+
+    fn run_dense(algorithm: AggKind, children: u16, blocks: u64) -> (Vec<Vec<i32>>, Vec<Vec<i32>>) {
+        // Build per-child data: child c's block b = [c+b, c+b+1, ...].
+        let n = 8usize;
+        let data: Vec<Vec<Vec<i32>>> = (0..children as usize)
+            .map(|c| {
+                (0..blocks)
+                    .map(|b| (0..n).map(|i| (c as i32) * 10 + b as i32 + i as i32).collect())
+                    .collect()
+            })
+            .collect();
+        let trace_cfg = TraceConfig {
+            flow: 1,
+            children: children as usize,
+            blocks,
+            header_bytes: 0,
+            delta: 4,
+            stagger: StaggerMode::None,
+            exponential_jitter: false,
+            seed: 3,
+        };
+        let arrivals = ArrivalTrace::generate(&trace_cfg, |c, b| {
+            contrib_payload(1, b, c, &data[c as usize][b as usize])
+        });
+        let handler = DenseAllreduceHandler::new(
+            DenseHandlerConfig {
+                allreduce: 1,
+                children,
+                algorithm,
+                capture_results: true,
+            },
+            Sum,
+        );
+        let (report, engine) = run_trace(small_cfg(), handler, arrivals, true);
+        assert_eq!(report.drops, 0);
+        assert_eq!(report.blocks_completed, blocks);
+        let mut results: Vec<(u64, Vec<i32>)> = engine.handler().results().to_vec();
+        results.sort_by_key(|&(b, _)| b);
+        let got: Vec<Vec<i32>> = results.into_iter().map(|(_, v)| v).collect();
+        let want: Vec<Vec<i32>> = (0..blocks)
+            .map(|b| {
+                let per_host: Vec<Vec<i32>> = (0..children as usize)
+                    .map(|c| data[c][b as usize].clone())
+                    .collect();
+                golden_reduce(&Sum, &per_host)
+            })
+            .collect();
+        (got, want)
+    }
+
+    #[test]
+    fn dense_single_buffer_end_to_end() {
+        let (got, want) = run_dense(AggKind::SingleBuffer, 6, 4);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_multi_buffer_end_to_end() {
+        let (got, want) = run_dense(AggKind::MultiBuffer(3), 6, 4);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_tree_end_to_end() {
+        let (got, want) = run_dense(AggKind::Tree, 6, 4);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_handler_releases_all_memory() {
+        let (_, _) = run_dense(AggKind::Tree, 5, 3);
+        // run_dense asserts completion; a fresh run checking the report:
+        let n = 4usize;
+        let trace_cfg = TraceConfig {
+            flow: 1,
+            children: 4,
+            blocks: 2,
+            header_bytes: 0,
+            delta: 4,
+            stagger: StaggerMode::None,
+            exponential_jitter: false,
+            seed: 3,
+        };
+        let arrivals = ArrivalTrace::generate(&trace_cfg, |c, b| {
+            contrib_payload(1, b, c, &vec![c as i32; n])
+        });
+        let handler: DenseAllreduceHandler<i32, Sum> = DenseAllreduceHandler::new(
+            DenseHandlerConfig {
+                allreduce: 1,
+                children: 4,
+                algorithm: AggKind::MultiBuffer(2),
+                capture_results: false,
+            },
+            Sum,
+        );
+        let (report, engine) = run_trace(small_cfg(), handler, arrivals, false);
+        assert_eq!(engine.handler().open_blocks(), 0);
+        assert!(report.working_mem_peak > 0);
+    }
+
+    #[test]
+    fn tree_handler_emits_exactly_one_result_per_block() {
+        let n = 8usize;
+        let trace_cfg = TraceConfig {
+            flow: 1,
+            children: 7,
+            blocks: 5,
+            header_bytes: 0,
+            delta: 2,
+            stagger: StaggerMode::Full,
+            exponential_jitter: true,
+            seed: 11,
+        };
+        let arrivals = ArrivalTrace::generate(&trace_cfg, |c, b| {
+            contrib_payload(1, b, c, &vec![(c + b as u16) as i32; n])
+        });
+        let handler: DenseAllreduceHandler<i32, Sum> = DenseAllreduceHandler::new(
+            DenseHandlerConfig {
+                allreduce: 1,
+                children: 7,
+                algorithm: AggKind::Tree,
+                capture_results: false,
+            },
+            Sum,
+        );
+        let (report, _) = run_trace(small_cfg(), handler, arrivals, true);
+        assert_eq!(report.packets_out, 5);
+    }
+
+    fn sparse_contrib<T: Element>(
+        allreduce: u32,
+        block: u64,
+        child: u16,
+        pairs: &[(u32, T)],
+        last: bool,
+        count: u16,
+    ) -> Bytes {
+        let h = Header {
+            allreduce,
+            block: block as u32,
+            child,
+            kind: PacketKind::SparseContrib,
+            last_shard: last,
+            shard_count: count,
+            elem_count: 0,
+        };
+        encode_sparse(h, pairs)
+    }
+
+    #[test]
+    fn sparse_hash_end_to_end_with_shards_and_empty_blocks() {
+        // 3 children, 1 block; child 0 sends two shards, child 1 one shard,
+        // child 2 an empty block.
+        let mut arrivals = Vec::new();
+        let mk = |t: u64, payload: Bytes| {
+            (
+                t,
+                PspinPacket::new(1, 0, 0, HEADER_BYTES as u32, payload),
+            )
+        };
+        arrivals.push(mk(0, sparse_contrib::<f32>(1, 0, 0, &[(1, 1.0), (5, 2.0)], false, 0)));
+        arrivals.push(mk(10, sparse_contrib::<f32>(1, 0, 0, &[(9, 4.0)], true, 2)));
+        arrivals.push(mk(20, sparse_contrib::<f32>(1, 0, 1, &[(5, 10.0)], true, 1)));
+        arrivals.push(mk(30, sparse_contrib::<f32>(1, 0, 2, &[], true, 1)));
+        let handler: SparseAllreduceHandler<f32, Sum> = SparseAllreduceHandler::new(
+            SparseHandlerConfig {
+                allreduce: 1,
+                children: 3,
+                storage: SparseStorageKind::Hash {
+                    slots: 64,
+                    spill_cap: 16,
+                },
+                pairs_per_packet: 128,
+                capture_results: true,
+            },
+            Sum,
+        );
+        let (report, engine) = run_trace(small_cfg(), handler, arrivals, true);
+        assert_eq!(report.blocks_completed, 1);
+        let results = engine.handler().results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].1, vec![(1, 1.0), (5, 12.0), (9, 4.0)]);
+    }
+
+    #[test]
+    fn sparse_array_end_to_end() {
+        let mut arrivals = Vec::new();
+        let mk = |t: u64, payload: Bytes| {
+            (t, PspinPacket::new(1, 0, 0, HEADER_BYTES as u32, payload))
+        };
+        arrivals.push(mk(0, sparse_contrib::<i32>(1, 0, 0, &[(0, 5), (100, 7)], true, 1)));
+        arrivals.push(mk(5, sparse_contrib::<i32>(1, 0, 1, &[(100, 3)], true, 1)));
+        let handler = SparseAllreduceHandler::new(
+            SparseHandlerConfig {
+                allreduce: 1,
+                children: 2,
+                storage: SparseStorageKind::Array { span: 256 },
+                pairs_per_packet: 128,
+                capture_results: true,
+            },
+            Sum,
+        );
+        let (_, engine) = run_trace(small_cfg(), handler, arrivals, true);
+        assert_eq!(engine.handler().results()[0].1, vec![(0, 5), (100, 10)]);
+    }
+
+    #[test]
+    fn sparse_hash_spills_emit_extra_traffic() {
+        // Tiny table forces collisions; the spill flush must show up as
+        // emitted SparseSpill packets (extra traffic) while every element
+        // still reaches the output exactly once.
+        let pairs: Vec<(u32, i32)> = (0..32).map(|i| (i, 1)).collect();
+        let arrivals = vec![(
+            0u64,
+            PspinPacket::new(
+                1,
+                0,
+                0,
+                HEADER_BYTES as u32,
+                sparse_contrib(1, 0, 0, &pairs, true, 1),
+            ),
+        )];
+        let handler: SparseAllreduceHandler<i32, Sum> = SparseAllreduceHandler::new(
+            SparseHandlerConfig {
+                allreduce: 1,
+                children: 1,
+                storage: SparseStorageKind::Hash {
+                    slots: 4,
+                    spill_cap: 4,
+                },
+                pairs_per_packet: 128,
+                capture_results: true,
+            },
+            Sum,
+        );
+        let (_, engine) = run_trace(small_cfg(), handler, arrivals, true);
+        let h = engine.handler();
+        assert!(h.spilled_elems() > 0, "collisions must spill");
+        // Spills + final result together cover all 32 indexes.
+        let mut seen: Vec<u32> = h.results()[0].1.iter().map(|&(i, _)| i).collect();
+        for (_, pkt) in engine.emissions() {
+            let (hd, pairs) = decode_sparse::<i32>(&pkt.payload).unwrap();
+            if hd.kind == PacketKind::SparseSpill {
+                seen.extend(pairs.iter().map(|&(i, _)| i));
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn agg_cycles_scales_with_simd_width() {
+        assert_eq!(agg_cycles::<f32>(256), 1024);
+        assert_eq!(agg_cycles::<i16>(256), 512);
+        assert_eq!(agg_cycles::<i8>(256), 256);
+    }
+}

@@ -1,0 +1,394 @@
+//! Host-side Flare library: packetization, staggered sending, windowing
+//! and retransmission (paper Sections 4–5).
+//!
+//! Hosts split their `Z` elements into blocks of `N` (one packet each for
+//! dense data), keep at most `window` blocks in flight (bounded by the
+//! switch's working-memory reservation ℛ, Section 4.3), rotate their block
+//! send order by a per-host *stagger offset* (Section 5), and retransmit
+//! blocks whose result has not arrived within a timeout (Section 4.1 —
+//! the switch-side child bitmap absorbs the duplicates).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use flare_des::Time;
+use flare_net::{HostCtx, HostProgram, NetPacket, NodeId};
+
+use crate::dtype::Element;
+use crate::op::ReduceOp;
+use crate::sparse::ShardTracker;
+use crate::wire::{decode_dense, decode_sparse, encode_dense, encode_sparse, Header, PacketKind};
+
+/// Shared slot a host writes its final reduced vector into, readable by
+/// the caller after the simulation (the simulator owns the programs).
+pub type ResultSink<T> = Rc<RefCell<Option<Vec<T>>>>;
+
+/// Create an empty result sink.
+pub fn result_sink<T>() -> ResultSink<T> {
+    Rc::new(RefCell::new(None))
+}
+
+/// Host configuration common to dense and sparse participation.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Allreduce id (from the network manager).
+    pub allreduce: u32,
+    /// This host's leaf switch in the reduction tree.
+    pub leaf: NodeId,
+    /// This host's child index at the leaf.
+    pub child_index: u16,
+    /// Maximum blocks in flight (ℛ-derived window).
+    pub window: usize,
+    /// Rotation of the block send order (staggered sending): host `i`
+    /// typically uses `i × blocks / P`.
+    pub stagger_offset: u64,
+    /// Retransmit a block if its result is missing after this long.
+    pub retransmit_after: Option<Time>,
+}
+
+const RETX_TAG: u64 = 0xF1A8;
+
+/// Dense allreduce participant.
+pub struct DenseFlareHost<T: Element> {
+    cfg: HostConfig,
+    elems_per_packet: usize,
+    data: Vec<T>,
+    result: Vec<T>,
+    /// Block ids in send order (staggered).
+    order: Vec<u64>,
+    next_pos: usize,
+    outstanding: HashMap<u64, Time>,
+    completed: u64,
+    sink: ResultSink<T>,
+    /// Contribution packets sent (including retransmissions).
+    pub sent_packets: u64,
+}
+
+impl<T: Element> DenseFlareHost<T> {
+    /// Create a participant contributing `data`.
+    pub fn new(
+        cfg: HostConfig,
+        elems_per_packet: usize,
+        data: Vec<T>,
+        sink: ResultSink<T>,
+    ) -> Self {
+        assert!(elems_per_packet > 0 && !data.is_empty());
+        let blocks = data.len().div_ceil(elems_per_packet) as u64;
+        let order = (0..blocks)
+            .map(|p| (p + cfg.stagger_offset) % blocks)
+            .collect();
+        let result = vec![T::zero(); data.len()];
+        Self {
+            cfg,
+            elems_per_packet,
+            data,
+            result,
+            order,
+            next_pos: 0,
+            outstanding: HashMap::new(),
+            completed: 0,
+            sink,
+            sent_packets: 0,
+        }
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.order.len() as u64
+    }
+
+    fn block_range(&self, block: u64) -> std::ops::Range<usize> {
+        let start = block as usize * self.elems_per_packet;
+        start..(start + self.elems_per_packet).min(self.data.len())
+    }
+
+    fn send_block(&mut self, ctx: &mut HostCtx<'_>, block: u64) {
+        let header = Header {
+            allreduce: self.cfg.allreduce,
+            block: block as u32,
+            child: self.cfg.child_index,
+            kind: PacketKind::DenseContrib,
+            last_shard: false,
+            shard_count: 0,
+            elem_count: 0,
+        };
+        let payload = encode_dense(header, &self.data[self.block_range(block)]);
+        let pkt = NetPacket::new(
+            ctx.node(),
+            self.cfg.leaf,
+            self.cfg.allreduce,
+            block,
+            self.cfg.child_index,
+            PacketKind::DenseContrib as u8,
+            0,
+            payload,
+        );
+        ctx.send(pkt);
+        self.sent_packets += 1;
+        self.outstanding.insert(block, ctx.now());
+    }
+
+    fn pump(&mut self, ctx: &mut HostCtx<'_>) {
+        while self.outstanding.len() < self.cfg.window && self.next_pos < self.order.len() {
+            let block = self.order[self.next_pos];
+            self.next_pos += 1;
+            self.send_block(ctx, block);
+        }
+    }
+}
+
+impl<T: Element> HostProgram for DenseFlareHost<T> {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.pump(ctx);
+        if let Some(t) = self.cfg.retransmit_after {
+            ctx.wake_in(t, RETX_TAG);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: NetPacket) {
+        let Ok((header, vals)) = decode_dense::<T>(&pkt.payload) else {
+            return;
+        };
+        if header.kind != PacketKind::DenseResult {
+            return;
+        }
+        if self.outstanding.remove(&pkt.block).is_none() {
+            return; // duplicate result (e.g. after a retransmission race)
+        }
+        let range = self.block_range(pkt.block);
+        self.result[range.clone()].copy_from_slice(&vals[..range.len()]);
+        self.completed += 1;
+        if self.completed == self.total_blocks() {
+            *self.sink.borrow_mut() = Some(std::mem::take(&mut self.result));
+            ctx.mark_done();
+        } else {
+            self.pump(ctx);
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_>, tag: u64) {
+        if tag != RETX_TAG || self.completed == self.total_blocks() {
+            return;
+        }
+        let timeout = self.cfg.retransmit_after.expect("timer armed");
+        let now = ctx.now();
+        let overdue: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|&(_, &sent)| now.saturating_sub(sent) >= timeout)
+            .map(|(&b, _)| b)
+            .collect();
+        for block in overdue {
+            self.send_block(ctx, block);
+        }
+        ctx.wake_in(timeout, RETX_TAG);
+    }
+}
+
+/// Sparse allreduce participant (paper Section 7).
+///
+/// Input is the host's sparsified `(global index, value)` list; blocks
+/// span `span` consecutive indexes; each block's pairs are chunked into
+/// shards of at most `pairs_per_packet`, the last shard announcing the
+/// count; empty blocks still send a header-only packet.
+pub struct SparseFlareHost<T: Element, O> {
+    cfg: HostConfig,
+    op: O,
+    span: usize,
+    pairs_per_packet: usize,
+    total_elems: usize,
+    /// Per-block shards of block-relative pairs.
+    shards_out: Vec<Vec<Vec<(u32, T)>>>,
+    order: Vec<u64>,
+    next_pos: usize,
+    inflight: usize,
+    trackers: Vec<ShardTracker>,
+    blocks_done: u64,
+    result: Vec<T>,
+    sink: ResultSink<T>,
+    /// Contribution packets sent.
+    pub sent_packets: u64,
+}
+
+impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
+    /// Create a sparse participant. `pairs` must be sorted by index and
+    /// within `0..total_elems`.
+    pub fn new(
+        cfg: HostConfig,
+        op: O,
+        total_elems: usize,
+        span: usize,
+        pairs_per_packet: usize,
+        pairs: Vec<(u32, T)>,
+        sink: ResultSink<T>,
+    ) -> Self {
+        assert!(span > 0 && pairs_per_packet > 0 && total_elems > 0);
+        let blocks = total_elems.div_ceil(span);
+        let mut per_block: Vec<Vec<(u32, T)>> = vec![Vec::new(); blocks];
+        for (idx, v) in pairs {
+            let b = idx as usize / span;
+            per_block[b].push((idx % span as u32, v));
+        }
+        let shards_out: Vec<Vec<Vec<(u32, T)>>> = per_block
+            .into_iter()
+            .map(|p| {
+                if p.is_empty() {
+                    vec![Vec::new()] // empty-block packet
+                } else {
+                    p.chunks(pairs_per_packet).map(|c| c.to_vec()).collect()
+                }
+            })
+            .collect();
+        let order = (0..blocks as u64)
+            .map(|p| (p + cfg.stagger_offset) % blocks as u64)
+            .collect();
+        let identity = op.identity();
+        Self {
+            cfg,
+            op,
+            span,
+            pairs_per_packet,
+            total_elems,
+            shards_out,
+            order,
+            next_pos: 0,
+            inflight: 0,
+            trackers: vec![ShardTracker::default(); blocks],
+            blocks_done: 0,
+            result: vec![identity; total_elems],
+            sink,
+            sent_packets: 0,
+        }
+    }
+
+    fn send_block(&mut self, ctx: &mut HostCtx<'_>, block: u64) {
+        let shards = std::mem::take(&mut self.shards_out[block as usize]);
+        let total = shards.len() as u16;
+        for (i, shard) in shards.iter().enumerate() {
+            let header = Header {
+                allreduce: self.cfg.allreduce,
+                block: block as u32,
+                child: self.cfg.child_index,
+                kind: PacketKind::SparseContrib,
+                last_shard: i + 1 == shards.len(),
+                shard_count: total,
+                elem_count: 0,
+            };
+            let payload = encode_sparse(header, shard);
+            let pkt = NetPacket::new(
+                ctx.node(),
+                self.cfg.leaf,
+                self.cfg.allreduce,
+                block,
+                self.cfg.child_index,
+                PacketKind::SparseContrib as u8,
+                0,
+                payload,
+            );
+            ctx.send(pkt);
+            self.sent_packets += 1;
+        }
+        self.inflight += 1;
+    }
+
+    fn pump(&mut self, ctx: &mut HostCtx<'_>) {
+        while self.inflight < self.cfg.window && self.next_pos < self.order.len() {
+            let block = self.order[self.next_pos];
+            self.next_pos += 1;
+            self.send_block(ctx, block);
+        }
+    }
+
+    fn pairs_per_packet(&self) -> usize {
+        self.pairs_per_packet
+    }
+}
+
+impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        let _ = self.pairs_per_packet();
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: NetPacket) {
+        let Ok((header, pairs)) = decode_sparse::<T>(&pkt.payload) else {
+            return;
+        };
+        if header.kind != PacketKind::SparseResult {
+            return;
+        }
+        let block = pkt.block as usize;
+        // Combine: spilled elements may deliver the same index in several
+        // result shards, so accumulation (not overwrite) is required.
+        let base = block * self.span;
+        for (idx, val) in pairs {
+            let g = base + idx as usize;
+            if g < self.total_elems {
+                self.result[g] = self.op.combine(self.result[g], val);
+            }
+        }
+        if self.trackers[block].on_shard(header.last_shard, header.shard_count) {
+            self.blocks_done += 1;
+            self.inflight = self.inflight.saturating_sub(1);
+            if self.blocks_done == self.trackers.len() as u64 {
+                *self.sink.borrow_mut() = Some(std::mem::take(&mut self.result));
+                ctx.mark_done();
+            } else {
+                self.pump(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HostConfig {
+        HostConfig {
+            allreduce: 1,
+            leaf: NodeId(0),
+            child_index: 0,
+            window: 4,
+            stagger_offset: 3,
+            retransmit_after: None,
+        }
+    }
+
+    #[test]
+    fn dense_host_staggers_its_block_order() {
+        let sink = result_sink();
+        let h = DenseFlareHost::new(cfg(), 4, vec![1i32; 40], sink);
+        // 10 blocks rotated by 3.
+        assert_eq!(h.order[..4], [3, 4, 5, 6]);
+        assert_eq!(h.order[7..], [0, 1, 2]);
+    }
+
+    #[test]
+    fn dense_host_handles_short_final_block() {
+        let sink = result_sink();
+        let h = DenseFlareHost::new(cfg(), 4, vec![1i32; 10], sink);
+        assert_eq!(h.total_blocks(), 3);
+        assert_eq!(h.block_range(2), 8..10);
+    }
+
+    #[test]
+    fn sparse_host_chunks_blocks_into_shards() {
+        let sink = result_sink();
+        let pairs: Vec<(u32, f32)> = vec![(0, 1.0), (1, 2.0), (2, 3.0), (17, 4.0)];
+        let h = SparseFlareHost::new(cfg(), crate::op::Sum, 32, 8, 2, pairs, sink);
+        // Block 0 holds indexes 0..8 → 3 pairs → 2 shards (2+1);
+        // block 1 (8..16) empty → 1 empty shard; block 2 (16..24) → 1 shard.
+        assert_eq!(h.shards_out[0].len(), 2);
+        assert_eq!(h.shards_out[1], vec![Vec::<(u32, f32)>::new()]);
+        assert_eq!(h.shards_out[2], vec![vec![(1, 4.0)]]);
+        assert_eq!(h.shards_out.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "span > 0")]
+    fn sparse_host_rejects_zero_span() {
+        let sink = result_sink();
+        let _ = SparseFlareHost::new(cfg(), crate::op::Sum, 32, 0, 2, vec![(0, 1f32)], sink);
+    }
+}

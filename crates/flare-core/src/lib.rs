@@ -1,0 +1,40 @@
+//! # flare-core — Flexible In-Network Allreduce
+//!
+//! The paper's primary contribution, reproduced as a Rust library:
+//!
+//! * [`dtype`] / [`op`] — flexibility point **F1**: arbitrary element types
+//!   (i8/i16/i32/f16/f32 and user-defined) and arbitrary reduction
+//!   operators (built-ins plus closures), with per-type HPU cycle costs.
+//! * [`wire`] — the Flare packet format (allreduce id, block id, child
+//!   index, sparse shard protocol).
+//! * [`dense`] — the three aggregation designs of Section 6: single
+//!   buffer, multi buffer, and the contention-free, bitwise-reproducible
+//!   tree (**F3**).
+//! * [`sparse`] — flexibility point **F2**: the first in-network *sparse*
+//!   allreduce — direct-mapped hash storage with spill buffers, dense
+//!   array storage, shard counters and empty-block packets (Section 7).
+//! * [`handlers`] — sPIN packet handlers executing the above on the PsPIN
+//!   engine with the paper's cycle costs.
+//! * [`switch_prog`] / [`host`] — the same protocol as network-simulator
+//!   programs for system-level runs (Figure 15).
+//! * [`manager`] — the network manager: reduction-tree computation,
+//!   allreduce-id allocation, static memory partitioning and admission
+//!   control (Section 4).
+//! * [`collectives`] — reduce / broadcast / barrier on the same machinery
+//!   plus the Horovod-style issue sequencer (Section 8).
+//! * [`features`] — the machine-readable Table 1 capability matrix.
+
+pub mod collectives;
+pub mod dense;
+pub mod dtype;
+pub mod features;
+pub mod handlers;
+pub mod host;
+pub mod manager;
+pub mod op;
+pub mod sparse;
+pub mod switch_prog;
+pub mod wire;
+
+pub use dtype::{Element, F16};
+pub use op::{golden_reduce, Custom, Max, Min, Prod, ReduceOp, Sum};

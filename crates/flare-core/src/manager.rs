@@ -1,0 +1,490 @@
+//! The network manager (paper Section 4).
+//!
+//! Before an allreduce starts, the application asks the network manager to
+//! compute a reduction tree over the participating hosts, install handlers
+//! on the tree switches, and configure each switch's child ports and
+//! parent port. The manager also:
+//!
+//! * assigns a unique allreduce id so concurrent reductions never mix,
+//! * statically partitions switch memory across allreduces and performs
+//!   admission control — when a switch is out of memory the manager
+//!   *recomputes the tree excluding that switch* and only rejects the
+//!   request when no tree exists (paper Section 4).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use flare_model::{select_algorithm, AggKind};
+use flare_net::topology::NodeKind;
+use flare_net::{NodeId, Topology};
+
+/// One switch's position in a reduction tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeSwitch {
+    /// The switch node.
+    pub switch: NodeId,
+    /// Parent switch (`None` at the root).
+    pub parent: Option<NodeId>,
+    /// Children in child-index order: hosts and/or switches.
+    pub children: Vec<NodeId>,
+    /// This switch's child index at its parent.
+    pub my_child_index: u16,
+    /// Distance from the root (root = 0).
+    pub depth: usize,
+}
+
+/// A reduction tree over a set of hosts.
+#[derive(Debug, Clone)]
+pub struct ReductionTree {
+    /// The root switch.
+    pub root: NodeId,
+    /// Per-switch placement, root first (BFS order).
+    pub switches: Vec<TreeSwitch>,
+    /// For each host: its leaf switch and child index there.
+    pub host_attach: HashMap<NodeId, (NodeId, u16)>,
+}
+
+impl ReductionTree {
+    /// Placement record of `switch`, if it participates.
+    pub fn switch(&self, switch: NodeId) -> Option<&TreeSwitch> {
+        self.switches.iter().find(|s| s.switch == switch)
+    }
+
+    /// The deepest level (leaves have the largest depth).
+    pub fn max_depth(&self) -> usize {
+        self.switches.iter().map(|s| s.depth).max().unwrap_or(0)
+    }
+}
+
+/// Compute a reduction tree for `hosts` on `topo`, avoiding `excluded`
+/// switches. Chooses the root minimizing `(tree depth, node id)` for
+/// determinism; returns `None` when some host is unreachable.
+pub fn compute_reduction_tree(
+    topo: &Topology,
+    hosts: &[NodeId],
+    excluded: &HashSet<NodeId>,
+) -> Option<ReductionTree> {
+    assert!(!hosts.is_empty(), "empty host set");
+    let host_set: HashSet<NodeId> = hosts.iter().copied().collect();
+    let mut best: Option<(usize, NodeId, ReductionTree)> = None;
+    for root in topo.switches() {
+        if excluded.contains(&root) {
+            continue;
+        }
+        if let Some(tree) = try_root(topo, &host_set, excluded, root) {
+            let key = (tree.max_depth(), root);
+            if best.as_ref().map(|(d, r, _)| (key.0, key.1) < (*d, *r)).unwrap_or(true) {
+                best = Some((key.0, key.1, tree));
+            }
+        }
+    }
+    best.map(|(_, _, t)| t)
+}
+
+fn try_root(
+    topo: &Topology,
+    hosts: &HashSet<NodeId>,
+    excluded: &HashSet<NodeId>,
+    root: NodeId,
+) -> Option<ReductionTree> {
+    // BFS from the root through non-excluded switches; hosts are leaves.
+    let n = topo.node_count();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[root.0] = true;
+    let mut order = VecDeque::from([root]);
+    let mut bfs: Vec<NodeId> = Vec::new();
+    while let Some(u) = order.pop_front() {
+        bfs.push(u);
+        if topo.kind(u) == NodeKind::Host {
+            continue; // hosts do not forward
+        }
+        for pl in topo.ports_of(u) {
+            let v = pl.peer;
+            if seen[v.0] || excluded.contains(&v) {
+                continue;
+            }
+            seen[v.0] = true;
+            parent[v.0] = Some(u);
+            order.push_back(v);
+        }
+    }
+    if hosts.iter().any(|h| !seen[h.0]) {
+        return None;
+    }
+    // Union of root→host paths: mark useful nodes.
+    let mut useful = vec![false; n];
+    for &h in hosts {
+        let mut cur = h;
+        while !useful[cur.0] {
+            useful[cur.0] = true;
+            match parent[cur.0] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+    }
+    // Build switch records in BFS order (root first), pruning useless ones.
+    let mut depth = vec![0usize; n];
+    let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &u in &bfs {
+        if !useful[u.0] {
+            continue;
+        }
+        if let Some(p) = parent[u.0] {
+            depth[u.0] = depth[p.0] + 1;
+            children.entry(p).or_default().push(u);
+        }
+    }
+    let mut switches = Vec::new();
+    let mut host_attach = HashMap::new();
+    for &u in &bfs {
+        if !useful[u.0] || topo.kind(u) != NodeKind::Switch {
+            continue;
+        }
+        let kids = children.get(&u).cloned().unwrap_or_default();
+        if kids.is_empty() {
+            continue; // a pass-through switch with no tree children
+        }
+        let my_child_index = parent[u.0]
+            .map(|p| {
+                children[&p]
+                    .iter()
+                    .position(|&c| c == u)
+                    .expect("child recorded") as u16
+            })
+            .unwrap_or(0);
+        for (i, &k) in kids.iter().enumerate() {
+            if topo.kind(k) == NodeKind::Host {
+                host_attach.insert(k, (u, i as u16));
+            }
+        }
+        switches.push(TreeSwitch {
+            switch: u,
+            parent: parent[u.0],
+            children: kids,
+            my_child_index,
+            depth: depth[u.0],
+        });
+    }
+    // Contract chains: a switch whose only child is another switch still
+    // participates (it forwards aggregated data); keep it for simplicity —
+    // its children list has one entry and aggregation is a no-op fold.
+    Some(ReductionTree {
+        root,
+        switches,
+        host_attach,
+    })
+}
+
+/// Why an allreduce request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// No reduction tree exists over the non-saturated switches.
+    NoTree,
+    /// The per-switch limit on concurrent allreduces was reached everywhere.
+    TooManyAllreduces,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::NoTree => write!(f, "no feasible reduction tree"),
+            AdmissionError::TooManyAllreduces => write!(f, "allreduce slots exhausted"),
+        }
+    }
+}
+impl std::error::Error for AdmissionError {}
+
+/// A request to set up an allreduce.
+#[derive(Debug, Clone)]
+pub struct AllreduceRequest {
+    /// Total data size per host, in bytes.
+    pub data_bytes: u64,
+    /// Packet payload size in bytes.
+    pub packet_bytes: usize,
+    /// Require bitwise reproducibility (forces tree aggregation).
+    pub reproducible: bool,
+}
+
+/// An admitted allreduce: id, tree, algorithm and per-switch reservation.
+#[derive(Debug, Clone)]
+pub struct AllreducePlan {
+    /// Unique allreduce identifier.
+    pub id: u32,
+    /// The reduction tree.
+    pub tree: ReductionTree,
+    /// Selected aggregation algorithm (paper Section 6.4 policy).
+    pub algorithm: AggKind,
+    /// Working-memory bytes reserved per tree switch. Reservations depend
+    /// on each switch's fanout: a root aggregating 8 children needs more
+    /// tree buffers than a leaf aggregating 2.
+    pub reserved: HashMap<NodeId, u64>,
+    /// Recommended number of in-flight blocks per host (window), from the
+    /// Little's-law buffer count ℛ (Section 4.3).
+    pub window: usize,
+}
+
+impl AllreducePlan {
+    /// Largest single-switch reservation (display convenience).
+    pub fn max_reserved_bytes(&self) -> u64 {
+        self.reserved.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// The network manager: allreduce ids, memory partitioning, admission.
+pub struct NetworkManager {
+    /// Working-memory budget per switch (bytes of L1 available for
+    /// aggregation buffers).
+    budget_per_switch: u64,
+    used: HashMap<NodeId, u64>,
+    next_id: u32,
+    active: HashMap<u32, AllreducePlan>,
+}
+
+impl NetworkManager {
+    /// Manager with a per-switch working-memory budget (the paper's PsPIN
+    /// has 64 clusters × 1 MiB of L1).
+    pub fn new(budget_per_switch: u64) -> Self {
+        Self {
+            budget_per_switch,
+            used: HashMap::new(),
+            next_id: 1,
+            active: HashMap::new(),
+        }
+    }
+
+    /// Working memory currently reserved on `switch`.
+    pub fn used_on(&self, switch: NodeId) -> u64 {
+        self.used.get(&switch).copied().unwrap_or(0)
+    }
+
+    /// Active allreduce count.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The window (per-host in-flight blocks, the paper's ℛ) must cover
+    /// the *stagger spread*: with staggered sending, a block stays open at
+    /// the switch until the latest-offset host reaches it, so the window
+    /// has to exceed `hosts × stagger step` plus pipeline slack, or hosts
+    /// deadlock waiting for completions that need their own window slots.
+    fn window_for(req: &AllreduceRequest, hosts: usize) -> usize {
+        let blocks = (req.data_bytes / req.packet_bytes as u64).max(1);
+        (blocks.min(hosts as u64 + 64) as usize).max(8)
+    }
+
+    /// Working-memory need of one switch: `M` buffers per block for its
+    /// own fanout (algorithm-dependent) × in-flight blocks × packet size.
+    fn switch_need(
+        req: &AllreduceRequest,
+        algorithm: AggKind,
+        fanout: usize,
+        window: usize,
+    ) -> u64 {
+        let m = flare_model::dense::buffers_per_block(algorithm, fanout.max(2)).ceil() as u64;
+        m * window as u64 * req.packet_bytes as u64
+    }
+
+    /// Admit an allreduce over `hosts`, retrying with saturated switches
+    /// excluded (the paper's recompute-then-reject behaviour).
+    pub fn create_allreduce(
+        &mut self,
+        topo: &Topology,
+        hosts: &[NodeId],
+        req: &AllreduceRequest,
+    ) -> Result<AllreducePlan, AdmissionError> {
+        let algorithm = select_algorithm(req.data_bytes, req.reproducible);
+        let mut excluded: HashSet<NodeId> = HashSet::new();
+        loop {
+            let tree = compute_reduction_tree(topo, hosts, &excluded)
+                .ok_or(AdmissionError::NoTree)?;
+            let window = Self::window_for(req, hosts.len());
+            let reserved: HashMap<NodeId, u64> = tree
+                .switches
+                .iter()
+                .map(|s| {
+                    (
+                        s.switch,
+                        Self::switch_need(req, algorithm, s.children.len(), window),
+                    )
+                })
+                .collect();
+            // Find a switch that cannot host this allreduce.
+            let saturated = tree
+                .switches
+                .iter()
+                .map(|s| s.switch)
+                .find(|&sw| self.used_on(sw) + reserved[&sw] > self.budget_per_switch);
+            match saturated {
+                Some(sw) => {
+                    excluded.insert(sw);
+                    continue;
+                }
+                None => {
+                    for (&sw, &need) in &reserved {
+                        *self.used.entry(sw).or_insert(0) += need;
+                    }
+                    let plan = AllreducePlan {
+                        id: self.next_id,
+                        tree,
+                        algorithm,
+                        reserved,
+                        window,
+                    };
+                    self.next_id += 1;
+                    self.active.insert(plan.id, plan.clone());
+                    return Ok(plan);
+                }
+            }
+        }
+    }
+
+    /// Tear an allreduce down, releasing its reservations.
+    pub fn teardown(&mut self, id: u32) -> bool {
+        match self.active.remove(&id) {
+            Some(plan) => {
+                for (&sw, &need) in &plan.reserved {
+                    if let Some(u) = self.used.get_mut(&sw) {
+                        *u = u.saturating_sub(need);
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_net::LinkSpec;
+
+    fn fat_tree() -> (Topology, flare_net::topology::FatTree) {
+        Topology::fat_tree_two_level(4, 4, 2, LinkSpec::hundred_gig())
+    }
+
+    #[test]
+    fn star_tree_is_single_switch() {
+        let (topo, sw, hosts) = Topology::star(5, LinkSpec::hundred_gig());
+        let tree = compute_reduction_tree(&topo, &hosts, &HashSet::new()).unwrap();
+        assert_eq!(tree.root, sw);
+        assert_eq!(tree.switches.len(), 1);
+        assert_eq!(tree.switches[0].children.len(), 5);
+        for (i, h) in hosts.iter().enumerate() {
+            assert_eq!(tree.host_attach[h], (sw, i as u16));
+        }
+    }
+
+    #[test]
+    fn same_leaf_hosts_use_the_leaf_as_root() {
+        let (topo, ft) = fat_tree();
+        // All hosts under leaf 0: the leaf switch suffices (depth 0 tree).
+        let hosts = &ft.hosts[0..4];
+        let tree = compute_reduction_tree(&topo, hosts, &HashSet::new()).unwrap();
+        assert_eq!(tree.root, ft.leaves[0]);
+        assert_eq!(tree.max_depth(), 0);
+    }
+
+    #[test]
+    fn cross_leaf_hosts_root_at_a_spine() {
+        let (topo, ft) = fat_tree();
+        let tree = compute_reduction_tree(&topo, &ft.hosts, &HashSet::new()).unwrap();
+        assert!(ft.spines.contains(&tree.root));
+        // Root's children are the 4 leaves; each leaf has 4 host children.
+        let root_rec = tree.switch(tree.root).unwrap();
+        assert_eq!(root_rec.children.len(), 4);
+        assert_eq!(tree.switches.len(), 5);
+        for s in &tree.switches {
+            if s.switch != tree.root {
+                assert_eq!(s.parent, Some(tree.root));
+                assert_eq!(s.children.len(), 4);
+            }
+        }
+        assert_eq!(tree.host_attach.len(), 16); // all hosts attached
+    }
+
+    #[test]
+    fn excluding_a_spine_picks_the_other() {
+        let (topo, ft) = fat_tree();
+        let mut excluded = HashSet::new();
+        excluded.insert(ft.spines[0]);
+        let tree = compute_reduction_tree(&topo, &ft.hosts, &excluded).unwrap();
+        assert_eq!(tree.root, ft.spines[1]);
+    }
+
+    #[test]
+    fn unreachable_hosts_yield_no_tree() {
+        let mut topo = Topology::new();
+        let h0 = topo.add_host("h0");
+        let h1 = topo.add_host("h1");
+        let s0 = topo.add_switch("s0");
+        topo.connect(h0, s0, LinkSpec::hundred_gig());
+        // h1 is not connected at all.
+        assert!(compute_reduction_tree(&topo, &[h0, h1], &HashSet::new()).is_none());
+        let _ = h1;
+    }
+
+    #[test]
+    fn admission_reserves_and_releases_memory() {
+        let (topo, _sw, hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut mgr = NetworkManager::new(64 << 20);
+        let req = AllreduceRequest {
+            data_bytes: 1 << 20,
+            packet_bytes: 1024,
+            reproducible: false,
+        };
+        let plan = mgr.create_allreduce(&topo, &hosts, &req).unwrap();
+        assert_eq!(plan.algorithm, AggKind::SingleBuffer); // > 512 KiB
+        assert!(mgr.used_on(plan.tree.root) > 0);
+        assert!(mgr.teardown(plan.id));
+        assert_eq!(mgr.used_on(plan.tree.root), 0);
+        assert!(!mgr.teardown(plan.id), "double teardown refused");
+    }
+
+    #[test]
+    fn admission_reroutes_around_saturated_spine() {
+        let (topo, ft) = fat_tree();
+        let mut mgr = NetworkManager::new(1 << 20);
+        let req = AllreduceRequest {
+            data_bytes: 64 << 10,
+            packet_bytes: 1024,
+            reproducible: true,
+        };
+        // Saturate spine 0 artificially.
+        mgr.used.insert(ft.spines[0], 1 << 20);
+        let plan = mgr.create_allreduce(&topo, &ft.hosts, &req).unwrap();
+        assert_eq!(plan.tree.root, ft.spines[1], "tree recomputed around full switch");
+    }
+
+    #[test]
+    fn admission_rejects_when_everything_is_full() {
+        let (topo, _sw, hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut mgr = NetworkManager::new(100); // absurdly small budget
+        let req = AllreduceRequest {
+            data_bytes: 1 << 20,
+            packet_bytes: 1024,
+            reproducible: false,
+        };
+        assert_eq!(
+            mgr.create_allreduce(&topo, &hosts, &req).unwrap_err(),
+            AdmissionError::NoTree
+        );
+    }
+
+    #[test]
+    fn ids_are_unique_across_concurrent_allreduces() {
+        let (topo, _sw, hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut mgr = NetworkManager::new(64 << 20);
+        let req = AllreduceRequest {
+            data_bytes: 4 << 10,
+            packet_bytes: 1024,
+            reproducible: false,
+        };
+        let a = mgr.create_allreduce(&topo, &hosts, &req).unwrap();
+        let b = mgr.create_allreduce(&topo, &hosts, &req).unwrap();
+        assert_ne!(a.id, b.id);
+        assert_eq!(mgr.active_count(), 2);
+        assert_eq!(a.algorithm, AggKind::Tree); // small data ⇒ tree
+    }
+}

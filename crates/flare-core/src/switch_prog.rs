@@ -1,0 +1,454 @@
+//! Flare as an in-network program for the system-level simulator.
+//!
+//! One [`FlareDenseProgram`] / [`FlareSparseProgram`] instance is installed
+//! per (switch, allreduce) by the network manager. Contributions flow *up*
+//! the reduction tree (aggregated at every switch), results flow *down*
+//! (replicated to every child); sparse spills are forwarded up immediately
+//! and re-aggregated by the parent (paper Section 7).
+//!
+//! The processing rate of each switch is modeled by
+//! [`flare_net::SwitchCtx::processing_done`], calibrated against the PsPIN
+//! engine — the same methodology the paper used to couple its two
+//! simulators.
+
+use std::collections::HashMap;
+
+use flare_net::{NetPacket, NodeId, PortId, SwitchCtx, SwitchProgram};
+
+use crate::dense::TreeBlock;
+use crate::dtype::Element;
+use crate::op::ReduceOp;
+use crate::sparse::{HashInsert, ShardTracker, SparseArrayStore, SparseHashStore};
+use crate::handlers::SparseStorageKind;
+use crate::wire::{
+    decode_dense, decode_sparse, encode_dense, encode_sparse, Header, PacketKind,
+};
+
+/// Placement of a switch within one allreduce's reduction tree.
+#[derive(Debug, Clone)]
+pub struct TreePlacement {
+    /// The allreduce id this program serves.
+    pub allreduce: u32,
+    /// Parent switch (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Downstream tree neighbors (hosts or switches), in child-index order.
+    pub children: Vec<NodeId>,
+    /// This switch's child index at its parent.
+    pub my_child_index: u16,
+}
+
+/// How many completed dense block results to cache for retransmission
+/// replays (a lost result packet would otherwise deadlock the block).
+const RESULT_CACHE: usize = 1024;
+
+/// Dense Flare aggregation program for one switch.
+///
+/// Functionally the aggregation uses the reproducible combining tree for
+/// every configuration — on the single-threaded network simulator the
+/// single/multi/tree distinction only changes switch timing, which is
+/// captured by the calibrated processing rate instead.
+pub struct FlareDenseProgram<T: Element, O> {
+    place: TreePlacement,
+    op: O,
+    blocks: HashMap<u64, TreeBlock<T>>,
+    /// Completed results kept for duplicate-contribution replays.
+    completed: HashMap<u64, Vec<T>>,
+    completed_fifo: std::collections::VecDeque<u64>,
+    /// Blocks fully aggregated at this switch (up-stream progress).
+    pub blocks_done: u64,
+}
+
+impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
+    /// Create the program for one switch of the tree.
+    pub fn new(place: TreePlacement, op: O) -> Self {
+        Self {
+            place,
+            op,
+            blocks: HashMap::new(),
+            completed: HashMap::new(),
+            completed_fifo: std::collections::VecDeque::new(),
+            blocks_done: 0,
+        }
+    }
+
+    fn cache_result(&mut self, block: u64, result: Vec<T>) {
+        if self.completed_fifo.len() >= RESULT_CACHE {
+            if let Some(old) = self.completed_fifo.pop_front() {
+                self.completed.remove(&old);
+            }
+        }
+        self.completed_fifo.push_back(block);
+        self.completed.insert(block, result);
+    }
+
+    fn result_packet(&self, me: NodeId, dst: NodeId, block: u64, result: &[T]) -> NetPacket {
+        let header = Header {
+            allreduce: self.place.allreduce,
+            block: block as u32,
+            child: 0,
+            kind: PacketKind::DenseResult,
+            last_shard: false,
+            shard_count: 0,
+            elem_count: 0,
+        };
+        let payload = encode_dense(header, result);
+        NetPacket::new(me, dst, self.place.allreduce, block, 0, PacketKind::DenseResult as u8, 0, payload)
+    }
+
+    fn send_up_or_multicast(&mut self, ctx: &mut SwitchCtx<'_>, at: u64, block: u64, result: &[T]) {
+        let me = ctx.node();
+        match self.place.parent {
+            Some(parent) => {
+                let header = Header {
+                    allreduce: self.place.allreduce,
+                    block: block as u32,
+                    child: self.place.my_child_index,
+                    kind: PacketKind::DenseContrib,
+                    last_shard: false,
+                    shard_count: 0,
+                    elem_count: 0,
+                };
+                let payload = encode_dense(header, result);
+                let pkt = NetPacket::new(
+                    me,
+                    parent,
+                    self.place.allreduce,
+                    block,
+                    self.place.my_child_index,
+                    PacketKind::DenseContrib as u8,
+                    0,
+                    payload,
+                );
+                ctx.send_at(at, pkt);
+            }
+            None => {
+                // Root: broadcast the fully-reduced block down the tree.
+                for &child in &self.place.children.clone() {
+                    let pkt = self.result_packet(me, child, block, result);
+                    ctx.send_at(at, pkt);
+                }
+            }
+        }
+    }
+}
+
+impl<T: Element, O: ReduceOp<T>> SwitchProgram for FlareDenseProgram<T, O> {
+    fn matches(&self, pkt: &NetPacket) -> bool {
+        pkt.flow == self.place.allreduce
+    }
+
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, _in_port: PortId, pkt: NetPacket) {
+        let Ok((header, vals)) = decode_dense::<T>(&pkt.payload) else {
+            return;
+        };
+        match header.kind {
+            PacketKind::DenseContrib => {
+                let fin = ctx.processing_done(pkt.wire_bytes);
+                if let Some(result) = self.completed.get(&pkt.block) {
+                    // Retransmitted contribution for a finished block: the
+                    // child evidently missed the result — replay it.
+                    let child = self.place.children[header.child as usize];
+                    let replay = self.result_packet(ctx.node(), child, pkt.block, &result.clone());
+                    ctx.send_at(fin, replay);
+                    return;
+                }
+                let children = self.place.children.len() as u16;
+                let blk = self
+                    .blocks
+                    .entry(pkt.block)
+                    .or_insert_with(|| TreeBlock::new(children));
+                let report = blk.insert(&self.op, header.child, &vals);
+                if let Some(result) = report.result {
+                    self.blocks.remove(&pkt.block);
+                    self.blocks_done += 1;
+                    self.send_up_or_multicast(ctx, fin, pkt.block, &result);
+                    self.cache_result(pkt.block, result);
+                }
+            }
+            PacketKind::DenseResult => {
+                // From the parent: replicate down to every child.
+                let fin = ctx.processing_done(pkt.wire_bytes);
+                let me = ctx.node();
+                for &child in &self.place.children.clone() {
+                    let mut copy = pkt.clone();
+                    copy.src = me;
+                    copy.dst = child;
+                    ctx.send_at(fin, copy);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Sparse Flare aggregation program for one switch (Section 7).
+pub struct FlareSparseProgram<T: Element, O> {
+    place: TreePlacement,
+    op: O,
+    storage: SparseStorageKind,
+    pairs_per_packet: usize,
+    blocks: HashMap<u64, SparseSwitchBlock<T>>,
+    /// Spilled elements forwarded unaggregated (extra-traffic metric).
+    pub spilled_elems: u64,
+    /// Blocks fully aggregated here.
+    pub blocks_done: u64,
+}
+
+struct SparseSwitchBlock<T: Element> {
+    store: SparseStore<T>,
+    shards: Vec<ShardTracker>,
+    children_done: u16,
+    /// Packets already sent towards the parent for this block (spills).
+    sent_up: u16,
+}
+
+enum SparseStore<T: Element> {
+    Hash(SparseHashStore<T>),
+    Array(SparseArrayStore<T>),
+}
+
+impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
+    /// Create the program. Leaves typically use hash storage, the root an
+    /// array (paper: data densifies toward the root).
+    pub fn new(
+        place: TreePlacement,
+        op: O,
+        storage: SparseStorageKind,
+        pairs_per_packet: usize,
+    ) -> Self {
+        assert!(pairs_per_packet > 0);
+        Self {
+            place,
+            op,
+            storage,
+            pairs_per_packet,
+            blocks: HashMap::new(),
+            spilled_elems: 0,
+            blocks_done: 0,
+        }
+    }
+
+    fn new_block(&self, children: u16) -> SparseSwitchBlock<T> {
+        SparseSwitchBlock {
+            store: match self.storage {
+                SparseStorageKind::Hash { slots, spill_cap } => {
+                    SparseStore::Hash(SparseHashStore::new(slots, spill_cap))
+                }
+                SparseStorageKind::Array { span } => {
+                    SparseStore::Array(SparseArrayStore::new(&self.op, span))
+                }
+            },
+            shards: vec![ShardTracker::default(); children as usize],
+            children_done: 0,
+            sent_up: 0,
+        }
+    }
+
+    /// Send `pairs` for `block` as one shard toward `dst`.
+    #[allow(clippy::too_many_arguments)]
+    fn shard_packet(
+        &self,
+        me: NodeId,
+        dst: NodeId,
+        block: u64,
+        kind: PacketKind,
+        child: u16,
+        pairs: &[(u32, T)],
+        last: bool,
+        count: u16,
+    ) -> NetPacket {
+        let header = Header {
+            allreduce: self.place.allreduce,
+            block: block as u32,
+            child,
+            kind,
+            last_shard: last,
+            shard_count: count,
+            elem_count: 0,
+        };
+        let payload = encode_sparse(header, pairs);
+        NetPacket::new(me, dst, self.place.allreduce, block, child, kind as u8, 0, payload)
+    }
+}
+
+impl<T: Element, O: ReduceOp<T>> SwitchProgram for FlareSparseProgram<T, O> {
+    fn matches(&self, pkt: &NetPacket) -> bool {
+        pkt.flow == self.place.allreduce
+    }
+
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, _in_port: PortId, pkt: NetPacket) {
+        let Ok((header, pairs)) = decode_sparse::<T>(&pkt.payload) else {
+            return;
+        };
+        match header.kind {
+            PacketKind::SparseContrib | PacketKind::SparseSpill => {
+                let fin = ctx.processing_done(pkt.wire_bytes);
+                let children = self.place.children.len() as u16;
+                if !self.blocks.contains_key(&pkt.block) {
+                    let b = self.new_block(children);
+                    self.blocks.insert(pkt.block, b);
+                }
+                let me = ctx.node();
+                let block = self.blocks.get_mut(&pkt.block).expect("present");
+                let mut flushed: Vec<(u32, T)> = Vec::new();
+                match &mut block.store {
+                    SparseStore::Hash(h) => {
+                        for (idx, val) in pairs {
+                            if let HashInsert::SpillFlush(batch) = h.insert(&self.op, idx, val) {
+                                flushed.extend(batch);
+                            }
+                        }
+                    }
+                    SparseStore::Array(a) => {
+                        for (idx, val) in pairs {
+                            a.insert(&self.op, idx, val);
+                        }
+                    }
+                }
+                if !flushed.is_empty() {
+                    self.spilled_elems += flushed.len() as u64;
+                    let parent = self.place.parent;
+                    let block = self.blocks.get_mut(&pkt.block).expect("present");
+                    block.sent_up += flushed.len().div_ceil(self.pairs_per_packet) as u16;
+                    let chunks: Vec<Vec<(u32, T)>> = flushed
+                        .chunks(self.pairs_per_packet)
+                        .map(|c| c.to_vec())
+                        .collect();
+                    match parent {
+                        Some(p) => {
+                            for chunk in &chunks {
+                                let out = self.shard_packet(
+                                    me,
+                                    p,
+                                    pkt.block,
+                                    PacketKind::SparseSpill,
+                                    self.place.my_child_index,
+                                    chunk,
+                                    false,
+                                    0,
+                                );
+                                ctx.send_at(fin, out);
+                            }
+                        }
+                        None => {
+                            // Root spill: goes down as extra result shards.
+                            for chunk in &chunks {
+                                for &child in &self.place.children.clone() {
+                                    let out = self.shard_packet(
+                                        me,
+                                        child,
+                                        pkt.block,
+                                        PacketKind::SparseResult,
+                                        0,
+                                        chunk,
+                                        false,
+                                        0,
+                                    );
+                                    ctx.send_at(fin, out);
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Shard protocol for this child (spills from a child switch
+                // carry last=false and are counted in its final total).
+                let block = self.blocks.get_mut(&pkt.block).expect("present");
+                if block.shards[header.child as usize]
+                    .on_shard(header.last_shard, header.shard_count)
+                {
+                    block.children_done += 1;
+                }
+                if block.children_done < children {
+                    return;
+                }
+                // Complete: drain and forward.
+                let mut done = self.blocks.remove(&pkt.block).expect("present");
+                self.blocks_done += 1;
+                let result = match &mut done.store {
+                    SparseStore::Hash(h) => h.drain(),
+                    SparseStore::Array(a) => a.drain(),
+                };
+                let chunks: Vec<Vec<(u32, T)>> = if result.is_empty() {
+                    vec![Vec::new()]
+                } else {
+                    result
+                        .chunks(self.pairs_per_packet)
+                        .map(|c| c.to_vec())
+                        .collect()
+                };
+                let total_up = done.sent_up + chunks.len() as u16;
+                match self.place.parent {
+                    Some(p) => {
+                        for (i, chunk) in chunks.iter().enumerate() {
+                            let last = i + 1 == chunks.len();
+                            let out = self.shard_packet(
+                                me,
+                                p,
+                                pkt.block,
+                                PacketKind::SparseContrib,
+                                self.place.my_child_index,
+                                chunk,
+                                last,
+                                total_up,
+                            );
+                            ctx.send_at(fin, out);
+                        }
+                    }
+                    None => {
+                        for (i, chunk) in chunks.iter().enumerate() {
+                            let last = i + 1 == chunks.len();
+                            for &child in &self.place.children.clone() {
+                                let out = self.shard_packet(
+                                    me,
+                                    child,
+                                    pkt.block,
+                                    PacketKind::SparseResult,
+                                    0,
+                                    chunk,
+                                    last,
+                                    total_up,
+                                );
+                                ctx.send_at(fin, out);
+                            }
+                        }
+                    }
+                }
+            }
+            PacketKind::SparseResult => {
+                // From the parent: replicate down.
+                let fin = ctx.processing_done(pkt.wire_bytes);
+                let me = ctx.node();
+                for &child in &self.place.children.clone() {
+                    let mut copy = pkt.clone();
+                    copy.src = me;
+                    copy.dst = child;
+                    ctx.send_at(fin, copy);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Sum;
+
+    #[test]
+    fn placement_describes_tree_position() {
+        let p = TreePlacement {
+            allreduce: 3,
+            parent: Some(NodeId(9)),
+            children: vec![NodeId(1), NodeId(2)],
+            my_child_index: 1,
+        };
+        let prog: FlareDenseProgram<i32, Sum> = FlareDenseProgram::new(p, Sum);
+        assert_eq!(prog.blocks_done, 0);
+        let pkt = NetPacket::new(NodeId(1), NodeId(0), 3, 0, 0, 0, 0, bytes::Bytes::new());
+        assert!(prog.matches(&pkt));
+        let other = NetPacket::new(NodeId(1), NodeId(0), 4, 0, 0, 0, 0, bytes::Bytes::new());
+        assert!(!prog.matches(&other));
+    }
+}

@@ -1,0 +1,260 @@
+//! Flare wire format.
+//!
+//! Hosts add "a small header containing the identifier of the allreduce and
+//! of the packet within that allreduce" (paper Section 4). The header here
+//! is an explicit 16-byte layout; sparse payloads interleave `u32` indexes
+//! with values (paper Section 7: "packets also carry the position of each
+//! element inside the block").
+
+use bytes::Bytes;
+
+use crate::dtype::Element;
+
+/// Size of the fixed Flare header in bytes.
+pub const HEADER_BYTES: usize = 16;
+
+/// Packet role within an allreduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PacketKind {
+    /// Dense contribution from a child (host or sub-switch).
+    DenseContrib = 0,
+    /// Sparse contribution: payload is (index, value) pairs.
+    SparseContrib = 1,
+    /// Fully-aggregated dense result travelling down the tree.
+    DenseResult = 2,
+    /// Aggregated (or spilled) sparse data: (index, value) pairs.
+    SparseResult = 3,
+    /// Spilled sparse elements forwarded unaggregated (extra traffic).
+    SparseSpill = 4,
+}
+
+impl PacketKind {
+    /// Decode from the wire byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => PacketKind::DenseContrib,
+            1 => PacketKind::SparseContrib,
+            2 => PacketKind::DenseResult,
+            3 => PacketKind::SparseResult,
+            4 => PacketKind::SparseSpill,
+            _ => return None,
+        })
+    }
+}
+
+/// The parsed Flare packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Allreduce identifier (assigned by the network manager).
+    pub allreduce: u32,
+    /// Reduction-block index.
+    pub block: u32,
+    /// Child index within the reduction tree (the paper's port `i`).
+    pub child: u16,
+    /// Packet role.
+    pub kind: PacketKind,
+    /// Sparse only: set on the last shard of a block from this child; the
+    /// accompanying `shard_count` then says how many shards were sent
+    /// (paper Section 7, "Block split").
+    pub last_shard: bool,
+    /// Number of shards this child split the block into (valid when
+    /// `last_shard`).
+    pub shard_count: u16,
+    /// Number of elements in the payload (0 for an empty sparse block).
+    pub elem_count: u16,
+}
+
+impl Header {
+    /// Serialize into 16 bytes.
+    pub fn encode(&self) -> [u8; HEADER_BYTES] {
+        let mut out = [0u8; HEADER_BYTES];
+        out[0..4].copy_from_slice(&self.allreduce.to_le_bytes());
+        out[4..8].copy_from_slice(&self.block.to_le_bytes());
+        out[8..10].copy_from_slice(&self.child.to_le_bytes());
+        out[10] = self.kind as u8;
+        out[11] = u8::from(self.last_shard);
+        out[12..14].copy_from_slice(&self.shard_count.to_le_bytes());
+        out[14..16].copy_from_slice(&self.elem_count.to_le_bytes());
+        out
+    }
+
+    /// Parse from a packet payload; returns the header and the body bytes.
+    pub fn decode(buf: &[u8]) -> Result<(Header, &[u8]), WireError> {
+        if buf.len() < HEADER_BYTES {
+            return Err(WireError::Truncated);
+        }
+        let kind = PacketKind::from_u8(buf[10]).ok_or(WireError::BadKind(buf[10]))?;
+        let h = Header {
+            allreduce: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            block: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            child: u16::from_le_bytes(buf[8..10].try_into().unwrap()),
+            kind,
+            last_shard: buf[11] != 0,
+            shard_count: u16::from_le_bytes(buf[12..14].try_into().unwrap()),
+            elem_count: u16::from_le_bytes(buf[14..16].try_into().unwrap()),
+        };
+        Ok((h, &buf[HEADER_BYTES..]))
+    }
+}
+
+/// Wire format violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the header or declared payload.
+    Truncated,
+    /// Unknown packet kind byte.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated packet"),
+            WireError::BadKind(k) => write!(f, "unknown packet kind {k}"),
+        }
+    }
+}
+impl std::error::Error for WireError {}
+
+/// Encode a dense packet: header + contiguous element values.
+pub fn encode_dense<T: Element>(mut header: Header, values: &[T]) -> Bytes {
+    header.elem_count = values.len() as u16;
+    let mut out = Vec::with_capacity(HEADER_BYTES + values.len() * T::WIRE_BYTES);
+    out.extend_from_slice(&header.encode());
+    for &v in values {
+        v.write_le(&mut out);
+    }
+    Bytes::from(out)
+}
+
+/// Decode a dense packet body previously produced by [`encode_dense`].
+pub fn decode_dense<T: Element>(buf: &[u8]) -> Result<(Header, Vec<T>), WireError> {
+    let (h, body) = Header::decode(buf)?;
+    let need = h.elem_count as usize * T::WIRE_BYTES;
+    if body.len() < need {
+        return Err(WireError::Truncated);
+    }
+    let vals = body[..need]
+        .chunks_exact(T::WIRE_BYTES)
+        .map(T::read_le)
+        .collect();
+    Ok((h, vals))
+}
+
+/// Encode a sparse packet: header + (u32 index, value) pairs. Indexes are
+/// block-relative.
+pub fn encode_sparse<T: Element>(mut header: Header, pairs: &[(u32, T)]) -> Bytes {
+    header.elem_count = pairs.len() as u16;
+    let mut out = Vec::with_capacity(HEADER_BYTES + pairs.len() * (4 + T::WIRE_BYTES));
+    out.extend_from_slice(&header.encode());
+    for &(idx, v) in pairs {
+        out.extend_from_slice(&idx.to_le_bytes());
+        v.write_le(&mut out);
+    }
+    Bytes::from(out)
+}
+
+/// Decode a sparse packet body previously produced by [`encode_sparse`].
+pub fn decode_sparse<T: Element>(buf: &[u8]) -> Result<(Header, Vec<(u32, T)>), WireError> {
+    let (h, body) = Header::decode(buf)?;
+    let stride = 4 + T::WIRE_BYTES;
+    let need = h.elem_count as usize * stride;
+    if body.len() < need {
+        return Err(WireError::Truncated);
+    }
+    let pairs = body[..need]
+        .chunks_exact(stride)
+        .map(|c| {
+            let idx = u32::from_le_bytes(c[0..4].try_into().unwrap());
+            (idx, T::read_le(&c[4..]))
+        })
+        .collect();
+    Ok((h, pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(kind: PacketKind) -> Header {
+        Header {
+            allreduce: 0xDEAD,
+            block: 77,
+            child: 5,
+            kind,
+            last_shard: true,
+            shard_count: 3,
+            elem_count: 0,
+        }
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = header(PacketKind::SparseContrib);
+        let enc = h.encode();
+        let (back, rest) = Header::decode(&enc).unwrap();
+        assert_eq!(back, Header { elem_count: 0, ..h });
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn dense_roundtrip_preserves_values() {
+        let vals: Vec<i32> = (0..256).map(|i| i * 3 - 100).collect();
+        let pkt = encode_dense(header(PacketKind::DenseContrib), &vals);
+        assert_eq!(pkt.len(), HEADER_BYTES + 1024);
+        let (h, back) = decode_dense::<i32>(&pkt).unwrap();
+        assert_eq!(h.elem_count, 256);
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_pairs() {
+        let pairs: Vec<(u32, f32)> = vec![(0, 1.5), (17, -2.25), (1023, 3.0)];
+        let pkt = encode_sparse(header(PacketKind::SparseContrib), &pairs);
+        assert_eq!(pkt.len(), HEADER_BYTES + 3 * 8);
+        let (h, back) = decode_sparse::<f32>(&pkt).unwrap();
+        assert_eq!(h.elem_count, 3);
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn empty_sparse_block_packet_is_header_only() {
+        // Paper Section 7 "Empty blocks": still send a packet so the
+        // children counter advances.
+        let pkt = encode_sparse::<f32>(header(PacketKind::SparseContrib), &[]);
+        assert_eq!(pkt.len(), HEADER_BYTES);
+        let (h, pairs) = decode_sparse::<f32>(&pkt).unwrap();
+        assert_eq!(h.elem_count, 0);
+        assert!(pairs.is_empty());
+        assert!(h.last_shard);
+    }
+
+    #[test]
+    fn truncated_and_bad_kind_are_rejected() {
+        assert_eq!(Header::decode(&[0u8; 8]).unwrap_err(), WireError::Truncated);
+        let mut raw = header(PacketKind::DenseContrib).encode();
+        raw[10] = 200;
+        assert_eq!(Header::decode(&raw).unwrap_err(), WireError::BadKind(200));
+        // Declared elements but missing body.
+        let mut h = header(PacketKind::DenseContrib);
+        h.elem_count = 4;
+        let enc = h.encode();
+        assert_eq!(decode_dense::<i32>(&enc).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn kind_codes_are_stable() {
+        for (k, v) in [
+            (PacketKind::DenseContrib, 0u8),
+            (PacketKind::SparseContrib, 1),
+            (PacketKind::DenseResult, 2),
+            (PacketKind::SparseResult, 3),
+            (PacketKind::SparseSpill, 4),
+        ] {
+            assert_eq!(k as u8, v);
+            assert_eq!(PacketKind::from_u8(v), Some(k));
+        }
+        assert_eq!(PacketKind::from_u8(9), None);
+    }
+}

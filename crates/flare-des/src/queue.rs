@@ -1,0 +1,218 @@
+//! Deterministic event queue.
+//!
+//! The queue is a binary heap keyed on `(time, sequence)`. The sequence
+//! number makes ordering among simultaneous events FIFO and therefore
+//! deterministic, which the reproducibility experiments (paper Section 6.3)
+//! rely on: two runs with identical inputs must interleave handler
+//! executions identically.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Time;
+
+/// A scheduled event: ordering key is `(time, priority, seq)`.
+struct Entry<E> {
+    time: Time,
+    prio: u8,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.prio == other.prio && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.prio, self.seq).cmp(&(other.time, other.prio, other.seq))
+    }
+}
+
+/// Default priority for events scheduled without an explicit one.
+pub const DEFAULT_PRIO: u8 = 128;
+
+/// Behaviour plugged into the DES driver loop ([`crate::run`]).
+pub trait Simulator {
+    /// Event payload type processed by this simulator.
+    type Event;
+    /// Handle one event at simulation time `t`, possibly scheduling more.
+    fn handle(&mut self, t: Time, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Monotonic future-event list with stable FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: Time,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events popped so far (a cheap progress metric).
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule an event at an absolute time with [`DEFAULT_PRIO`].
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past — the queue is strictly monotonic.
+    pub fn schedule_at(&mut self, time: Time, event: E) {
+        self.schedule_at_prio(time, DEFAULT_PRIO, event);
+    }
+
+    /// Schedule an event with an explicit same-timestamp priority: among
+    /// events at equal time, lower `prio` runs first (FIFO within equal
+    /// priority). Simulators use this to give resource releases (e.g. a
+    /// core finishing) precedence over resource demands arriving at the
+    /// same instant, matching the idealized models.
+    pub fn schedule_at_prio(&mut self, time: Time, prio: u8, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: t={} < now={}",
+            time,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time,
+            prio,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedule an event `delay` time units after the current clock.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "heap returned stale event");
+        self.now = entry.time;
+        self.processed += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn priority_breaks_same_time_ties() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, "default");
+        q.schedule_at_prio(5, 0, "urgent");
+        q.schedule_at_prio(5, 255, "lazy");
+        assert_eq!(q.pop(), Some((5, "urgent")));
+        assert_eq!(q.pop(), Some((5, "default")));
+        assert_eq!(q.pop(), Some((5, "lazy")));
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.schedule_in(3, ());
+        assert_eq!(q.peek_time(), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, ());
+        q.pop();
+        q.schedule_at(5, ());
+    }
+
+    #[test]
+    fn processed_counts_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1, ());
+        q.schedule_at(2, ());
+        q.pop();
+        assert_eq!(q.processed(), 1);
+        q.pop();
+        assert_eq!(q.processed(), 2);
+    }
+}

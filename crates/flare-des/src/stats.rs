@@ -1,0 +1,302 @@
+//! Statistics collectors used by both simulators.
+//!
+//! The paper's evaluation reports three kinds of quantities that need
+//! matching collectors here:
+//!
+//! * plain counts and sums (packets, bytes, spills) — [`Counter`],
+//! * occupancy over time (input-buffer memory 𝒬, working memory ℛ,
+//!   queue lengths) — [`TimeWeighted`], which maintains the time integral
+//!   so both *peak* and *time-average* occupancy can be reported,
+//! * latency distributions (per-block latency ℒ) — [`Histogram`] with
+//!   power-of-two buckets plus exact min/max/mean.
+
+use crate::Time;
+
+/// Monotonic event counter with a byte/value accumulator.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    count: u64,
+    sum: u64,
+}
+
+impl Counter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event carrying `value` units (e.g. one packet of N bytes).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Record one event with no associated quantity.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Number of recorded events.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean recorded value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Tracks a level (queue length, bytes resident, buffers in use) over time.
+///
+/// Maintains the exact integral of the level so that
+/// `time_average = integral / elapsed`, along with the peak. This is the
+/// collector behind the paper's input-buffer (Fig. 7 middle) and working
+/// memory (Fig. 7 right) series.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    level: i64,
+    peak: i64,
+    last_change: Time,
+    integral: f64,
+    start: Time,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl TimeWeighted {
+    /// Start tracking at time 0 with the given initial level.
+    pub fn new(initial: i64) -> Self {
+        Self {
+            level: initial,
+            peak: initial,
+            last_change: 0,
+            integral: 0.0,
+            start: 0,
+        }
+    }
+
+    fn advance(&mut self, now: Time) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        let dt = now - self.last_change;
+        self.integral += self.level as f64 * dt as f64;
+        self.last_change = now;
+    }
+
+    /// Add `delta` (may be negative) to the level at time `now`.
+    pub fn add(&mut self, now: Time, delta: i64) {
+        self.advance(now);
+        self.level += delta;
+        debug_assert!(self.level >= 0, "occupancy went negative");
+        self.peak = self.peak.max(self.level);
+    }
+
+    /// Set the level at time `now`.
+    pub fn set(&mut self, now: Time, level: i64) {
+        self.advance(now);
+        self.level = level;
+        self.peak = self.peak.max(level);
+    }
+
+    /// Current level.
+    pub fn level(&self) -> i64 {
+        self.level
+    }
+
+    /// Highest level observed so far.
+    pub fn peak(&self) -> i64 {
+        self.peak
+    }
+
+    /// Time-average level over `[start, now]`.
+    pub fn time_average(&self, now: Time) -> f64 {
+        let mut integral = self.integral;
+        if now > self.last_change {
+            integral += self.level as f64 * (now - self.last_change) as f64;
+        }
+        let elapsed = now.saturating_sub(self.start);
+        if elapsed == 0 {
+            self.level as f64
+        } else {
+            integral / elapsed as f64
+        }
+    }
+}
+
+/// Fixed-size histogram with power-of-two buckets, tracking exact extremes.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let bucket = 64 - value.leading_zeros() as usize; // 0 for value==0
+        self.buckets[bucket.min(63)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                // Upper bound of bucket i: 2^i - 1 (bucket 0 holds value 0).
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_tracks_count_sum_mean() {
+        let mut c = Counter::new();
+        c.record(10);
+        c.record(30);
+        c.incr();
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.sum(), 40);
+        assert!((c.mean() - 40.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_integral_and_peak() {
+        let mut tw = TimeWeighted::new(0);
+        tw.add(0, 2); // level 2 during [0, 10)
+        tw.add(10, 3); // level 5 during [10, 20)
+        tw.add(20, -4); // level 1 during [20, 40)
+        assert_eq!(tw.peak(), 5);
+        assert_eq!(tw.level(), 1);
+        // integral = 2*10 + 5*10 + 1*20 = 90 over 40 units
+        assert!((tw.time_average(40) - 90.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_average_of_constant_level() {
+        let mut tw = TimeWeighted::new(7);
+        assert!((tw.time_average(100) - 7.0).abs() < 1e-12);
+        tw.set(100, 7);
+        assert_eq!(tw.peak(), 7);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "negative")]
+    fn time_weighted_rejects_negative_levels() {
+        let mut tw = TimeWeighted::new(0);
+        tw.add(1, -1);
+    }
+
+    #[test]
+    fn histogram_extremes_and_mean() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 203.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotonic() {
+        let mut h = Histogram::new();
+        for v in 0..1024u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q90 && q90 <= q99);
+        assert!(q99 <= h.max().next_power_of_two());
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Switch and workload parameters with the paper's defaults (Section 3).
+
+use crate::units::KIB;
+
+/// Architectural and workload parameters of the modeled PsPIN switch.
+///
+/// Defaults reproduce the paper's configuration: a 64-port switch whose
+/// processing unit fits ~64 PULP clusters of 8 RI5CY HPUs in the 180 mm²
+/// area budget, clocked at 1 GHz, receiving 1 KiB payloads of 256 f32
+/// elements, with an aggregation cost of 4 cycles per f32 element (measured
+/// by the authors on the PsPIN cycle-accurate simulator) and a 64-cycle DMA
+/// packet copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchParams {
+    /// Number of PsPIN clusters in the processing unit.
+    pub clusters: usize,
+    /// HPU cores per cluster (`C` in the paper).
+    pub cores_per_cluster: usize,
+    /// Packets received per reduction block = children in the reduction
+    /// tree (`P`). A fully-populated 64-port switch has P = 64.
+    pub ports: usize,
+    /// Packet payload size in bytes (`N` elements × element size).
+    pub packet_bytes: usize,
+    /// Size of one element in bytes (f32 = 4).
+    pub elem_bytes: usize,
+    /// Aggregation cost in cycles per element (f32 = 4; Section 6 preamble).
+    pub cycles_per_elem: f64,
+    /// DMA engine cost to copy one packet into a buffer (cycles).
+    pub dma_copy_cycles: f64,
+    /// Core clock in GHz (1 cycle == 1 ns at the default 1 GHz).
+    pub clock_ghz: f64,
+    /// L1 scratchpad per cluster in bytes (working memory).
+    pub l1_bytes_per_cluster: usize,
+    /// L2 packet memory in bytes (input buffers).
+    pub l2_packet_bytes: usize,
+}
+
+impl Default for SwitchParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl SwitchParams {
+    /// The paper's full-switch configuration (Section 3 area budget).
+    pub fn paper() -> Self {
+        Self {
+            clusters: 64,
+            cores_per_cluster: 8,
+            ports: 64,
+            packet_bytes: KIB as usize,
+            elem_bytes: 4,
+            cycles_per_elem: 4.0,
+            dma_copy_cycles: 64.0,
+            clock_ghz: 1.0,
+            l1_bytes_per_cluster: MIB_USIZE,
+            l2_packet_bytes: 4 * MIB_USIZE,
+        }
+    }
+
+    /// The configuration actually simulated in the paper's PsPIN RTL runs
+    /// (4 clusters), whose results are scaled linearly to `paper()`.
+    pub fn rtl_sim() -> Self {
+        Self {
+            clusters: 4,
+            ..Self::paper()
+        }
+    }
+
+    /// Total number of HPU cores, `K = clusters × C`.
+    pub fn cores(&self) -> usize {
+        self.clusters * self.cores_per_cluster
+    }
+
+    /// Elements per packet, `N`.
+    pub fn elems_per_packet(&self) -> usize {
+        self.packet_bytes / self.elem_bytes
+    }
+
+    /// `L`: cycles to aggregate one full packet inside the critical section.
+    ///
+    /// For the default parameters this is 256 × 4 = 1024 cycles, the paper's
+    /// "1 ns per byte circa".
+    pub fn l_cycles(&self) -> f64 {
+        self.elems_per_packet() as f64 * self.cycles_per_elem
+    }
+
+    /// Line-rate packet interarrival `δ` in cycles: the paper sizes the
+    /// system so the switch-wide service rate `K/τ_min` equals the arrival
+    /// rate `1/δ`, i.e. `δ = L / K`.
+    pub fn line_rate_delta(&self) -> f64 {
+        self.l_cycles() / self.cores() as f64
+    }
+
+    /// Number of reduction blocks for a `data_bytes`-sized allreduce,
+    /// `Z / N` (at least 1).
+    pub fn blocks_for(&self, data_bytes: u64) -> u64 {
+        (data_bytes / self.packet_bytes as u64).max(1)
+    }
+
+    /// Maximum intra-block interarrival achievable by staggered sending for
+    /// a given data size: `δc ∈ [δ, δ·Z/N]` (Section 5).
+    pub fn max_staggered_delta_c(&self, data_bytes: u64) -> f64 {
+        self.line_rate_delta() * self.blocks_for(data_bytes) as f64
+    }
+
+    /// The intra-block interarrival `δc` a well-tuned host stack induces:
+    /// staggered sending raises `δc` only as far as useful, i.e. up to the
+    /// target (typically `L`), bounded by the achievable maximum.
+    pub fn staggered_delta_c(&self, data_bytes: u64, target: f64) -> f64 {
+        self.max_staggered_delta_c(data_bytes)
+            .min(target)
+            .max(self.line_rate_delta())
+    }
+}
+
+const MIB_USIZE: usize = 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section3() {
+        let p = SwitchParams::paper();
+        assert_eq!(p.cores(), 512);
+        assert_eq!(p.elems_per_packet(), 256);
+        assert_eq!(p.l_cycles(), 1024.0);
+        assert_eq!(p.line_rate_delta(), 2.0);
+        assert_eq!(p.l1_bytes_per_cluster, 1024 * 1024);
+        assert_eq!(p.l2_packet_bytes, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn rtl_sim_is_four_clusters() {
+        let p = SwitchParams::rtl_sim();
+        assert_eq!(p.clusters, 4);
+        assert_eq!(p.cores(), 32);
+    }
+
+    #[test]
+    fn staggering_bounds_hold() {
+        let p = SwitchParams::paper();
+        // 512 KiB of data = 512 blocks: δc can reach δ·512 = 1024 = L,
+        // the paper's "only guaranteed if larger than 512 KiB" threshold.
+        assert_eq!(p.max_staggered_delta_c(512 * KIB), 1024.0);
+        assert_eq!(p.staggered_delta_c(512 * KIB, p.l_cycles()), 1024.0);
+        // Small data cannot stagger far.
+        assert_eq!(p.staggered_delta_c(8 * KIB, p.l_cycles()), 16.0);
+        // δc never below δ.
+        assert!(p.staggered_delta_c(512, 0.0) >= p.line_rate_delta());
+    }
+
+    #[test]
+    fn blocks_for_rounds_down_with_min_one() {
+        let p = SwitchParams::paper();
+        assert_eq!(p.blocks_for(512), 1);
+        assert_eq!(p.blocks_for(4096), 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! Algorithm selection policy (paper Section 6.4).
+//!
+//! > "To optimize both compute and memory resources, Flare uses single
+//! > buffer aggregation if the size of the data to be reduced is larger
+//! > than 512KiB, multi buffers with 4 buffers if larger than 256KiB, with
+//! > 2 buffers if larger than 128KiB, and tree aggregation otherwise. When
+//! > reproducibility of floating-point summation is required, Flare always
+//! > uses tree aggregation."
+
+use crate::dense::AggKind;
+use crate::units::KIB;
+
+/// Select the dense aggregation algorithm for a reduction of `data_bytes`,
+/// verbatim from the paper's policy.
+///
+/// Note: the model (Fig. 10) shows multi(4) becoming contention-free at
+/// *smaller* sizes than multi(2); the paper's stated thresholds nonetheless
+/// map the larger size range to the larger buffer count, and we follow the
+/// text exactly.
+pub fn select_algorithm(data_bytes: u64, reproducible: bool) -> AggKind {
+    if reproducible {
+        return AggKind::Tree;
+    }
+    if data_bytes > 512 * KIB {
+        AggKind::SingleBuffer
+    } else if data_bytes > 256 * KIB {
+        AggKind::MultiBuffer(4)
+    } else if data_bytes > 128 * KIB {
+        AggKind::MultiBuffer(2)
+    } else {
+        AggKind::Tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_paper_text() {
+        assert_eq!(select_algorithm(1024 * KIB, false), AggKind::SingleBuffer);
+        assert_eq!(select_algorithm(512 * KIB + 1, false), AggKind::SingleBuffer);
+        assert_eq!(select_algorithm(512 * KIB, false), AggKind::MultiBuffer(4));
+        assert_eq!(select_algorithm(256 * KIB + 1, false), AggKind::MultiBuffer(4));
+        assert_eq!(select_algorithm(256 * KIB, false), AggKind::MultiBuffer(2));
+        assert_eq!(select_algorithm(128 * KIB + 1, false), AggKind::MultiBuffer(2));
+        assert_eq!(select_algorithm(128 * KIB, false), AggKind::Tree);
+        assert_eq!(select_algorithm(1, false), AggKind::Tree);
+    }
+
+    #[test]
+    fn reproducibility_forces_tree() {
+        for size in [1, 128 * KIB, 256 * KIB, 512 * KIB, 10_240 * KIB] {
+            assert_eq!(select_algorithm(size, true), AggKind::Tree);
+        }
+    }
+}

@@ -1,0 +1,790 @@
+//! The network event loop: links, programs, accounting.
+//!
+//! Three event types drive the simulation:
+//!
+//! * `Egress` — a packet leaves a node through a port: the link serializes
+//!   it (per-direction FIFO `busy_until`), adds propagation latency, and
+//!   schedules a `Deliver` at the peer;
+//! * `Deliver` — a packet reaches a node: a host's [`HostProgram`] or a
+//!   switch's [`SwitchProgram`] (when one matches the flow) handles it,
+//!   otherwise the switch forwards along the routing tables;
+//! * `Wake` — a host-requested timer (retransmission timeouts, phased
+//!   algorithms).
+//!
+//! Switch programs process packets through a rate limiter calibrated from
+//! the PsPIN simulator (`processing_done(bytes)`), mirroring the paper's
+//! SST calibration, and can emit packets to arbitrary ports/destinations —
+//! including multicast by emitting one copy per port.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use flare_des::rng::rng_from_seed;
+use flare_des::{EventQueue, Simulator, Time};
+
+use crate::packet::NetPacket;
+use crate::topology::{NodeId, NodeKind, PortId, Routing, Topology};
+
+/// Events processed by [`NetSim`].
+#[derive(Debug)]
+pub enum NetEvent {
+    /// Packet leaves `node` through `port`.
+    Egress {
+        /// Transmitting node.
+        node: NodeId,
+        /// Egress port.
+        port: PortId,
+        /// The packet.
+        pkt: NetPacket,
+    },
+    /// Packet arrives at `node` on `in_port`.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port.
+        in_port: PortId,
+        /// The packet.
+        pkt: NetPacket,
+    },
+    /// Host timer with an app-defined tag.
+    Wake {
+        /// The host.
+        node: NodeId,
+        /// App-defined tag passed back to `on_wake`.
+        tag: u64,
+    },
+}
+
+/// Application logic running on a host.
+pub trait HostProgram {
+    /// Called once at simulation start.
+    fn on_start(&mut self, _ctx: &mut HostCtx<'_>) {}
+    /// Called for every packet delivered to this host.
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: NetPacket);
+    /// Called when a timer requested via [`HostCtx::wake_in`] fires.
+    fn on_wake(&mut self, _ctx: &mut HostCtx<'_>, _tag: u64) {}
+}
+
+/// In-network program installed on a switch for matching flows.
+pub trait SwitchProgram {
+    /// Whether this program handles `pkt` (unmatched packets are forwarded
+    /// normally, "not further delayed" per paper Section 3).
+    fn matches(&self, pkt: &NetPacket) -> bool;
+    /// Handle a matched packet.
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, in_port: PortId, pkt: NetPacket);
+}
+
+struct DirState {
+    busy_until: Time,
+    bytes: u64,
+    packets: u64,
+}
+
+struct LinkState {
+    dirs: [DirState; 2],
+    drop_prob: f64,
+}
+
+/// Shared mutable simulation state (everything except the programs).
+struct SimCore {
+    topo: Topology,
+    routing: Routing,
+    links: Vec<LinkState>,
+    /// Per-switch processing-pipeline availability for program packets.
+    proc_busy: Vec<Time>,
+    /// Per-switch processing rate in bytes/ns (f64::INFINITY = unmodeled).
+    proc_rate: Vec<f64>,
+    done_at: Vec<Option<Time>>,
+    rng: StdRng,
+    drops: u64,
+}
+
+impl SimCore {
+    /// Transmit on a link: returns delivery `(peer, peer_port, arrive_at)`,
+    /// or `None` when the packet is dropped.
+    fn transmit(
+        &mut self,
+        now: Time,
+        node: NodeId,
+        port: PortId,
+        bytes: u32,
+    ) -> Option<(NodeId, PortId, Time)> {
+        let pl = self.topo.ports_of(node)[port.0];
+        let spec = self.topo.link(pl.link).spec;
+        let dir = usize::from(self.topo.link(pl.link).a.0 != node);
+        let state = &mut self.links[pl.link];
+        let d = &mut state.dirs[dir];
+        let start = now.max(d.busy_until);
+        let fin = start + spec.serialize_ns(bytes);
+        d.busy_until = fin;
+        d.bytes += bytes as u64;
+        d.packets += 1;
+        if state.drop_prob > 0.0 && self.rng.random::<f64>() < state.drop_prob {
+            self.drops += 1;
+            return None;
+        }
+        Some((pl.peer, pl.peer_port, fin + spec.latency_ns))
+    }
+
+    fn route_port(&self, node: NodeId, pkt: &NetPacket) -> Option<PortId> {
+        self.routing.next_port(node, pkt.dst, pkt.flow)
+    }
+}
+
+macro_rules! ctx_common {
+    ($name:ident) => {
+        impl<'a> $name<'a> {
+            /// Current simulation time (ns).
+            pub fn now(&self) -> Time {
+                self.now
+            }
+
+            /// The node this context belongs to.
+            pub fn node(&self) -> NodeId {
+                self.node
+            }
+
+            /// Send `pkt` towards `pkt.dst` via the routing tables at time
+            /// `at` (≥ now).
+            pub fn send(&mut self, pkt: NetPacket) {
+                self.send_at(self.now, pkt);
+            }
+
+            /// Send `pkt` towards `pkt.dst` at a future time.
+            pub fn send_at(&mut self, at: Time, pkt: NetPacket) {
+                let port = self
+                    .core
+                    .route_port(self.node, &pkt)
+                    .expect("no route to destination");
+                self.send_port_at(at, port, pkt);
+            }
+
+            /// Send `pkt` out of an explicit port at a future time.
+            pub fn send_port_at(&mut self, at: Time, port: PortId, pkt: NetPacket) {
+                debug_assert!(at >= self.now);
+                self.queue.schedule_at(
+                    at,
+                    NetEvent::Egress {
+                        node: self.node,
+                        port,
+                        pkt,
+                    },
+                );
+            }
+        }
+    };
+}
+
+/// Execution context for host programs.
+pub struct HostCtx<'a> {
+    core: &'a mut SimCore,
+    queue: &'a mut EventQueue<NetEvent>,
+    node: NodeId,
+    now: Time,
+}
+ctx_common!(HostCtx);
+
+impl<'a> HostCtx<'a> {
+    /// Request an `on_wake(tag)` callback after `delay` ns.
+    pub fn wake_in(&mut self, delay: Time, tag: u64) {
+        self.queue.schedule_at(
+            self.now + delay,
+            NetEvent::Wake {
+                node: self.node,
+                tag,
+            },
+        );
+    }
+
+    /// Record this host as finished (first call wins); the simulation keeps
+    /// running until the event queue drains.
+    pub fn mark_done(&mut self) {
+        let slot = &mut self.core.done_at[self.node.0];
+        if slot.is_none() {
+            *slot = Some(self.now);
+        }
+    }
+}
+
+/// Execution context for switch programs.
+pub struct SwitchCtx<'a> {
+    core: &'a mut SimCore,
+    queue: &'a mut EventQueue<NetEvent>,
+    node: NodeId,
+    now: Time,
+}
+ctx_common!(SwitchCtx);
+
+impl<'a> SwitchCtx<'a> {
+    /// Push `bytes` through this switch's processing pipeline; returns the
+    /// completion time at which derived packets should be emitted. The
+    /// pipeline rate is the PsPIN-calibrated aggregation bandwidth.
+    pub fn processing_done(&mut self, bytes: u32) -> Time {
+        let rate = self.core.proc_rate[self.node.0];
+        let busy = &mut self.core.proc_busy[self.node.0];
+        let start = self.now.max(*busy);
+        let fin = if rate.is_finite() {
+            start + ((bytes as f64 / rate).ceil() as Time).max(1)
+        } else {
+            start
+        };
+        *busy = fin;
+        fin
+    }
+
+    /// Forward `pkt` along the routing tables (the default action for
+    /// packets the program does not aggregate).
+    pub fn forward(&mut self, pkt: NetPacket) {
+        self.send(pkt);
+    }
+
+    /// Port of this switch facing a directly-connected neighbor.
+    pub fn port_towards(&self, neighbor: NodeId) -> Option<PortId> {
+        self.core.topo.port_towards(self.node, neighbor)
+    }
+}
+
+/// Final measurements of a network simulation.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Time of the last processed event.
+    pub makespan: Time,
+    /// Per-host completion times (`mark_done`), indexed by node id.
+    pub done_at: Vec<Option<Time>>,
+    /// Completion time of the slowest finished host.
+    pub last_done: Option<Time>,
+    /// Total bytes that traversed links (each hop counted — the paper's
+    /// Figure 15 "Traffic" metric).
+    pub total_link_bytes: u64,
+    /// Total packets that traversed links.
+    pub total_link_packets: u64,
+    /// Packets dropped by loss injection.
+    pub drops: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// The network simulator.
+pub struct NetSim {
+    core: SimCore,
+    host_progs: Vec<Option<Box<dyn HostProgram>>>,
+    switch_progs: Vec<Option<Box<dyn SwitchProgram>>>,
+}
+
+impl NetSim {
+    /// Build a simulator over `topo` with deterministic ECMP routing.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        let routing = topo.build_routing();
+        let n = topo.node_count();
+        let links = (0..topo.link_count())
+            .map(|_| LinkState {
+                dirs: [
+                    DirState {
+                        busy_until: 0,
+                        bytes: 0,
+                        packets: 0,
+                    },
+                    DirState {
+                        busy_until: 0,
+                        bytes: 0,
+                        packets: 0,
+                    },
+                ],
+                drop_prob: 0.0,
+            })
+            .collect();
+        Self {
+            core: SimCore {
+                topo,
+                routing,
+                links,
+                proc_busy: vec![0; n],
+                proc_rate: vec![f64::INFINITY; n],
+                done_at: vec![None; n],
+                rng: rng_from_seed(seed),
+                drops: 0,
+            },
+            host_progs: (0..n).map(|_| None).collect(),
+            switch_progs: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Access the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.core.topo
+    }
+
+    /// Install application logic on a host.
+    pub fn install_host(&mut self, node: NodeId, prog: Box<dyn HostProgram>) {
+        assert_eq!(self.core.topo.kind(node), NodeKind::Host, "not a host");
+        self.host_progs[node.0] = Some(prog);
+    }
+
+    /// Install an in-network program on a switch with a processing rate in
+    /// bytes/ns (calibrated from the PsPIN simulator).
+    pub fn install_switch(
+        &mut self,
+        node: NodeId,
+        prog: Box<dyn SwitchProgram>,
+        proc_rate_bytes_per_ns: f64,
+    ) {
+        assert_eq!(self.core.topo.kind(node), NodeKind::Switch, "not a switch");
+        self.switch_progs[node.0] = Some(prog);
+        self.core.proc_rate[node.0] = proc_rate_bytes_per_ns;
+    }
+
+    /// Inject loss on a link (both directions).
+    pub fn set_link_drop_prob(&mut self, link: usize, p: f64) {
+        self.core.links[link].drop_prob = p;
+    }
+
+    /// Take a switch program back out (to inspect its final state).
+    pub fn take_switch(&mut self, node: NodeId) -> Option<Box<dyn SwitchProgram>> {
+        self.switch_progs[node.0].take()
+    }
+
+    /// Take a host program back out (to inspect its final state).
+    pub fn take_host(&mut self, node: NodeId) -> Option<Box<dyn HostProgram>> {
+        self.host_progs[node.0].take()
+    }
+
+    /// Run to quiescence (or `deadline`); returns the report.
+    pub fn run(&mut self, deadline: Option<Time>) -> NetReport {
+        let mut queue = EventQueue::new();
+        // Start hosts.
+        for node in self.core.topo.hosts() {
+            if let Some(mut prog) = self.host_progs[node.0].take() {
+                let mut ctx = HostCtx {
+                    core: &mut self.core,
+                    queue: &mut queue,
+                    node,
+                    now: 0,
+                };
+                prog.on_start(&mut ctx);
+                self.host_progs[node.0] = Some(prog);
+            }
+        }
+        let makespan = match deadline {
+            Some(d) => flare_des::run_until(self, &mut queue, d),
+            None => flare_des::run(self, &mut queue),
+        };
+        let total_link_bytes: u64 = self
+            .core
+            .links
+            .iter()
+            .map(|l| l.dirs[0].bytes + l.dirs[1].bytes)
+            .sum();
+        let total_link_packets: u64 = self
+            .core
+            .links
+            .iter()
+            .map(|l| l.dirs[0].packets + l.dirs[1].packets)
+            .sum();
+        NetReport {
+            makespan,
+            done_at: self.core.done_at.clone(),
+            last_done: self.core.done_at.iter().flatten().max().copied(),
+            total_link_bytes,
+            total_link_packets,
+            drops: self.core.drops,
+            events: queue.processed(),
+        }
+    }
+
+    /// Per-link transported bytes `(link id, bytes)`, for hotspot analysis.
+    pub fn link_bytes(&self) -> Vec<(usize, u64)> {
+        self.core
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i, l.dirs[0].bytes + l.dirs[1].bytes))
+            .collect()
+    }
+
+    /// Per-link utilization over `[0, horizon]`: transported bytes divided
+    /// by the link's capacity×time, per direction, reported as the busier
+    /// direction's fraction. Identifies reduction-tree hotspots (e.g. the
+    /// root's uplinks).
+    pub fn link_utilization(&self, horizon: Time) -> Vec<(usize, f64)> {
+        let horizon = horizon.max(1);
+        self.core
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let cap = self.core.topo.link(i).spec.bytes_per_ns() * horizon as f64;
+                let busiest = l.dirs[0].bytes.max(l.dirs[1].bytes) as f64;
+                (i, busiest / cap)
+            })
+            .collect()
+    }
+
+    /// The most-utilized link and its utilization over `[0, horizon]`.
+    pub fn hottest_link(&self, horizon: Time) -> Option<(usize, f64)> {
+        self.link_utilization(horizon)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+    }
+}
+
+impl Simulator for NetSim {
+    type Event = NetEvent;
+
+    fn handle(&mut self, t: Time, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+        match event {
+            NetEvent::Egress { node, port, pkt } => {
+                if let Some((peer, peer_port, arrive)) =
+                    self.core.transmit(t, node, port, pkt.wire_bytes)
+                {
+                    queue.schedule_at(
+                        arrive,
+                        NetEvent::Deliver {
+                            node: peer,
+                            in_port: peer_port,
+                            pkt,
+                        },
+                    );
+                }
+            }
+            NetEvent::Deliver { node, in_port, pkt } => match self.core.topo.kind(node) {
+                NodeKind::Host => {
+                    if let Some(mut prog) = self.host_progs[node.0].take() {
+                        let mut ctx = HostCtx {
+                            core: &mut self.core,
+                            queue,
+                            node,
+                            now: t,
+                        };
+                        prog.on_packet(&mut ctx, pkt);
+                        self.host_progs[node.0] = Some(prog);
+                    }
+                }
+                NodeKind::Switch => {
+                    let handled = if let Some(mut prog) = self.switch_progs[node.0].take() {
+                        let m = prog.matches(&pkt);
+                        if m {
+                            let mut ctx = SwitchCtx {
+                                core: &mut self.core,
+                                queue,
+                                node,
+                                now: t,
+                            };
+                            prog.on_packet(&mut ctx, in_port, pkt.clone());
+                        }
+                        self.switch_progs[node.0] = Some(prog);
+                        m
+                    } else {
+                        false
+                    };
+                    if !handled {
+                        // Default forwarding along the routing tables.
+                        if let Some(port) = self.core.route_port(node, &pkt) {
+                            queue.schedule_at(t, NetEvent::Egress { node, port, pkt });
+                        }
+                    }
+                }
+            },
+            NetEvent::Wake { node, tag } => {
+                if let Some(mut prog) = self.host_progs[node.0].take() {
+                    let mut ctx = HostCtx {
+                        core: &mut self.core,
+                        queue,
+                        node,
+                        now: t,
+                    };
+                    prog.on_wake(&mut ctx, tag);
+                    self.host_progs[node.0] = Some(prog);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+    use bytes::Bytes;
+
+    /// Sends `count` packets to a peer at start, records receptions.
+    struct Sender {
+        peer: NodeId,
+        count: u64,
+        bytes: u32,
+    }
+    impl HostProgram for Sender {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            let me = ctx.node();
+            for i in 0..self.count {
+                ctx.send(NetPacket::new(
+                    me,
+                    self.peer,
+                    1,
+                    i,
+                    0,
+                    0,
+                    0,
+                    Bytes::from(vec![0u8; self.bytes as usize]),
+                ));
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut HostCtx<'_>, _pkt: NetPacket) {}
+    }
+
+    /// Records arrival times/blocks; marks done after `expect` packets.
+    #[derive(Default)]
+    struct Receiver {
+        got: Vec<(Time, u64)>,
+        expect: usize,
+    }
+    impl HostProgram for Receiver {
+        fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: NetPacket) {
+            self.got.push((ctx.now(), pkt.block));
+            if self.got.len() == self.expect {
+                ctx.mark_done();
+            }
+        }
+    }
+
+    fn spec() -> LinkSpec {
+        LinkSpec {
+            gbps: 100.0,
+            latency_ns: 50,
+        }
+    }
+
+    #[test]
+    fn single_hop_timing_is_serialization_plus_latency() {
+        let (topo, _sw, hosts) = Topology::star(2, spec());
+        let mut sim = NetSim::new(topo, 1);
+        sim.install_host(
+            hosts[0],
+            Box::new(Sender {
+                peer: hosts[1],
+                count: 1,
+                bytes: 1250,
+            }),
+        );
+        sim.install_host(hosts[1], Box::new(Receiver { expect: 1, ..Default::default() }));
+        let report = sim.run(None);
+        // Two hops (host→switch→host): 2×(100 ns ser + 50 ns latency).
+        let rx = sim.take_host(hosts[1]).unwrap();
+        let _ = rx;
+        assert_eq!(report.last_done, Some(300));
+        // Traffic: 1250 bytes over 2 links.
+        assert_eq!(report.total_link_bytes, 2500);
+        assert_eq!(report.total_link_packets, 2);
+    }
+
+    #[test]
+    fn link_serialization_is_fifo_and_paced() {
+        let (topo, _sw, hosts) = Topology::star(2, spec());
+        let mut sim = NetSim::new(topo, 1);
+        sim.install_host(
+            hosts[0],
+            Box::new(Sender {
+                peer: hosts[1],
+                count: 10,
+                bytes: 1250,
+            }),
+        );
+        sim.install_host(hosts[1], Box::new(Receiver { expect: 10, ..Default::default() }));
+        let report = sim.run(None);
+        // 10 packets paced at 100 ns each on the first link; last leaves the
+        // host link at 1000, arrives 1000+50+100+50.
+        assert_eq!(report.last_done, Some(1200));
+    }
+
+    #[test]
+    fn fat_tree_cross_leaf_traffic_counts_four_hops() {
+        let (topo, ft) = Topology::fat_tree_two_level(2, 2, 1, spec());
+        let mut sim = NetSim::new(topo, 1);
+        let src = ft.hosts[0];
+        let dst = ft.hosts[3]; // other leaf
+        sim.install_host(
+            src,
+            Box::new(Sender {
+                peer: dst,
+                count: 1,
+                bytes: 1000,
+            }),
+        );
+        sim.install_host(dst, Box::new(Receiver { expect: 1, ..Default::default() }));
+        let report = sim.run(None);
+        // host→leaf→spine→leaf→host = 4 link traversals.
+        assert_eq!(report.total_link_bytes, 4000);
+        assert!(report.last_done.is_some());
+    }
+
+    /// A switch program that consumes `n` contribution packets per block
+    /// and emits one aggregate to a collector.
+    struct CountingAggregator {
+        expect: u16,
+        seen: std::collections::HashMap<u64, u16>,
+        collector: NodeId,
+    }
+    impl SwitchProgram for CountingAggregator {
+        fn matches(&self, pkt: &NetPacket) -> bool {
+            pkt.flow == 7
+        }
+        fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, _in: PortId, pkt: NetPacket) {
+            let fin = ctx.processing_done(pkt.wire_bytes);
+            let c = self.seen.entry(pkt.block).or_insert(0);
+            *c += 1;
+            if *c == self.expect {
+                let out = NetPacket::new(
+                    ctx.node(),
+                    self.collector,
+                    7,
+                    pkt.block,
+                    0,
+                    1,
+                    0,
+                    Bytes::from(vec![0u8; 100]),
+                );
+                ctx.send_at(fin, out);
+            }
+        }
+    }
+
+    #[test]
+    fn switch_program_aggregates_and_emits() {
+        let (topo, sw, hosts) = Topology::star(3, spec());
+        let mut sim = NetSim::new(topo, 1);
+        for &h in &hosts[..2] {
+            sim.install_host(
+                h,
+                Box::new(Sender {
+                    peer: hosts[2],
+                    count: 2,
+                    bytes: 100,
+                }),
+            );
+        }
+        sim.install_host(hosts[2], Box::new(Receiver { expect: 2, ..Default::default() }));
+        // Two senders use flow 1 in Sender; our aggregator matches flow 7 —
+        // so first check pass-through works, then install matching flow.
+        let mut agg = CountingAggregator {
+            expect: 2,
+            seen: Default::default(),
+            collector: hosts[2],
+        };
+        // Senders send flow 1; rewrite matches() target by using flow 1.
+        agg.seen.clear();
+        struct Match1(CountingAggregator);
+        impl SwitchProgram for Match1 {
+            fn matches(&self, pkt: &NetPacket) -> bool {
+                pkt.flow == 1
+            }
+            fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, p: PortId, pkt: NetPacket) {
+                self.0.on_packet(ctx, p, pkt)
+            }
+        }
+        sim.install_switch(sw, Box::new(Match1(agg)), 1.0);
+        let report = sim.run(None);
+        // 2 blocks × (2 contributions in + 1 aggregate out): in-bytes
+        // 4×100, out 2×100 ⇒ 600 total link bytes.
+        assert_eq!(report.total_link_bytes, 600);
+        assert!(report.last_done.is_some());
+    }
+
+    #[test]
+    fn processing_rate_paces_switch_emissions() {
+        let (topo, sw, hosts) = Topology::star(2, spec());
+        let mut sim = NetSim::new(topo, 1);
+        struct Echo {
+            to: NodeId,
+        }
+        impl SwitchProgram for Echo {
+            fn matches(&self, _: &NetPacket) -> bool {
+                true
+            }
+            fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, _in: PortId, mut pkt: NetPacket) {
+                let fin = ctx.processing_done(pkt.wire_bytes);
+                pkt.dst = self.to;
+                ctx.send_at(fin, pkt);
+            }
+        }
+        sim.install_host(
+            hosts[0],
+            Box::new(Sender {
+                peer: hosts[1],
+                count: 4,
+                bytes: 1000,
+            }),
+        );
+        sim.install_host(hosts[1], Box::new(Receiver { expect: 4, ..Default::default() }));
+        // 0.5 bytes/ns processing: 2000 ns per 1000-byte packet dominates
+        // the 80 ns link serialization.
+        sim.install_switch(sw, Box::new(Echo { to: hosts[1] }), 0.5);
+        let report = sim.run(None);
+        // Arrivals at switch at ~130, 210, ...; processing of 4 packets
+        // serializes: done ≈ 130 + 4×2000; plus egress 80 + 50.
+        let done = report.last_done.unwrap();
+        assert!(done > 8000, "processing must pace emissions: {done}");
+    }
+
+    #[test]
+    fn loss_injection_drops_and_counts() {
+        let (topo, _sw, hosts) = Topology::star(2, spec());
+        let mut sim = NetSim::new(topo, 42);
+        sim.install_host(
+            hosts[0],
+            Box::new(Sender {
+                peer: hosts[1],
+                count: 1000,
+                bytes: 100,
+            }),
+        );
+        sim.install_host(hosts[1], Box::new(Receiver { expect: 1, ..Default::default() }));
+        sim.set_link_drop_prob(0, 0.5);
+        let report = sim.run(None);
+        assert!(report.drops > 300 && report.drops < 700, "{}", report.drops);
+    }
+
+    #[test]
+    fn wake_timers_fire() {
+        struct Waker {
+            fired: Vec<(Time, u64)>,
+        }
+        impl HostProgram for Waker {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.wake_in(100, 1);
+                ctx.wake_in(50, 2);
+            }
+            fn on_packet(&mut self, _: &mut HostCtx<'_>, _: NetPacket) {}
+            fn on_wake(&mut self, ctx: &mut HostCtx<'_>, tag: u64) {
+                self.fired.push((ctx.now(), tag));
+                if self.fired.len() == 2 {
+                    ctx.mark_done();
+                }
+            }
+        }
+        let (topo, _sw, hosts) = Topology::star(2, spec());
+        let mut sim = NetSim::new(topo, 1);
+        sim.install_host(hosts[0], Box::new(Waker { fired: Vec::new() }));
+        let report = sim.run(None);
+        assert_eq!(report.last_done, Some(100));
+        let w = sim.take_host(hosts[0]).unwrap();
+        // Downcast via Any is overkill; completion time encodes both fires.
+        drop(w);
+    }
+
+    #[test]
+    fn deadline_stops_the_simulation() {
+        let (topo, _sw, hosts) = Topology::star(2, spec());
+        let mut sim = NetSim::new(topo, 1);
+        sim.install_host(
+            hosts[0],
+            Box::new(Sender {
+                peer: hosts[1],
+                count: 1_000,
+                bytes: 1250,
+            }),
+        );
+        sim.install_host(hosts[1], Box::new(Receiver { expect: 1_000, ..Default::default() }));
+        let report = sim.run(Some(500));
+        assert!(report.makespan <= 500);
+        assert_eq!(report.last_done, None);
+    }
+}

@@ -1,0 +1,413 @@
+//! Network topology: nodes, links, builders and routing.
+//!
+//! Topologies are simple undirected port graphs: every connection occupies
+//! one port on each endpoint and is a full-duplex link with independent
+//! per-direction serialization. Routing is destination-based shortest-path
+//! with deterministic ECMP (hash of the flow picks among equal-cost next
+//! hops, so a flow always follows one path and delivery within a flow is
+//! ordered).
+
+use std::collections::VecDeque;
+
+use flare_des::rng::splitmix64;
+use flare_des::Time;
+
+/// A node (host or switch) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A port index local to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId(pub usize);
+
+/// Physical link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Bandwidth in Gbps.
+    pub gbps: f64,
+    /// Propagation latency in ns.
+    pub latency_ns: Time,
+}
+
+impl LinkSpec {
+    /// The paper's Figure 15 links: 100 Gbps, with a typical switch-to-NIC
+    /// propagation + forwarding latency of 200 ns.
+    pub fn hundred_gig() -> Self {
+        Self {
+            gbps: 100.0,
+            latency_ns: 200,
+        }
+    }
+
+    /// Serialization time in ns for a packet of `bytes` bytes.
+    pub fn serialize_ns(&self, bytes: u32) -> Time {
+        // bytes * 8 bits / (gbps Gb/s) = bytes * 8 / gbps ns
+        ((bytes as f64 * 8.0 / self.gbps).ceil() as Time).max(1)
+    }
+
+    /// Bandwidth in bytes per ns.
+    pub fn bytes_per_ns(&self) -> f64 {
+        self.gbps / 8.0
+    }
+}
+
+/// Whether a node is a host endpoint or a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end host (runs a `HostProgram`).
+    Host,
+    /// A switch (forwards; may run a `SwitchProgram`).
+    Switch,
+}
+
+/// One endpoint's view of a link.
+#[derive(Debug, Clone, Copy)]
+pub struct PortLink {
+    /// The link id.
+    pub link: usize,
+    /// The peer node.
+    pub peer: NodeId,
+    /// The peer's port on this link.
+    pub peer_port: PortId,
+}
+
+/// A full-duplex link between two node ports.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Endpoint A `(node, port)`.
+    pub a: (NodeId, PortId),
+    /// Endpoint B `(node, port)`.
+    pub b: (NodeId, PortId),
+    /// Physical parameters.
+    pub spec: LinkSpec,
+}
+
+/// The network graph.
+#[derive(Debug, Default)]
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    names: Vec<String>,
+    /// Per node: ports in index order.
+    ports: Vec<Vec<PortLink>>,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a host node.
+    pub fn add_host(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Host, name.into())
+    }
+
+    /// Add a switch node.
+    pub fn add_switch(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Switch, name.into())
+    }
+
+    fn add_node(&mut self, kind: NodeKind, name: String) -> NodeId {
+        let id = NodeId(self.kinds.len());
+        self.kinds.push(kind);
+        self.names.push(name);
+        self.ports.push(Vec::new());
+        id
+    }
+
+    /// Connect two nodes with a link; allocates the next free port on each.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> usize {
+        assert_ne!(a, b, "self-links are not allowed");
+        let link = self.links.len();
+        let pa = PortId(self.ports[a.0].len());
+        let pb = PortId(self.ports[b.0].len());
+        self.ports[a.0].push(PortLink {
+            link,
+            peer: b,
+            peer_port: pb,
+        });
+        self.ports[b.0].push(PortLink {
+            link,
+            peer: a,
+            peer_port: pa,
+        });
+        self.links.push(Link {
+            a: (a, pa),
+            b: (b, pb),
+            spec,
+        });
+        link
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node kind.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.0]
+    }
+
+    /// Node display name.
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.names[n.0]
+    }
+
+    /// All hosts, in id order.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        (0..self.node_count())
+            .map(NodeId)
+            .filter(|&n| self.kind(n) == NodeKind::Host)
+            .collect()
+    }
+
+    /// All switches, in id order.
+    pub fn switches(&self) -> Vec<NodeId> {
+        (0..self.node_count())
+            .map(NodeId)
+            .filter(|&n| self.kind(n) == NodeKind::Switch)
+            .collect()
+    }
+
+    /// Ports of a node.
+    pub fn ports_of(&self, n: NodeId) -> &[PortLink] {
+        &self.ports[n.0]
+    }
+
+    /// Link record.
+    pub fn link(&self, id: usize) -> &Link {
+        &self.links[id]
+    }
+
+    /// The port of `from` whose link peers with `to`, if directly connected.
+    pub fn port_towards(&self, from: NodeId, to: NodeId) -> Option<PortId> {
+        self.ports[from.0]
+            .iter()
+            .position(|pl| pl.peer == to)
+            .map(PortId)
+    }
+
+    /// Compute destination-based routing: `next_port[node][dest]` = egress
+    /// port, selecting among equal-cost next hops by `hash(flow)`.
+    pub fn build_routing(&self) -> Routing {
+        let n = self.node_count();
+        let mut next_hops: Vec<Vec<Vec<u16>>> = vec![vec![Vec::new(); n]; n];
+        // BFS from every destination over the undirected graph.
+        for dest in 0..n {
+            let mut dist = vec![u32::MAX; n];
+            dist[dest] = 0;
+            let mut q = VecDeque::from([dest]);
+            while let Some(u) = q.pop_front() {
+                for pl in &self.ports[u] {
+                    let v = pl.peer.0;
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            for u in 0..n {
+                if u == dest || dist[u] == u32::MAX {
+                    continue;
+                }
+                for (pi, pl) in self.ports[u].iter().enumerate() {
+                    if dist[pl.peer.0] + 1 == dist[u] {
+                        next_hops[u][dest].push(pi as u16);
+                    }
+                }
+            }
+        }
+        Routing { next_hops }
+    }
+
+    /// Build the paper's Figure 15 network: a 2-level fat tree with
+    /// `leaves` leaf switches of `hosts_per_leaf` hosts each, every leaf
+    /// connected to every one of `spines` spine switches.
+    ///
+    /// The paper's configuration is `fat_tree_two_level(16, 4, 4, …)`:
+    /// 64 hosts, leaf radix 8 (4 down + 4 up). Note the implied spine
+    /// radix is `leaves` (16) — a 64-host 2-level tree is not wireable with
+    /// all-radix-8 switches; we keep the paper's host count and leaf radix
+    /// and let spines take the extra ports (documented in DESIGN.md).
+    pub fn fat_tree_two_level(
+        leaves: usize,
+        hosts_per_leaf: usize,
+        spines: usize,
+        spec: LinkSpec,
+    ) -> (Self, FatTree) {
+        let mut topo = Self::new();
+        let mut hosts = Vec::new();
+        let leaf_ids: Vec<NodeId> = (0..leaves)
+            .map(|l| topo.add_switch(format!("leaf{l}")))
+            .collect();
+        let spine_ids: Vec<NodeId> = (0..spines)
+            .map(|s| topo.add_switch(format!("spine{s}")))
+            .collect();
+        for (l, &leaf) in leaf_ids.iter().enumerate() {
+            for h in 0..hosts_per_leaf {
+                let host = topo.add_host(format!("h{}", l * hosts_per_leaf + h));
+                topo.connect(host, leaf, spec);
+                hosts.push(host);
+            }
+        }
+        for &leaf in &leaf_ids {
+            for &spine in &spine_ids {
+                topo.connect(leaf, spine, spec);
+            }
+        }
+        (
+            topo,
+            FatTree {
+                hosts,
+                leaves: leaf_ids,
+                spines: spine_ids,
+                hosts_per_leaf,
+            },
+        )
+    }
+
+    /// A single-switch star: `hosts` hosts on one switch (the paper's
+    /// single-switch PsPIN experiments, Figures 11–14).
+    pub fn star(hosts: usize, spec: LinkSpec) -> (Self, NodeId, Vec<NodeId>) {
+        let mut topo = Self::new();
+        let sw = topo.add_switch("sw0");
+        let hs: Vec<NodeId> = (0..hosts)
+            .map(|i| {
+                let h = topo.add_host(format!("h{i}"));
+                topo.connect(h, sw, spec);
+                h
+            })
+            .collect();
+        (topo, sw, hs)
+    }
+}
+
+/// Node inventory of a generated fat tree.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    /// Hosts in rank order (leaf-major).
+    pub hosts: Vec<NodeId>,
+    /// Leaf switches.
+    pub leaves: Vec<NodeId>,
+    /// Spine switches.
+    pub spines: Vec<NodeId>,
+    /// Hosts under each leaf.
+    pub hosts_per_leaf: usize,
+}
+
+impl FatTree {
+    /// Leaf switch of the host with the given rank.
+    pub fn leaf_of(&self, rank: usize) -> NodeId {
+        self.leaves[rank / self.hosts_per_leaf]
+    }
+}
+
+/// Destination-based next-hop tables with deterministic ECMP.
+#[derive(Debug, Clone)]
+pub struct Routing {
+    /// `next_hops[node][dest]` = candidate egress ports (equal cost).
+    next_hops: Vec<Vec<Vec<u16>>>,
+}
+
+impl Routing {
+    /// Egress port at `node` towards `dest` for `flow` (ECMP by flow hash).
+    ///
+    /// Returns `None` when `node == dest` or `dest` is unreachable.
+    pub fn next_port(&self, node: NodeId, dest: NodeId, flow: u32) -> Option<PortId> {
+        let cands = &self.next_hops[node.0][dest.0];
+        if cands.is_empty() {
+            return None;
+        }
+        let pick = (splitmix64(flow as u64) % cands.len() as u64) as usize;
+        Some(PortId(cands[pick] as usize))
+    }
+
+    /// Number of equal-cost choices at `node` towards `dest`.
+    pub fn ecmp_width(&self, node: NodeId, dest: NodeId) -> usize {
+        self.next_hops[node.0][dest.0].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_serialization_time_is_size_over_bandwidth() {
+        let spec = LinkSpec::hundred_gig();
+        // 1250 bytes at 100 Gbps = 12.5 GB/s ⇒ 100 ns.
+        assert_eq!(spec.serialize_ns(1250), 100);
+        assert_eq!(spec.serialize_ns(0), 1);
+        assert!((spec.bytes_per_ns() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_wires_every_host_to_the_switch() {
+        let (topo, sw, hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        assert_eq!(topo.node_count(), 5);
+        assert_eq!(topo.link_count(), 4);
+        assert_eq!(topo.ports_of(sw).len(), 4);
+        for h in hosts {
+            assert_eq!(topo.ports_of(h).len(), 1);
+            assert!(topo.port_towards(h, sw).is_some());
+        }
+    }
+
+    #[test]
+    fn paper_fat_tree_has_expected_shape() {
+        let (topo, ft) =
+            Topology::fat_tree_two_level(16, 4, 4, LinkSpec::hundred_gig());
+        assert_eq!(ft.hosts.len(), 64);
+        assert_eq!(ft.leaves.len(), 16);
+        assert_eq!(ft.spines.len(), 4);
+        // 64 host links + 16×4 uplinks.
+        assert_eq!(topo.link_count(), 64 + 64);
+        // Leaf radix: 4 hosts + 4 spines = 8 ports, the paper's switches.
+        for &leaf in &ft.leaves {
+            assert_eq!(topo.ports_of(leaf).len(), 8);
+        }
+        assert_eq!(ft.leaf_of(0), ft.leaves[0]);
+        assert_eq!(ft.leaf_of(63), ft.leaves[15]);
+    }
+
+    #[test]
+    fn routing_reaches_every_pair_by_shortest_path() {
+        let (topo, ft) = Topology::fat_tree_two_level(4, 2, 2, LinkSpec::hundred_gig());
+        let routing = topo.build_routing();
+        // Same-leaf hosts: 2 hops (host→leaf→host): first hop toward leaf.
+        let h0 = ft.hosts[0];
+        let h1 = ft.hosts[1];
+        let p = routing.next_port(h0, h1, 0).unwrap();
+        assert_eq!(topo.ports_of(h0)[p.0].peer, ft.leaf_of(0));
+        // Cross-leaf: leaf must offer ECMP across both spines.
+        let h2 = ft.hosts[2];
+        assert_eq!(routing.ecmp_width(ft.leaf_of(0), h2), 2);
+        // Flow hash is deterministic.
+        let a = routing.next_port(ft.leaf_of(0), h2, 7);
+        let b = routing.next_port(ft.leaf_of(0), h2, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn routing_returns_none_at_destination() {
+        let (topo, _, hosts) = Topology::star(2, LinkSpec::hundred_gig());
+        let routing = topo.build_routing();
+        assert!(routing.next_port(hosts[0], hosts[0], 0).is_none());
+    }
+
+    #[test]
+    fn hosts_and_switches_partition_nodes() {
+        let (topo, ft) = Topology::fat_tree_two_level(2, 2, 1, LinkSpec::hundred_gig());
+        assert_eq!(topo.hosts().len(), 4);
+        assert_eq!(topo.switches().len(), 3);
+        assert_eq!(topo.kind(ft.hosts[0]), NodeKind::Host);
+        assert_eq!(topo.kind(ft.spines[0]), NodeKind::Switch);
+    }
+}

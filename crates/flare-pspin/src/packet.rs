@@ -1,0 +1,55 @@
+//! The packet representation seen by the processing unit.
+//!
+//! The switch parser extracts the fields the *packet scheduler* needs —
+//! which flow (allreduce) and which reduction block a packet belongs to
+//! (the paper carries the block id in an IP optional header) — while the
+//! payload stays opaque to the scheduler and is interpreted only by the
+//! handler code installed for the flow.
+
+use bytes::Bytes;
+
+/// A packet dispatched to the PsPIN unit.
+#[derive(Debug, Clone)]
+pub struct PspinPacket {
+    /// Flow identifier: the allreduce this packet belongs to. The network
+    /// manager assigns unique ids so concurrent allreduces never mix.
+    pub flow: u32,
+    /// Reduction-block identifier within the flow; drives hierarchical
+    /// scheduling (all packets of a block go to the same core subset).
+    pub block: u64,
+    /// Index of the reduction-tree child (switch port) this packet came
+    /// from; drives reproducible leaf placement in tree aggregation.
+    pub child: u16,
+    /// Total wire size in bytes (header + payload), used for bandwidth and
+    /// input-buffer accounting.
+    pub wire_bytes: u32,
+    /// Opaque payload, interpreted by the installed handler.
+    pub payload: Bytes,
+}
+
+impl PspinPacket {
+    /// Convenience constructor for a payload-bearing packet; `wire_bytes`
+    /// is the payload length plus `header_bytes`.
+    pub fn new(flow: u32, block: u64, child: u16, header_bytes: u32, payload: Bytes) -> Self {
+        Self {
+            flow,
+            block,
+            child,
+            wire_bytes: header_bytes + payload.len() as u32,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_includes_header() {
+        let p = PspinPacket::new(1, 2, 3, 32, Bytes::from(vec![0u8; 1024]));
+        assert_eq!(p.wire_bytes, 1056);
+        assert_eq!(p.payload.len(), 1024);
+        assert_eq!((p.flow, p.block, p.child), (1, 2, 3));
+    }
+}

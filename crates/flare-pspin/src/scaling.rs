@@ -1,0 +1,76 @@
+//! Linear cluster scaling (paper Section 6.4).
+//!
+//! > "The actual PsPIN implementation only simulates 4 clusters. Because
+//! > the clusters are organized in a shared-nothing configuration, we scale
+//! > the results linearly with the number of deployed clusters."
+//!
+//! The engine here can simulate all 64 clusters directly, but the scaled
+//! extrapolation is provided both for parity with the paper's methodology
+//! and because small simulations are much faster for sweeps; the
+//! integration tests check the two agree.
+
+use crate::metrics::Report;
+
+/// Scale a report obtained on `from_clusters` to `to_clusters`, assuming
+/// shared-nothing clusters (throughput and memory scale linearly; per-block
+/// latency and utilization are intensive and unchanged).
+pub fn scale_report(report: &Report, from_clusters: usize, to_clusters: usize) -> Report {
+    assert!(from_clusters > 0 && to_clusters > 0);
+    let f = to_clusters as f64 / from_clusters as f64;
+    Report {
+        ingress_tbps: report.ingress_tbps * f,
+        input_buffer_peak: (report.input_buffer_peak as f64 * f) as i64,
+        input_buffer_avg: report.input_buffer_avg * f,
+        working_mem_peak: (report.working_mem_peak as f64 * f) as i64,
+        working_mem_avg: report.working_mem_avg * f,
+        queue_peak: (report.queue_peak as f64 * f) as i64,
+        ..report.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_des::stats::Histogram;
+
+    fn dummy_report() -> Report {
+        Report {
+            duration_ns: 1000,
+            packets_in: 100,
+            bytes_in: 100_000,
+            packets_out: 10,
+            bytes_out: 10_000,
+            drops: 0,
+            ingress_tbps: 0.25,
+            input_buffer_peak: 4096,
+            input_buffer_avg: 2048.0,
+            working_mem_peak: 1024,
+            working_mem_avg: 512.0,
+            queue_peak: 8,
+            lock_wait_cycles: 77,
+            core_busy_cycles: 900,
+            core_utilization: 0.9,
+            block_latency: Histogram::new(),
+            blocks_completed: 5,
+        }
+    }
+
+    #[test]
+    fn scaling_4_to_64_multiplies_extensive_metrics_by_16() {
+        let r = scale_report(&dummy_report(), 4, 64);
+        assert!((r.ingress_tbps - 4.0).abs() < 1e-12);
+        assert_eq!(r.input_buffer_peak, 65536);
+        assert_eq!(r.working_mem_peak, 16384);
+        assert_eq!(r.queue_peak, 128);
+        // Intensive metrics unchanged.
+        assert!((r.core_utilization - 0.9).abs() < 1e-12);
+        assert_eq!(r.duration_ns, 1000);
+    }
+
+    #[test]
+    fn identity_scaling_is_a_noop() {
+        let r = scale_report(&dummy_report(), 4, 4);
+        assert!((r.ingress_tbps - 0.25).abs() < 1e-12);
+        assert_eq!(r.input_buffer_peak, 4096);
+    }
+}

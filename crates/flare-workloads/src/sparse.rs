@@ -1,0 +1,178 @@
+//! Sparsifiers and sparse-workload generators.
+
+use std::collections::HashSet;
+
+use rand::RngExt;
+
+use flare_des::rng::rng_stream;
+
+/// SparCML / ResNet-50-style sparsification (the paper's Figure 15 input):
+/// split the vector into buckets of `bucket` values and keep only the
+/// largest-magnitude element of each bucket (density ≈ 1/bucket; 512 ⇒
+/// ≈0.2 %).
+pub fn sparsify_top1_per_bucket(data: &[f32], bucket: usize) -> Vec<(u32, f32)> {
+    assert!(bucket > 0);
+    let mut out = Vec::with_capacity(data.len().div_ceil(bucket));
+    for (b, chunk) in data.chunks(bucket).enumerate() {
+        let (off, &val) = chunk
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("no NaNs"))
+            .expect("non-empty chunk");
+        if val != 0.0 {
+            out.push(((b * bucket + off) as u32, val));
+        }
+    }
+    out
+}
+
+/// Random-k sparsification at the given `density`: selects
+/// `n × density` distinct indexes uniformly and assigns non-zero values.
+pub fn sparsify_random_k(seed: u64, stream: u64, n: usize, density: f64) -> Vec<(u32, f32)> {
+    assert!((0.0..=1.0).contains(&density));
+    let k = ((n as f64 * density).round() as usize).min(n);
+    let mut rng = rng_stream(seed, stream);
+    let mut chosen = HashSet::with_capacity(k);
+    while chosen.len() < k {
+        chosen.insert(rng.random_range(0..n as u32));
+    }
+    // Sort before assigning values: HashSet iteration order is randomized
+    // per process, and determinism is part of this crate's contract.
+    let mut idx: Vec<u32> = chosen.into_iter().collect();
+    idx.sort_unstable();
+    idx.into_iter()
+        .map(|i| (i, rng.random::<f32>() + 0.1))
+        .collect()
+}
+
+/// Generate one sparse vector per host with a controlled cross-host index
+/// overlap: a fraction `overlap` of each host's `nnz` indexes is drawn
+/// from a shared pool (identical across hosts), the rest is private.
+/// Overlap is what drives densification toward the reduction-tree root.
+pub fn overlap_controlled(
+    seed: u64,
+    hosts: usize,
+    n: usize,
+    nnz: usize,
+    overlap: f64,
+) -> Vec<Vec<(u32, f32)>> {
+    assert!((0.0..=1.0).contains(&overlap));
+    assert!(nnz <= n);
+    let shared_k = (nnz as f64 * overlap).round() as usize;
+    let mut pool_rng = rng_stream(seed, u64::MAX);
+    let mut shared = HashSet::with_capacity(shared_k);
+    while shared.len() < shared_k {
+        shared.insert(pool_rng.random_range(0..n as u32));
+    }
+    let shared: Vec<u32> = {
+        let mut v: Vec<u32> = shared.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    (0..hosts)
+        .map(|h| {
+            let mut rng = rng_stream(seed, h as u64);
+            let mut idx: HashSet<u32> = shared.iter().copied().collect();
+            while idx.len() < nnz {
+                idx.insert(rng.random_range(0..n as u32));
+            }
+            let mut sorted: Vec<u32> = idx.into_iter().collect();
+            sorted.sort_unstable();
+            sorted
+                .into_iter()
+                .map(|i| (i, rng.random::<f32>() + 0.1))
+                .collect()
+        })
+        .collect()
+}
+
+/// Densify a sparse vector into `n` f32 slots (zeros elsewhere), summing
+/// duplicate indexes — the golden reference for sparse reductions.
+pub fn densify_f32(pairs: &[(u32, f32)], n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n];
+    for &(i, v) in pairs {
+        out[i as usize] += v;
+    }
+    out
+}
+
+/// Number of distinct indexes in the union of several sparse vectors —
+/// the densification measure (how much data the tree root handles).
+pub fn union_nnz(inputs: &[Vec<(u32, f32)>]) -> usize {
+    let mut set = HashSet::new();
+    for v in inputs {
+        for &(i, _) in v {
+            set.insert(i);
+        }
+    }
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top1_per_bucket_hits_target_density() {
+        let data: Vec<f32> = (0..51_200).map(|i| ((i * 37 % 101) as f32) - 50.0).collect();
+        let sparse = sparsify_top1_per_bucket(&data, 512);
+        assert_eq!(sparse.len(), 100); // one per bucket ⇒ ~0.2 %
+        for (i, v) in &sparse {
+            assert_eq!(data[*i as usize], *v);
+        }
+    }
+
+    #[test]
+    fn top1_picks_the_largest_magnitude() {
+        let data = vec![1.0f32, -9.0, 2.0, 0.5, 0.1, 0.2, -0.3, 0.05];
+        let sparse = sparsify_top1_per_bucket(&data, 4);
+        assert_eq!(sparse, vec![(1, -9.0), (6, -0.3)]);
+    }
+
+    #[test]
+    fn random_k_has_exact_density_and_sorted_unique_indexes() {
+        let s = sparsify_random_k(9, 0, 10_000, 0.01);
+        assert_eq!(s.len(), 100);
+        for w in s.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for &(i, v) in &s {
+            assert!((i as usize) < 10_000);
+            assert!(v != 0.0);
+        }
+    }
+
+    #[test]
+    fn overlap_zero_and_one_are_extremes() {
+        let none = overlap_controlled(11, 4, 100_000, 500, 0.0);
+        let full = overlap_controlled(11, 4, 100_000, 500, 1.0);
+        // Full overlap: all hosts share the same index set.
+        let idx0: Vec<u32> = full[0].iter().map(|&(i, _)| i).collect();
+        for h in &full {
+            let idx: Vec<u32> = h.iter().map(|&(i, _)| i).collect();
+            assert_eq!(idx, idx0);
+        }
+        assert_eq!(union_nnz(&full), 500);
+        // No overlap: union ≈ hosts × nnz (tiny collision chance tolerated).
+        assert!(union_nnz(&none) > 1_900);
+    }
+
+    #[test]
+    fn densify_sums_and_places() {
+        let dense = densify_f32(&[(2, 1.5), (2, 0.5), (7, -1.0)], 10);
+        assert_eq!(dense[2], 2.0);
+        assert_eq!(dense[7], -1.0);
+        assert_eq!(dense.iter().filter(|&&x| x != 0.0).count(), 2);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            sparsify_random_k(3, 1, 1000, 0.05),
+            sparsify_random_k(3, 1, 1000, 0.05)
+        );
+        let a = overlap_controlled(5, 3, 1000, 50, 0.5);
+        let b = overlap_controlled(5, 3, 1000, 50, 0.5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,246 @@
+//! Edge cases across the stack: wide reduction trees (>64 children,
+//! exercising multi-word bitmaps), f16 end-to-end, duplicate retransmitted
+//! packets at the PsPIN layer, pass-through switch chains, ECMP spreading,
+//! and link-utilization telemetry.
+
+use bytes::Bytes;
+use std::collections::HashSet;
+
+use flare::core::collectives::{run_dense_allreduce, RunOptions};
+use flare::core::dense::TreeBlock;
+use flare::core::dtype::F16;
+use flare::core::handlers::{DenseAllreduceHandler, DenseHandlerConfig};
+use flare::core::manager::{compute_reduction_tree, AllreduceRequest, NetworkManager};
+use flare::core::op::{golden_reduce, Sum};
+use flare::core::wire::{encode_dense, Header, PacketKind};
+use flare::model::AggKind;
+use flare::net::{LinkSpec, NetSim, Topology};
+use flare::pspin::engine::run_trace;
+use flare::pspin::{PspinConfig, PspinPacket, SchedulingPolicy};
+
+#[test]
+fn tree_block_handles_more_than_64_children() {
+    // ChildBitmap must span multiple words; the combining tree must pad a
+    // non-power-of-two leaf count.
+    let p = 100usize;
+    let inputs: Vec<Vec<i64ish>> = Vec::new();
+    drop(inputs);
+    let data: Vec<Vec<i32>> = (0..p).map(|c| vec![c as i32; 7]).collect();
+    let mut blk = TreeBlock::new(p as u16);
+    let mut out = None;
+    for (c, v) in data.iter().enumerate() {
+        if let Some(r) = blk.insert(&Sum, c as u16, v).result {
+            out = Some(r);
+        }
+    }
+    assert_eq!(out.unwrap(), golden_reduce(&Sum, &data));
+}
+
+// A tiny type alias used above to exercise an unused-type path without
+// pulling in more deps.
+#[allow(non_camel_case_types)]
+type i64ish = i64;
+
+#[test]
+fn f16_allreduce_end_to_end_on_the_network() {
+    let (topo, _sw, hosts) = Topology::star(4, LinkSpec::hundred_gig());
+    let mut mgr = NetworkManager::new(64 << 20);
+    let n = 2048usize;
+    let inputs: Vec<Vec<F16>> = (0..4)
+        .map(|h| (0..n).map(|i| F16::from_f32((h * n + i) as f32 / 256.0)).collect())
+        .collect();
+    let want = golden_reduce(&Sum, &inputs);
+    let plan = mgr
+        .create_allreduce(
+            &topo,
+            &hosts,
+            &AllreduceRequest {
+                data_bytes: (n * 2) as u64,
+                packet_bytes: 1024,
+                reproducible: true, // tree: deterministic f16 rounding
+            },
+        )
+        .unwrap();
+    assert_eq!(plan.algorithm, AggKind::Tree);
+    let (results, _) =
+        run_dense_allreduce(topo, &hosts, &plan, Sum, inputs, &RunOptions::default());
+    // Tree aggregation order differs from golden's host order, so f16
+    // rounding may differ by 1 ulp; compare via f32 with tolerance.
+    for (a, b) in results[0].iter().zip(&want) {
+        let (af, bf) = (a.to_f32(), b.to_f32());
+        assert!((af - bf).abs() <= 0.02 * bf.abs().max(1.0), "{af} vs {bf}");
+    }
+}
+
+#[test]
+fn pspin_handler_ignores_duplicate_contributions() {
+    // Send every packet twice (simulating spurious retransmissions): the
+    // bitmap must keep the result identical and emit exactly once.
+    let children = 5u16;
+    let n = 16usize;
+    let data: Vec<Vec<i32>> = (0..children).map(|c| vec![c as i32 + 1; n]).collect();
+    let mut arrivals = Vec::new();
+    for rep in 0..2u64 {
+        for (c, v) in data.iter().enumerate() {
+            let header = Header {
+                allreduce: 1,
+                block: 0,
+                child: c as u16,
+                kind: PacketKind::DenseContrib,
+                last_shard: false,
+                shard_count: 0,
+                elem_count: 0,
+            };
+            let payload = encode_dense(header, v);
+            arrivals.push((
+                rep * 1000 + c as u64 * 10,
+                PspinPacket::new(1, 0, c as u16, 0, payload),
+            ));
+        }
+    }
+    let handler: DenseAllreduceHandler<i32, Sum> = DenseAllreduceHandler::new(
+        DenseHandlerConfig {
+            allreduce: 1,
+            children,
+            algorithm: AggKind::SingleBuffer,
+            capture_results: true,
+        },
+        Sum,
+    );
+    let cfg = PspinConfig {
+        clusters: 1,
+        cores_per_cluster: 4,
+        policy: SchedulingPolicy::Hierarchical { subset_size: 4 },
+        ..PspinConfig::paper()
+    };
+    let (report, engine) = run_trace(cfg, handler, arrivals, true);
+    assert_eq!(report.packets_in, 10, "all packets accepted");
+    assert_eq!(report.packets_out, 1, "result emitted exactly once");
+    assert_eq!(engine.handler().results()[0].1, golden_reduce(&Sum, &data));
+}
+
+#[test]
+fn reduction_tree_spans_pass_through_switch_chains() {
+    // host0 - s0 - s1 - s2 - host1: the tree must thread the chain; the
+    // middle switch has a single child (a no-op fold) and results flow
+    // back through it.
+    let mut topo = Topology::new();
+    let h0 = topo.add_host("h0");
+    let h1 = topo.add_host("h1");
+    let s0 = topo.add_switch("s0");
+    let s1 = topo.add_switch("s1");
+    let s2 = topo.add_switch("s2");
+    let spec = LinkSpec::hundred_gig();
+    topo.connect(h0, s0, spec);
+    topo.connect(s0, s1, spec);
+    topo.connect(s1, s2, spec);
+    topo.connect(s2, h1, spec);
+    let tree = compute_reduction_tree(&topo, &[h0, h1], &HashSet::new()).unwrap();
+    assert_eq!(tree.switches.len(), 3, "all three switches participate");
+    // End-to-end through the chain:
+    let mut mgr = NetworkManager::new(64 << 20);
+    let n = 512usize;
+    let plan = mgr
+        .create_allreduce(
+            &topo,
+            &[h0, h1],
+            &AllreduceRequest {
+                data_bytes: (n * 4) as u64,
+                packet_bytes: 1024,
+                reproducible: false,
+            },
+        )
+        .unwrap();
+    let inputs = vec![vec![1i32; n], vec![2i32; n]];
+    let (results, _) =
+        run_dense_allreduce(topo, &[h0, h1], &plan, Sum, inputs, &RunOptions::default());
+    assert_eq!(results[0], vec![3i32; n]);
+    assert_eq!(results[1], vec![3i32; n]);
+}
+
+#[test]
+fn ecmp_spreads_distinct_flows_across_spines() {
+    let (topo, ft) = Topology::fat_tree_two_level(4, 2, 4, LinkSpec::hundred_gig());
+    let routing = topo.build_routing();
+    let src_leaf = ft.leaves[0];
+    let dst = ft.hosts.last().copied().unwrap();
+    assert_eq!(routing.ecmp_width(src_leaf, dst), 4);
+    let ports: HashSet<_> = (0..64u32)
+        .map(|flow| routing.next_port(src_leaf, dst, flow).unwrap())
+        .collect();
+    assert!(ports.len() >= 3, "64 flows should hit ≥3 of 4 spines: {ports:?}");
+}
+
+#[test]
+fn link_utilization_identifies_the_hot_uplink() {
+    // One pair of cross-leaf hosts exchanging traffic: the leaf-spine
+    // links must be the hottest (host links carry the same bytes at the
+    // same rate, so equal; spine links are on the path too) and intra-leaf
+    // links idle.
+    struct Blaster {
+        to: flare::net::NodeId,
+        count: u64,
+    }
+    impl flare::net::HostProgram for Blaster {
+        fn on_start(&mut self, ctx: &mut flare::net::HostCtx<'_>) {
+            let me = ctx.node();
+            for i in 0..self.count {
+                ctx.send(flare::net::NetPacket::new(
+                    me,
+                    self.to,
+                    1,
+                    i,
+                    0,
+                    0,
+                    0,
+                    Bytes::from(vec![0u8; 1024]),
+                ));
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut flare::net::HostCtx<'_>, pkt: flare::net::NetPacket) {
+            if pkt.block + 1 == self.count {
+                ctx.mark_done();
+            }
+        }
+    }
+    let (topo, ft) = Topology::fat_tree_two_level(2, 2, 1, LinkSpec::hundred_gig());
+    let mut sim = NetSim::new(topo, 1);
+    let src = ft.hosts[0];
+    let dst = ft.hosts[3];
+    sim.install_host(src, Box::new(Blaster { to: dst, count: 100 }));
+    sim.install_host(dst, Box::new(Blaster { to: src, count: 100 }));
+    let report = sim.run(None);
+    let (hot, util) = sim.hottest_link(report.makespan).unwrap();
+    assert!(util > 0.5, "the path should be busy: {util}");
+    // Hosts 1 and 2 sit idle: their access links carry nothing.
+    let util_all = sim.link_utilization(report.makespan);
+    let idle_links: usize = util_all.iter().filter(|&&(_, u)| u == 0.0).count();
+    assert!(idle_links >= 2, "{util_all:?}");
+    let _ = hot;
+}
+
+#[test]
+fn single_element_and_single_block_allreduces_work() {
+    let (topo, _sw, hosts) = Topology::star(2, LinkSpec::hundred_gig());
+    let mut mgr = NetworkManager::new(64 << 20);
+    let plan = mgr
+        .create_allreduce(
+            &topo,
+            &hosts,
+            &AllreduceRequest {
+                data_bytes: 4,
+                packet_bytes: 1024,
+                reproducible: false,
+            },
+        )
+        .unwrap();
+    let (results, _) = run_dense_allreduce(
+        topo,
+        &hosts,
+        &plan,
+        Sum,
+        vec![vec![41i32], vec![1i32]],
+        &RunOptions::default(),
+    );
+    assert_eq!(results, vec![vec![42], vec![42]]);
+}

@@ -1,0 +1,130 @@
+//! Reproducibility (F3, paper Section 6.3): tree aggregation must produce
+//! bitwise-identical f32 results for any packet arrival order; single- and
+//! multi-buffer aggregation do not (which is why Flare's policy forces
+//! tree when reproducibility is requested).
+
+use bytes::Bytes;
+
+use flare::core::handlers::{DenseAllreduceHandler, DenseHandlerConfig};
+use flare::core::op::Sum;
+use flare::core::wire::{encode_dense, Header, PacketKind};
+use flare::model::{select_algorithm, AggKind};
+use flare::pspin::engine::run_trace;
+use flare::pspin::{ArrivalTrace, PspinConfig, SchedulingPolicy, StaggerMode, TraceConfig};
+use flare::workloads::dense_uniform_f32;
+
+fn contrib(block: u64, child: u16, vals: &[f32]) -> Bytes {
+    let h = Header {
+        allreduce: 1,
+        block: block as u32,
+        child,
+        kind: PacketKind::DenseContrib,
+        last_shard: false,
+        shard_count: 0,
+        elem_count: 0,
+    };
+    encode_dense(h, vals)
+}
+
+fn cfg() -> PspinConfig {
+    PspinConfig {
+        clusters: 2,
+        cores_per_cluster: 4,
+        policy: SchedulingPolicy::Hierarchical { subset_size: 4 },
+        ..PspinConfig::paper()
+    }
+}
+
+/// Run one allreduce block set on the PsPIN engine with a given arrival
+/// seed and return the per-block f32 results (bit patterns).
+fn run_with_seed(algorithm: AggKind, seed: u64, jitter: bool) -> Vec<Vec<u32>> {
+    let children = 8usize;
+    let blocks = 4u64;
+    let n = 64usize;
+    // Adversarial values: mixing magnitudes makes f32 order-sensitive.
+    let data: Vec<Vec<Vec<f32>>> = (0..children)
+        .map(|c| {
+            (0..blocks)
+                .map(|b| {
+                    dense_uniform_f32(99, (c as u64) << 8 | b, n, -1.0, 1.0)
+                        .into_iter()
+                        .map(|x| x * 10f32.powi((c % 5) as i32 * 3 - 6))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let trace = TraceConfig {
+        flow: 1,
+        children,
+        blocks,
+        header_bytes: 0,
+        delta: 2,
+        stagger: StaggerMode::None,
+        exponential_jitter: jitter,
+        seed,
+    };
+    let arrivals = ArrivalTrace::generate(&trace, |c, b| contrib(b, c, &data[c as usize][b as usize]));
+    let handler: DenseAllreduceHandler<f32, Sum> = DenseAllreduceHandler::new(
+        DenseHandlerConfig {
+            allreduce: 1,
+            children: children as u16,
+            algorithm,
+            capture_results: true,
+        },
+        Sum,
+    );
+    let (report, engine) = run_trace(cfg(), handler, arrivals, false);
+    assert_eq!(report.blocks_completed, blocks);
+    let mut results: Vec<(u64, Vec<f32>)> = engine.handler().results().to_vec();
+    results.sort_by_key(|&(b, _)| b);
+    results
+        .into_iter()
+        .map(|(_, v)| v.into_iter().map(f32::to_bits).collect())
+        .collect()
+}
+
+#[test]
+fn tree_aggregation_is_bitwise_reproducible_across_arrival_orders() {
+    let reference = run_with_seed(AggKind::Tree, 1, true);
+    for seed in 2..12 {
+        let other = run_with_seed(AggKind::Tree, seed, true);
+        assert_eq!(reference, other, "seed {seed} changed tree results");
+    }
+}
+
+#[test]
+fn single_buffer_is_not_reproducible_under_reordering() {
+    // At least one jitter seed must produce a different bit pattern —
+    // demonstrating why the paper needs tree aggregation for F3.
+    let reference = run_with_seed(AggKind::SingleBuffer, 1, true);
+    let diverged = (2..30).any(|seed| run_with_seed(AggKind::SingleBuffer, seed, true) != reference);
+    assert!(diverged, "expected f32 single-buffer results to depend on arrival order");
+}
+
+#[test]
+fn multi_buffer_is_not_reproducible_under_reordering() {
+    let reference = run_with_seed(AggKind::MultiBuffer(2), 1, true);
+    let diverged =
+        (2..30).any(|seed| run_with_seed(AggKind::MultiBuffer(2), seed, true) != reference);
+    assert!(diverged, "expected multi-buffer results to depend on arrival order");
+}
+
+#[test]
+fn deterministic_traces_give_deterministic_results_for_every_algorithm() {
+    // Same seed ⇒ same everything, even for order-sensitive algorithms:
+    // the whole stack is deterministic.
+    for algorithm in [AggKind::SingleBuffer, AggKind::MultiBuffer(4), AggKind::Tree] {
+        let a = run_with_seed(algorithm, 77, true);
+        let b = run_with_seed(algorithm, 77, true);
+        assert_eq!(a, b, "{algorithm:?}");
+    }
+}
+
+#[test]
+fn policy_guarantees_reproducibility_when_requested() {
+    for bytes in [1u64 << 10, 200 << 10, 300 << 10, 2 << 20] {
+        assert_eq!(select_algorithm(bytes, true), AggKind::Tree);
+        assert!(select_algorithm(bytes, true).reproducible());
+    }
+}
