@@ -103,7 +103,7 @@ mod tests {
     fn traffic_formulas() {
         assert_eq!(recdouble_bytes_per_host(1024, 8), 3072);
         assert_eq!(ring_bytes_per_host(1024, 8), 1792); // 2·7/8·1024
-        // Ring beats recursive doubling in bytes for P ≥ 4.
+                                                        // Ring beats recursive doubling in bytes for P ≥ 4.
         for p in [4usize, 8, 64] {
             assert!(ring_bytes_per_host(1 << 20, p) < recdouble_bytes_per_host(1 << 20, p));
         }

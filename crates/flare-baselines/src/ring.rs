@@ -38,21 +38,21 @@ pub fn ring_allreduce<T: Element, O: ReduceOp<T>>(op: &O, inputs: &[Vec<T>]) -> 
                 state[r][lo..hi].to_vec()
             })
             .collect();
-        for r in 0..p {
+        for (r, st) in state.iter_mut().enumerate() {
             let from = (r + p - 1) % p;
             let c = (from + p - s % p) % p;
             let (lo, hi) = bounds[c];
-            for (dst, src) in state[r][lo..hi].iter_mut().zip(&sent[from]) {
+            for (dst, src) in st[lo..hi].iter_mut().zip(&sent[from]) {
                 *dst = op.combine(*dst, *src);
             }
         }
     }
     // Host r now owns chunk (r+1) mod p fully reduced; gather them all.
     let mut result = vec![op.identity(); z];
-    for r in 0..p {
+    for (r, st) in state.iter().enumerate() {
         let c = (r + 1) % p;
         let (lo, hi) = bounds[c];
-        result[lo..hi].copy_from_slice(&state[r][lo..hi]);
+        result[lo..hi].copy_from_slice(&st[lo..hi]);
     }
     result
 }
@@ -199,7 +199,11 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for RingHost<T, O> {
         let scatter = self.step < self.p() - 1;
         for (i, v) in vals.iter().enumerate() {
             let dst = &mut self.data[off + i];
-            *dst = if scatter { self.op.combine(*dst, *v) } else { *v };
+            *dst = if scatter {
+                self.op.combine(*dst, *v)
+            } else {
+                *v
+            };
         }
         self.recv_elems_this_step += vals.len();
         let chunk = self.recv_chunk(self.step);

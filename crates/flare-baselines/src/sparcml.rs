@@ -95,6 +95,7 @@ pub struct SparcmlHost<O> {
 
 impl<O: ReduceOp<f32>> SparcmlHost<O> {
     /// Create rank `rank` with its sparsified input.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         rank: usize,
         peers: Vec<NodeId>,
@@ -146,17 +147,33 @@ impl<O: ReduceOp<f32>> SparcmlHost<O> {
             let nsegs = pairs.len().div_ceil(per_seg).max(1);
             for (s, chunk) in pairs.chunks(per_seg.max(1)).enumerate() {
                 let body = encode_pairs(chunk);
-                let kind = if s + 1 == nsegs { KIND_SPARSE_LAST } else { KIND_SPARSE_SEG };
+                let kind = if s + 1 == nsegs {
+                    KIND_SPARSE_LAST
+                } else {
+                    KIND_SPARSE_SEG
+                };
                 self.sent_bytes += body.len() as u64;
                 let pkt = NetPacket::new(
-                    me, dst, self.flow, s as u64, self.round as u16, kind, 16,
+                    me,
+                    dst,
+                    self.flow,
+                    s as u64,
+                    self.round as u16,
+                    kind,
+                    16,
                     Bytes::from(body),
                 );
                 ctx.send(pkt);
             }
             if pairs.is_empty() {
                 let pkt = NetPacket::new(
-                    me, dst, self.flow, 0, self.round as u16, KIND_SPARSE_LAST, 16,
+                    me,
+                    dst,
+                    self.flow,
+                    0,
+                    self.round as u16,
+                    KIND_SPARSE_LAST,
+                    16,
                     Bytes::new(),
                 );
                 ctx.send(pkt);
@@ -176,10 +193,20 @@ impl<O: ReduceOp<f32>> SparcmlHost<O> {
                 for v in &dense[lo..hi] {
                     body.extend_from_slice(&v.to_le_bytes());
                 }
-                let kind = if s + 1 == nsegs { KIND_DENSE_LAST } else { KIND_DENSE_SEG };
+                let kind = if s + 1 == nsegs {
+                    KIND_DENSE_LAST
+                } else {
+                    KIND_DENSE_SEG
+                };
                 self.sent_bytes += body.len() as u64;
                 let pkt = NetPacket::new(
-                    me, dst, self.flow, lo as u64, self.round as u16, kind, 16,
+                    me,
+                    dst,
+                    self.flow,
+                    lo as u64,
+                    self.round as u16,
+                    kind,
+                    16,
                     Bytes::from(body),
                 );
                 ctx.send(pkt);

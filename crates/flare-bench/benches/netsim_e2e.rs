@@ -7,10 +7,9 @@ use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use flare_baselines::ring::RingHost;
-use flare_core::collectives::{run_dense_allreduce, RunOptions};
 use flare_core::host::result_sink;
-use flare_core::manager::{AllreduceRequest, NetworkManager};
 use flare_core::op::Sum;
+use flare_core::session::FlareSession;
 use flare_net::{LinkSpec, NetSim, Topology};
 
 const N: usize = 32 * 1024; // 128 KiB per host
@@ -22,22 +21,10 @@ fn bench_flare_dense(c: &mut Criterion) {
     g.bench_function("flare_dense_fat_tree_8", |b| {
         b.iter(|| {
             let (topo, ft) = Topology::fat_tree_two_level(2, 4, 2, LinkSpec::hundred_gig());
-            let mut mgr = NetworkManager::new(64 << 20);
-            let plan = mgr
-                .create_allreduce(
-                    &topo,
-                    &ft.hosts,
-                    &AllreduceRequest {
-                        data_bytes: (N * 4) as u64,
-                        packet_bytes: 1024,
-                        reproducible: false,
-                    },
-                )
-                .unwrap();
+            let mut session = FlareSession::builder(topo).hosts(ft.hosts).build();
             let inputs: Vec<Vec<f32>> = (0..8).map(|h| vec![h as f32; N]).collect();
-            let (results, _) =
-                run_dense_allreduce(topo, &ft.hosts, &plan, Sum, inputs, &RunOptions::default());
-            black_box(results)
+            let out = session.allreduce(inputs).op(Sum).run().unwrap();
+            black_box(out.into_ranks())
         })
     });
     g.bench_function("ring_fat_tree_8", |b| {

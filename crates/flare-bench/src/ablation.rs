@@ -309,8 +309,7 @@ mod tests {
     }
 
     #[test]
-    fn smaller_spill_buffers_spill_no_less(
-    ) {
+    fn smaller_spill_buffers_spill_no_less() {
         let rows = spill_sweep();
         // Spilled volume is set by collisions, which depend on the table,
         // not the spill buffer; capacity only batches the flushes.

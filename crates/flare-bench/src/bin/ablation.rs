@@ -22,7 +22,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["S", "algorithm", "Tbps", "inbuf peak (MiB)", "lock-wait cyc"],
+            &[
+                "S",
+                "algorithm",
+                "Tbps",
+                "inbuf peak (MiB)",
+                "lock-wait cyc"
+            ],
             &rows
         )
     );
@@ -40,7 +46,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render(&["penalty", "global FCFS (Tbps)", "hierarchical (Tbps)"], &rows)
+        render(
+            &["penalty", "global FCFS (Tbps)", "hierarchical (Tbps)"],
+            &rows
+        )
     );
 
     println!("Ablation 3: staggered sending (256 KiB, single buffer)");
@@ -57,7 +66,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render(&["stagger", "Tbps", "inbuf peak (MiB)", "lock-wait cyc"], &rows)
+        render(
+            &["stagger", "Tbps", "inbuf peak (MiB)", "lock-wait cyc"],
+            &rows
+        )
     );
 
     println!("Ablation 4: sparse spill-buffer capacity (10% density, hash)");
@@ -71,8 +83,5 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render(&["spill cap", "Tbps", "spilled elems"], &rows)
-    );
+    println!("{}", render(&["spill cap", "Tbps", "spilled elems"], &rows));
 }

@@ -23,7 +23,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["scenario", "S", "delta_c", "model Q/core", "sim queued peak"],
+            &[
+                "scenario",
+                "S",
+                "delta_c",
+                "model Q/core",
+                "sim queued peak"
+            ],
             &rows
         )
     );

@@ -23,7 +23,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["data", "sched", "bandwidth (Tbps)", "input buf (MiB)", "work mem (MiB)"],
+            &[
+                "data",
+                "sched",
+                "bandwidth (Tbps)",
+                "input buf (MiB)",
+                "work mem (MiB)"
+            ],
             &rows
         )
     );

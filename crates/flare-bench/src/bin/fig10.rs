@@ -21,7 +21,10 @@ fn main() {
     println!();
     println!(
         "{}",
-        render(&["data", "algorithm", "bandwidth (Tbps)", "memory (MiB)"], &rows)
+        render(
+            &["data", "algorithm", "bandwidth (Tbps)", "memory (MiB)"],
+            &rows
+        )
     );
     println!("Selection policy (Section 6.4): >512KiB single, >256KiB multi(4),");
     println!(">128KiB multi(2), else tree; reproducible => always tree.");

@@ -29,7 +29,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["density", "storage", "bandwidth (Tbps)", "block mem (KiB)", "extra traffic"],
+            &[
+                "density",
+                "storage",
+                "bandwidth (Tbps)",
+                "block mem (KiB)",
+                "extra traffic"
+            ],
             &rows
         )
     );

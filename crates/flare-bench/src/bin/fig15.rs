@@ -39,5 +39,8 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render(&["system", "time (ms)", "traffic (GiB)"], &rows));
+    println!(
+        "{}",
+        render(&["system", "time (ms)", "traffic (GiB)"], &rows)
+    );
 }

@@ -19,8 +19,5 @@ fn main() {
     println!("Table 1: in-network allreduce feature comparison");
     println!("(F1 custom ops/types, F2 sparse data, F3 reproducibility)");
     println!();
-    println!(
-        "{}",
-        render(&["system", "class", "F1", "F2", "F3"], &rows)
-    );
+    println!("{}", render(&["system", "class", "F1", "F2", "F3"], &rows));
 }

@@ -64,12 +64,7 @@ fn fixed_tau(tau: u64) -> impl FnMut(&mut HpuCtx<'_>, &PspinPacket) {
 fn simulate(subset: Option<usize>, arrivals: Vec<(u64, u64, u16)>) -> i64 {
     let pkts = arrivals
         .into_iter()
-        .map(|(t, block, child)| {
-            (
-                t,
-                PspinPacket::new(0, block, child, 4, bytes::Bytes::new()),
-            )
-        })
+        .map(|(t, block, child)| (t, PspinPacket::new(0, block, child, 4, bytes::Bytes::new())))
         .collect();
     let (report, _) = run_trace(toy_config(subset), fixed_tau(4), pkts, false);
     report.queue_peak
@@ -83,11 +78,9 @@ pub fn rows() -> Vec<Row> {
     // back-to-back but spread over all cores).
     let a_arrivals: Vec<(u64, u64, u16)> = (0..16u64).map(|i| (i, i / 4, (i % 4) as u16)).collect();
     // Scenario B: S=1, δc = 1 — the burst case.
-    let b_arrivals: Vec<(u64, u64, u16)> =
-        (0..16u64).map(|i| (i, i / 4, (i % 4) as u16)).collect();
+    let b_arrivals: Vec<(u64, u64, u16)> = (0..16u64).map(|i| (i, i / 4, (i % 4) as u16)).collect();
     // Scenario C: S=1, δc = 4 (staggered sending).
-    let c_arrivals: Vec<(u64, u64, u16)> =
-        (0..16u64).map(|i| (i, i % 4, (i / 4) as u16)).collect();
+    let c_arrivals: Vec<(u64, u64, u16)> = (0..16u64).map(|i| (i, i % 4, (i / 4) as u16)).collect();
 
     let q = |s: usize, dc: f64| {
         let dk = scheduling::delta_k(s, dc, p.cores(), p.line_rate_delta());

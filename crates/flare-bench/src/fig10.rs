@@ -77,7 +77,11 @@ mod tests {
     #[test]
     fn single_buffer_wins_at_512kib() {
         let single = bw(512 * KIB, AggKind::SingleBuffer);
-        for kind in [AggKind::MultiBuffer(2), AggKind::MultiBuffer(4), AggKind::Tree] {
+        for kind in [
+            AggKind::MultiBuffer(2),
+            AggKind::MultiBuffer(4),
+            AggKind::Tree,
+        ] {
             assert!(single >= bw(512 * KIB, kind));
         }
         assert!(single > 4.0);

@@ -7,7 +7,9 @@
 
 use bytes::Bytes;
 
-use flare_baselines::refmodels::{sharp_elements_per_sec, switchml_elements_per_sec, SHARP_TBPS, SWITCHML_TBPS};
+use flare_baselines::refmodels::{
+    sharp_elements_per_sec, switchml_elements_per_sec, SHARP_TBPS, SWITCHML_TBPS,
+};
 use flare_core::dtype::Element;
 use flare_core::handlers::{agg_cycles, DenseAllreduceHandler, DenseHandlerConfig};
 use flare_core::op::Sum;
@@ -78,7 +80,9 @@ pub fn simulate_dense<T: Element>(kind: AggKind, data_bytes: u64, seed: u64) -> 
     // per (child, block) would dominate generation time at 1 MiB.
     let template: Vec<Bytes> = (0..children as u16)
         .map(|c| {
-            let vals: Vec<T> = (0..elems).map(|i| T::from_seed(c as u64 + i as u64)).collect();
+            let vals: Vec<T> = (0..elems)
+                .map(|i| T::from_seed(c as u64 + i as u64))
+                .collect();
             let header = Header {
                 allreduce: 1,
                 block: 0,
@@ -123,7 +127,11 @@ pub fn bandwidth_rows() -> Vec<BandwidthRow> {
     use rayon::prelude::*;
     let mut points = Vec::new();
     for &size in &SIZES {
-        for kind in [AggKind::SingleBuffer, AggKind::MultiBuffer(4), AggKind::Tree] {
+        for kind in [
+            AggKind::SingleBuffer,
+            AggKind::MultiBuffer(4),
+            AggKind::Tree,
+        ] {
             points.push((size, kind));
         }
     }

@@ -48,7 +48,11 @@ mod tests {
         let dense_bw = dense::evaluate(&p, AggKind::Tree, 8, 512 * KIB).bandwidth_tbps;
         for r in rows() {
             assert!(r.bandwidth_tbps < dense_bw, "{:?}", r.storage);
-            assert!(r.bandwidth_tbps > 0.3, "still substantial: {}", r.bandwidth_tbps);
+            assert!(
+                r.bandwidth_tbps > 0.3,
+                "still substantial: {}",
+                r.bandwidth_tbps
+            );
         }
     }
 

@@ -76,9 +76,7 @@ pub fn simulate(storage: SparseStorage, density: f64, scale: f64, seed: u64) -> 
         SparseStorage::Array => SparseStorageKind::Array { span },
     };
     let block_memory = match storage_kind {
-        SparseStorageKind::Hash { slots, spill_cap } => {
-            (slots + spill_cap) * (4 + 4)
-        }
+        SparseStorageKind::Hash { slots, spill_cap } => (slots + spill_cap) * (4 + 4),
         SparseStorageKind::Array { span } => span * 4 + span / 8,
     };
     if block_memory > BLOCK_MEMORY_LIMIT {
@@ -214,7 +212,10 @@ mod tests {
     #[test]
     fn hash_constant_array_density_dependent() {
         let rows = rows_scaled(0.05);
-        let hash: Vec<&Row> = rows.iter().filter(|r| r.storage == SparseStorage::Hash).collect();
+        let hash: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.storage == SparseStorage::Hash)
+            .collect();
         // Hash: bandwidth and memory roughly density-independent.
         let b0 = hash[0].tbps.unwrap();
         for r in &hash {

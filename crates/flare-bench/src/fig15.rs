@@ -12,12 +12,9 @@
 //! so times and traffic scale linearly) and accepts the full size via
 //! `Config::full_scale()` when memory allows.
 
-use flare_core::collectives::{
-    run_dense_allreduce, run_sparse_allreduce, RunOptions, SparsePolicy,
-};
 use flare_core::host::result_sink;
-use flare_core::manager::{AllreduceRequest, NetworkManager};
 use flare_core::op::Sum;
+use flare_core::session::{FlareSession, SparsePolicy};
 use flare_des::{Time, MILLISECOND};
 use flare_model::units::{GIB, MIB};
 use flare_net::{LinkSpec, NetSim, NodeId, Topology};
@@ -59,10 +56,6 @@ impl Config {
             elems: 25 * MIB as usize,
             ..Self::default()
         }
-    }
-
-    fn data_bytes(&self) -> u64 {
-        (self.elems * 4) as u64
     }
 }
 
@@ -135,34 +128,19 @@ pub fn host_dense(cfg: &Config) -> Row {
     }
 }
 
-/// Flare in-network dense allreduce.
+/// Flare in-network dense allreduce, driven through a [`FlareSession`].
 pub fn flare_dense(cfg: &Config) -> Row {
     let (topo, ft) = paper_fabric(cfg.hosts);
-    let mut mgr = NetworkManager::new(64 << 20);
-    let plan = mgr
-        .create_allreduce(
-            &topo,
-            &ft.hosts,
-            &AllreduceRequest {
-                data_bytes: cfg.data_bytes(),
-                packet_bytes: 1024,
-                reproducible: false,
-            },
-        )
+    let mut session = FlareSession::builder(topo).hosts(ft.hosts).build();
+    let out = session
+        .allreduce(dense_inputs(cfg))
+        .named("fig15-dense")
+        .run()
         .expect("admitted");
-    let inputs = dense_inputs(cfg);
-    let (_, report) = run_dense_allreduce(
-        topo,
-        &ft.hosts,
-        &plan,
-        Sum,
-        inputs,
-        &RunOptions::default(),
-    );
     Row {
         system: "Flare Dense",
-        time_ns: report.last_done.expect("completes"),
-        traffic_bytes: report.total_link_bytes,
+        time_ns: out.report.completion_ns(),
+        traffic_bytes: out.report.total_link_bytes(),
     }
 }
 
@@ -195,23 +173,11 @@ pub fn host_sparse(cfg: &Config) -> Row {
     }
 }
 
-/// Flare in-network sparse allreduce (hash at leaves, array at the root).
+/// Flare in-network sparse allreduce (hash at leaves, array at the root),
+/// driven through a [`FlareSession`].
 pub fn flare_sparse(cfg: &Config) -> Row {
     let (topo, ft) = paper_fabric(cfg.hosts);
-    let mut mgr = NetworkManager::new(64 << 20);
-    let sparsified_bytes = (cfg.elems / cfg.bucket * 8) as u64;
-    let plan = mgr
-        .create_allreduce(
-            &topo,
-            &ft.hosts,
-            &AllreduceRequest {
-                data_bytes: sparsified_bytes.max(1024),
-                packet_bytes: 1024,
-                reproducible: false,
-            },
-        )
-        .expect("admitted");
-    let inputs = sparse_inputs(cfg);
+    let mut session = FlareSession::builder(topo).hosts(ft.hosts).build();
     // Block span: one packet's worth of non-zeros per host on average:
     // 128 pairs at density 1/bucket ⇒ span = 128 × bucket elements.
     let policy = SparsePolicy {
@@ -220,20 +186,16 @@ pub fn flare_sparse(cfg: &Config) -> Row {
         span: 128 * cfg.bucket,
         array_at_root: true,
     };
-    let (_, report) = run_sparse_allreduce(
-        topo,
-        &ft.hosts,
-        &plan,
-        Sum,
-        cfg.elems,
-        inputs,
-        policy,
-        &RunOptions::default(),
-    );
+    let out = session
+        .sparse_allreduce(cfg.elems, sparse_inputs(cfg))
+        .policy(policy)
+        .named("fig15-sparse")
+        .run()
+        .expect("admitted");
     Row {
         system: "Flare Sparse",
-        time_ns: report.last_done.expect("completes"),
-        traffic_bytes: report.total_link_bytes,
+        time_ns: out.report.completion_ns(),
+        traffic_bytes: out.report.total_link_bytes(),
     }
 }
 

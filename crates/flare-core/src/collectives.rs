@@ -1,31 +1,40 @@
-//! High-level collective drivers and the Horovod-style sequencer
-//! (paper Section 8).
+//! Legacy collective drivers (deprecated shims) and the Horovod-style
+//! sequencer (paper Section 8).
 //!
-//! [`run_dense_allreduce`] / [`run_sparse_allreduce`] wire a network
-//! manager plan, per-switch Flare programs and per-host participants into
-//! a [`flare_net::NetSim`] run — the glue the examples and the Figure 15
-//! harness use. Reduce, broadcast and barrier are built on the same
-//! machinery: reduce/broadcast contribute the operator identity on
-//! non-root ranks, barrier is a 1-element allreduce (paper: "a barrier can
-//! simply be implemented as an in-network allreduce with 0-bytes data").
+//! The original reproduction exposed free functions — callers hand-wired
+//! `Topology` → `NetworkManager` → `AllreducePlan` → `run_dense_allreduce`
+//! / `run_sparse_allreduce` with a shared [`RunOptions`] grab-bag. That
+//! surface is superseded by the [`crate::session`] module:
+//! [`crate::session::FlareSession`] owns the manager, admission and id
+//! allocation, and the typed [`crate::session::Collective`] builder
+//! resolves dense/sparse storage, reproducible trees, windowing and
+//! stagger policy internally.
+//!
+//! The `run_*` functions remain here as **thin deprecated shims** over the
+//! session execution engine for one release so downstream code migrates at
+//! its own pace: they accept a caller-supplied [`crate::manager::AllreducePlan`]
+//! and translate [`RunOptions`] into [`crate::session::Tuning`]. New code
+//! should not use them.
 //!
 //! [`Sequencer`] resolves the deadlock the paper describes for frameworks
 //! like Horovod, where ranks issue multiple outstanding allreduces in
 //! different orders: it computes the unique execution order all ranks must
 //! follow (the set of operations ready on every rank, in rank-0 issue
-//! order).
+//! order). It accepts [`crate::session::CollectiveHandle`]s directly via
+//! [`Sequencer::submit_handles`].
 
 use flare_des::Time;
-use flare_net::{NetReport, NetSim, Topology};
+use flare_net::{NetReport, Topology};
 
 use crate::dtype::Element;
-use crate::host::{result_sink, DenseFlareHost, HostConfig, ResultSink, SparseFlareHost};
 use crate::manager::AllreducePlan;
 use crate::op::ReduceOp;
-use crate::switch_prog::{FlareDenseProgram, FlareSparseProgram, TreePlacement};
-use crate::handlers::SparseStorageKind;
+use crate::session::{execute_dense, execute_sparse, CollectiveHandle, Tuning};
 
-/// Options for a driver run.
+pub use crate::session::SparsePolicy;
+
+/// Options for a legacy driver run (superseded by
+/// [`crate::session::Tuning`]).
 #[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Packet payload in elements (dense) — the paper's 256×f32 = 1 KiB.
@@ -42,47 +51,37 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
+        let t = Tuning::default();
         Self {
-            elems_per_packet: 256,
-            pairs_per_packet: 128,
-            // 512 cores / 1024 cycles per 1 KiB packet = 0.5 pkt/ns ≈
-            // 512 B/ns — the full-switch dense aggregation rate measured
-            // on the PsPIN engine.
-            switch_proc_rate: 512.0,
-            retransmit_after: None,
-            seed: 7,
+            elems_per_packet: t.elems_per_packet,
+            pairs_per_packet: t.pairs_per_packet,
+            switch_proc_rate: t.switch_proc_rate,
+            retransmit_after: t.retransmit_after,
+            seed: t.seed,
         }
     }
 }
 
-/// Per-rank stagger step (in blocks) that is safe under windowing.
-///
-/// A block stays open until the largest-offset host reaches it, so the
-/// total offset spread must fit inside the window with slack left for
-/// pipelining; when the window already covers every block, staggering is
-/// unconstrained and hosts spread maximally (the paper's Section 5 bound
-/// delta <= delta_c <= delta*Z/N).
-fn stagger_step(window: usize, blocks: u64, hosts: usize) -> u64 {
-    if window as u64 >= blocks {
-        (blocks / hosts as u64).max(1)
-    } else {
-        (window.saturating_sub(32) / hosts) as u64
-    }
-}
-
-fn placement_for(plan: &AllreducePlan, switch: flare_net::NodeId) -> TreePlacement {
-    let rec = plan.tree.switch(switch).expect("switch in tree");
-    TreePlacement {
-        allreduce: plan.id,
-        parent: rec.parent,
-        children: rec.children.clone(),
-        my_child_index: rec.my_child_index,
+impl RunOptions {
+    fn tuning(&self) -> Tuning {
+        Tuning {
+            elems_per_packet: self.elems_per_packet,
+            pairs_per_packet: self.pairs_per_packet,
+            switch_proc_rate: self.switch_proc_rate,
+            retransmit_after: self.retransmit_after,
+            seed: self.seed,
+            ..Tuning::default()
+        }
     }
 }
 
 /// Build and run a dense allreduce over `inputs` (one vector per host, in
 /// the order of `hosts`). Returns each host's reduced vector plus the
 /// network report.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlareSession::allreduce (crate::session) instead"
+)]
 pub fn run_dense_allreduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
     topo: Topology,
     hosts: &[flare_net::NodeId],
@@ -91,55 +90,17 @@ pub fn run_dense_allreduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
     inputs: Vec<Vec<T>>,
     opts: &RunOptions,
 ) -> (Vec<Vec<T>>, NetReport) {
-    assert_eq!(hosts.len(), inputs.len(), "one input per host");
-    let mut sim = NetSim::new(topo, opts.seed);
-    for s in &plan.tree.switches {
-        let prog = FlareDenseProgram::new(placement_for(plan, s.switch), op.clone());
-        sim.install_switch(s.switch, Box::new(prog), opts.switch_proc_rate);
-    }
-    let blocks = inputs[0].len().div_ceil(opts.elems_per_packet) as u64;
-    let step = stagger_step(plan.window, blocks, hosts.len());
-    let mut sinks: Vec<ResultSink<T>> = Vec::with_capacity(hosts.len());
-    for (rank, (&h, data)) in hosts.iter().zip(inputs).enumerate() {
-        let (leaf, child_index) = plan.tree.host_attach[&h];
-        let sink = result_sink();
-        sinks.push(sink.clone());
-        let cfg = HostConfig {
-            allreduce: plan.id,
-            leaf,
-            child_index,
-            window: plan.window,
-            stagger_offset: rank as u64 * step,
-            retransmit_after: opts.retransmit_after,
-        };
-        let host = DenseFlareHost::new(cfg, opts.elems_per_packet, data, sink);
-        sim.install_host(h, Box::new(host));
-    }
-    let report = sim.run(None);
-    let results = sinks
-        .into_iter()
-        .map(|s| s.borrow_mut().take().expect("host completed"))
-        .collect();
+    let (results, report, _topo) =
+        execute_dense(topo, hosts, plan, op, inputs, &opts.tuning(), opts.seed);
     (results, report)
-}
-
-/// Sparse storage policy along the tree: the paper stores data "in hash
-/// tables in the leaves switches, and in an array in the root switch"
-/// because sparse data densifies toward the root.
-#[derive(Debug, Clone, Copy)]
-pub struct SparsePolicy {
-    /// Hash slots per block at non-root switches.
-    pub hash_slots: usize,
-    /// Spill-buffer capacity at non-root switches.
-    pub spill_cap: usize,
-    /// Block span in elements (≈ pairs-per-packet / density).
-    pub span: usize,
-    /// Use array storage at the root (otherwise hash everywhere).
-    pub array_at_root: bool,
 }
 
 /// Build and run a sparse allreduce: `inputs[r]` is host `r`'s sparsified
 /// `(global index, value)` list over `total_elems` elements.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlareSession::sparse_allreduce (crate::session) instead"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_sparse_allreduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
     topo: Topology,
@@ -151,63 +112,26 @@ pub fn run_sparse_allreduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
     policy: SparsePolicy,
     opts: &RunOptions,
 ) -> (Vec<Vec<T>>, NetReport) {
-    assert_eq!(hosts.len(), inputs.len());
-    let mut sim = NetSim::new(topo, opts.seed);
-    for s in &plan.tree.switches {
-        let storage = if s.parent.is_none() && policy.array_at_root {
-            SparseStorageKind::Array { span: policy.span }
-        } else {
-            SparseStorageKind::Hash {
-                slots: policy.hash_slots,
-                spill_cap: policy.spill_cap,
-            }
-        };
-        let prog = FlareSparseProgram::new(
-            placement_for(plan, s.switch),
-            op.clone(),
-            storage,
-            opts.pairs_per_packet,
-        );
-        sim.install_switch(s.switch, Box::new(prog), opts.switch_proc_rate);
-    }
-    let blocks = total_elems.div_ceil(policy.span) as u64;
-    let step = stagger_step(plan.window, blocks, hosts.len());
-    let mut sinks: Vec<ResultSink<T>> = Vec::with_capacity(hosts.len());
-    for (rank, (&h, pairs)) in hosts.iter().zip(inputs).enumerate() {
-        let (leaf, child_index) = plan.tree.host_attach[&h];
-        let sink = result_sink();
-        sinks.push(sink.clone());
-        let cfg = HostConfig {
-            allreduce: plan.id,
-            leaf,
-            child_index,
-            window: plan.window,
-            stagger_offset: rank as u64 * step,
-            retransmit_after: None,
-        };
-        let host = SparseFlareHost::new(
-            cfg,
-            op.clone(),
-            total_elems,
-            policy.span,
-            opts.pairs_per_packet,
-            pairs,
-            sink,
-        );
-        sim.install_host(h, Box::new(host));
-    }
-    let report = sim.run(None);
-    let results = sinks
-        .into_iter()
-        .map(|s| s.borrow_mut().take().expect("host completed"))
-        .collect();
+    let (results, report, _topo) = execute_sparse(
+        topo,
+        hosts,
+        plan,
+        op,
+        total_elems,
+        inputs,
+        policy,
+        &opts.tuning(),
+        opts.seed,
+    );
     (results, report)
 }
 
 /// In-network **reduce**: only `root_rank`'s output is meaningful; other
-/// ranks contribute normally but discard. Built on allreduce (the result
-/// still travels the tree; the paper lists reduce among the collectives
-/// Flare accelerates).
+/// ranks contribute normally but discard.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlareSession::reduce (crate::session) instead"
+)]
 pub fn run_reduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
     topo: Topology,
     hosts: &[flare_net::NodeId],
@@ -217,13 +141,18 @@ pub fn run_reduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
     root_rank: usize,
     opts: &RunOptions,
 ) -> (Vec<T>, NetReport) {
-    let (mut results, report) = run_dense_allreduce(topo, hosts, plan, op, inputs, opts);
+    let (mut results, report, _topo) =
+        execute_dense(topo, hosts, plan, op, inputs, &opts.tuning(), opts.seed);
     (results.swap_remove(root_rank), report)
 }
 
 /// In-network **broadcast** of `root_rank`'s vector: non-root ranks
 /// contribute the operator identity, so the allreduce result *is* the
 /// root's data.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlareSession::broadcast (crate::session) instead"
+)]
 pub fn run_broadcast<T: Element, O: ReduceOp<T> + Clone + 'static>(
     topo: Topology,
     hosts: &[flare_net::NodeId],
@@ -235,13 +164,25 @@ pub fn run_broadcast<T: Element, O: ReduceOp<T> + Clone + 'static>(
 ) -> (Vec<Vec<T>>, NetReport) {
     let identity = vec![op.identity(); data.len()];
     let inputs: Vec<Vec<T>> = (0..hosts.len())
-        .map(|r| if r == root_rank { data.clone() } else { identity.clone() })
+        .map(|r| {
+            if r == root_rank {
+                data.clone()
+            } else {
+                identity.clone()
+            }
+        })
         .collect();
-    run_dense_allreduce(topo, hosts, plan, op, inputs, opts)
+    let (results, report, _topo) =
+        execute_dense(topo, hosts, plan, op, inputs, &opts.tuning(), opts.seed);
+    (results, report)
 }
 
 /// In-network **barrier**: a one-element allreduce; returns the time at
 /// which the last host observed completion.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FlareSession::barrier (crate::session) instead"
+)]
 pub fn run_barrier(
     topo: Topology,
     hosts: &[flare_net::NodeId],
@@ -249,7 +190,15 @@ pub fn run_barrier(
     opts: &RunOptions,
 ) -> (Time, NetReport) {
     let inputs: Vec<Vec<i32>> = vec![vec![1]; hosts.len()];
-    let (_, report) = run_dense_allreduce(topo, hosts, plan, crate::op::Sum, inputs, opts);
+    let (_, report, _topo) = execute_dense(
+        topo,
+        hosts,
+        plan,
+        crate::op::Sum,
+        inputs,
+        &opts.tuning(),
+        opts.seed,
+    );
     (report.last_done.unwrap_or(report.makespan), report)
 }
 
@@ -274,6 +223,14 @@ impl Sequencer {
             self.submissions.resize_with(rank + 1, Vec::new);
         }
         self.submissions[rank] = ops.iter().map(|s| s.to_string()).collect();
+    }
+
+    /// Record the admitted collectives rank `rank` wants to execute, in
+    /// issue order. Handles are identified by their labels (see
+    /// [`CollectiveHandle::set_label`]).
+    pub fn submit_handles(&mut self, rank: usize, handles: &[&CollectiveHandle]) {
+        let names: Vec<&str> = handles.iter().map(|h| h.label()).collect();
+        self.submit(rank, &names);
     }
 
     /// The agreed execution order: ops present on every rank, in rank-0
@@ -320,5 +277,26 @@ mod tests {
         seq.submit(0, &["a", "b"]);
         seq.submit(1, &["b", "a"]);
         assert_eq!(seq.negotiate(), vec!["a", "b"], "rank-0 order wins");
+    }
+
+    #[test]
+    fn sequencer_accepts_collective_handles() {
+        use crate::session::FlareSession;
+        use flare_net::{LinkSpec, Topology};
+
+        let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut session = FlareSession::builder(topo).build();
+        let mut a = session.admit(4 << 10, false).unwrap();
+        let mut b = session.admit(4 << 10, false).unwrap();
+        a.set_label("layer2.grad");
+        b.set_label("layer1.grad");
+        let mut seq = Sequencer::new();
+        // Rank 0 issues layer2 before layer1; rank 1 the other way round —
+        // the paper's Horovod deadlock scenario.
+        seq.submit_handles(0, &[&a, &b]);
+        seq.submit_handles(1, &[&b, &a]);
+        assert_eq!(seq.negotiate(), vec!["layer2.grad", "layer1.grad"]);
+        session.release(a);
+        session.release(b);
     }
 }

@@ -289,7 +289,10 @@ mod tests {
     #[test]
     fn integer_ops_wrap_deterministically() {
         assert_eq!(i32::MAX.add(1), i32::MIN);
-        assert_eq!(100i8.mul(3), 44i8.wrapping_add(0).mul(1).mul(1).mul(1).mul(1) /* 300 wraps to 44 */);
+        assert_eq!(
+            100i8.mul(3),
+            44i8.wrapping_add(0).mul(1).mul(1).mul(1).mul(1) /* 300 wraps to 44 */
+        );
         assert_eq!((-5i16).min_v(3), -5);
         assert_eq!((-5i16).max_v(3), 3);
     }

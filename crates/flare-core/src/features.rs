@@ -62,19 +62,97 @@ pub fn table1() -> Vec<SystemRow> {
     use Support::*;
     use SystemClass::*;
     vec![
-        SystemRow { name: "SHARP [9]", class: FixedFunction, custom_ops: No, sparse: No, reproducible: Yes },
-        SystemRow { name: "SHARP-SAT [16]", class: FixedFunction, custom_ops: No, sparse: No, reproducible: Yes },
-        SystemRow { name: "Aries [17]", class: FixedFunction, custom_ops: No, sparse: No, reproducible: Unknown },
-        SystemRow { name: "Tofu [18]", class: FixedFunction, custom_ops: No, sparse: No, reproducible: Unknown },
-        SystemRow { name: "PERCS [19]", class: FixedFunction, custom_ops: No, sparse: No, reproducible: Unknown },
-        SystemRow { name: "Anton2 [21]", class: FixedFunction, custom_ops: No, sparse: No, reproducible: Unknown },
-        SystemRow { name: "NVSwitch [10]", class: FixedFunction, custom_ops: No, sparse: No, reproducible: Yes },
-        SystemRow { name: "PANAMA [22]", class: Fpga, custom_ops: No, sparse: No, reproducible: Yes },
-        SystemRow { name: "NetReduce [23]", class: Fpga, custom_ops: No, sparse: No, reproducible: Yes },
-        SystemRow { name: "ATP [24]", class: Programmable, custom_ops: Partial, sparse: No, reproducible: No },
-        SystemRow { name: "SwitchML [11]", class: Programmable, custom_ops: Partial, sparse: No, reproducible: No },
-        SystemRow { name: "OmniReduce [25]", class: Programmable, custom_ops: Partial, sparse: Partial, reproducible: No },
-        SystemRow { name: "Flare", class: Programmable, custom_ops: Yes, sparse: Yes, reproducible: Yes },
+        SystemRow {
+            name: "SHARP [9]",
+            class: FixedFunction,
+            custom_ops: No,
+            sparse: No,
+            reproducible: Yes,
+        },
+        SystemRow {
+            name: "SHARP-SAT [16]",
+            class: FixedFunction,
+            custom_ops: No,
+            sparse: No,
+            reproducible: Yes,
+        },
+        SystemRow {
+            name: "Aries [17]",
+            class: FixedFunction,
+            custom_ops: No,
+            sparse: No,
+            reproducible: Unknown,
+        },
+        SystemRow {
+            name: "Tofu [18]",
+            class: FixedFunction,
+            custom_ops: No,
+            sparse: No,
+            reproducible: Unknown,
+        },
+        SystemRow {
+            name: "PERCS [19]",
+            class: FixedFunction,
+            custom_ops: No,
+            sparse: No,
+            reproducible: Unknown,
+        },
+        SystemRow {
+            name: "Anton2 [21]",
+            class: FixedFunction,
+            custom_ops: No,
+            sparse: No,
+            reproducible: Unknown,
+        },
+        SystemRow {
+            name: "NVSwitch [10]",
+            class: FixedFunction,
+            custom_ops: No,
+            sparse: No,
+            reproducible: Yes,
+        },
+        SystemRow {
+            name: "PANAMA [22]",
+            class: Fpga,
+            custom_ops: No,
+            sparse: No,
+            reproducible: Yes,
+        },
+        SystemRow {
+            name: "NetReduce [23]",
+            class: Fpga,
+            custom_ops: No,
+            sparse: No,
+            reproducible: Yes,
+        },
+        SystemRow {
+            name: "ATP [24]",
+            class: Programmable,
+            custom_ops: Partial,
+            sparse: No,
+            reproducible: No,
+        },
+        SystemRow {
+            name: "SwitchML [11]",
+            class: Programmable,
+            custom_ops: Partial,
+            sparse: No,
+            reproducible: No,
+        },
+        SystemRow {
+            name: "OmniReduce [25]",
+            class: Programmable,
+            custom_ops: Partial,
+            sparse: Partial,
+            reproducible: No,
+        },
+        SystemRow {
+            name: "Flare",
+            class: Programmable,
+            custom_ops: Yes,
+            sparse: Yes,
+            reproducible: Yes,
+        },
     ]
 }
 
@@ -93,9 +171,22 @@ mod tests {
     fn matrix_matches_paper_shape() {
         let rows = table1();
         assert_eq!(rows.len(), 13);
-        assert_eq!(rows.iter().filter(|r| r.class == SystemClass::FixedFunction).count(), 7);
-        assert_eq!(rows.iter().filter(|r| r.class == SystemClass::Fpga).count(), 2);
-        assert_eq!(rows.iter().filter(|r| r.class == SystemClass::Programmable).count(), 4);
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.class == SystemClass::FixedFunction)
+                .count(),
+            7
+        );
+        assert_eq!(
+            rows.iter().filter(|r| r.class == SystemClass::Fpga).count(),
+            2
+        );
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.class == SystemClass::Programmable)
+                .count(),
+            4
+        );
     }
 
     #[test]

@@ -416,9 +416,9 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
                 for (idx, val) in pairs {
                     match h.insert(&self.op, idx, val) {
                         HashInsert::SpillFlush(batch) => {
-                            let extra =
-                                (batch.len() as f64 * flare_model::sparse::SPILL_PUSH_CYCLES)
-                                    .ceil() as u64;
+                            let extra = (batch.len() as f64
+                                * flare_model::sparse::SPILL_PUSH_CYCLES)
+                                .ceil() as u64;
                             ctx.extend_hold(lock, extra * remote_factor);
                             flushed.extend(batch);
                         }
@@ -466,8 +466,7 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
             SparseStoreState::Hash(h) => {
                 let mem = h.memory_bytes();
                 let out = h.drain();
-                let cycles =
-                    (out.len() as f64 * flare_model::sparse::EMIT_CYCLES).ceil() as u64;
+                let cycles = (out.len() as f64 * flare_model::sparse::EMIT_CYCLES).ceil() as u64;
                 (out, cycles, mem)
             }
             SparseStoreState::Array(a) => {
@@ -537,7 +536,11 @@ mod tests {
         let data: Vec<Vec<Vec<i32>>> = (0..children as usize)
             .map(|c| {
                 (0..blocks)
-                    .map(|b| (0..n).map(|i| (c as i32) * 10 + b as i32 + i as i32).collect())
+                    .map(|b| {
+                        (0..n)
+                            .map(|i| (c as i32) * 10 + b as i32 + i as i32)
+                            .collect()
+                    })
                     .collect()
             })
             .collect();
@@ -684,15 +687,17 @@ mod tests {
         // 3 children, 1 block; child 0 sends two shards, child 1 one shard,
         // child 2 an empty block.
         let mut arrivals = Vec::new();
-        let mk = |t: u64, payload: Bytes| {
-            (
-                t,
-                PspinPacket::new(1, 0, 0, HEADER_BYTES as u32, payload),
-            )
-        };
-        arrivals.push(mk(0, sparse_contrib::<f32>(1, 0, 0, &[(1, 1.0), (5, 2.0)], false, 0)));
+        let mk =
+            |t: u64, payload: Bytes| (t, PspinPacket::new(1, 0, 0, HEADER_BYTES as u32, payload));
+        arrivals.push(mk(
+            0,
+            sparse_contrib::<f32>(1, 0, 0, &[(1, 1.0), (5, 2.0)], false, 0),
+        ));
         arrivals.push(mk(10, sparse_contrib::<f32>(1, 0, 0, &[(9, 4.0)], true, 2)));
-        arrivals.push(mk(20, sparse_contrib::<f32>(1, 0, 1, &[(5, 10.0)], true, 1)));
+        arrivals.push(mk(
+            20,
+            sparse_contrib::<f32>(1, 0, 1, &[(5, 10.0)], true, 1),
+        ));
         arrivals.push(mk(30, sparse_contrib::<f32>(1, 0, 2, &[], true, 1)));
         let handler: SparseAllreduceHandler<f32, Sum> = SparseAllreduceHandler::new(
             SparseHandlerConfig {
@@ -717,10 +722,12 @@ mod tests {
     #[test]
     fn sparse_array_end_to_end() {
         let mut arrivals = Vec::new();
-        let mk = |t: u64, payload: Bytes| {
-            (t, PspinPacket::new(1, 0, 0, HEADER_BYTES as u32, payload))
-        };
-        arrivals.push(mk(0, sparse_contrib::<i32>(1, 0, 0, &[(0, 5), (100, 7)], true, 1)));
+        let mk =
+            |t: u64, payload: Bytes| (t, PspinPacket::new(1, 0, 0, HEADER_BYTES as u32, payload));
+        arrivals.push(mk(
+            0,
+            sparse_contrib::<i32>(1, 0, 0, &[(0, 5), (100, 7)], true, 1),
+        ));
         arrivals.push(mk(5, sparse_contrib::<i32>(1, 0, 1, &[(100, 3)], true, 1)));
         let handler = SparseAllreduceHandler::new(
             SparseHandlerConfig {

@@ -20,7 +20,10 @@
 //! * [`manager`] — the network manager: reduction-tree computation,
 //!   allreduce-id allocation, static memory partitioning and admission
 //!   control (Section 4).
-//! * [`collectives`] — reduce / broadcast / barrier on the same machinery
+//! * [`session`] — **the public API**: [`session::FlareSession`] owns the
+//!   manager and tuning; the typed [`session::Collective`] builder runs
+//!   dense/sparse allreduce, reduce, broadcast and barrier.
+//! * [`collectives`] — deprecated free-function shims over [`session`]
 //!   plus the Horovod-style issue sequencer (Section 8).
 //! * [`features`] — the machine-readable Table 1 capability matrix.
 
@@ -32,9 +35,14 @@ pub mod handlers;
 pub mod host;
 pub mod manager;
 pub mod op;
+pub mod session;
 pub mod sparse;
 pub mod switch_prog;
 pub mod wire;
 
 pub use dtype::{Element, F16};
 pub use op::{golden_reduce, Custom, Max, Min, Prod, ReduceOp, Sum};
+pub use session::{
+    Collective, CollectiveHandle, CollectiveResult, FlareSession, FlareSessionBuilder, RunReport,
+    SessionError, SparsePolicy, Tuning,
+};

@@ -72,7 +72,11 @@ pub fn compute_reduction_tree(
         }
         if let Some(tree) = try_root(topo, &host_set, excluded, root) {
             let key = (tree.max_depth(), root);
-            if best.as_ref().map(|(d, r, _)| (key.0, key.1) < (*d, *r)).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|(d, r, _)| (key.0, key.1) < (*d, *r))
+                .unwrap_or(true)
+            {
                 best = Some((key.0, key.1, tree));
             }
         }
@@ -263,6 +267,11 @@ impl NetworkManager {
         self.active.len()
     }
 
+    /// Whether allreduce `id` is still admitted (not torn down).
+    pub fn is_active(&self, id: u32) -> bool {
+        self.active.contains_key(&id)
+    }
+
     /// The window (per-host in-flight blocks, the paper's ℛ) must cover
     /// the *stagger spread*: with staggered sending, a block stays open at
     /// the switch until the latest-offset host reaches it, so the window
@@ -296,8 +305,8 @@ impl NetworkManager {
         let algorithm = select_algorithm(req.data_bytes, req.reproducible);
         let mut excluded: HashSet<NodeId> = HashSet::new();
         loop {
-            let tree = compute_reduction_tree(topo, hosts, &excluded)
-                .ok_or(AdmissionError::NoTree)?;
+            let tree =
+                compute_reduction_tree(topo, hosts, &excluded).ok_or(AdmissionError::NoTree)?;
             let window = Self::window_for(req, hosts.len());
             let reserved: HashMap<NodeId, u64> = tree
                 .switches
@@ -454,7 +463,10 @@ mod tests {
         // Saturate spine 0 artificially.
         mgr.used.insert(ft.spines[0], 1 << 20);
         let plan = mgr.create_allreduce(&topo, &ft.hosts, &req).unwrap();
-        assert_eq!(plan.tree.root, ft.spines[1], "tree recomputed around full switch");
+        assert_eq!(
+            plan.tree.root, ft.spines[1],
+            "tree recomputed around full switch"
+        );
     }
 
     #[test]

@@ -245,8 +245,14 @@ mod tests {
 
     #[test]
     fn min_max_identities_absorb() {
-        assert_eq!(<Min as ReduceOp<i32>>::combine(&Min, Min.identity(), 42), 42);
-        assert_eq!(<Max as ReduceOp<i32>>::combine(&Max, Max.identity(), -42), -42);
+        assert_eq!(
+            <Min as ReduceOp<i32>>::combine(&Min, Min.identity(), 42),
+            42
+        );
+        assert_eq!(
+            <Max as ReduceOp<i32>>::combine(&Max, Max.identity(), -42),
+            -42
+        );
         assert_eq!(
             <Min as ReduceOp<f32>>::combine(&Min, Min.identity(), 1e30),
             1e30
@@ -255,7 +261,10 @@ mod tests {
 
     #[test]
     fn prod_identity_is_one() {
-        assert_eq!(<Prod as ReduceOp<i32>>::combine(&Prod, Prod.identity(), 9), 9);
+        assert_eq!(
+            <Prod as ReduceOp<i32>>::combine(&Prod, Prod.identity(), 9),
+            9
+        );
         assert_eq!(<Prod as ReduceOp<f32>>::combine(&Prod, 2.0, 3.0), 6.0);
     }
 

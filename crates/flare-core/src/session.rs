@@ -1,0 +1,1295 @@
+//! The unified Flare session API: one entry point for every collective.
+//!
+//! The paper's headline claim is *flexibility* — one switch program serving
+//! arbitrary datatypes, operators, dense and sparse data, and multiple
+//! concurrent tenants. This module is the programming interface matching
+//! that claim: a [`FlareSession`] owns the topology, the network manager
+//! (admission control, reduction-tree computation, allreduce-id
+//! allocation) and the tuning knobs, and a typed [`Collective`] builder
+//! resolves dense vs sparse storage, reproducible-tree selection,
+//! windowing and stagger policy internally:
+//!
+//! ```no_run
+//! use flare_core::session::FlareSession;
+//! use flare_core::op::Max;
+//! use flare_net::{LinkSpec, Topology};
+//!
+//! let (topo, _switch, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+//! let mut session = FlareSession::builder(topo).build();
+//! let inputs: Vec<Vec<i32>> = (0..4).map(|r| vec![r; 1024]).collect();
+//! let out = session.allreduce(inputs).op(Max).run().unwrap();
+//! println!("done at {} ns", out.report.completion_ns());
+//! ```
+//!
+//! [`FlareSession::reduce`], [`FlareSession::broadcast`] and
+//! [`FlareSession::barrier`] ride the same machinery (the paper:
+//! "a barrier can simply be implemented as an in-network allreduce with
+//! 0-bytes data"). Multi-tenant admission is explicit via
+//! [`FlareSession::admit`] / [`FlareSession::release`], which return
+//! [`CollectiveHandle`]s that [`Collective::via`] can run under and that
+//! the Horovod-style [`crate::collectives::Sequencer`] accepts directly.
+//!
+//! The pre-session free functions (`run_dense_allreduce` & friends in
+//! [`crate::collectives`]) remain as deprecated shims over this module.
+
+#![deny(missing_docs)]
+
+use flare_des::Time;
+use flare_model::AggKind;
+use flare_net::{NetReport, NetSim, NodeId, Topology};
+
+use crate::dtype::Element;
+use crate::handlers::SparseStorageKind;
+use crate::host::{result_sink, DenseFlareHost, HostConfig, ResultSink, SparseFlareHost};
+use crate::manager::{AdmissionError, AllreducePlan, AllreduceRequest, NetworkManager};
+use crate::op::{ReduceOp, Sum};
+use crate::switch_prog::{FlareDenseProgram, FlareSparseProgram, TreePlacement};
+
+/// Why a collective could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The network manager rejected the admission request.
+    Admission(AdmissionError),
+    /// The number of per-rank inputs does not match the participant count.
+    ShapeMismatch {
+        /// Participating hosts.
+        hosts: usize,
+        /// Per-rank inputs supplied.
+        inputs: usize,
+    },
+    /// Ranks contributed vectors of different lengths.
+    RaggedInputs,
+    /// A collective was issued with no data (or a zero-element domain).
+    EmptyData,
+    /// The session (or the `on_hosts` override) has no participating hosts.
+    NoHosts,
+    /// A root rank at or beyond the participant count.
+    RootOutOfRange {
+        /// The requested root rank.
+        root: usize,
+        /// Participating hosts.
+        hosts: usize,
+    },
+    /// A participating host is not attached to the admitted plan's
+    /// reduction tree (e.g. [`Collective::via`] combined with
+    /// [`Collective::on_hosts`] naming hosts outside the admitted set).
+    HostNotInPlan {
+        /// The offending host.
+        host: NodeId,
+    },
+    /// A sparse pair index at or beyond the collective's element domain.
+    IndexOutOfRange {
+        /// The offending global index.
+        index: u32,
+        /// The collective's domain size.
+        total_elems: usize,
+    },
+    /// Loss injection was configured for a sparse collective: sparse
+    /// hosts have no retransmission protocol, so a lossy network cannot
+    /// complete.
+    SparseLossUnsupported,
+    /// Loss injection was configured without a retransmission timeout:
+    /// a dropped packet would stall the collective forever.
+    LossWithoutRetransmit,
+    /// `.reproducible(true)` was combined with a [`Collective::via`]
+    /// handle whose plan was not admitted with tree aggregation, so the
+    /// bitwise-reproducibility guarantee cannot be honored. Admit the
+    /// handle with `reproducible = true` instead.
+    ReproducibleViaMismatch,
+    /// The [`Collective::via`] handle (or a clone of it) was already
+    /// released: its id is torn down and its switch memory returned.
+    HandleReleased {
+        /// The released allreduce id.
+        id: u32,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Admission(e) => write!(f, "admission rejected: {e}"),
+            SessionError::ShapeMismatch { hosts, inputs } => {
+                write!(f, "{inputs} rank inputs for {hosts} participating hosts")
+            }
+            SessionError::RaggedInputs => write!(f, "rank inputs have different lengths"),
+            SessionError::EmptyData => write!(f, "collective issued with no data"),
+            SessionError::NoHosts => write!(f, "no participating hosts"),
+            SessionError::RootOutOfRange { root, hosts } => {
+                write!(f, "root rank {root} out of range for {hosts} hosts")
+            }
+            SessionError::HostNotInPlan { host } => {
+                write!(
+                    f,
+                    "host {host:?} is not part of the admitted reduction tree"
+                )
+            }
+            SessionError::IndexOutOfRange { index, total_elems } => {
+                write!(
+                    f,
+                    "sparse index {index} outside the {total_elems}-element domain"
+                )
+            }
+            SessionError::SparseLossUnsupported => {
+                write!(
+                    f,
+                    "link_drop_prob > 0 with a sparse collective: sparse hosts do not retransmit"
+                )
+            }
+            SessionError::LossWithoutRetransmit => {
+                write!(
+                    f,
+                    "link_drop_prob > 0 without retransmit_after: drops would stall the run"
+                )
+            }
+            SessionError::ReproducibleViaMismatch => {
+                write!(
+                    f,
+                    "reproducible(true) with a via() handle not admitted for tree aggregation"
+                )
+            }
+            SessionError::HandleReleased { id } => {
+                write!(f, "collective handle #{id} was already released")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<AdmissionError> for SessionError {
+    fn from(e: AdmissionError) -> Self {
+        SessionError::Admission(e)
+    }
+}
+
+/// Sparse storage policy along the tree: the paper stores data "in hash
+/// tables in the leaves switches, and in an array in the root switch"
+/// because sparse data densifies toward the root.
+#[derive(Debug, Clone, Copy)]
+pub struct SparsePolicy {
+    /// Hash slots per block at non-root switches.
+    pub hash_slots: usize,
+    /// Spill-buffer capacity at non-root switches.
+    pub spill_cap: usize,
+    /// Block span in elements (≈ pairs-per-packet / density).
+    pub span: usize,
+    /// Use array storage at the root (otherwise hash everywhere).
+    pub array_at_root: bool,
+}
+
+impl Default for SparsePolicy {
+    fn default() -> Self {
+        // 10 packets of pairs per block at the paper's 128-pair packet, a
+        // spill buffer of one packet, array storage at the densified root.
+        Self {
+            hash_slots: 1024,
+            spill_cap: 128,
+            span: 1280,
+            array_at_root: true,
+        }
+    }
+}
+
+/// Session-wide tuning: packetization, calibrated switch rate, fault
+/// handling and determinism knobs shared by every collective the session
+/// runs (individual collectives can override the seed and window).
+#[derive(Debug, Clone)]
+pub struct Tuning {
+    /// Packet payload in elements (dense) — the paper's 256×f32 = 1 KiB.
+    pub elems_per_packet: usize,
+    /// Pairs per packet (sparse) — the paper's 128 pairs = 1 KiB.
+    pub pairs_per_packet: usize,
+    /// Switch processing rate in bytes/ns (PsPIN-calibrated).
+    pub switch_proc_rate: f64,
+    /// Retransmission timeout for dense hosts (None = reliable network).
+    pub retransmit_after: Option<Time>,
+    /// RNG seed (loss injection etc.).
+    pub seed: u64,
+    /// Packet size in bytes quoted to admission control.
+    pub packet_bytes: usize,
+    /// Drop probability injected on every link (0.0 = lossless). Pair
+    /// with [`Tuning::retransmit_after`]: the switch-side child bitmaps
+    /// absorb the duplicate contributions (paper Section 4.1).
+    pub link_drop_prob: f64,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Self {
+            elems_per_packet: 256,
+            pairs_per_packet: 128,
+            // 512 cores / 1024 cycles per 1 KiB packet = 0.5 pkt/ns ≈
+            // 512 B/ns — the full-switch dense aggregation rate measured
+            // on the PsPIN engine.
+            switch_proc_rate: 512.0,
+            retransmit_after: None,
+            seed: 7,
+            packet_bytes: 1024,
+            link_drop_prob: 0.0,
+        }
+    }
+}
+
+/// Builder for a [`FlareSession`]; see [`FlareSession::builder`].
+#[derive(Debug)]
+pub struct FlareSessionBuilder {
+    topology: Topology,
+    switch_memory: u64,
+    tuning: Tuning,
+    hosts: Option<Vec<NodeId>>,
+}
+
+impl FlareSessionBuilder {
+    /// Per-switch working-memory budget for admission control (the paper's
+    /// PsPIN switch has 64 clusters × 1 MiB of L1; default 64 MiB).
+    pub fn switch_memory(mut self, bytes: u64) -> Self {
+        self.switch_memory = bytes;
+        self
+    }
+
+    /// Restrict the default participant set (defaults to every host in the
+    /// topology).
+    pub fn hosts(mut self, hosts: impl Into<Vec<NodeId>>) -> Self {
+        self.hosts = Some(hosts.into());
+        self
+    }
+
+    /// Dense packet payload in elements.
+    pub fn elems_per_packet(mut self, n: usize) -> Self {
+        self.tuning.elems_per_packet = n;
+        self
+    }
+
+    /// Sparse packet payload in `(index, value)` pairs.
+    pub fn pairs_per_packet(mut self, n: usize) -> Self {
+        self.tuning.pairs_per_packet = n;
+        self
+    }
+
+    /// Switch processing rate in bytes/ns.
+    pub fn switch_proc_rate(mut self, bytes_per_ns: f64) -> Self {
+        self.tuning.switch_proc_rate = bytes_per_ns;
+        self
+    }
+
+    /// Dense-host retransmission timeout (None = reliable network).
+    pub fn retransmit_after(mut self, timeout: Option<Time>) -> Self {
+        self.tuning.retransmit_after = timeout;
+        self
+    }
+
+    /// Default RNG seed for simulation runs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.tuning.seed = seed;
+        self
+    }
+
+    /// Packet size in bytes quoted to admission control.
+    pub fn packet_bytes(mut self, bytes: usize) -> Self {
+        self.tuning.packet_bytes = bytes;
+        self
+    }
+
+    /// Inject packet loss on every link with probability `p` (pair with
+    /// [`retransmit_after`](Self::retransmit_after) to recover). Dense
+    /// collectives only: sparse hosts have no retransmission protocol,
+    /// so sparse runs on a lossy session return
+    /// [`SessionError::SparseLossUnsupported`].
+    pub fn link_drop_prob(mut self, p: f64) -> Self {
+        self.tuning.link_drop_prob = p;
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> FlareSession {
+        let hosts = self.hosts.unwrap_or_else(|| self.topology.hosts());
+        FlareSession {
+            manager: NetworkManager::new(self.switch_memory),
+            topology: self.topology,
+            tuning: self.tuning,
+            hosts,
+        }
+    }
+}
+
+/// An admitted collective: the network manager has computed its reduction
+/// tree, assigned a unique id and reserved switch working memory. Obtain
+/// via [`FlareSession::admit`], run collectives under it with
+/// [`Collective::via`], release with [`FlareSession::release`].
+#[derive(Debug, Clone)]
+pub struct CollectiveHandle {
+    plan: AllreducePlan,
+    label: String,
+}
+
+impl CollectiveHandle {
+    /// The unique allreduce id.
+    pub fn id(&self) -> u32 {
+        self.plan.id
+    }
+
+    /// The handle's label (used by the sequencer); defaults to
+    /// `allreduce-<id>`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Rename the handle (e.g. to a gradient-tensor name for sequencing).
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// The admitted plan: reduction tree, algorithm, reservations, window.
+    pub fn plan(&self) -> &AllreducePlan {
+        &self.plan
+    }
+
+    /// The reduction tree's root switch.
+    pub fn root_switch(&self) -> NodeId {
+        self.plan.tree.root
+    }
+
+    /// The selected aggregation algorithm.
+    pub fn algorithm(&self) -> AggKind {
+        self.plan.algorithm
+    }
+
+    /// Largest single-switch working-memory reservation, in bytes.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.plan.max_reserved_bytes()
+    }
+
+    /// Recommended in-flight blocks per host (the paper's ℛ).
+    pub fn window(&self) -> usize {
+        self.plan.window
+    }
+}
+
+/// A live Flare deployment: topology + network manager + tuning. The entry
+/// point for every collective; see the [module docs](self).
+pub struct FlareSession {
+    topology: Topology,
+    manager: NetworkManager,
+    tuning: Tuning,
+    hosts: Vec<NodeId>,
+}
+
+impl FlareSession {
+    /// Start building a session over `topology`.
+    pub fn builder(topology: Topology) -> FlareSessionBuilder {
+        FlareSessionBuilder {
+            topology,
+            switch_memory: 64 << 20,
+            tuning: Tuning::default(),
+            hosts: None,
+        }
+    }
+
+    /// A session over `topology` with default tuning (all hosts
+    /// participate, 64 MiB switch memory).
+    pub fn new(topology: Topology) -> Self {
+        Self::builder(topology).build()
+    }
+
+    /// The topology this session runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The default participant set.
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// The session-wide tuning knobs.
+    pub fn tuning(&self) -> &Tuning {
+        &self.tuning
+    }
+
+    /// Number of currently admitted (unreleased) collectives.
+    pub fn active_collectives(&self) -> usize {
+        self.manager.active_count()
+    }
+
+    /// Working memory currently reserved on `switch`, in bytes.
+    pub fn reserved_on(&self, switch: NodeId) -> u64 {
+        self.manager.used_on(switch)
+    }
+
+    /// Explicitly admit a collective of `data_bytes` per host: computes the
+    /// reduction tree (rerouting around saturated switches), selects the
+    /// aggregation algorithm, reserves switch memory. The handle stays
+    /// admitted — and its memory reserved — until [`release`](Self::release).
+    pub fn admit(
+        &mut self,
+        data_bytes: u64,
+        reproducible: bool,
+    ) -> Result<CollectiveHandle, SessionError> {
+        self.admit_on(None, data_bytes, reproducible)
+    }
+
+    /// [`admit`](Self::admit) over an explicit host set.
+    pub fn admit_on(
+        &mut self,
+        hosts: Option<&[NodeId]>,
+        data_bytes: u64,
+        reproducible: bool,
+    ) -> Result<CollectiveHandle, SessionError> {
+        let hosts = hosts.unwrap_or(&self.hosts);
+        if hosts.is_empty() {
+            return Err(SessionError::NoHosts);
+        }
+        let req = AllreduceRequest {
+            data_bytes: data_bytes.max(1),
+            packet_bytes: self.tuning.packet_bytes,
+            reproducible,
+        };
+        let plan = self.manager.create_allreduce(&self.topology, hosts, &req)?;
+        let label = format!("allreduce-{}", plan.id);
+        Ok(CollectiveHandle { plan, label })
+    }
+
+    /// Release an admitted collective, returning its switch memory to the
+    /// pool. Returns `false` if the handle was already released.
+    pub fn release(&mut self, handle: CollectiveHandle) -> bool {
+        self.manager.teardown(handle.plan.id)
+    }
+
+    /// An allreduce of `inputs` (one vector per participating host, in
+    /// host order): every rank receives the full reduction. Defaults to
+    /// [`Sum`]; chain [`Collective`] methods to customize, then
+    /// [`run`](Collective::run).
+    pub fn allreduce<T: Element>(&mut self, inputs: Vec<Vec<T>>) -> Collective<'_, T, Sum> {
+        self.collective(Payload::Dense(inputs))
+    }
+
+    /// A *sparse* allreduce over a `total_elems`-element domain:
+    /// `pairs[r]` is rank `r`'s sparsified `(global index, value)` list.
+    /// Storage follows the [`SparsePolicy`] (see [`Collective::policy`]).
+    pub fn sparse_allreduce<T: Element>(
+        &mut self,
+        total_elems: usize,
+        pairs: Vec<Vec<(u32, T)>>,
+    ) -> Collective<'_, T, Sum> {
+        self.collective(Payload::Sparse { total_elems, pairs })
+    }
+
+    /// An in-network **reduce**: every rank contributes, only
+    /// `root`'s result is meaningful ([`CollectiveResult::root`]).
+    pub fn reduce<T: Element>(
+        &mut self,
+        root: usize,
+        inputs: Vec<Vec<T>>,
+    ) -> Collective<'_, T, Sum> {
+        let mut c = self.collective(Payload::Dense(inputs));
+        c.root = Some(root);
+        c
+    }
+
+    /// An in-network **broadcast** of `root`'s `data`: non-root ranks
+    /// contribute the operator identity, so the allreduce result *is* the
+    /// root's vector.
+    pub fn broadcast<T: Element>(&mut self, root: usize, data: Vec<T>) -> Collective<'_, T, Sum> {
+        let mut c = self.collective(Payload::Broadcast { data });
+        c.root = Some(root);
+        c
+    }
+
+    /// An in-network **barrier**: a one-element allreduce (the paper: "a
+    /// barrier can simply be implemented as an in-network allreduce with
+    /// 0-bytes data"). Completion time is
+    /// [`RunReport::completion_ns`].
+    pub fn barrier(&mut self) -> Collective<'_, i32, Sum> {
+        self.collective(Payload::Barrier)
+    }
+
+    fn collective<T: Element>(&mut self, payload: Payload<T>) -> Collective<'_, T, Sum> {
+        Collective {
+            session: self,
+            op: Sum,
+            payload,
+            root: None,
+            reproducible: false,
+            policy: SparsePolicy::default(),
+            hosts: None,
+            label: None,
+            window: None,
+            seed: None,
+            plan: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for FlareSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlareSession")
+            .field("hosts", &self.hosts.len())
+            .field("active_collectives", &self.manager.active_count())
+            .field("tuning", &self.tuning)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a collective carries.
+enum Payload<T: Element> {
+    /// One dense vector per rank.
+    Dense(Vec<Vec<T>>),
+    /// Sparsified `(index, value)` lists over a dense domain.
+    Sparse {
+        total_elems: usize,
+        pairs: Vec<Vec<(u32, T)>>,
+    },
+    /// The root's vector (identity everywhere else).
+    Broadcast { data: Vec<T> },
+    /// No data; completion time is the product.
+    Barrier,
+}
+
+/// A collective under construction. Produced by [`FlareSession::allreduce`]
+/// and friends; consumed by [`run`](Collective::run).
+///
+/// The builder resolves everything the old free-function API made callers
+/// wire by hand: admission (unless [`via`](Collective::via) supplies an
+/// admitted handle), dense vs sparse switch storage, reproducible-tree
+/// algorithm selection, windowing and per-rank stagger offsets.
+pub struct Collective<'s, T: Element, O: ReduceOp<T>> {
+    session: &'s mut FlareSession,
+    op: O,
+    payload: Payload<T>,
+    root: Option<usize>,
+    reproducible: bool,
+    policy: SparsePolicy,
+    hosts: Option<Vec<NodeId>>,
+    label: Option<String>,
+    window: Option<usize>,
+    seed: Option<u64>,
+    plan: Option<AllreducePlan>,
+}
+
+impl<'s, T: Element, O: ReduceOp<T>> Collective<'s, T, O> {
+    /// Use reduction operator `op` (default [`Sum`]): any built-in
+    /// ([`crate::op::Min`], [`crate::op::Max`], [`crate::op::Prod`]) or a
+    /// [`crate::op::Custom`] closure — flexibility point F1.
+    pub fn op<O2: ReduceOp<T>>(self, op: O2) -> Collective<'s, T, O2> {
+        Collective {
+            session: self.session,
+            op,
+            payload: self.payload,
+            root: self.root,
+            reproducible: self.reproducible,
+            policy: self.policy,
+            hosts: self.hosts,
+            label: self.label,
+            window: self.window,
+            seed: self.seed,
+            plan: self.plan,
+        }
+    }
+
+    /// Require bitwise reproducibility — forces the contention-free tree
+    /// aggregation whose operand placement is arrival-order independent
+    /// (flexibility point F3).
+    pub fn reproducible(mut self, yes: bool) -> Self {
+        self.reproducible = yes;
+        self
+    }
+
+    /// Sparse storage policy (hash slots, spill capacity, block span, root
+    /// array storage). Only meaningful for
+    /// [`FlareSession::sparse_allreduce`] collectives.
+    pub fn policy(mut self, policy: SparsePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Run over an explicit host subset instead of the session default.
+    pub fn on_hosts(mut self, hosts: impl Into<Vec<NodeId>>) -> Self {
+        self.hosts = Some(hosts.into());
+        self
+    }
+
+    /// Name the collective (shows up in handle labels and sequencing).
+    pub fn named(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Shrink the in-flight block window (default: the admitted plan's
+    /// Little's-law recommendation ℛ). Clamped to the admitted window —
+    /// the switch-memory reservation is sized for it, so growing would
+    /// overrun the admission-control guarantee.
+    pub fn window(mut self, blocks: usize) -> Self {
+        self.window = Some(blocks);
+        self
+    }
+
+    /// Override the simulation RNG seed for this run only.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Run under a pre-admitted [`CollectiveHandle`] (multi-tenant usage)
+    /// instead of admitting — and releasing — a plan internally.
+    pub fn via(mut self, handle: &CollectiveHandle) -> Self {
+        self.plan = Some(handle.plan.clone());
+        self
+    }
+}
+
+impl<T: Element, O: ReduceOp<T> + Clone + 'static> Collective<'_, T, O> {
+    /// Validate, admit (unless [`via`](Collective::via) was given), run the
+    /// packet-level simulation, and release the internal admission.
+    pub fn run(self) -> Result<CollectiveResult<T>, SessionError> {
+        let hosts: Vec<NodeId> = match &self.hosts {
+            Some(h) => h.clone(),
+            None => self.session.hosts.clone(),
+        };
+        if hosts.is_empty() {
+            return Err(SessionError::NoHosts);
+        }
+        if let Some(root) = self.root {
+            if root >= hosts.len() {
+                return Err(SessionError::RootOutOfRange {
+                    root,
+                    hosts: hosts.len(),
+                });
+            }
+        }
+
+        // Resolve per-rank dense inputs or sparse pair lists.
+        let op = self.op;
+        let tuning = self.session.tuning.clone();
+        if tuning.link_drop_prob > 0.0 && tuning.retransmit_after.is_none() {
+            // A drop with no retransmission stalls the run forever; fail
+            // fast with a typed error instead of panicking mid-sim.
+            return Err(SessionError::LossWithoutRetransmit);
+        }
+        enum Resolved<T: Element> {
+            Dense(Vec<Vec<T>>),
+            Sparse {
+                total_elems: usize,
+                pairs: Vec<Vec<(u32, T)>>,
+            },
+        }
+        let resolved = match self.payload {
+            Payload::Dense(inputs) => {
+                if inputs.len() != hosts.len() {
+                    return Err(SessionError::ShapeMismatch {
+                        hosts: hosts.len(),
+                        inputs: inputs.len(),
+                    });
+                }
+                let n = inputs[0].len();
+                if n == 0 {
+                    return Err(SessionError::EmptyData);
+                }
+                if inputs.iter().any(|v| v.len() != n) {
+                    return Err(SessionError::RaggedInputs);
+                }
+                Resolved::Dense(inputs)
+            }
+            Payload::Sparse { total_elems, pairs } => {
+                if pairs.len() != hosts.len() {
+                    return Err(SessionError::ShapeMismatch {
+                        hosts: hosts.len(),
+                        inputs: pairs.len(),
+                    });
+                }
+                if total_elems == 0 {
+                    return Err(SessionError::EmptyData);
+                }
+                if tuning.link_drop_prob > 0.0 {
+                    // Sparse hosts have no retransmission protocol: a
+                    // dropped contribution would stall the run forever.
+                    return Err(SessionError::SparseLossUnsupported);
+                }
+                if let Some(&(index, _)) = pairs
+                    .iter()
+                    .flat_map(|p| p.iter())
+                    .find(|&&(i, _)| i as usize >= total_elems)
+                {
+                    return Err(SessionError::IndexOutOfRange { index, total_elems });
+                }
+                Resolved::Sparse { total_elems, pairs }
+            }
+            Payload::Broadcast { data } => {
+                if data.is_empty() {
+                    return Err(SessionError::EmptyData);
+                }
+                let root = self.root.expect("broadcast sets root");
+                let identity = vec![op.identity(); data.len()];
+                let inputs = (0..hosts.len())
+                    .map(|r| {
+                        if r == root {
+                            data.clone()
+                        } else {
+                            identity.clone()
+                        }
+                    })
+                    .collect();
+                Resolved::Dense(inputs)
+            }
+            Payload::Barrier => Resolved::Dense(vec![vec![T::zero()]; hosts.len()]),
+        };
+
+        // Admission: explicit handle or an internal admit-run-release.
+        let data_bytes = match &resolved {
+            Resolved::Dense(inputs) => (inputs[0].len() * T::WIRE_BYTES) as u64,
+            Resolved::Sparse { pairs, .. } => {
+                let nnz: usize = pairs.iter().map(Vec::len).sum();
+                (nnz / hosts.len().max(1) * (4 + T::WIRE_BYTES)) as u64
+            }
+        };
+        let (mut plan, owned) = match self.plan {
+            Some(plan) => {
+                // A via() handle (or a clone) may have been released, and
+                // its plan was admitted with its own reproducibility flag.
+                if !self.session.manager.is_active(plan.id) {
+                    return Err(SessionError::HandleReleased { id: plan.id });
+                }
+                if self.reproducible && plan.algorithm != AggKind::Tree {
+                    return Err(SessionError::ReproducibleViaMismatch);
+                }
+                (plan, false)
+            }
+            None => {
+                let handle = self
+                    .session
+                    .admit_on(Some(&hosts), data_bytes, self.reproducible)?;
+                (handle.plan, true)
+            }
+        };
+        // Every participant must be attached to the plan's tree — a
+        // pre-admitted handle (`via`) may cover a different host set.
+        if let Some(&host) = hosts
+            .iter()
+            .find(|h| !plan.tree.host_attach.contains_key(h))
+        {
+            if owned {
+                self.session.manager.teardown(plan.id);
+            }
+            return Err(SessionError::HostNotInPlan { host });
+        }
+        if let Some(w) = self.window {
+            // Only shrink: the admitted switch-memory reservation is sized
+            // for the plan's window, so growing it would overrun the
+            // admission-control guarantee.
+            plan.window = w.clamp(1, plan.window);
+        }
+
+        let seed = self.seed.unwrap_or(tuning.seed);
+        // Lend the session's topology to the simulator and take it back
+        // afterwards — no per-collective deep copy.
+        let topo = std::mem::take(&mut self.session.topology);
+        let (ranks, net, topo) = match resolved {
+            Resolved::Dense(inputs) => {
+                execute_dense(topo, &hosts, &plan, op, inputs, &tuning, seed)
+            }
+            Resolved::Sparse { total_elems, pairs } => execute_sparse(
+                topo,
+                &hosts,
+                &plan,
+                op,
+                total_elems,
+                pairs,
+                self.policy,
+                &tuning,
+                seed,
+            ),
+        };
+        self.session.topology = topo;
+
+        let report = RunReport {
+            collective: plan.id,
+            label: self.label,
+            algorithm: plan.algorithm,
+            window: plan.window,
+            reserved_bytes: plan.max_reserved_bytes(),
+            tree_depth: plan.tree.max_depth(),
+            net,
+        };
+        if owned {
+            self.session.manager.teardown(plan.id);
+        }
+        Ok(CollectiveResult {
+            ranks,
+            root_rank: self.root,
+            report,
+        })
+    }
+}
+
+/// Unified outcome report of one collective run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The allreduce id the run executed under.
+    pub collective: u32,
+    /// The collective's label, if [`Collective::named`] was used.
+    pub label: Option<String>,
+    /// Aggregation algorithm selected by the Section 6.4 policy.
+    pub algorithm: AggKind,
+    /// In-flight blocks per host (the paper's ℛ).
+    pub window: usize,
+    /// Largest single-switch working-memory reservation, in bytes.
+    pub reserved_bytes: u64,
+    /// Depth of the reduction tree (0 = single switch).
+    pub tree_depth: usize,
+    /// The network simulator's measurements.
+    pub net: NetReport,
+}
+
+impl RunReport {
+    /// Completion time of the slowest rank, in ns (falls back to the
+    /// simulation makespan if no rank marked itself done).
+    pub fn completion_ns(&self) -> Time {
+        self.net.last_done.unwrap_or(self.net.makespan)
+    }
+
+    /// Total bytes that traversed network links (each hop counted).
+    pub fn total_link_bytes(&self) -> u64 {
+        self.net.total_link_bytes
+    }
+
+    /// Packets dropped by loss injection.
+    pub fn drops(&self) -> u64 {
+        self.net.drops
+    }
+}
+
+/// The typed result of a collective: per-rank output vectors plus the
+/// unified [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct CollectiveResult<T> {
+    ranks: Vec<Vec<T>>,
+    root_rank: Option<usize>,
+    /// Timing, traffic and plan metadata for the run.
+    pub report: RunReport,
+}
+
+impl<T> CollectiveResult<T> {
+    /// All per-rank results, in participant order.
+    pub fn ranks(&self) -> &[Vec<T>] {
+        &self.ranks
+    }
+
+    /// Rank `r`'s result vector.
+    pub fn rank(&self, r: usize) -> &[T] {
+        &self.ranks[r]
+    }
+
+    /// The root's result (reduce/broadcast); falls back to rank 0 for
+    /// rootless collectives, where every rank holds the same vector.
+    pub fn root(&self) -> &[T] {
+        &self.ranks[self.root_rank.unwrap_or(0)]
+    }
+
+    /// Consume into the per-rank vectors.
+    pub fn into_ranks(self) -> Vec<Vec<T>> {
+        self.ranks
+    }
+
+    /// Number of participating ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+}
+
+/// Per-rank stagger step (in blocks) that is safe under windowing.
+///
+/// A block stays open until the largest-offset host reaches it, so the
+/// total offset spread must fit inside the window with slack left for
+/// pipelining; when the window already covers every block, staggering is
+/// unconstrained and hosts spread maximally (the paper's Section 5 bound
+/// delta <= delta_c <= delta*Z/N).
+pub(crate) fn stagger_step(window: usize, blocks: u64, hosts: usize) -> u64 {
+    if window as u64 >= blocks {
+        (blocks / hosts as u64).max(1)
+    } else {
+        (window.saturating_sub(32) / hosts) as u64
+    }
+}
+
+fn placement_for(plan: &AllreducePlan, switch: NodeId) -> TreePlacement {
+    let rec = plan.tree.switch(switch).expect("switch in tree");
+    TreePlacement {
+        allreduce: plan.id,
+        parent: rec.parent,
+        children: rec.children.clone(),
+        my_child_index: rec.my_child_index,
+    }
+}
+
+/// Wire a dense run: per-switch Flare programs, per-host participants with
+/// staggered windows, one simulation. Returns the per-rank results, the
+/// network report and the topology (handed back for reuse). Shared by
+/// [`Collective::run`] and the deprecated `run_dense_allreduce` shim.
+pub(crate) fn execute_dense<T: Element, O: ReduceOp<T> + Clone + 'static>(
+    topo: Topology,
+    hosts: &[NodeId],
+    plan: &AllreducePlan,
+    op: O,
+    inputs: Vec<Vec<T>>,
+    tuning: &Tuning,
+    seed: u64,
+) -> (Vec<Vec<T>>, NetReport, Topology) {
+    assert_eq!(hosts.len(), inputs.len(), "one input per host");
+    let mut sim = NetSim::new(topo, seed);
+    if tuning.link_drop_prob > 0.0 {
+        for l in 0..sim.topology().link_count() {
+            sim.set_link_drop_prob(l, tuning.link_drop_prob);
+        }
+    }
+    for s in &plan.tree.switches {
+        let prog = FlareDenseProgram::new(placement_for(plan, s.switch), op.clone());
+        sim.install_switch(s.switch, Box::new(prog), tuning.switch_proc_rate);
+    }
+    let blocks = inputs[0].len().div_ceil(tuning.elems_per_packet) as u64;
+    let step = stagger_step(plan.window, blocks, hosts.len());
+    let mut sinks: Vec<ResultSink<T>> = Vec::with_capacity(hosts.len());
+    for (rank, (&h, data)) in hosts.iter().zip(inputs).enumerate() {
+        let (leaf, child_index) = plan.tree.host_attach[&h];
+        let sink = result_sink();
+        sinks.push(sink.clone());
+        let cfg = HostConfig {
+            allreduce: plan.id,
+            leaf,
+            child_index,
+            window: plan.window,
+            stagger_offset: rank as u64 * step,
+            retransmit_after: tuning.retransmit_after,
+        };
+        let host = DenseFlareHost::new(cfg, tuning.elems_per_packet, data, sink);
+        sim.install_host(h, Box::new(host));
+    }
+    let report = sim.run(None);
+    let results = sinks
+        .into_iter()
+        .map(|s| s.borrow_mut().take().expect("host completed"))
+        .collect();
+    (results, report, sim.into_topology())
+}
+
+/// Wire a sparse run: hash/array stores per the policy, shard-tracking
+/// hosts, one simulation. Returns the per-rank results, the network report
+/// and the topology (handed back for reuse). Shared by
+/// [`Collective::run`] and the deprecated `run_sparse_allreduce` shim.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_sparse<T: Element, O: ReduceOp<T> + Clone + 'static>(
+    topo: Topology,
+    hosts: &[NodeId],
+    plan: &AllreducePlan,
+    op: O,
+    total_elems: usize,
+    inputs: Vec<Vec<(u32, T)>>,
+    policy: SparsePolicy,
+    tuning: &Tuning,
+    seed: u64,
+) -> (Vec<Vec<T>>, NetReport, Topology) {
+    assert_eq!(hosts.len(), inputs.len());
+    let mut sim = NetSim::new(topo, seed);
+    if tuning.link_drop_prob > 0.0 {
+        for l in 0..sim.topology().link_count() {
+            sim.set_link_drop_prob(l, tuning.link_drop_prob);
+        }
+    }
+    for s in &plan.tree.switches {
+        let storage = if s.parent.is_none() && policy.array_at_root {
+            SparseStorageKind::Array { span: policy.span }
+        } else {
+            SparseStorageKind::Hash {
+                slots: policy.hash_slots,
+                spill_cap: policy.spill_cap,
+            }
+        };
+        let prog = FlareSparseProgram::new(
+            placement_for(plan, s.switch),
+            op.clone(),
+            storage,
+            tuning.pairs_per_packet,
+        );
+        sim.install_switch(s.switch, Box::new(prog), tuning.switch_proc_rate);
+    }
+    let blocks = total_elems.div_ceil(policy.span) as u64;
+    let step = stagger_step(plan.window, blocks, hosts.len());
+    let mut sinks: Vec<ResultSink<T>> = Vec::with_capacity(hosts.len());
+    for (rank, (&h, pairs)) in hosts.iter().zip(inputs).enumerate() {
+        let (leaf, child_index) = plan.tree.host_attach[&h];
+        let sink = result_sink();
+        sinks.push(sink.clone());
+        let cfg = HostConfig {
+            allreduce: plan.id,
+            leaf,
+            child_index,
+            window: plan.window,
+            stagger_offset: rank as u64 * step,
+            retransmit_after: None,
+        };
+        let host = SparseFlareHost::new(
+            cfg,
+            op.clone(),
+            total_elems,
+            policy.span,
+            tuning.pairs_per_packet,
+            pairs,
+            sink,
+        );
+        sim.install_host(h, Box::new(host));
+    }
+    let report = sim.run(None);
+    let results = sinks
+        .into_iter()
+        .map(|s| s.borrow_mut().take().expect("host completed"))
+        .collect();
+    (results, report, sim.into_topology())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{golden_reduce, Max};
+    use flare_net::LinkSpec;
+
+    fn star_session(hosts: usize) -> FlareSession {
+        let (topo, _sw, _hosts) = Topology::star(hosts, LinkSpec::hundred_gig());
+        FlareSession::builder(topo).build()
+    }
+
+    #[test]
+    fn builder_defaults_cover_all_hosts() {
+        let session = star_session(5);
+        assert_eq!(session.hosts().len(), 5);
+        assert_eq!(session.active_collectives(), 0);
+        assert_eq!(session.tuning().elems_per_packet, 256);
+    }
+
+    #[test]
+    fn allreduce_defaults_to_sum_and_matches_golden() {
+        let mut session = star_session(4);
+        let inputs: Vec<Vec<i32>> = (0..4).map(|r| vec![r + 1; 100]).collect();
+        let want = golden_reduce(&Sum, &inputs);
+        let out = session.allreduce(inputs).run().unwrap();
+        assert_eq!(out.num_ranks(), 4);
+        for r in out.ranks() {
+            assert_eq!(*r, want);
+        }
+        assert_eq!(
+            session.active_collectives(),
+            0,
+            "internal admission released"
+        );
+    }
+
+    #[test]
+    fn op_builder_swaps_operator() {
+        let mut session = star_session(3);
+        let inputs = vec![vec![3i32; 8], vec![-7; 8], vec![5; 8]];
+        let out = session.allreduce(inputs).op(Max).run().unwrap();
+        assert_eq!(out.rank(0), &[5i32; 8][..]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let mut session = star_session(4);
+        let err = session.allreduce(vec![vec![1i32; 4]; 3]).run().unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::ShapeMismatch {
+                hosts: 4,
+                inputs: 3
+            }
+        );
+    }
+
+    #[test]
+    fn ragged_and_empty_inputs_are_rejected() {
+        let mut session = star_session(2);
+        let err = session
+            .allreduce(vec![vec![1i32; 4], vec![1i32; 5]])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::RaggedInputs);
+        let err = session
+            .allreduce(vec![Vec::<i32>::new(), Vec::new()])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::EmptyData);
+    }
+
+    #[test]
+    fn root_out_of_range_is_rejected() {
+        let mut session = star_session(3);
+        let err = session.reduce(3, vec![vec![1i32; 4]; 3]).run().unwrap_err();
+        assert_eq!(err, SessionError::RootOutOfRange { root: 3, hosts: 3 });
+    }
+
+    #[test]
+    fn admit_reserves_until_release() {
+        let mut session = star_session(4);
+        let handle = session.admit(1 << 20, false).unwrap();
+        assert_eq!(session.active_collectives(), 1);
+        assert!(session.reserved_on(handle.root_switch()) > 0);
+        let root = handle.root_switch();
+        assert!(session.release(handle));
+        assert_eq!(session.active_collectives(), 0);
+        assert_eq!(session.reserved_on(root), 0);
+    }
+
+    #[test]
+    fn via_runs_under_an_admitted_handle_without_releasing_it() {
+        let mut session = star_session(4);
+        let mut handle = session.admit(400, false).unwrap();
+        handle.set_label("layer0.grad");
+        let inputs: Vec<Vec<i32>> = (0..4).map(|r| vec![r; 100]).collect();
+        let out = session.allreduce(inputs).via(&handle).run().unwrap();
+        assert_eq!(out.report.collective, handle.id());
+        assert_eq!(
+            session.active_collectives(),
+            1,
+            "explicit handles persist across runs"
+        );
+        session.release(handle);
+    }
+
+    #[test]
+    fn barrier_reports_a_positive_completion_time() {
+        let mut session = star_session(3);
+        let out = session.barrier().run().unwrap();
+        assert!(out.report.completion_ns() > 0);
+        assert_eq!(out.num_ranks(), 3);
+    }
+
+    #[test]
+    fn reproducible_forces_tree_aggregation() {
+        let mut session = star_session(4);
+        let inputs: Vec<Vec<f32>> = (0..4).map(|r| vec![r as f32; 4096]).collect();
+        let out = session.allreduce(inputs).reproducible(true).run().unwrap();
+        assert_eq!(out.report.algorithm, AggKind::Tree);
+    }
+
+    #[test]
+    fn loss_without_retransmit_is_rejected_up_front() {
+        let (topo, _sw, _hosts) = Topology::star(3, LinkSpec::hundred_gig());
+        let mut session = FlareSession::builder(topo).link_drop_prob(0.05).build();
+        let err = session
+            .allreduce(vec![vec![1i32; 64]; 3])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::LossWithoutRetransmit);
+    }
+
+    #[test]
+    fn reproducible_via_a_non_tree_handle_is_rejected() {
+        let mut session = star_session(4);
+        // Large request ⇒ single-buffer plan (not tree).
+        let handle = session.admit(1 << 20, false).unwrap();
+        assert_ne!(handle.algorithm(), AggKind::Tree);
+        let err = session
+            .allreduce(vec![vec![1.0f32; 64]; 4])
+            .reproducible(true)
+            .via(&handle)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::ReproducibleViaMismatch);
+        // A tree-admitted handle honors the request.
+        let tree = session.admit(4 << 10, true).unwrap();
+        assert_eq!(tree.algorithm(), AggKind::Tree);
+        let out = session
+            .allreduce(vec![vec![1.0f32; 64]; 4])
+            .reproducible(true)
+            .via(&tree)
+            .run()
+            .unwrap();
+        assert_eq!(out.report.algorithm, AggKind::Tree);
+        session.release(handle);
+        session.release(tree);
+    }
+
+    #[test]
+    fn cloned_handles_cannot_run_after_release() {
+        let mut session = star_session(4);
+        let handle = session.admit(4 << 10, false).unwrap();
+        let stale = handle.clone();
+        session.release(handle);
+        let err = session
+            .allreduce(vec![vec![1i32; 64]; 4])
+            .via(&stale)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::HandleReleased { id: stale.id() });
+    }
+
+    #[test]
+    fn sparse_on_a_lossy_session_is_rejected_with_a_typed_error() {
+        let (topo, _sw, _hosts) = Topology::star(3, LinkSpec::hundred_gig());
+        let mut session = FlareSession::builder(topo)
+            .link_drop_prob(0.05)
+            .retransmit_after(Some(100_000))
+            .build();
+        let err = session
+            .sparse_allreduce(100, vec![vec![(1u32, 1.0f32)]; 3])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::SparseLossUnsupported);
+    }
+
+    #[test]
+    fn sparse_indices_outside_the_domain_are_rejected() {
+        let mut session = star_session(2);
+        let err = session
+            .sparse_allreduce(1000, vec![vec![(5000u32, 1.0f32)], Vec::new()])
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::IndexOutOfRange {
+                index: 5000,
+                total_elems: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn hosts_outside_an_admitted_plan_error_instead_of_panicking() {
+        let (topo, ft) = Topology::fat_tree_two_level(2, 2, 1, LinkSpec::hundred_gig());
+        let mut session = FlareSession::builder(topo)
+            .hosts(ft.hosts[..2].to_vec())
+            .build();
+        let handle = session.admit(4 << 10, false).unwrap();
+        // The plan covers hosts 0-1 only; running on 2-3 must be a typed
+        // error, not a host_attach HashMap panic.
+        let err = session
+            .allreduce(vec![vec![1i32; 64]; 2])
+            .on_hosts(ft.hosts[2..4].to_vec())
+            .via(&handle)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::HostNotInPlan { host: ft.hosts[2] });
+        session.release(handle);
+    }
+
+    #[test]
+    fn window_override_cannot_exceed_the_admitted_reservation() {
+        let mut session = star_session(4);
+        let inputs: Vec<Vec<i32>> = (0..4).map(|r| vec![r; 40_000]).collect();
+        let probe = session.allreduce(inputs.clone()).run().unwrap();
+        let admitted = probe.report.window;
+        let out = session
+            .allreduce(inputs)
+            .window(admitted * 100) // would overrun the switch reservation
+            .run()
+            .unwrap();
+        assert_eq!(out.report.window, admitted, "grow requests are clamped");
+    }
+
+    #[test]
+    fn empty_host_override_is_rejected() {
+        let mut session = star_session(3);
+        let err = session
+            .allreduce(Vec::<Vec<i32>>::new())
+            .on_hosts(Vec::new())
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::NoHosts);
+    }
+}

@@ -17,12 +17,10 @@ use flare_net::{NetPacket, NodeId, PortId, SwitchCtx, SwitchProgram};
 
 use crate::dense::TreeBlock;
 use crate::dtype::Element;
+use crate::handlers::SparseStorageKind;
 use crate::op::ReduceOp;
 use crate::sparse::{HashInsert, ShardTracker, SparseArrayStore, SparseHashStore};
-use crate::handlers::SparseStorageKind;
-use crate::wire::{
-    decode_dense, decode_sparse, encode_dense, encode_sparse, Header, PacketKind,
-};
+use crate::wire::{decode_dense, decode_sparse, encode_dense, encode_sparse, Header, PacketKind};
 
 /// Placement of a switch within one allreduce's reduction tree.
 #[derive(Debug, Clone)]
@@ -92,7 +90,16 @@ impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
             elem_count: 0,
         };
         let payload = encode_dense(header, result);
-        NetPacket::new(me, dst, self.place.allreduce, block, 0, PacketKind::DenseResult as u8, 0, payload)
+        NetPacket::new(
+            me,
+            dst,
+            self.place.allreduce,
+            block,
+            0,
+            PacketKind::DenseResult as u8,
+            0,
+            payload,
+        )
     }
 
     fn send_up_or_multicast(&mut self, ctx: &mut SwitchCtx<'_>, at: u64, block: u64, result: &[T]) {
@@ -267,7 +274,16 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
             elem_count: 0,
         };
         let payload = encode_sparse(header, pairs);
-        NetPacket::new(me, dst, self.place.allreduce, block, child, kind as u8, 0, payload)
+        NetPacket::new(
+            me,
+            dst,
+            self.place.allreduce,
+            block,
+            child,
+            kind as u8,
+            0,
+            payload,
+        )
     }
 }
 

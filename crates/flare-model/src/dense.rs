@@ -268,7 +268,11 @@ mod tests {
         let params = p();
         let m = evaluate(&params, AggKind::SingleBuffer, 8, 512 * KIB);
         assert!(m.working_memory_bytes > 0.3 * MIB as f64);
-        assert!(m.working_memory_bytes < 0.8 * MIB as f64, "{}", m.working_memory_bytes);
+        assert!(
+            m.working_memory_bytes < 0.8 * MIB as f64,
+            "{}",
+            m.working_memory_bytes
+        );
     }
 
     #[test]

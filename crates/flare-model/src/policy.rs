@@ -39,11 +39,20 @@ mod tests {
     #[test]
     fn thresholds_match_paper_text() {
         assert_eq!(select_algorithm(1024 * KIB, false), AggKind::SingleBuffer);
-        assert_eq!(select_algorithm(512 * KIB + 1, false), AggKind::SingleBuffer);
+        assert_eq!(
+            select_algorithm(512 * KIB + 1, false),
+            AggKind::SingleBuffer
+        );
         assert_eq!(select_algorithm(512 * KIB, false), AggKind::MultiBuffer(4));
-        assert_eq!(select_algorithm(256 * KIB + 1, false), AggKind::MultiBuffer(4));
+        assert_eq!(
+            select_algorithm(256 * KIB + 1, false),
+            AggKind::MultiBuffer(4)
+        );
         assert_eq!(select_algorithm(256 * KIB, false), AggKind::MultiBuffer(2));
-        assert_eq!(select_algorithm(128 * KIB + 1, false), AggKind::MultiBuffer(2));
+        assert_eq!(
+            select_algorithm(128 * KIB + 1, false),
+            AggKind::MultiBuffer(2)
+        );
         assert_eq!(select_algorithm(128 * KIB, false), AggKind::Tree);
         assert_eq!(select_algorithm(1, false), AggKind::Tree);
     }

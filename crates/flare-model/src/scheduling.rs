@@ -159,7 +159,11 @@ mod tests {
         let p = SwitchParams::paper();
         let dc = p.staggered_delta_c(8 * KIB, p.l_cycles());
         let op = evaluate(&p, 1, dc, p.l_cycles());
-        assert!(op.input_buffer_bytes > 30.0 * MIB as f64, "{}", op.input_buffer_bytes);
+        assert!(
+            op.input_buffer_bytes > 30.0 * MIB as f64,
+            "{}",
+            op.input_buffer_bytes
+        );
         assert!(op.input_buffer_bytes < 35.0 * MIB as f64);
     }
 
@@ -169,7 +173,11 @@ mod tests {
         let p = SwitchParams::paper();
         let dc = p.staggered_delta_c(8 * KIB, p.l_cycles());
         let op = evaluate(&p, 8, dc, p.l_cycles());
-        assert!(op.input_buffer_bytes < 5.0 * MIB as f64, "{}", op.input_buffer_bytes);
+        assert!(
+            op.input_buffer_bytes < 5.0 * MIB as f64,
+            "{}",
+            op.input_buffer_bytes
+        );
     }
 
     #[test]

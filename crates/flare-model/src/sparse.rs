@@ -118,8 +118,8 @@ pub fn tau_sparse(params: &SwitchParams, storage: SparseStorage, density: f64) -
             let store = n * ARRAY_STORE_CYCLES;
             // Completion flush scans the whole span and emits the survivors;
             // amortized over the P packets that built the block.
-            let flush =
-                (span * ARRAY_FLUSH_SCAN_CYCLES + span * density * EMIT_CYCLES) / params.ports as f64;
+            let flush = (span * ARRAY_FLUSH_SCAN_CYCLES + span * density * EMIT_CYCLES)
+                / params.ports as f64;
             store + flush + params.dma_copy_cycles
         }
     }
@@ -280,7 +280,10 @@ mod tests {
     fn array_never_generates_extra_traffic() {
         let params = p();
         for density in [0.2, 0.1, 0.01] {
-            assert_eq!(extra_traffic_frac(&params, SparseStorage::Array, density), 0.0);
+            assert_eq!(
+                extra_traffic_frac(&params, SparseStorage::Array, density),
+                0.0
+            );
         }
     }
 

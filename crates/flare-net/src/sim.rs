@@ -314,6 +314,12 @@ impl NetSim {
         &self.core.topo
     }
 
+    /// Consume the simulator and hand the topology back (lets callers
+    /// reuse it for the next run without cloning).
+    pub fn into_topology(self) -> Topology {
+        self.core.topo
+    }
+
     /// Install application logic on a host.
     pub fn install_host(&mut self, node: NodeId, prog: Box<dyn HostProgram>) {
         assert_eq!(self.core.topo.kind(node), NodeKind::Host, "not a host");
@@ -565,7 +571,13 @@ mod tests {
                 bytes: 1250,
             }),
         );
-        sim.install_host(hosts[1], Box::new(Receiver { expect: 1, ..Default::default() }));
+        sim.install_host(
+            hosts[1],
+            Box::new(Receiver {
+                expect: 1,
+                ..Default::default()
+            }),
+        );
         let report = sim.run(None);
         // Two hops (host→switch→host): 2×(100 ns ser + 50 ns latency).
         let rx = sim.take_host(hosts[1]).unwrap();
@@ -588,7 +600,13 @@ mod tests {
                 bytes: 1250,
             }),
         );
-        sim.install_host(hosts[1], Box::new(Receiver { expect: 10, ..Default::default() }));
+        sim.install_host(
+            hosts[1],
+            Box::new(Receiver {
+                expect: 10,
+                ..Default::default()
+            }),
+        );
         let report = sim.run(None);
         // 10 packets paced at 100 ns each on the first link; last leaves the
         // host link at 1000, arrives 1000+50+100+50.
@@ -609,7 +627,13 @@ mod tests {
                 bytes: 1000,
             }),
         );
-        sim.install_host(dst, Box::new(Receiver { expect: 1, ..Default::default() }));
+        sim.install_host(
+            dst,
+            Box::new(Receiver {
+                expect: 1,
+                ..Default::default()
+            }),
+        );
         let report = sim.run(None);
         // host→leaf→spine→leaf→host = 4 link traversals.
         assert_eq!(report.total_link_bytes, 4000);
@@ -661,7 +685,13 @@ mod tests {
                 }),
             );
         }
-        sim.install_host(hosts[2], Box::new(Receiver { expect: 2, ..Default::default() }));
+        sim.install_host(
+            hosts[2],
+            Box::new(Receiver {
+                expect: 2,
+                ..Default::default()
+            }),
+        );
         // Two senders use flow 1 in Sender; our aggregator matches flow 7 —
         // so first check pass-through works, then install matching flow.
         let mut agg = CountingAggregator {
@@ -713,7 +743,13 @@ mod tests {
                 bytes: 1000,
             }),
         );
-        sim.install_host(hosts[1], Box::new(Receiver { expect: 4, ..Default::default() }));
+        sim.install_host(
+            hosts[1],
+            Box::new(Receiver {
+                expect: 4,
+                ..Default::default()
+            }),
+        );
         // 0.5 bytes/ns processing: 2000 ns per 1000-byte packet dominates
         // the 80 ns link serialization.
         sim.install_switch(sw, Box::new(Echo { to: hosts[1] }), 0.5);
@@ -736,7 +772,13 @@ mod tests {
                 bytes: 100,
             }),
         );
-        sim.install_host(hosts[1], Box::new(Receiver { expect: 1, ..Default::default() }));
+        sim.install_host(
+            hosts[1],
+            Box::new(Receiver {
+                expect: 1,
+                ..Default::default()
+            }),
+        );
         sim.set_link_drop_prob(0, 0.5);
         let report = sim.run(None);
         assert!(report.drops > 300 && report.drops < 700, "{}", report.drops);
@@ -782,7 +824,13 @@ mod tests {
                 bytes: 1250,
             }),
         );
-        sim.install_host(hosts[1], Box::new(Receiver { expect: 1_000, ..Default::default() }));
+        sim.install_host(
+            hosts[1],
+            Box::new(Receiver {
+                expect: 1_000,
+                ..Default::default()
+            }),
+        );
         let report = sim.run(Some(500));
         assert!(report.makespan <= 500);
         assert_eq!(report.last_done, None);

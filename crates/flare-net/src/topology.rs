@@ -83,7 +83,7 @@ pub struct Link {
 }
 
 /// The network graph.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Topology {
     kinds: Vec<NodeKind>,
     names: Vec<String>,
@@ -362,8 +362,7 @@ mod tests {
 
     #[test]
     fn paper_fat_tree_has_expected_shape() {
-        let (topo, ft) =
-            Topology::fat_tree_two_level(16, 4, 4, LinkSpec::hundred_gig());
+        let (topo, ft) = Topology::fat_tree_two_level(16, 4, 4, LinkSpec::hundred_gig());
         assert_eq!(ft.hosts.len(), 64);
         assert_eq!(ft.leaves.len(), 16);
         assert_eq!(ft.spines.len(), 4);

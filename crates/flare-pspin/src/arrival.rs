@@ -71,7 +71,7 @@ impl TraceConfig {
                 (delta_c as f64 / per_offset as f64).round() as u64
             }
         }
-        .min(self.blocks.saturating_sub(1).max(0))
+        .min(self.blocks.saturating_sub(1))
     }
 }
 
@@ -91,9 +91,8 @@ impl ArrivalTrace {
         let period = cfg.child_period();
         let mut arrivals = Vec::with_capacity(cfg.children * cfg.blocks as usize);
         for child in 0..cfg.children as u64 {
-            let mut rng: Option<StdRng> = cfg
-                .exponential_jitter
-                .then(|| rng_stream(cfg.seed, child));
+            let mut rng: Option<StdRng> =
+                cfg.exponential_jitter.then(|| rng_stream(cfg.seed, child));
             // Phase-shift children by δ so the aggregate stream is smooth;
             // with jitter enabled the initial phase is randomized too, so
             // even single-packet children arrive in a seed-dependent order.
@@ -104,13 +103,7 @@ impl ArrivalTrace {
             for pos in 0..cfg.blocks {
                 let block = (pos + child * offset) % cfg.blocks;
                 let body = payload(child as u16, block);
-                let pkt = PspinPacket::new(
-                    cfg.flow,
-                    block,
-                    child as u16,
-                    cfg.header_bytes,
-                    body,
-                );
+                let pkt = PspinPacket::new(cfg.flow, block, child as u16, cfg.header_bytes, body);
                 arrivals.push((t, pkt));
                 t += match rng.as_mut() {
                     Some(r) => exp_time(r, period as f64),

@@ -100,7 +100,7 @@ impl PspinConfig {
             return Err("clusters and cores_per_cluster must be positive".into());
         }
         if let SchedulingPolicy::Hierarchical { subset_size } = self.policy {
-            if subset_size == 0 || self.cores_per_cluster % subset_size != 0 {
+            if subset_size == 0 || !self.cores_per_cluster.is_multiple_of(subset_size) {
                 return Err(format!(
                     "subset_size {subset_size} must divide cores_per_cluster {}",
                     self.cores_per_cluster

@@ -72,9 +72,9 @@ impl<H: PacketHandler> Engine<H> {
         let subset_width = cfg.cores() / subsets;
         let mut idle = vec![Vec::new(); subsets];
         // Push in reverse so pop() hands out low-numbered cores first.
-        for s in 0..subsets {
+        for (s, subset) in idle.iter_mut().enumerate() {
             for core in (s * subset_width..(s + 1) * subset_width).rev() {
-                idle[s].push(core);
+                subset.push(core);
             }
         }
         let cores = cfg.cores();
@@ -210,7 +210,9 @@ impl<H: PacketHandler> Simulator for Engine<H> {
             }
             Event::CoreDone { core } => {
                 let pending = self.pending[core].take().expect("no pending work");
-                self.collect.input_buffer.add(t, -(pending.wire_bytes as i64));
+                self.collect
+                    .input_buffer
+                    .add(t, -(pending.wire_bytes as i64));
                 self.collect.core_busy_cycles += pending.busy_cycles;
                 self.collect.lock_wait_cycles += pending.lock_wait;
                 if pending.effects.working_mem_delta != 0 {
@@ -364,7 +366,7 @@ mod tests {
     fn l2_exhaustion_drops_packets() {
         let mut cfg = cfg_small();
         cfg.l2_packet_bytes = 8; // two 4-byte packets (headers are 0 here)
-        // Slow handler; flood of simultaneous arrivals.
+                                 // Slow handler; flood of simultaneous arrivals.
         let arrivals = (0..10u64).map(|i| (0, pkt(i, 0))).collect();
         let (report, _) = run_trace(cfg, fixed_cost_handler(1000), arrivals, false);
         assert_eq!(report.packets_in + report.drops, 10);
@@ -412,7 +414,11 @@ mod tests {
         let arrivals = (0..8u64).map(|i| (i, pkt(i % 2, 0))).collect();
         let (_, _) = run_trace(cfg, handler, arrivals, false);
         for (block, cluster) in seen.borrow().iter() {
-            assert_eq!(*cluster, (*block % 2) as usize, "block pinned to its cluster");
+            assert_eq!(
+                *cluster,
+                (*block % 2) as usize,
+                "block pinned to its cluster"
+            );
         }
     }
 

@@ -93,8 +93,10 @@ mod tests {
 
     #[test]
     fn report_derives_bandwidth_from_bytes_and_makespan() {
-        let mut c = Collectors::default();
-        c.first_arrival_seen = 0;
+        let mut c = Collectors {
+            first_arrival_seen: 0,
+            ..Collectors::default()
+        };
         // 1 MiB over 2048 ns = 512 B/ns = 4.096 Tbps.
         for _ in 0..1024 {
             c.packets_in.record(1024);

@@ -114,7 +114,9 @@ mod tests {
 
     #[test]
     fn top1_per_bucket_hits_target_density() {
-        let data: Vec<f32> = (0..51_200).map(|i| ((i * 37 % 101) as f32) - 50.0).collect();
+        let data: Vec<f32> = (0..51_200)
+            .map(|i| ((i * 37 % 101) as f32) - 50.0)
+            .collect();
         let sparse = sparsify_top1_per_bucket(&data, 512);
         assert_eq!(sparse.len(), 100); // one per bucket ⇒ ~0.2 %
         for (i, v) in &sparse {

@@ -6,37 +6,17 @@
 //!   1. a saturating i8 sum (deep-learning quantized gradients),
 //!   2. a numerically-stable log-sum-exp over f32,
 //!   3. min/max/product built-ins on an i16 vector,
-//! all running through the same in-network machinery.
+//!
+//! all through the same `Collective` builder — `.op(...)` is the only
+//! thing that changes.
 //!
 //! Run with: `cargo run --release --example custom_operator`
 
-use flare::core::collectives::{run_dense_allreduce, RunOptions};
-use flare::core::manager::{AllreduceRequest, NetworkManager};
-use flare::core::op::{golden_reduce, Custom, Max, Min, Prod};
-use flare::net::{LinkSpec, Topology};
+use flare::prelude::*;
 
-fn plan_on_star(
-    hosts: usize,
-    bytes: u64,
-) -> (
-    Topology,
-    Vec<flare::net::NodeId>,
-    flare::core::manager::AllreducePlan,
-) {
-    let (topo, _sw, h) = Topology::star(hosts, LinkSpec::hundred_gig());
-    let mut mgr = NetworkManager::new(64 << 20);
-    let plan = mgr
-        .create_allreduce(
-            &topo,
-            &h,
-            &AllreduceRequest {
-                data_bytes: bytes,
-                packet_bytes: 1024,
-                reproducible: false,
-            },
-        )
-        .unwrap();
-    (topo, h, plan)
+fn star_session(hosts: usize) -> FlareSession {
+    let (topo, _sw, _hosts) = Topology::star(hosts, LinkSpec::hundred_gig());
+    FlareSession::builder(topo).build()
 }
 
 fn main() {
@@ -47,11 +27,17 @@ fn main() {
     let satadd = Custom::new("sat_add_i8", 0i8, true, |a: i8, b: i8| a.saturating_add(b));
     let inputs: Vec<Vec<i8>> = (0..5).map(|h| vec![40 + h as i8; n]).collect();
     let want = golden_reduce(&satadd, &inputs);
-    let (topo, hosts, plan) = plan_on_star(5, n as u64);
-    let (results, _) =
-        run_dense_allreduce(topo, &hosts, &plan, satadd, inputs, &RunOptions::default());
-    assert_eq!(results[0], want);
-    assert!(results[0].iter().all(|&x| x == 127), "5×(40..44) saturates at 127");
+    let mut session = star_session(5);
+    let out = session
+        .allreduce(inputs)
+        .op(satadd)
+        .run()
+        .expect("admitted");
+    assert_eq!(out.rank(0), &want[..]);
+    assert!(
+        out.rank(0).iter().all(|&x| x == 127),
+        "5×(40..44) saturates at 127"
+    );
     println!("saturating i8 sum: every element clamped to 127  [ok]");
 
     // --- 2. log-sum-exp (softmax normalizer): a floating-point custom op.
@@ -63,30 +49,25 @@ fn main() {
         m + ((a - m).exp() + (b - m).exp()).ln()
     });
     let inputs: Vec<Vec<f32>> = (0..4).map(|h| vec![h as f32; n]).collect();
-    let (topo, hosts, plan) = plan_on_star(4, (n * 4) as u64);
-    let (results, _) =
-        run_dense_allreduce(topo, &hosts, &plan, lse, inputs, &RunOptions::default());
+    let mut session = star_session(4);
+    let out = session.allreduce(inputs).op(lse).run().expect("admitted");
     // log(e^0 + e^1 + e^2 + e^3) ≈ 3.4402
-    assert!((results[0][0] - 3.4402).abs() < 1e-3, "{}", results[0][0]);
-    println!("log-sum-exp over f32: {:.4}  [ok]", results[0][0]);
+    assert!((out.rank(0)[0] - 3.4402).abs() < 1e-3, "{}", out.rank(0)[0]);
+    println!("log-sum-exp over f32: {:.4}  [ok]", out.rank(0)[0]);
 
-    // --- 3. Built-ins on i16.
+    // --- 3. Built-ins on i16, one session run per operator.
     let inputs: Vec<Vec<i16>> = vec![vec![3; n], vec![-7; n], vec![5; n]];
     for (name, lo, hi) in [("min", -7i16, -7i16), ("max", 5, 5), ("prod", -105, -105)] {
-        let (topo, hosts, plan) = plan_on_star(3, (n * 2) as u64);
+        let mut session = star_session(3);
+        let c = session.allreduce(inputs.clone());
         let first = match name {
-            "min" => {
-                run_dense_allreduce(topo, &hosts, &plan, Min, inputs.clone(), &RunOptions::default()).0
-            }
-            "max" => {
-                run_dense_allreduce(topo, &hosts, &plan, Max, inputs.clone(), &RunOptions::default()).0
-            }
-            _ => {
-                run_dense_allreduce(topo, &hosts, &plan, Prod, inputs.clone(), &RunOptions::default()).0
-            }
-        };
-        assert_eq!(first[0][0], lo);
-        assert_eq!(first[0][n - 1], hi);
-        println!("builtin {name} over i16: {}  [ok]", first[0][0]);
+            "min" => c.op(Min).run(),
+            "max" => c.op(Max).run(),
+            _ => c.op(Prod).run(),
+        }
+        .expect("admitted");
+        assert_eq!(first.rank(0)[0], lo);
+        assert_eq!(first.rank(0)[n - 1], hi);
+        println!("builtin {name} over i16: {}  [ok]", first.rank(0)[0]);
     }
 }

@@ -1,59 +1,62 @@
 //! Multi-tenancy and admission control (paper Section 4).
 //!
 //! Each switch statically partitions its working memory across concurrent
-//! allreduces. When a switch fills up, the network manager recomputes the
-//! reduction tree *excluding* it; only when no tree exists is the request
-//! rejected and the application falls back to host-based allreduce.
+//! allreduces. When a switch fills up, the session's network manager
+//! recomputes the reduction tree *excluding* it; only when no tree exists
+//! is the request rejected and the application falls back to host-based
+//! allreduce. [`FlareSession::admit`] / [`FlareSession::release`] make the
+//! tenant lifecycle explicit.
 //!
 //! Run with: `cargo run --release --example multi_tenant`
 
-use flare::core::manager::{AdmissionError, AllreduceRequest, NetworkManager};
-use flare::net::{LinkSpec, Topology};
+use flare::core::manager::AdmissionError;
+use flare::prelude::*;
 
 fn main() {
     // 8 leaves × 2 hosts, 2 spines: two candidate roots for cross-leaf
     // reductions.
     let (topo, ft) = Topology::fat_tree_two_level(8, 2, 2, LinkSpec::hundred_gig());
-    // Small per-switch budget so contention shows quickly.
-    let mut mgr = NetworkManager::new(600 << 10);
-    let req = AllreduceRequest {
-        data_bytes: 256 << 10,
-        packet_bytes: 1024,
-        reproducible: true, // tree aggregation: M = (P-1)/log2 P buffers
-    };
+    // Small per-switch budget so contention shows quickly; reproducible
+    // tenants force tree aggregation (M = (P-1)/log2 P buffers).
+    let mut session = FlareSession::builder(topo)
+        .hosts(ft.hosts)
+        .switch_memory(600 << 10)
+        .build();
+    let tenant_bytes = 256 << 10;
 
-    let mut plans = Vec::new();
+    let mut tenants: Vec<CollectiveHandle> = Vec::new();
     loop {
-        match mgr.create_allreduce(&topo, &ft.hosts, &req) {
-            Ok(plan) => {
+        match session.admit(tenant_bytes, true) {
+            Ok(handle) => {
                 println!(
                     "tenant #{:<2} admitted: root={:?}, {} switches, {} B reserved each",
-                    plan.id,
-                    plan.tree.root,
-                    plan.tree.switches.len(),
-                    plan.max_reserved_bytes()
+                    handle.id(),
+                    handle.root_switch(),
+                    handle.plan().tree.switches.len(),
+                    handle.reserved_bytes()
                 );
-                plans.push(plan);
+                tenants.push(handle);
             }
-            Err(AdmissionError::NoTree) => {
+            Err(SessionError::Admission(AdmissionError::NoTree)) => {
                 println!(
                     "tenant #{} REJECTED: every feasible tree has a saturated switch \
                      (fall back to host-based allreduce)",
-                    plans.len() + 1
+                    tenants.len() + 1
                 );
                 break;
             }
             Err(e) => panic!("unexpected admission error: {e}"),
         }
-        if plans.len() > 64 {
+        if tenants.len() > 64 {
             panic!("budget never exhausted?");
         }
     }
-    let spine_roots: Vec<_> = plans.iter().map(|p| p.tree.root).collect();
+    let spine_roots: Vec<_> = tenants.iter().map(|t| t.root_switch()).collect();
     println!();
     println!(
-        "{} tenants admitted; roots used: {:?}",
-        plans.len(),
+        "{} tenants admitted ({} active in the session); roots used: {:?}",
+        tenants.len(),
+        session.active_collectives(),
         spine_roots
     );
     assert!(
@@ -62,13 +65,18 @@ fn main() {
     );
 
     // Tear one tenant down: capacity returns.
-    let freed = plans.remove(0);
-    mgr.teardown(freed.id);
-    let again = mgr.create_allreduce(&topo, &ft.hosts, &req);
+    let freed = tenants.remove(0);
+    let freed_id = freed.id();
+    session.release(freed);
+    let again = session.admit(tenant_bytes, true);
     println!(
-        "after tearing down tenant #{}: new request {}",
-        freed.id,
-        if again.is_ok() { "admitted" } else { "still rejected" }
+        "after releasing tenant #{}: new request {}",
+        freed_id,
+        if again.is_ok() {
+            "admitted"
+        } else {
+            "still rejected"
+        }
     );
     assert!(again.is_ok());
 }

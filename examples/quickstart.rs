@@ -1,65 +1,50 @@
 //! Quickstart: an in-network allreduce on a single Flare switch.
 //!
-//! Three hosts hang off one PsPIN-based switch; the network manager
-//! computes the (trivial) reduction tree, installs handlers, and the hosts
-//! reduce a vector of f32 gradients — transmitting half the bytes a
-//! host-based ring allreduce would.
+//! Three hosts hang off one PsPIN-based switch. A [`FlareSession`] owns
+//! the network manager; `session.allreduce(inputs)` computes the
+//! (trivial) reduction tree, picks the aggregation algorithm (Section 6.4
+//! policy), reserves switch working memory, and runs the packet-level
+//! simulation — transmitting half the bytes a host-based ring allreduce
+//! would.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use flare::core::collectives::{run_dense_allreduce, RunOptions};
-use flare::core::manager::{AllreduceRequest, NetworkManager};
-use flare::core::op::{golden_reduce, Sum};
-use flare::net::{LinkSpec, Topology};
+use flare::prelude::*;
 use flare::workloads::dense_uniform_f32;
 
 fn main() {
     // 1. A topology: three 100 Gbps hosts on one switch.
     let (topo, _switch, hosts) = Topology::star(3, LinkSpec::hundred_gig());
 
-    // 2. Ask the network manager for an allreduce: it computes the
-    //    reduction tree, picks the aggregation algorithm (Section 6.4
-    //    policy) and reserves switch working memory.
-    let n = 64 * 1024usize; // 256 KiB of f32 per host
-    let mut manager = NetworkManager::new(64 << 20);
-    let plan = manager
-        .create_allreduce(
-            &topo,
-            &hosts,
-            &AllreduceRequest {
-                data_bytes: (n * 4) as u64,
-                packet_bytes: 1024,
-                reproducible: false,
-            },
-        )
-        .expect("admitted");
-    println!(
-        "allreduce #{} admitted: algorithm={}, window={} blocks, reserved {} B/switch",
-        plan.id,
-        plan.algorithm.label(),
-        plan.window,
-        plan.max_reserved_bytes()
-    );
+    // 2. A session: owns the network manager (admission control,
+    //    reduction trees, allreduce ids) and the tuning knobs.
+    let mut session = FlareSession::builder(topo).build();
 
     // 3. Per-host input data.
+    let n = 64 * 1024usize; // 256 KiB of f32 per host
     let inputs: Vec<Vec<f32>> = (0..hosts.len())
         .map(|h| dense_uniform_f32(42, h as u64, n, -1.0, 1.0))
         .collect();
     let expected = golden_reduce(&Sum, &inputs);
 
-    // 4. Run: hosts packetize, stagger and window their blocks; the switch
-    //    aggregates each block and multicasts the result.
-    let (results, report) = run_dense_allreduce(
-        topo,
-        &hosts,
-        &plan,
-        Sum,
-        inputs,
-        &RunOptions::default(),
+    // 4. Run: admission, packetization, staggered windows, in-network
+    //    aggregation and result multicast — one builder chain.
+    let out = session
+        .allreduce(inputs)
+        .op(Sum)
+        .named("quickstart")
+        .run()
+        .expect("admitted");
+    println!(
+        "allreduce #{} ran: algorithm={}, window={} blocks, reserved {} B/switch",
+        out.report.collective,
+        out.report.algorithm.label(),
+        out.report.window,
+        out.report.reserved_bytes
     );
 
     // 5. Every host holds the same reduced vector.
-    for (rank, r) in results.iter().enumerate() {
+    for (rank, r) in out.ranks().iter().enumerate() {
         assert_eq!(r.len(), n);
         for (a, b) in r.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-3, "rank {rank}");
@@ -68,8 +53,7 @@ fn main() {
     println!(
         "completed in {:.1} us; network carried {:.2} MiB \
          (hosts sent Z each — a ring allreduce would send ~2Z)",
-        report.last_done.unwrap() as f64 / 1000.0,
-        report.total_link_bytes as f64 / (1 << 20) as f64
+        out.report.completion_ns() as f64 / 1000.0,
+        out.report.total_link_bytes() as f64 / (1 << 20) as f64
     );
-    manager.teardown(plan.id);
 }

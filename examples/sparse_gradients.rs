@@ -4,18 +4,13 @@
 //! Each host sparsifies its gradient SparCML-style (top-1 magnitude per
 //! bucket of 512 ⇒ ~0.2 % density) and sends only (index, value) pairs.
 //! Leaf switches aggregate into hash tables with spill buffers; the root —
-//! where data has densified — uses array storage. The example reports the
-//! traffic saved vs a dense in-network allreduce and the spill traffic of
-//! an undersized hash table.
+//! where data has densified — uses array storage. Dense and sparse runs go
+//! through the same [`FlareSession`]; the example reports the traffic
+//! saved vs a dense in-network allreduce.
 //!
 //! Run with: `cargo run --release --example sparse_gradients`
 
-use flare::core::collectives::{
-    run_dense_allreduce, run_sparse_allreduce, RunOptions, SparsePolicy,
-};
-use flare::core::manager::{AllreduceRequest, NetworkManager};
-use flare::core::op::Sum;
-use flare::net::{LinkSpec, Topology};
+use flare::prelude::*;
 use flare::workloads::{densify_f32, gradient_like_f32, sparsify_top1_per_bucket, union_nnz};
 
 fn main() {
@@ -41,20 +36,10 @@ fn main() {
         union_nnz(&sparse_inputs),
     );
 
-    // Fat tree: 4 leaves × 4 hosts, 2 spines.
+    // Fat tree: 4 leaves × 4 hosts, 2 spines — one session runs both the
+    // sparse and the dense collective.
     let (topo, ft) = Topology::fat_tree_two_level(4, 4, 2, LinkSpec::hundred_gig());
-    let mut mgr = NetworkManager::new(64 << 20);
-    let plan = mgr
-        .create_allreduce(
-            &topo,
-            &ft.hosts,
-            &AllreduceRequest {
-                data_bytes: (nnz / hosts_n * 8) as u64,
-                packet_bytes: 1024,
-                reproducible: false,
-            },
-        )
-        .unwrap();
+    let mut session = FlareSession::builder(topo).hosts(ft.hosts).build();
 
     let policy = SparsePolicy {
         hash_slots: 1024,
@@ -62,16 +47,12 @@ fn main() {
         span: 128 * bucket, // one packet of nnz per host per block
         array_at_root: true,
     };
-    let (sparse_results, sparse_report) = run_sparse_allreduce(
-        topo,
-        &ft.hosts,
-        &plan,
-        Sum,
-        n,
-        sparse_inputs.clone(),
-        policy,
-        &RunOptions::default(),
-    );
+    let sparse_out = session
+        .sparse_allreduce(n, sparse_inputs.clone())
+        .policy(policy)
+        .named("gradients-sparse")
+        .run()
+        .expect("admitted");
 
     // Validate against the dense golden reference of the sparsified data.
     let mut want = vec![0.0f32; n];
@@ -80,48 +61,33 @@ fn main() {
             want[i] += v;
         }
     }
-    for r in &sparse_results {
+    for r in sparse_out.ranks() {
         for (a, b) in r.iter().zip(&want) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
     }
 
-    // Compare with a dense in-network allreduce of the same gradients.
-    let (topo2, ft2) = Topology::fat_tree_two_level(4, 4, 2, LinkSpec::hundred_gig());
-    let mut mgr2 = NetworkManager::new(64 << 20);
-    let plan2 = mgr2
-        .create_allreduce(
-            &topo2,
-            &ft2.hosts,
-            &AllreduceRequest {
-                data_bytes: (n * 4) as u64,
-                packet_bytes: 1024,
-                reproducible: false,
-            },
-        )
-        .unwrap();
-    let (_, dense_report) = run_dense_allreduce(
-        topo2,
-        &ft2.hosts,
-        &plan2,
-        Sum,
-        dense_inputs,
-        &RunOptions::default(),
-    );
+    // Compare with a dense in-network allreduce of the same gradients,
+    // through the same session.
+    let dense_out = session
+        .allreduce(dense_inputs)
+        .named("gradients-dense")
+        .run()
+        .expect("admitted");
 
     println!(
         "Flare sparse : {:>8.1} us, {:>8.2} MiB on the wire",
-        sparse_report.last_done.unwrap() as f64 / 1e3,
-        sparse_report.total_link_bytes as f64 / (1 << 20) as f64
+        sparse_out.report.completion_ns() as f64 / 1e3,
+        sparse_out.report.total_link_bytes() as f64 / (1 << 20) as f64
     );
     println!(
         "Flare dense  : {:>8.1} us, {:>8.2} MiB on the wire",
-        dense_report.last_done.unwrap() as f64 / 1e3,
-        dense_report.total_link_bytes as f64 / (1 << 20) as f64
+        dense_out.report.completion_ns() as f64 / 1e3,
+        dense_out.report.total_link_bytes() as f64 / (1 << 20) as f64
     );
     println!(
         "sparse saves {:.0}x traffic and runs {:.1}x faster on this workload",
-        dense_report.total_link_bytes as f64 / sparse_report.total_link_bytes as f64,
-        dense_report.last_done.unwrap() as f64 / sparse_report.last_done.unwrap() as f64,
+        dense_out.report.total_link_bytes() as f64 / sparse_out.report.total_link_bytes() as f64,
+        dense_out.report.completion_ns() as f64 / sparse_out.report.completion_ns() as f64,
     );
 }

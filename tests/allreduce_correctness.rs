@@ -1,47 +1,26 @@
 //! End-to-end dense allreduce correctness across the full stack:
-//! network manager → reduction tree → switch programs → host programs,
-//! on both single-switch and fat-tree topologies, checked against the
-//! golden sequential reduction.
+//! `FlareSession` → network manager → reduction tree → switch programs →
+//! host programs, on both single-switch and fat-tree topologies, checked
+//! against the golden sequential reduction.
 
-use flare::core::collectives::{run_dense_allreduce, RunOptions};
-use flare::core::manager::{AllreduceRequest, NetworkManager};
-use flare::core::op::{golden_reduce, Max, Min, Sum};
-use flare::net::{LinkSpec, Topology};
+use flare::prelude::*;
 use flare::workloads::{dense_i32, dense_uniform_f32};
 
-fn manager() -> NetworkManager {
-    NetworkManager::new(64 << 20)
-}
-
-fn request(bytes: u64) -> AllreduceRequest {
-    AllreduceRequest {
-        data_bytes: bytes,
-        packet_bytes: 1024,
-        reproducible: false,
-    }
+fn star_session(hosts: usize) -> FlareSession {
+    let (topo, _sw, _hosts) = Topology::star(hosts, LinkSpec::hundred_gig());
+    FlareSession::builder(topo).build()
 }
 
 #[test]
 fn star_allreduce_matches_golden_i32_sum() {
-    let (topo, _sw, hosts) = Topology::star(6, LinkSpec::hundred_gig());
-    let mut mgr = manager();
+    let mut session = star_session(6);
     let inputs: Vec<Vec<i32>> = (0..6)
         .map(|h| dense_i32(1, h as u64, 2000, -100, 100))
         .collect();
-    let plan = mgr
-        .create_allreduce(&topo, &hosts, &request(2000 * 4))
-        .unwrap();
     let want = golden_reduce(&Sum, &inputs);
-    let (results, report) = run_dense_allreduce(
-        topo,
-        &hosts,
-        &plan,
-        Sum,
-        inputs,
-        &RunOptions::default(),
-    );
-    assert_eq!(report.drops, 0);
-    for (rank, r) in results.iter().enumerate() {
+    let out = session.allreduce(inputs).run().unwrap();
+    assert_eq!(out.report.drops(), 0);
+    for (rank, r) in out.ranks().iter().enumerate() {
         assert_eq!(*r, want, "rank {rank}");
     }
 }
@@ -49,99 +28,72 @@ fn star_allreduce_matches_golden_i32_sum() {
 #[test]
 fn fat_tree_allreduce_matches_golden_f32() {
     let (topo, ft) = Topology::fat_tree_two_level(4, 4, 2, LinkSpec::hundred_gig());
-    let mut mgr = manager();
+    let mut session = FlareSession::builder(topo).hosts(ft.hosts).build();
     let n = 3000usize;
     let inputs: Vec<Vec<f32>> = (0..16)
         .map(|h| dense_uniform_f32(7, h as u64, n, -1.0, 1.0))
         .collect();
-    let plan = mgr
-        .create_allreduce(&topo, &ft.hosts, &request((n * 4) as u64))
-        .unwrap();
     let want = golden_reduce(&Sum, &inputs);
-    let (results, report) = run_dense_allreduce(
-        topo,
-        &ft.hosts,
-        &plan,
-        Sum,
-        inputs,
-        &RunOptions::default(),
+    let out = session.allreduce(inputs).run().unwrap();
+    assert!(out.report.net.last_done.is_some());
+    assert!(
+        out.report.tree_depth >= 1,
+        "cross-leaf reduction spans levels"
     );
-    assert!(report.last_done.is_some());
     // Two-level aggregation changes the f32 summation order vs golden;
     // values must agree within accumulation tolerance.
-    for r in &results {
+    for r in out.ranks() {
         for (a, b) in r.iter().zip(&want) {
             assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0), "{a} vs {b}");
         }
     }
     // And every host must agree bitwise with every other host.
-    for r in &results[1..] {
-        assert_eq!(r, &results[0]);
+    for r in &out.ranks()[1..] {
+        assert_eq!(r, &out.ranks()[0]);
     }
 }
 
 #[test]
 fn min_and_max_operators_work_through_the_tree() {
-    let (topo2, ft) = Topology::fat_tree_two_level(2, 3, 1, LinkSpec::hundred_gig());
     let inputs: Vec<Vec<i32>> = (0..6)
         .map(|h| dense_i32(3, h as u64, 777, -1000, 1000))
         .collect();
-    let want_min = golden_reduce(&Min, &inputs);
-    let mut mgr = manager();
-    let plan = mgr
-        .create_allreduce(&topo2, &ft.hosts, &request(777 * 4))
-        .unwrap();
-    let (res, _) = run_dense_allreduce(
-        topo2,
-        &ft.hosts,
-        &plan,
-        Min,
-        inputs.clone(),
-        &RunOptions::default(),
-    );
-    assert_eq!(res[0], want_min);
 
-    let (topo3, ft3) = Topology::fat_tree_two_level(2, 3, 1, LinkSpec::hundred_gig());
-    let mut mgr3 = manager();
-    let plan3 = mgr3
-        .create_allreduce(&topo3, &ft3.hosts, &request(777 * 4))
-        .unwrap();
+    let (topo, ft) = Topology::fat_tree_two_level(2, 3, 1, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo).hosts(ft.hosts).build();
+    let want_min = golden_reduce(&Min, &inputs);
+    let res = session.allreduce(inputs.clone()).op(Min).run().unwrap();
+    assert_eq!(res.rank(0), &want_min[..]);
+
+    // The same session runs the max collective — no rewiring.
     let want_max = golden_reduce(&Max, &inputs);
-    let (res, _) = run_dense_allreduce(topo3, &ft3.hosts, &plan3, Max, inputs, &RunOptions::default());
-    assert_eq!(res[5], want_max);
+    let res = session.allreduce(inputs).op(Max).run().unwrap();
+    assert_eq!(res.rank(5), &want_max[..]);
 }
 
 #[test]
 fn data_that_is_not_a_multiple_of_the_packet_size_works() {
-    let (topo, _sw, hosts) = Topology::star(3, LinkSpec::hundred_gig());
-    let mut mgr = manager();
+    let mut session = star_session(3);
     // 2600 elements: 10 full packets of 256 plus a 40-element tail.
     let n = 2600usize;
-    let inputs: Vec<Vec<i32>> = (0..3).map(|h| vec![h as i32 + 1; n]).collect();
-    let plan = mgr
-        .create_allreduce(&topo, &hosts, &request((n * 4) as u64))
-        .unwrap();
-    let (results, _) = run_dense_allreduce(topo, &hosts, &plan, Sum, inputs, &RunOptions::default());
-    assert_eq!(results[0], vec![6i32; n]);
+    let inputs: Vec<Vec<i32>> = (0..3).map(|h| vec![h + 1; n]).collect();
+    let out = session.allreduce(inputs).run().unwrap();
+    assert_eq!(out.rank(0), &vec![6i32; n][..]);
 }
 
 #[test]
 fn in_network_allreduce_halves_host_traffic_vs_ring() {
     // The headline claim of Section 1: hosts send Z instead of ≈2Z.
-    let (topo, _sw, hosts) = Topology::star(8, LinkSpec::hundred_gig());
-    let mut mgr = manager();
+    let mut session = star_session(8);
     let n = 4096usize;
     let inputs: Vec<Vec<i32>> = (0..8).map(|_| vec![1i32; n]).collect();
-    let plan = mgr
-        .create_allreduce(&topo, &hosts, &request((n * 4) as u64))
-        .unwrap();
-    let (_, report) = run_dense_allreduce(topo, &hosts, &plan, Sum, inputs, &RunOptions::default());
+    let out = session.allreduce(inputs).run().unwrap();
     // Up: 8 hosts × n×4 bytes; down: the same. Plus headers.
     let payload = 8 * n as u64 * 4;
-    assert!(report.total_link_bytes >= 2 * payload);
+    assert!(out.report.total_link_bytes() >= 2 * payload);
     assert!(
-        report.total_link_bytes < 2 * payload + payload / 4,
+        out.report.total_link_bytes() < 2 * payload + payload / 4,
         "headers only add a small overhead: {}",
-        report.total_link_bytes
+        out.report.total_link_bytes()
     );
 }

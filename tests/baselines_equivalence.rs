@@ -48,7 +48,7 @@ fn simulated_ring_matches_functional_ring_on_a_star() {
 fn simulated_ring_on_fat_tree_counts_cross_leaf_hops() {
     let (topo, ft) = Topology::fat_tree_two_level(2, 2, 1, LinkSpec::hundred_gig());
     let n = 400usize;
-    let inputs: Vec<Vec<i32>> = (0..4).map(|r| vec![r as i32 + 1; n]).collect();
+    let inputs: Vec<Vec<i32>> = (0..4).map(|r| vec![r + 1; n]).collect();
     let want = golden_reduce(&Sum, &inputs);
     let mut sim = NetSim::new(topo, 1);
     let mut sinks = Vec::new();

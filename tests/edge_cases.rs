@@ -6,15 +6,15 @@
 use bytes::Bytes;
 use std::collections::HashSet;
 
-use flare::core::collectives::{run_dense_allreduce, RunOptions};
 use flare::core::dense::TreeBlock;
 use flare::core::dtype::F16;
 use flare::core::handlers::{DenseAllreduceHandler, DenseHandlerConfig};
-use flare::core::manager::{compute_reduction_tree, AllreduceRequest, NetworkManager};
-use flare::core::op::{golden_reduce, Sum};
+use flare::core::manager::compute_reduction_tree;
+use flare::core::session::FlareSession;
 use flare::core::wire::{encode_dense, Header, PacketKind};
 use flare::model::AggKind;
 use flare::net::{LinkSpec, NetSim, Topology};
+use flare::prelude::{golden_reduce, Sum};
 use flare::pspin::engine::run_trace;
 use flare::pspin::{PspinConfig, PspinPacket, SchedulingPolicy};
 
@@ -43,30 +43,26 @@ type i64ish = i64;
 
 #[test]
 fn f16_allreduce_end_to_end_on_the_network() {
-    let (topo, _sw, hosts) = Topology::star(4, LinkSpec::hundred_gig());
-    let mut mgr = NetworkManager::new(64 << 20);
+    let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo).build();
     let n = 2048usize;
     let inputs: Vec<Vec<F16>> = (0..4)
-        .map(|h| (0..n).map(|i| F16::from_f32((h * n + i) as f32 / 256.0)).collect())
+        .map(|h| {
+            (0..n)
+                .map(|i| F16::from_f32((h * n + i) as f32 / 256.0))
+                .collect()
+        })
         .collect();
     let want = golden_reduce(&Sum, &inputs);
-    let plan = mgr
-        .create_allreduce(
-            &topo,
-            &hosts,
-            &AllreduceRequest {
-                data_bytes: (n * 2) as u64,
-                packet_bytes: 1024,
-                reproducible: true, // tree: deterministic f16 rounding
-            },
-        )
+    let out = session
+        .allreduce(inputs)
+        .reproducible(true) // tree: deterministic f16 rounding
+        .run()
         .unwrap();
-    assert_eq!(plan.algorithm, AggKind::Tree);
-    let (results, _) =
-        run_dense_allreduce(topo, &hosts, &plan, Sum, inputs, &RunOptions::default());
+    assert_eq!(out.report.algorithm, AggKind::Tree);
     // Tree aggregation order differs from golden's host order, so f16
     // rounding may differ by 1 ulp; compare via f32 with tolerance.
-    for (a, b) in results[0].iter().zip(&want) {
+    for (a, b) in out.rank(0).iter().zip(&want) {
         let (af, bf) = (a.to_f32(), b.to_f32());
         assert!((af - bf).abs() <= 0.02 * bf.abs().max(1.0), "{af} vs {bf}");
     }
@@ -138,24 +134,12 @@ fn reduction_tree_spans_pass_through_switch_chains() {
     let tree = compute_reduction_tree(&topo, &[h0, h1], &HashSet::new()).unwrap();
     assert_eq!(tree.switches.len(), 3, "all three switches participate");
     // End-to-end through the chain:
-    let mut mgr = NetworkManager::new(64 << 20);
+    let mut session = FlareSession::builder(topo).hosts(vec![h0, h1]).build();
     let n = 512usize;
-    let plan = mgr
-        .create_allreduce(
-            &topo,
-            &[h0, h1],
-            &AllreduceRequest {
-                data_bytes: (n * 4) as u64,
-                packet_bytes: 1024,
-                reproducible: false,
-            },
-        )
-        .unwrap();
     let inputs = vec![vec![1i32; n], vec![2i32; n]];
-    let (results, _) =
-        run_dense_allreduce(topo, &[h0, h1], &plan, Sum, inputs, &RunOptions::default());
-    assert_eq!(results[0], vec![3i32; n]);
-    assert_eq!(results[1], vec![3i32; n]);
+    let out = session.allreduce(inputs).run().unwrap();
+    assert_eq!(out.rank(0), &vec![3i32; n][..]);
+    assert_eq!(out.rank(1), &vec![3i32; n][..]);
 }
 
 #[test]
@@ -168,7 +152,10 @@ fn ecmp_spreads_distinct_flows_across_spines() {
     let ports: HashSet<_> = (0..64u32)
         .map(|flow| routing.next_port(src_leaf, dst, flow).unwrap())
         .collect();
-    assert!(ports.len() >= 3, "64 flows should hit ≥3 of 4 spines: {ports:?}");
+    assert!(
+        ports.len() >= 3,
+        "64 flows should hit ≥3 of 4 spines: {ports:?}"
+    );
 }
 
 #[test]
@@ -207,8 +194,20 @@ fn link_utilization_identifies_the_hot_uplink() {
     let mut sim = NetSim::new(topo, 1);
     let src = ft.hosts[0];
     let dst = ft.hosts[3];
-    sim.install_host(src, Box::new(Blaster { to: dst, count: 100 }));
-    sim.install_host(dst, Box::new(Blaster { to: src, count: 100 }));
+    sim.install_host(
+        src,
+        Box::new(Blaster {
+            to: dst,
+            count: 100,
+        }),
+    );
+    sim.install_host(
+        dst,
+        Box::new(Blaster {
+            to: src,
+            count: 100,
+        }),
+    );
     let report = sim.run(None);
     let (hot, util) = sim.hottest_link(report.makespan).unwrap();
     assert!(util > 0.5, "the path should be busy: {util}");
@@ -221,26 +220,11 @@ fn link_utilization_identifies_the_hot_uplink() {
 
 #[test]
 fn single_element_and_single_block_allreduces_work() {
-    let (topo, _sw, hosts) = Topology::star(2, LinkSpec::hundred_gig());
-    let mut mgr = NetworkManager::new(64 << 20);
-    let plan = mgr
-        .create_allreduce(
-            &topo,
-            &hosts,
-            &AllreduceRequest {
-                data_bytes: 4,
-                packet_bytes: 1024,
-                reproducible: false,
-            },
-        )
+    let (topo, _sw, _hosts) = Topology::star(2, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo).build();
+    let out = session
+        .allreduce(vec![vec![41i32], vec![1i32]])
+        .run()
         .unwrap();
-    let (results, _) = run_dense_allreduce(
-        topo,
-        &hosts,
-        &plan,
-        Sum,
-        vec![vec![41i32], vec![1i32]],
-        &RunOptions::default(),
-    );
-    assert_eq!(results, vec![vec![42], vec![42]]);
+    assert_eq!(out.ranks(), &[vec![42], vec![42]]);
 }

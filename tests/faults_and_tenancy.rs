@@ -1,180 +1,134 @@
-//! Fault handling and multi-tenancy:
+//! Fault handling and multi-tenancy through `FlareSession`:
 //! * packet loss + host retransmission, absorbed by the switch-side child
 //!   bitmaps and the completed-block result cache (paper Section 4.1),
-//! * concurrent allreduces with distinct ids sharing switches (Section 4),
+//! * concurrent admitted collectives with distinct ids sharing switches
+//!   (Section 4),
 //! * admission control rerouting and rejection,
 //! * collectives built on allreduce: reduce / broadcast / barrier
-//!   (Section 8) and the Horovod-style sequencer.
+//!   (Section 8) and the Horovod-style sequencer over collective handles.
 
-use flare::core::collectives::{
-    run_barrier, run_broadcast, run_dense_allreduce, run_reduce, RunOptions, Sequencer,
-};
-use flare::core::manager::{AdmissionError, AllreduceRequest, NetworkManager};
-use flare::core::op::{golden_reduce, Sum};
-use flare::net::{LinkSpec, NetSim, Topology};
-
-fn request(bytes: u64) -> AllreduceRequest {
-    AllreduceRequest {
-        data_bytes: bytes,
-        packet_bytes: 1024,
-        reproducible: false,
-    }
-}
+use flare::core::collectives::Sequencer;
+use flare::core::manager::AdmissionError;
+use flare::prelude::*;
 
 #[test]
 fn lossy_links_recover_via_retransmission() {
-    let (topo, _sw, hosts) = Topology::star(4, LinkSpec::hundred_gig());
-    let mut mgr = NetworkManager::new(64 << 20);
+    // 3% loss on every link; hosts retransmit overdue blocks and the
+    // switch-side bitmaps absorb the duplicates.
+    let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo)
+        .link_drop_prob(0.03)
+        .retransmit_after(Some(200_000))
+        .seed(123)
+        .build();
     let n = 1500usize;
-    let inputs: Vec<Vec<i32>> = (0..4).map(|h| vec![h as i32 + 1; n]).collect();
+    let inputs: Vec<Vec<i32>> = (0..4).map(|h| vec![h + 1; n]).collect();
     let want = golden_reduce(&Sum, &inputs);
-    let plan = mgr.create_allreduce(&topo, &hosts, &request((n * 4) as u64)).unwrap();
-
-    // Build the sim by hand so we can inject loss on host 0's link.
-    let opts = RunOptions {
-        retransmit_after: Some(200_000),
-        ..RunOptions::default()
-    };
-    // 3% loss on every link.
-    let (results, report) = {
-        use flare::core::collectives as drv;
-        // run_dense_allreduce builds its own sim; emulate loss by wrapping:
-        // construct manually here.
-        let _ = &drv::RunOptions::default();
-        let mut sim = NetSim::new(topo, 123);
-        for l in 0..sim.topology().link_count() {
-            sim.set_link_drop_prob(l, 0.03);
-        }
-        // Install switch programs + hosts exactly as the driver does.
-        use flare::core::host::{result_sink, DenseFlareHost, HostConfig};
-        use flare::core::switch_prog::{FlareDenseProgram, TreePlacement};
-        for s in &plan.tree.switches {
-            let prog: FlareDenseProgram<i32, Sum> = FlareDenseProgram::new(
-                TreePlacement {
-                    allreduce: plan.id,
-                    parent: s.parent,
-                    children: s.children.clone(),
-                    my_child_index: s.my_child_index,
-                },
-                Sum,
-            );
-            sim.install_switch(s.switch, Box::new(prog), opts.switch_proc_rate);
-        }
-        let mut sinks = Vec::new();
-        for (rank, &h) in hosts.iter().enumerate() {
-            let (leaf, child_index) = plan.tree.host_attach[&h];
-            let sink = result_sink();
-            sinks.push(sink.clone());
-            let host = DenseFlareHost::new(
-                HostConfig {
-                    allreduce: plan.id,
-                    leaf,
-                    child_index,
-                    window: plan.window,
-                    stagger_offset: 0,
-                    retransmit_after: opts.retransmit_after,
-                },
-                opts.elems_per_packet,
-                inputs[rank].clone(),
-                sink,
-            );
-            sim.install_host(h, Box::new(host));
-        }
-        let report = sim.run(None);
-        let results: Vec<Vec<i32>> = sinks
-            .into_iter()
-            .map(|s| s.borrow_mut().take().expect("recovered despite loss"))
-            .collect();
-        (results, report)
-    };
-    assert!(report.drops > 0, "loss injection must actually drop packets");
-    for r in &results {
+    let out = session.allreduce(inputs).run().unwrap();
+    assert!(
+        out.report.drops() > 0,
+        "loss injection must actually drop packets"
+    );
+    for r in out.ranks() {
         assert_eq!(*r, want);
     }
 }
 
 #[test]
 fn concurrent_allreduces_do_not_mix() {
-    // Two different tenant allreduces share the same star switch; each
-    // must produce its own correct result.
-    let (topo_a, _sw, hosts_a) = Topology::star(4, LinkSpec::hundred_gig());
-    let mut mgr = NetworkManager::new(64 << 20);
+    // Two different tenant collectives share the same star switch; each
+    // must produce its own correct result under its own allreduce id.
+    let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo).build();
     let n = 800usize;
-    let plan_a = mgr.create_allreduce(&topo_a, &hosts_a, &request((n * 4) as u64)).unwrap();
-    let plan_b = mgr.create_allreduce(&topo_a, &hosts_a, &request((n * 4) as u64)).unwrap();
-    assert_ne!(plan_a.id, plan_b.id);
+    let tenant_a = session.admit((n * 4) as u64, false).unwrap();
+    let tenant_b = session.admit((n * 4) as u64, false).unwrap();
+    assert_ne!(tenant_a.id(), tenant_b.id());
+    assert_eq!(session.active_collectives(), 2);
 
-    // Run them sequentially on separate sims (the ids guarantee handler
-    // separation; running both in one sim would need per-flow host apps).
-    let inputs_a: Vec<Vec<i32>> = (0..4).map(|h| vec![h as i32; n]).collect();
-    let inputs_b: Vec<Vec<i32>> = (0..4).map(|h| vec![10 * h as i32; n]).collect();
+    // Run them sequentially on separate simulations (the ids guarantee
+    // handler separation; running both in one sim would need per-flow host
+    // apps).
+    let inputs_a: Vec<Vec<i32>> = (0..4).map(|h| vec![h; n]).collect();
+    let inputs_b: Vec<Vec<i32>> = (0..4).map(|h| vec![10 * h; n]).collect();
     let want_a = golden_reduce(&Sum, &inputs_a);
     let want_b = golden_reduce(&Sum, &inputs_b);
-    let (res_a, _) = run_dense_allreduce(topo_a, &hosts_a, &plan_a, Sum, inputs_a, &RunOptions::default());
-    let (topo_b, _sw2, hosts_b) = Topology::star(4, LinkSpec::hundred_gig());
-    let (res_b, _) = run_dense_allreduce(topo_b, &hosts_b, &plan_b, Sum, inputs_b, &RunOptions::default());
-    assert_eq!(res_a[0], want_a);
-    assert_eq!(res_b[0], want_b);
-    assert_eq!(mgr.active_count(), 2);
-    mgr.teardown(plan_a.id);
-    mgr.teardown(plan_b.id);
-    assert_eq!(mgr.active_count(), 0);
+    let res_a = session.allreduce(inputs_a).via(&tenant_a).run().unwrap();
+    let res_b = session.allreduce(inputs_b).via(&tenant_b).run().unwrap();
+    assert_eq!(res_a.rank(0), &want_a[..]);
+    assert_eq!(res_b.rank(0), &want_b[..]);
+    assert_eq!(res_a.report.collective, tenant_a.id());
+    assert_eq!(res_b.report.collective, tenant_b.id());
+    assert_eq!(
+        session.active_collectives(),
+        2,
+        "handles persist until released"
+    );
+    session.release(tenant_a);
+    session.release(tenant_b);
+    assert_eq!(session.active_collectives(), 0);
 }
 
 #[test]
 fn admission_fills_up_then_rejects_then_frees() {
-    let (topo, sw, hosts) = Topology::star(4, LinkSpec::hundred_gig());
+    let (topo, sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
     // Each 8 KiB tree allreduce reserves M(tree, fanout 4) = 2 buffers ×
     // window 8 × 1 KiB = 16 KiB; budget exactly two of them.
-    let mut mgr = NetworkManager::new(33 << 10);
-    let req = request(8 << 10);
-    let a = mgr.create_allreduce(&topo, &hosts, &req).unwrap();
-    let b = mgr.create_allreduce(&topo, &hosts, &req).unwrap();
-    let err = mgr.create_allreduce(&topo, &hosts, &req).unwrap_err();
-    assert_eq!(err, AdmissionError::NoTree, "single switch saturated");
-    assert!(mgr.used_on(sw) > 0);
-    mgr.teardown(a.id);
-    let c = mgr.create_allreduce(&topo, &hosts, &req).unwrap();
-    assert_ne!(b.id, c.id);
+    let mut session = FlareSession::builder(topo).switch_memory(33 << 10).build();
+    let bytes = 8 << 10;
+    let a = session.admit(bytes, false).unwrap();
+    let b = session.admit(bytes, false).unwrap();
+    let err = session.admit(bytes, false).unwrap_err();
+    assert_eq!(
+        err,
+        SessionError::Admission(AdmissionError::NoTree),
+        "single switch saturated"
+    );
+    assert!(session.reserved_on(sw) > 0);
+    session.release(a);
+    let c = session.admit(bytes, false).unwrap();
+    assert_ne!(b.id(), c.id());
 }
 
 #[test]
 fn reduce_broadcast_barrier_work() {
     let n = 700usize;
-    let inputs: Vec<Vec<i32>> = (0..4).map(|h| vec![h as i32 + 1; n]).collect();
+    let inputs: Vec<Vec<i32>> = (0..4).map(|h| vec![h + 1; n]).collect();
     let want = golden_reduce(&Sum, &inputs);
 
-    let (topo, _sw, hosts) = Topology::star(4, LinkSpec::hundred_gig());
-    let mut mgr = NetworkManager::new(64 << 20);
-    let plan = mgr.create_allreduce(&topo, &hosts, &request((n * 4) as u64)).unwrap();
-    let (root_result, _) =
-        run_reduce(topo, &hosts, &plan, Sum, inputs.clone(), 2, &RunOptions::default());
-    assert_eq!(root_result, want);
+    let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo).build();
+    let out = session.reduce(2, inputs.clone()).run().unwrap();
+    assert_eq!(out.root(), &want[..]);
 
-    let (topo2, _sw2, hosts2) = Topology::star(4, LinkSpec::hundred_gig());
-    let mut mgr2 = NetworkManager::new(64 << 20);
-    let plan2 = mgr2.create_allreduce(&topo2, &hosts2, &request((n * 4) as u64)).unwrap();
     let payload: Vec<i32> = (0..n as i32).collect();
-    let (bcast, _) = run_broadcast(topo2, &hosts2, &plan2, Sum, 1, payload.clone(), &RunOptions::default());
-    for r in &bcast {
+    let bcast = session.broadcast(1, payload.clone()).run().unwrap();
+    for r in bcast.ranks() {
         assert_eq!(*r, payload);
     }
 
-    let (topo3, _sw3, hosts3) = Topology::star(4, LinkSpec::hundred_gig());
-    let mut mgr3 = NetworkManager::new(64 << 20);
-    let plan3 = mgr3.create_allreduce(&topo3, &hosts3, &request(4)).unwrap();
-    let (t, report) = run_barrier(topo3, &hosts3, &plan3, &RunOptions::default());
-    assert!(t > 0);
-    assert!(report.last_done.is_some());
+    let barrier = session.barrier().run().unwrap();
+    assert!(barrier.report.completion_ns() > 0);
+    assert!(barrier.report.net.last_done.is_some());
 }
 
 #[test]
 fn sequencer_prevents_cross_rank_deadlocks() {
     // Ranks issue the same two collectives in opposite orders (the paper's
-    // Horovod deadlock scenario); the sequencer forces a common order.
+    // Horovod deadlock scenario); the sequencer forces a common order over
+    // the admitted handles.
+    let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo).build();
+    let mut grad2 = session.admit(4 << 10, false).unwrap();
+    let mut grad1 = session.admit(4 << 10, false).unwrap();
+    grad2.set_label("layer2.grad");
+    grad1.set_label("layer1.grad");
+
     let mut seq = Sequencer::new();
-    seq.submit(0, &["layer2.grad", "layer1.grad"]);
-    seq.submit(1, &["layer1.grad", "layer2.grad"]);
+    seq.submit_handles(0, &[&grad2, &grad1]);
+    seq.submit_handles(1, &[&grad1, &grad2]);
     let order = seq.negotiate();
     assert_eq!(order, vec!["layer2.grad", "layer1.grad"]);
+    session.release(grad2);
+    session.release(grad1);
 }

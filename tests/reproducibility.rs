@@ -64,7 +64,8 @@ fn run_with_seed(algorithm: AggKind, seed: u64, jitter: bool) -> Vec<Vec<u32>> {
         exponential_jitter: jitter,
         seed,
     };
-    let arrivals = ArrivalTrace::generate(&trace, |c, b| contrib(b, c, &data[c as usize][b as usize]));
+    let arrivals =
+        ArrivalTrace::generate(&trace, |c, b| contrib(b, c, &data[c as usize][b as usize]));
     let handler: DenseAllreduceHandler<f32, Sum> = DenseAllreduceHandler::new(
         DenseHandlerConfig {
             allreduce: 1,
@@ -98,8 +99,12 @@ fn single_buffer_is_not_reproducible_under_reordering() {
     // At least one jitter seed must produce a different bit pattern —
     // demonstrating why the paper needs tree aggregation for F3.
     let reference = run_with_seed(AggKind::SingleBuffer, 1, true);
-    let diverged = (2..30).any(|seed| run_with_seed(AggKind::SingleBuffer, seed, true) != reference);
-    assert!(diverged, "expected f32 single-buffer results to depend on arrival order");
+    let diverged =
+        (2..30).any(|seed| run_with_seed(AggKind::SingleBuffer, seed, true) != reference);
+    assert!(
+        diverged,
+        "expected f32 single-buffer results to depend on arrival order"
+    );
 }
 
 #[test]
@@ -107,14 +112,21 @@ fn multi_buffer_is_not_reproducible_under_reordering() {
     let reference = run_with_seed(AggKind::MultiBuffer(2), 1, true);
     let diverged =
         (2..30).any(|seed| run_with_seed(AggKind::MultiBuffer(2), seed, true) != reference);
-    assert!(diverged, "expected multi-buffer results to depend on arrival order");
+    assert!(
+        diverged,
+        "expected multi-buffer results to depend on arrival order"
+    );
 }
 
 #[test]
 fn deterministic_traces_give_deterministic_results_for_every_algorithm() {
     // Same seed ⇒ same everything, even for order-sensitive algorithms:
     // the whole stack is deterministic.
-    for algorithm in [AggKind::SingleBuffer, AggKind::MultiBuffer(4), AggKind::Tree] {
+    for algorithm in [
+        AggKind::SingleBuffer,
+        AggKind::MultiBuffer(4),
+        AggKind::Tree,
+    ] {
         let a = run_with_seed(algorithm, 77, true);
         let b = run_with_seed(algorithm, 77, true);
         assert_eq!(a, b, "{algorithm:?}");

@@ -1,11 +1,8 @@
-//! End-to-end sparse allreduce (paper Section 7): hash and array storage,
-//! spill traffic, shard splitting, empty blocks, densification — checked
-//! against the dense golden reference and against SparCML.
+//! End-to-end sparse allreduce (paper Section 7) through `FlareSession`:
+//! hash and array storage, spill traffic, shard splitting, empty blocks,
+//! densification — checked against the dense golden reference.
 
-use flare::core::collectives::{run_sparse_allreduce, RunOptions, SparsePolicy};
-use flare::core::manager::{AllreduceRequest, NetworkManager};
-use flare::core::op::Sum;
-use flare::net::{LinkSpec, Topology};
+use flare::prelude::*;
 use flare::workloads::{densify_f32, overlap_controlled, sparsify_random_k, union_nnz};
 
 fn golden_dense(n: usize, inputs: &[Vec<(u32, f32)>]) -> Vec<f32> {
@@ -18,22 +15,9 @@ fn golden_dense(n: usize, inputs: &[Vec<(u32, f32)>]) -> Vec<f32> {
     want
 }
 
-fn plan_for(
-    topo: &Topology,
-    hosts: &[flare::net::NodeId],
-    bytes: u64,
-) -> flare::core::manager::AllreducePlan {
-    let mut mgr = NetworkManager::new(256 << 20);
-    mgr.create_allreduce(
-        topo,
-        hosts,
-        &AllreduceRequest {
-            data_bytes: bytes,
-            packet_bytes: 1024,
-            reproducible: false,
-        },
-    )
-    .unwrap()
+fn star_session(hosts: usize) -> FlareSession {
+    let (topo, _sw, _hosts) = Topology::star(hosts, LinkSpec::hundred_gig());
+    FlareSession::builder(topo).switch_memory(256 << 20).build()
 }
 
 fn policy(span: usize) -> SparsePolicy {
@@ -47,25 +31,19 @@ fn policy(span: usize) -> SparsePolicy {
 
 #[test]
 fn sparse_star_matches_dense_reference() {
-    let (topo, _sw, hosts) = Topology::star(8, LinkSpec::hundred_gig());
+    let mut session = star_session(8);
     let n = 20_000usize;
     let inputs: Vec<Vec<(u32, f32)>> = (0..8)
         .map(|h| sparsify_random_k(5, h as u64, n, 0.01))
         .collect();
     let want = golden_dense(n, &inputs);
-    let plan = plan_for(&topo, &hosts, (n * 4) as u64);
-    let (results, report) = run_sparse_allreduce(
-        topo,
-        &hosts,
-        &plan,
-        Sum,
-        n,
-        inputs,
-        policy(1280),
-        &RunOptions::default(),
-    );
-    assert!(report.last_done.is_some());
-    for (rank, got) in results.iter().enumerate() {
+    let out = session
+        .sparse_allreduce(n, inputs)
+        .policy(policy(1280))
+        .run()
+        .unwrap();
+    assert!(out.report.net.last_done.is_some());
+    for (rank, got) in out.ranks().iter().enumerate() {
         for (i, (a, b)) in got.iter().zip(&want).enumerate() {
             assert!((a - b).abs() < 1e-4, "rank {rank} elem {i}: {a} vs {b}");
         }
@@ -75,24 +53,22 @@ fn sparse_star_matches_dense_reference() {
 #[test]
 fn sparse_fat_tree_densification_and_correctness() {
     let (topo, ft) = Topology::fat_tree_two_level(4, 4, 2, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo)
+        .hosts(ft.hosts)
+        .switch_memory(256 << 20)
+        .build();
     let n = 50_000usize;
     // 30% index overlap across 16 hosts drives densification at the root.
     let inputs = overlap_controlled(11, 16, n, 400, 0.3);
     let union = union_nnz(&inputs);
     assert!(union < 16 * 400, "overlap must reduce the union: {union}");
     let want = golden_dense(n, &inputs);
-    let plan = plan_for(&topo, &ft.hosts, (n * 4) as u64);
-    let (results, _) = run_sparse_allreduce(
-        topo,
-        &ft.hosts,
-        &plan,
-        Sum,
-        n,
-        inputs,
-        policy(2560),
-        &RunOptions::default(),
-    );
-    for got in &results {
+    let out = session
+        .sparse_allreduce(n, inputs)
+        .policy(policy(2560))
+        .run()
+        .unwrap();
+    for got in out.ranks() {
         for (a, b) in got.iter().zip(&want) {
             assert!((a - b).abs() < 1e-3 * b.abs().max(1.0), "{a} vs {b}");
         }
@@ -103,30 +79,24 @@ fn sparse_fat_tree_densification_and_correctness() {
 fn tiny_hash_tables_spill_but_stay_correct() {
     // Force heavy collisions: results must still be exact because spilled
     // elements are re-aggregated upstream (or combined at the hosts).
-    let (topo, _sw, hosts) = Topology::star(4, LinkSpec::hundred_gig());
+    let mut session = star_session(4);
     let n = 4_000usize;
     let inputs: Vec<Vec<(u32, f32)>> = (0..4)
         .map(|h| sparsify_random_k(13, h as u64, n, 0.05))
         .collect();
     let want = golden_dense(n, &inputs);
-    let plan = plan_for(&topo, &hosts, (n * 4) as u64);
     let tight = SparsePolicy {
         hash_slots: 16, // far smaller than the ~200 nnz per block span
         spill_cap: 8,
         span: 1280,
         array_at_root: false, // hash even at the root: spills go downward
     };
-    let (results, _) = run_sparse_allreduce(
-        topo,
-        &hosts,
-        &plan,
-        Sum,
-        n,
-        inputs,
-        tight,
-        &RunOptions::default(),
-    );
-    for got in &results {
+    let out = session
+        .sparse_allreduce(n, inputs)
+        .policy(tight)
+        .run()
+        .unwrap();
+    for got in out.ranks() {
         for (i, (a, b)) in got.iter().zip(&want).enumerate() {
             assert!((a - b).abs() < 1e-4, "elem {i}: {a} vs {b}");
         }
@@ -135,14 +105,11 @@ fn tiny_hash_tables_spill_but_stay_correct() {
 
 #[test]
 fn spilling_generates_extra_traffic() {
-    let (topo_a, _sw, hosts_a) = Topology::star(8, LinkSpec::hundred_gig());
-    let (topo_b, _sw2, hosts_b) = Topology::star(8, LinkSpec::hundred_gig());
+    let mut session = star_session(8);
     let n = 10_000usize;
     let inputs: Vec<Vec<(u32, f32)>> = (0..8)
         .map(|h| sparsify_random_k(17, h as u64, n, 0.1))
         .collect();
-    let plan_a = plan_for(&topo_a, &hosts_a, (n * 4) as u64);
-    let plan_b = plan_for(&topo_b, &hosts_b, (n * 4) as u64);
     let roomy = SparsePolicy {
         hash_slots: 4096,
         spill_cap: 4096,
@@ -155,23 +122,29 @@ fn spilling_generates_extra_traffic() {
         span: 1280,
         array_at_root: false,
     };
-    let (_, rep_roomy) = run_sparse_allreduce(
-        topo_a, &hosts_a, &plan_a, Sum, n, inputs.clone(), roomy, &RunOptions::default(),
-    );
-    let (_, rep_tight) = run_sparse_allreduce(
-        topo_b, &hosts_b, &plan_b, Sum, n, inputs, tight, &RunOptions::default(),
-    );
+    let rep_roomy = session
+        .sparse_allreduce(n, inputs.clone())
+        .policy(roomy)
+        .run()
+        .unwrap()
+        .report;
+    let rep_tight = session
+        .sparse_allreduce(n, inputs)
+        .policy(tight)
+        .run()
+        .unwrap()
+        .report;
     assert!(
-        rep_tight.total_link_bytes > rep_roomy.total_link_bytes * 11 / 10,
+        rep_tight.total_link_bytes() > rep_roomy.total_link_bytes() * 11 / 10,
         "spilling must add >10% traffic: tight={} roomy={}",
-        rep_tight.total_link_bytes,
-        rep_roomy.total_link_bytes
+        rep_tight.total_link_bytes(),
+        rep_roomy.total_link_bytes()
     );
 }
 
 #[test]
 fn all_zero_hosts_send_empty_blocks_and_complete() {
-    let (topo, _sw, hosts) = Topology::star(3, LinkSpec::hundred_gig());
+    let mut session = star_session(3);
     let n = 5_000usize;
     // Host 1 has nothing at all; others are sparse.
     let inputs = vec![
@@ -180,18 +153,12 @@ fn all_zero_hosts_send_empty_blocks_and_complete() {
         sparsify_random_k(23, 2, n, 0.01),
     ];
     let want = golden_dense(n, &inputs);
-    let plan = plan_for(&topo, &hosts, (n * 4) as u64);
-    let (results, _) = run_sparse_allreduce(
-        topo,
-        &hosts,
-        &plan,
-        Sum,
-        n,
-        inputs,
-        policy(1280),
-        &RunOptions::default(),
-    );
-    for got in &results {
+    let out = session
+        .sparse_allreduce(n, inputs)
+        .policy(policy(1280))
+        .run()
+        .unwrap();
+    for got in out.ranks() {
         for (a, b) in got.iter().zip(&want) {
             assert!((a - b).abs() < 1e-4);
         }
@@ -202,27 +169,22 @@ fn all_zero_hosts_send_empty_blocks_and_complete() {
 fn sparse_traffic_is_far_below_dense_traffic() {
     // The point of F2: at 1% density the sparse allreduce moves a small
     // fraction of the dense bytes.
-    let (topo_s, _sw, hosts_s) = Topology::star(4, LinkSpec::hundred_gig());
+    let mut session = star_session(4);
     let n = 100_000usize;
     let inputs: Vec<Vec<(u32, f32)>> = (0..4)
         .map(|h| sparsify_random_k(29, h as u64, n, 0.01))
         .collect();
-    let plan_s = plan_for(&topo_s, &hosts_s, (n * 4) as u64);
-    let (_, rep_sparse) = run_sparse_allreduce(
-        topo_s,
-        &hosts_s,
-        &plan_s,
-        Sum,
-        n,
-        inputs,
-        policy(12800),
-        &RunOptions::default(),
-    );
+    let rep = session
+        .sparse_allreduce(n, inputs)
+        .policy(policy(12800))
+        .run()
+        .unwrap()
+        .report;
     let dense_bytes = 2 * 4 * (n as u64 * 4); // up+down, 4 hosts, n×4 bytes
     assert!(
-        rep_sparse.total_link_bytes < dense_bytes / 5,
+        rep.total_link_bytes() < dense_bytes / 5,
         "sparse {} vs dense {}",
-        rep_sparse.total_link_bytes,
+        rep.total_link_bytes(),
         dense_bytes
     );
 }

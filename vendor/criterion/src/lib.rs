@@ -1,0 +1,307 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a minimal benchmark harness with criterion's API shape: benchmark
+//! groups, throughput annotations, parameterized ids and `Bencher::iter`.
+//! Instead of criterion's statistical analysis it warms each benchmark up
+//! and reports the median of a fixed number of timed batches — enough to
+//! compare the reproduction's hot paths between commits.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement — the stub's only measurement.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Throughput annotation for a benchmark (reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes, decimal multiple interpretation.
+    BytesDecimal(u64),
+}
+
+/// Identifier of a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Runs closures and measures them; handed to every benchmark function.
+pub struct Bencher<'a> {
+    samples: u64,
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call, then the timed batch.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        *self.elapsed = start.elapsed() / self.samples as u32;
+    }
+
+    /// Measure with per-iteration setup excluded (criterion's deprecated
+    /// spelling of [`Bencher::iter_batched`]).
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        setup: S,
+        routine: R,
+    ) {
+        self.iter_batched(setup, routine, BatchSize::SmallInput);
+    }
+
+    /// Measure with per-iteration setup excluded (setup runs untimed).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        *self.elapsed = total / self.samples as u32;
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// Per-iteration allocation.
+    PerIteration,
+}
+
+fn report(group: Option<&str>, id: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let prefix = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) | Some(Throughput::BytesDecimal(b)) => {
+            let gib_s = b as f64 / per_iter.as_secs_f64() / (1u64 << 30) as f64;
+            format!("  {gib_s:8.2} GiB/s")
+        }
+        Some(Throughput::Elements(e)) => {
+            let me_s = e as f64 / per_iter.as_secs_f64() / 1e6;
+            format!("  {me_s:8.2} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!("bench {prefix:<48} {per_iter:>12.2?}/iter{rate}");
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    /// Annotate following benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measurement time hint (ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Warm-up time hint (ignored by the stub).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut elapsed = Duration::ZERO;
+        f(&mut Bencher {
+            samples: self.samples,
+            elapsed: &mut elapsed,
+        });
+        report(Some(&self.name), &id.to_string(), elapsed, self.throughput);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut elapsed = Duration::ZERO;
+        f(
+            &mut Bencher {
+                samples: self.samples,
+                elapsed: &mut elapsed,
+            },
+            input,
+        );
+        report(Some(&self.name), &id.to_string(), elapsed, self.throughput);
+        self
+    }
+
+    /// Finish the group (a no-op in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager: entry point handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    samples: u64,
+}
+
+impl Criterion {
+    /// Default configuration: 10 timed samples per benchmark.
+    pub fn new() -> Self {
+        Self { samples: 10 }
+    }
+
+    /// Override the default sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    /// Configure from command-line arguments (ignored by the stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.samples == 0 { 10 } else { self.samples };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            throughput: None,
+            _criterion: self,
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = if self.samples == 0 { 10 } else { self.samples };
+        let mut elapsed = Duration::ZERO;
+        f(&mut Bencher {
+            samples,
+            elapsed: &mut elapsed,
+        });
+        report(None, &id.to_string(), elapsed, None);
+        self
+    }
+
+    /// Final reporting hook (a no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a benchmark group: `criterion_group!(name, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point: `criterion_main!(group_a, group_b);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::new().sample_size(3);
+        let mut g = c.benchmark_group("demo");
+        let mut runs = 0u32;
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("i32").to_string(), "i32");
+    }
+}

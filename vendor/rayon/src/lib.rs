@@ -1,0 +1,110 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the entry points the benchmark harness uses — `par_iter()` /
+//! `into_par_iter()` — implemented as their *sequential* `std` iterator
+//! counterparts. Results are bit-identical to the parallel versions (the
+//! harness only fans out independent simulations); only wall-clock
+//! parallelism is lost.
+
+#![deny(missing_docs)]
+
+/// Sequential re-exports of the rayon parallel-iterator traits.
+pub mod prelude {
+    /// `par_iter()` over a shared slice — sequential stand-in.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type yielded by the iterator.
+        type Item: 'data;
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate sequentially (stands in for rayon's parallel iteration).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` over an exclusive slice — sequential stand-in.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item type yielded by the iterator.
+        type Item: 'data;
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate sequentially with mutable access.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `into_par_iter()` — sequential stand-in.
+    pub trait IntoParallelIterator {
+        /// Item type yielded by the iterator.
+        type Item;
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Consume into a sequential iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Item = T;
+        type Iter = std::ops::Range<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let consumed: i32 = v.into_par_iter().sum();
+        assert_eq!(consumed, 10);
+        let ranged: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(ranged, vec![0, 1, 2, 3]);
+    }
+}
