@@ -1,0 +1,53 @@
+//! Run the wall-clock perf matrix and write `BENCH_*.json`.
+//!
+//! Usage:
+//!   perf [--smoke] [--out PATH]
+//!
+//! `--smoke` runs the reduced CI matrix (two small cells); `--out` sets
+//! the JSON output path (default `BENCH_PR2.json` in the working
+//! directory). The scenario rows also print as an aligned table.
+
+use flare_bench::perf::{matrix, run, smoke_matrix, to_json};
+use flare_bench::table::render;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let scenarios = if smoke { smoke_matrix() } else { matrix() };
+    let cells = scenarios.len();
+    let mut rows = Vec::with_capacity(cells);
+    let mut table = Vec::with_capacity(cells);
+    for (i, s) in scenarios.iter().enumerate() {
+        eprintln!("[{}/{}] {}", i + 1, cells, s.name());
+        let m = run(s);
+        table.push(vec![
+            s.name(),
+            format!("{:.1}", m.wall_ms),
+            format!("{:.2e}", m.events_per_sec),
+            format!("{:.1}", m.ns_per_element),
+            format!("{}", m.makespan_ns),
+        ]);
+        rows.push(m);
+    }
+    println!(
+        "{}",
+        render(
+            &["scenario", "wall (ms)", "events/s", "ns/elem", "sim ns"],
+            &table
+        )
+    );
+    let label = if smoke {
+        "flare-perf-smoke"
+    } else {
+        "flare-perf"
+    };
+    let json = to_json(label, &rows);
+    std::fs::write(&out_path, json).expect("write JSON output");
+    eprintln!("wrote {out_path}");
+}

@@ -12,5 +12,6 @@ pub mod fig11;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod perf;
 pub mod table;
 pub mod table1;

@@ -1,0 +1,342 @@
+//! Wall-clock performance harness for the simulator datapath.
+//!
+//! Unlike the figure modules (which reproduce *simulated* results), this
+//! module measures how fast the simulator itself runs: a fixed scenario
+//! matrix (dense/sparse × star/fat-tree × 8/32 hosts × 128 KiB/8 MiB per
+//! host) is executed end-to-end through [`flare_core::FlareSession`] and
+//! each cell records wall time, simulator events per second and
+//! nanoseconds of host time per input element. The `perf` binary writes
+//! the rows as `BENCH_*.json`, giving every PR a trajectory to beat.
+
+use std::time::Instant;
+
+use flare_core::op::Sum;
+use flare_core::session::FlareSession;
+use flare_net::{LinkSpec, NodeId, Topology};
+
+/// Dense or sparse allreduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Dense f32 allreduce.
+    Dense,
+    /// Sparse f32 allreduce at ~1% density.
+    Sparse,
+}
+
+impl Mode {
+    /// Lower-case label used in JSON rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Dense => "dense",
+            Mode::Sparse => "sparse",
+        }
+    }
+}
+
+/// Topology shape of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoKind {
+    /// Single switch, every host attached to it.
+    Star,
+    /// Two-level fat tree (leaf/spine).
+    FatTree,
+}
+
+impl TopoKind {
+    /// Lower-case label used in JSON rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            TopoKind::Star => "star",
+            TopoKind::FatTree => "fat_tree",
+        }
+    }
+}
+
+/// One cell of the scenario matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Dense or sparse datapath.
+    pub mode: Mode,
+    /// Network shape.
+    pub topo: TopoKind,
+    /// Participating hosts.
+    pub hosts: usize,
+    /// Payload bytes per host (f32 elements × 4).
+    pub bytes_per_host: usize,
+    /// Timed repetitions; the fastest is reported.
+    pub reps: usize,
+}
+
+impl Scenario {
+    /// f32 elements per host.
+    pub fn elems(&self) -> usize {
+        self.bytes_per_host / 4
+    }
+
+    /// Short `dense/fat_tree/8h/128KiB`-style name.
+    pub fn name(&self) -> String {
+        let size = if self.bytes_per_host >= 1 << 20 {
+            format!("{}MiB", self.bytes_per_host >> 20)
+        } else {
+            format!("{}KiB", self.bytes_per_host >> 10)
+        };
+        format!(
+            "{}/{}/{}h/{}",
+            self.mode.label(),
+            self.topo.label(),
+            self.hosts,
+            size
+        )
+    }
+}
+
+/// Measured results of one scenario cell.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The cell that was run.
+    pub scenario: Scenario,
+    /// Fastest wall time across repetitions, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulator events processed in the timed run.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Host-time nanoseconds per input element (hosts × elems).
+    pub ns_per_element: f64,
+    /// Simulated completion time (ns) — a correctness anchor: datapath
+    /// optimizations must leave simulated time unchanged.
+    pub makespan_ns: u64,
+    /// Simulated link traffic (bytes, each hop counted).
+    pub total_link_bytes: u64,
+}
+
+/// The full tracked matrix: dense/sparse × star/fat-tree × 8/32 hosts ×
+/// 128 KiB/8 MiB. Large cells run once; small cells take the best of 3.
+pub fn matrix() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for mode in [Mode::Dense, Mode::Sparse] {
+        for topo in [TopoKind::Star, TopoKind::FatTree] {
+            for hosts in [8usize, 32] {
+                for bytes in [128 * 1024usize, 8 * 1024 * 1024] {
+                    let reps = if bytes <= 128 * 1024 { 3 } else { 1 };
+                    out.push(Scenario {
+                        mode,
+                        topo,
+                        hosts,
+                        bytes_per_host: bytes,
+                        reps,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reduced matrix for CI smoke runs: one small dense and one small sparse
+/// cell, single repetition.
+pub fn smoke_matrix() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+        },
+        Scenario {
+            mode: Mode::Sparse,
+            topo: TopoKind::Star,
+            hosts: 8,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+        },
+    ]
+}
+
+fn build_topology(topo: TopoKind, hosts: usize) -> (Topology, Vec<NodeId>) {
+    match topo {
+        TopoKind::Star => {
+            let (t, _sw, hs) = Topology::star(hosts, LinkSpec::hundred_gig());
+            (t, hs)
+        }
+        TopoKind::FatTree => {
+            // 8 hosts: 2 leaves × 4; 32 hosts: 4 leaves × 8.
+            let (leaves, per_leaf, spines) = match hosts {
+                8 => (2, 4, 2),
+                32 => (4, 8, 4),
+                n => (n.div_ceil(8), 8, n.div_ceil(8)),
+            };
+            let (t, ft) =
+                Topology::fat_tree_two_level(leaves, per_leaf, spines, LinkSpec::hundred_gig());
+            assert_eq!(
+                ft.hosts.len(),
+                hosts,
+                "fat-tree shape must match host count"
+            );
+            (t, ft.hosts)
+        }
+    }
+}
+
+/// Execute one scenario cell and measure it.
+pub fn run(s: &Scenario) -> Measurement {
+    let elems = s.elems();
+    let mut best: Option<(f64, u64, u64, u64)> = None;
+    for _ in 0..s.reps.max(1) {
+        let (topo, hosts) = build_topology(s.topo, s.hosts);
+        let start = Instant::now();
+        let report = match s.mode {
+            Mode::Dense => {
+                let mut session = FlareSession::builder(topo).hosts(hosts).build();
+                let inputs: Vec<Vec<f32>> =
+                    (0..s.hosts).map(|h| vec![(h + 1) as f32; elems]).collect();
+                let out = session.allreduce(inputs).op(Sum).run().expect("dense run");
+                out.report
+            }
+            Mode::Sparse => {
+                // ~1% density, indexes striped across the domain so every
+                // block sees traffic and hash stores actually collide.
+                let nnz = (elems / 100).max(1);
+                let stride = (elems / nnz).max(1);
+                let mut session = FlareSession::builder(topo).hosts(hosts).build();
+                let pairs: Vec<Vec<(u32, f32)>> = (0..s.hosts)
+                    .map(|h| {
+                        (0..nnz)
+                            .map(|i| (((i * stride + h) % elems) as u32, 1.0f32))
+                            .collect()
+                    })
+                    .collect();
+                let out = session
+                    .sparse_allreduce(elems, pairs)
+                    .op(Sum)
+                    .run()
+                    .expect("sparse run");
+                out.report
+            }
+        };
+        let wall = start.elapsed().as_secs_f64();
+        let cand = (
+            wall,
+            report.net.events,
+            report.net.makespan,
+            report.net.total_link_bytes,
+        );
+        best = Some(match best {
+            Some(b) if b.0 <= wall => b,
+            _ => cand,
+        });
+    }
+    let (wall, events, makespan, link_bytes) = best.expect("at least one rep");
+    let total_elems = (s.hosts * elems) as f64;
+    Measurement {
+        scenario: *s,
+        wall_ms: wall * 1e3,
+        events,
+        events_per_sec: events as f64 / wall.max(1e-9),
+        ns_per_element: wall * 1e9 / total_elems,
+        makespan_ns: makespan,
+        total_link_bytes: link_bytes,
+    }
+}
+
+/// Render measurements as the checked-in `BENCH_*.json` document.
+pub fn to_json(label: &str, rows: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{label}\",\n"));
+    out.push_str("  \"unit\": {\"wall_ms\": \"milliseconds\", \"events_per_sec\": \"1/s\", \"ns_per_element\": \"ns\"},\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, m) in rows.iter().enumerate() {
+        let s = &m.scenario;
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"topology\": \"{}\", \"hosts\": {}, \"payload_bytes\": {}, \
+             \"elems_per_host\": {}, \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \
+             \"ns_per_element\": {:.2}, \"makespan_ns\": {}, \"total_link_bytes\": {}}}{}\n",
+            s.mode.label(),
+            s.topo.label(),
+            s.hosts,
+            s.bytes_per_host,
+            s.elems(),
+            m.wall_ms,
+            m.events,
+            m.events_per_sec,
+            m.ns_per_element,
+            m.makespan_ns,
+            m.total_link_bytes,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_the_full_cross_product() {
+        let m = matrix();
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.iter().filter(|s| s.mode == Mode::Sparse).count(), 8);
+        assert_eq!(m.iter().filter(|s| s.topo == TopoKind::Star).count(), 8);
+        assert_eq!(m.iter().filter(|s| s.hosts == 32).count(), 8);
+        assert_eq!(m.iter().filter(|s| s.bytes_per_host == 8 << 20).count(), 8);
+    }
+
+    #[test]
+    fn smoke_cell_runs_and_reports_sane_numbers() {
+        let s = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::Star,
+            hosts: 4,
+            bytes_per_host: 4096,
+            reps: 1,
+        };
+        let m = run(&s);
+        assert!(m.wall_ms > 0.0);
+        assert!(m.events > 0);
+        assert!(m.events_per_sec > 0.0);
+        assert!(m.makespan_ns > 0);
+        assert_eq!(s.name(), "dense/star/4h/4KiB");
+    }
+
+    #[test]
+    fn sparse_cell_runs() {
+        let s = Scenario {
+            mode: Mode::Sparse,
+            topo: TopoKind::Star,
+            hosts: 4,
+            bytes_per_host: 8192,
+            reps: 1,
+        };
+        let m = run(&s);
+        assert!(m.events > 0 && m.total_link_bytes > 0);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let s = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+        };
+        let m = Measurement {
+            scenario: s,
+            wall_ms: 1.5,
+            events: 100,
+            events_per_sec: 2.0,
+            ns_per_element: 3.0,
+            makespan_ns: 4,
+            total_link_bytes: 5,
+        };
+        let j = to_json("perf", &[m.clone(), m]);
+        assert_eq!(j.matches("{\"mode\"").count(), 2);
+        assert_eq!(j.matches("\"topology\": \"fat_tree\"").count(), 2);
+        assert!(j.ends_with("}\n"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -12,6 +12,57 @@
 
 use crate::dtype::Element;
 use crate::op::ReduceOp;
+use crate::pool::BufferPool;
+use crate::wire::DenseView;
+
+/// A source of dense values a block can aggregate from: either a plain
+/// slice or a zero-copy [`DenseView`] over a packet body. The trait lets
+/// the steady-state datapath fold wire bytes straight into accumulation
+/// buffers without materializing a `Vec<T>` per packet.
+pub trait DenseSource<T: Element> {
+    /// Number of values.
+    fn len(&self) -> usize;
+
+    /// Whether the source holds no values.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append every value to `out` (the first contribution initializes
+    /// the accumulation buffer).
+    fn append_to(&self, out: &mut Vec<T>);
+
+    /// Combine elementwise into `acc` (`acc.len()` must equal `len()`).
+    fn fold_into<O: ReduceOp<T>>(&self, op: &O, acc: &mut [T]);
+}
+
+impl<T: Element> DenseSource<T> for [T] {
+    fn len(&self) -> usize {
+        <[T]>::len(self)
+    }
+
+    fn append_to(&self, out: &mut Vec<T>) {
+        out.extend_from_slice(self);
+    }
+
+    fn fold_into<O: ReduceOp<T>>(&self, op: &O, acc: &mut [T]) {
+        accumulate(op, acc, self);
+    }
+}
+
+impl<T: Element> DenseSource<T> for DenseView<'_, T> {
+    fn len(&self) -> usize {
+        DenseView::len(self)
+    }
+
+    fn append_to(&self, out: &mut Vec<T>) {
+        DenseView::append_to(self, out);
+    }
+
+    fn fold_into<O: ReduceOp<T>>(&self, op: &O, acc: &mut [T]) {
+        self.fold_with(acc, |a, b| op.combine(a, b));
+    }
+}
 
 /// Per-child reception bitmap, sized for any number of children.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +90,12 @@ impl ChildBitmap {
         self.words[w] |= mask;
         self.set_count += 1;
         true
+    }
+
+    /// Clear every bit (block-shell reuse).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.set_count = 0;
     }
 
     /// Whether bit `child` is set.
@@ -111,18 +168,33 @@ impl<T: Element> SingleBufferBlock<T> {
         }
     }
 
-    /// Fold one packet into the buffer.
+    /// Fold one packet into the buffer (compatibility wrapper over
+    /// [`Self::insert_from`] with a throwaway pool).
     pub fn insert<O: ReduceOp<T>>(&mut self, op: &O, child: u16, vals: &[T]) -> InsertReport<T> {
+        self.insert_from(op, child, vals, &mut BufferPool::new())
+    }
+
+    /// Fold one packet into the buffer, drawing the accumulation buffer
+    /// from `pool` on the first contribution.
+    pub fn insert_from<O: ReduceOp<T>, S: DenseSource<T> + ?Sized>(
+        &mut self,
+        op: &O,
+        child: u16,
+        vals: &S,
+        pool: &mut BufferPool<T>,
+    ) -> InsertReport<T> {
         if !self.seen.set(child) {
             return InsertReport::duplicate();
         }
         let mut allocated = 0;
         match &mut self.buf {
             None => {
-                self.buf = Some(vals.to_vec());
+                let mut buf = pool.get(vals.len());
+                vals.append_to(&mut buf);
+                self.buf = Some(buf);
                 allocated = 1;
             }
-            Some(acc) => accumulate(op, acc, vals),
+            Some(acc) => vals.fold_into(op, acc),
         }
         let complete = self.seen.count() == self.expected;
         InsertReport {
@@ -166,7 +238,8 @@ impl<T: Element> MultiBufferBlock<T> {
         self.bufs.len()
     }
 
-    /// Fold one packet into buffer `buffer` (the caller's acquired lock).
+    /// Fold one packet into buffer `buffer` (compatibility wrapper over
+    /// [`Self::insert_from`] with a throwaway pool).
     pub fn insert<O: ReduceOp<T>>(
         &mut self,
         op: &O,
@@ -174,16 +247,31 @@ impl<T: Element> MultiBufferBlock<T> {
         child: u16,
         vals: &[T],
     ) -> InsertReport<T> {
+        self.insert_from(op, buffer, child, vals, &mut BufferPool::new())
+    }
+
+    /// Fold one packet into buffer `buffer` (the caller's acquired lock),
+    /// drawing/returning partial buffers from/to `pool`.
+    pub fn insert_from<O: ReduceOp<T>, S: DenseSource<T> + ?Sized>(
+        &mut self,
+        op: &O,
+        buffer: usize,
+        child: u16,
+        vals: &S,
+        pool: &mut BufferPool<T>,
+    ) -> InsertReport<T> {
         if !self.seen.set(child) {
             return InsertReport::duplicate();
         }
         let mut allocated = 0;
         match &mut self.bufs[buffer] {
             None => {
-                self.bufs[buffer] = Some(vals.to_vec());
+                let mut buf = pool.get(vals.len());
+                vals.append_to(&mut buf);
+                self.bufs[buffer] = Some(buf);
                 allocated = 1;
             }
-            Some(acc) => accumulate(op, acc, vals),
+            Some(acc) => vals.fold_into(op, acc),
         }
         if self.seen.count() < self.expected {
             return InsertReport {
@@ -196,19 +284,28 @@ impl<T: Element> MultiBufferBlock<T> {
         }
         // Last handler: fold the partial buffers together in index order
         // ("aggregates the content of its packet with the content of B0,
-        // and then of B1", Section 6.2).
-        let mut filled: Vec<Vec<T>> = self.bufs.iter_mut().filter_map(Option::take).collect();
-        let folds = filled.len() - 1;
-        let mut acc = filled.remove(0);
-        for part in &filled {
-            accumulate(op, &mut acc, part);
+        // and then of B1", Section 6.2). Folded-away partials go back to
+        // the pool.
+        let mut acc: Option<Vec<T>> = None;
+        let mut folds = 0;
+        for slot in &mut self.bufs {
+            if let Some(part) = slot.take() {
+                match &mut acc {
+                    None => acc = Some(part),
+                    Some(a) => {
+                        accumulate(op, a, &part);
+                        folds += 1;
+                        pool.put(part);
+                    }
+                }
+            }
         }
         InsertReport {
             buffers_allocated: allocated,
             buffers_freed: folds + 1,
             merges: folds,
             duplicate: false,
-            result: Some(acc),
+            result: Some(acc.expect("at least this packet's buffer")),
         }
     }
 }
@@ -250,14 +347,43 @@ impl<T: Element> TreeBlock<T> {
         (idx << level) < self.expected as usize
     }
 
-    /// Insert child `i`'s packet into leaf `i` and bubble merges upward.
+    /// Reset for reuse on the next block of the same shape (a completed
+    /// tree has already handed every buffer out, so only the bitmap — and,
+    /// defensively, any abandoned slots — need clearing).
+    pub fn reset(&mut self) {
+        self.seen.clear();
+        for level in &mut self.levels {
+            for slot in level {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Insert child `i`'s packet into leaf `i` and bubble merges upward
+    /// (compatibility wrapper over [`Self::insert_from`] with a
+    /// throwaway pool).
     pub fn insert<O: ReduceOp<T>>(&mut self, op: &O, child: u16, vals: &[T]) -> InsertReport<T> {
+        self.insert_from(op, child, vals, &mut BufferPool::new())
+    }
+
+    /// Insert child `i`'s packet into leaf `i` and bubble merges upward,
+    /// drawing the leaf buffer from `pool` and returning merged-away
+    /// buffers to it.
+    pub fn insert_from<O: ReduceOp<T>, S: DenseSource<T> + ?Sized>(
+        &mut self,
+        op: &O,
+        child: u16,
+        vals: &S,
+        pool: &mut BufferPool<T>,
+    ) -> InsertReport<T> {
         if !self.seen.set(child) {
             return InsertReport::duplicate();
         }
         let mut level = 0;
         let mut idx = child as usize;
-        self.levels[0][idx] = Some(vals.to_vec());
+        let mut leaf = pool.get(vals.len());
+        vals.append_to(&mut leaf);
+        self.levels[0][idx] = Some(leaf);
         let mut merges = 0;
         let mut freed = 0;
         let top = self.levels.len() - 1;
@@ -273,6 +399,7 @@ impl<T: Element> TreeBlock<T> {
                 let mut left = self.levels[level][left_idx].take().expect("left present");
                 let right = self.levels[level][right_idx].take().expect("right present");
                 accumulate(op, &mut left, &right);
+                pool.put(right);
                 merges += 1;
                 freed += 1; // two buffers became one
                 Some(left)
@@ -474,6 +601,49 @@ mod tests {
             alloc += r.buffers_allocated as i64 - r.buffers_freed as i64;
         }
         assert_eq!(alloc, 0, "no leaked buffers");
+    }
+
+    #[test]
+    fn tree_insert_from_view_matches_slice_and_reuses_buffers() {
+        use crate::wire::{encode_dense, DenseView, Header, PacketKind};
+        let p = 4usize;
+        let data = inputs(p, 16);
+        let mut pool = BufferPool::new();
+        let mut results = Vec::new();
+        // Several consecutive blocks through one shared pool: after the
+        // first block warmed it up, later blocks allocate nothing.
+        for _round in 0..5 {
+            let mut blk = TreeBlock::new(p as u16);
+            for (c, v) in data.iter().enumerate() {
+                let pkt = encode_dense(
+                    Header {
+                        allreduce: 1,
+                        block: 0,
+                        child: c as u16,
+                        kind: PacketKind::DenseContrib,
+                        last_shard: false,
+                        shard_count: 0,
+                        elem_count: 0,
+                    },
+                    v,
+                );
+                let (_, view) = DenseView::<i32>::parse(&pkt).unwrap();
+                if let Some(r) = blk.insert_from(&Sum, c as u16, &view, &mut pool).result {
+                    results.push(r.clone());
+                    pool.put(r);
+                }
+            }
+        }
+        let want = golden_reduce(&Sum, &data);
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert_eq!(*r, want);
+        }
+        let stats = pool.stats();
+        // Warm-up allocates at most one buffer per concurrently-live tree
+        // level; the other 4 rounds are served from the free-list.
+        assert!(stats.misses() <= p as u64, "misses: {:?}", stats);
+        assert!(stats.hits >= stats.gets - p as u64);
     }
 
     fn permute<F: FnMut(&[u16])>(arr: &mut Vec<u16>, k: usize, f: &mut F) {

@@ -33,6 +33,37 @@ pub trait Element: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
     /// Decode from the first `WIRE_BYTES` of `b`.
     fn read_le(b: &[u8]) -> Self;
 
+    /// Append the little-endian encoding of a whole slice to `out`.
+    ///
+    /// The default loops [`Element::write_le`]; the built-in types
+    /// override it with a block-buffered bulk path — the wire hot loop —
+    /// that the compiler vectorizes.
+    fn write_slice_le(vals: &[Self], out: &mut Vec<u8>) {
+        out.reserve(vals.len() * Self::WIRE_BYTES);
+        for &v in vals {
+            v.write_le(out);
+        }
+    }
+
+    /// Decode `bytes` (a whole multiple of `WIRE_BYTES`) appending the
+    /// elements to `out`. Built-in types override with a vectorizable
+    /// bulk path.
+    fn read_slice_le(bytes: &[u8], out: &mut Vec<Self>) {
+        out.reserve(bytes.len() / Self::WIRE_BYTES);
+        out.extend(bytes.chunks_exact(Self::WIRE_BYTES).map(Self::read_le));
+    }
+
+    /// Decode `bytes` and combine elementwise into `acc` with `f`
+    /// (`acc.len() == bytes.len() / WIRE_BYTES`). With `f = op.combine`
+    /// this is the switch's aggregation inner loop; with `f = |_, b| b`
+    /// it is a bulk copy. Built-in types override with a vectorizable
+    /// bulk path.
+    fn fold_slice_le(bytes: &[u8], acc: &mut [Self], f: impl Fn(Self, Self) -> Self) {
+        for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(Self::WIRE_BYTES)) {
+            *a = f(*a, Self::read_le(c));
+        }
+    }
+
     /// Elementwise addition (wrapping for integers — the deterministic
     /// behaviour a switch handler would implement).
     fn add(self, other: Self) -> Self;
@@ -45,6 +76,39 @@ pub trait Element: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
     /// An arbitrary but deterministic value for test/workload generation,
     /// derived from a seed; kept small so integer sums do not wrap.
     fn from_seed(seed: u64) -> Self;
+}
+
+/// Bulk little-endian wire paths shared by every built-in element type:
+/// fixed-size-array chunking (`as_chunks` / `as_flattened`) keeps the
+/// loops free of per-element bounds checks so they vectorize.
+macro_rules! impl_bulk_wire {
+    ($t:ty, $bytes:expr) => {
+        fn write_slice_le(vals: &[Self], out: &mut Vec<u8>) {
+            out.reserve(vals.len() * $bytes);
+            let mut tmp = [[0u8; $bytes]; 64];
+            for chunk in vals.chunks(64) {
+                for (t, v) in tmp.iter_mut().zip(chunk) {
+                    *t = v.to_le_bytes();
+                }
+                out.extend_from_slice(tmp[..chunk.len()].as_flattened());
+            }
+        }
+
+        fn read_slice_le(bytes: &[u8], out: &mut Vec<Self>) {
+            let (chunks, rest) = bytes.as_chunks::<$bytes>();
+            debug_assert!(rest.is_empty(), "truncated element payload");
+            out.reserve(chunks.len());
+            out.extend(chunks.iter().map(|c| <$t>::from_le_bytes(*c)));
+        }
+
+        fn fold_slice_le(bytes: &[u8], acc: &mut [Self], f: impl Fn(Self, Self) -> Self) {
+            let (chunks, rest) = bytes.as_chunks::<$bytes>();
+            debug_assert!(rest.is_empty(), "truncated element payload");
+            for (a, c) in acc.iter_mut().zip(chunks) {
+                *a = f(*a, <$t>::from_le_bytes(*c));
+            }
+        }
+    };
 }
 
 macro_rules! impl_int_element {
@@ -65,6 +129,7 @@ macro_rules! impl_int_element {
                 buf.copy_from_slice(&b[..$bytes]);
                 <$t>::from_le_bytes(buf)
             }
+            impl_bulk_wire!($t, $bytes);
             fn add(self, other: Self) -> Self {
                 self.wrapping_add(other)
             }
@@ -104,6 +169,7 @@ impl Element for f32 {
         buf.copy_from_slice(&b[..4]);
         f32::from_le_bytes(buf)
     }
+    impl_bulk_wire!(f32, 4);
     fn add(self, other: Self) -> Self {
         self + other
     }
@@ -128,6 +194,16 @@ impl Element for f32 {
 pub struct F16(pub u16);
 
 impl F16 {
+    /// The bit pattern, little-endian (wire form).
+    pub fn to_le_bytes(self) -> [u8; 2] {
+        self.0.to_le_bytes()
+    }
+
+    /// Rebuild from the little-endian bit pattern.
+    pub fn from_le_bytes(b: [u8; 2]) -> Self {
+        F16(u16::from_le_bytes(b))
+    }
+
     /// Convert from f32 with round-to-nearest-even.
     pub fn from_f32(x: f32) -> Self {
         let bits = x.to_bits();
@@ -215,6 +291,7 @@ impl Element for F16 {
     fn read_le(b: &[u8]) -> Self {
         F16(u16::from_le_bytes([b[0], b[1]]))
     }
+    impl_bulk_wire!(F16, 2);
     fn add(self, other: Self) -> Self {
         F16::from_f32(self.to_f32() + other.to_f32())
     }
@@ -243,9 +320,7 @@ impl Element for F16 {
 /// Encode a slice of elements little-endian.
 pub fn encode_slice<T: Element>(vals: &[T]) -> Vec<u8> {
     let mut out = Vec::with_capacity(vals.len() * T::WIRE_BYTES);
-    for &v in vals {
-        v.write_le(&mut out);
-    }
+    T::write_slice_le(vals, &mut out);
     out
 }
 
@@ -255,7 +330,9 @@ pub fn encode_slice<T: Element>(vals: &[T]) -> Vec<u8> {
 /// Panics if `b.len()` is not a multiple of the wire size.
 pub fn decode_slice<T: Element>(b: &[u8]) -> Vec<T> {
     assert_eq!(b.len() % T::WIRE_BYTES, 0, "truncated element payload");
-    b.chunks_exact(T::WIRE_BYTES).map(T::read_le).collect()
+    let mut out = Vec::with_capacity(b.len() / T::WIRE_BYTES);
+    T::read_slice_le(b, &mut out);
+    out
 }
 
 #[cfg(test)]

@@ -14,16 +14,15 @@
 //! * remote-L1 penalty whenever a packet is scheduled on a different
 //!   cluster than the block's aggregation buffer (global FCFS scheduling).
 
-use std::collections::HashMap;
-
 use flare_model::AggKind;
 use flare_pspin::{HpuCtx, PacketHandler, PspinPacket};
 
 use crate::dense::{MultiBufferBlock, SingleBufferBlock, TreeBlock};
 use crate::dtype::Element;
 use crate::op::ReduceOp;
+use crate::pool::{BlockSlab, BufferPool};
 use crate::sparse::{HashInsert, ShardTracker, SparseArrayStore, SparseHashStore};
-use crate::wire::{decode_dense, decode_sparse, encode_dense, encode_sparse, Header, PacketKind};
+use crate::wire::{encode_dense, encode_sparse, DenseView, Header, PacketKind, SparseView};
 
 /// Fixed cost to parse the Flare header and dispatch (cycles).
 pub const PARSE_CYCLES: u64 = 32;
@@ -91,9 +90,10 @@ enum DenseBlockState<T> {
 pub struct DenseAllreduceHandler<T: Element, O> {
     cfg: DenseHandlerConfig,
     op: O,
-    blocks: HashMap<u64, DenseBlock<T>>,
+    blocks: BlockSlab<DenseBlock<T>>,
     completed: CompletedSet,
     results: Vec<(u64, Vec<T>)>,
+    val_pool: BufferPool<T>,
 }
 
 impl<T: Element, O: ReduceOp<T>> DenseAllreduceHandler<T, O> {
@@ -102,9 +102,10 @@ impl<T: Element, O: ReduceOp<T>> DenseAllreduceHandler<T, O> {
         Self {
             cfg,
             op,
-            blocks: HashMap::new(),
+            blocks: BlockSlab::new(BlockSlab::<DenseBlock<T>>::DEFAULT_SLOTS),
             completed: CompletedSet::default(),
             results: Vec::new(),
+            val_pool: BufferPool::new(),
         }
     }
 
@@ -118,6 +119,11 @@ impl<T: Element, O: ReduceOp<T>> DenseAllreduceHandler<T, O> {
         self.blocks.len()
     }
 
+    /// Aggregation-buffer pool counters (steady-state assertions).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.val_pool.stats()
+    }
+
     fn emit_result(ctx: &mut HpuCtx<'_>, allreduce: u32, block: u64, result: &[T]) {
         let header = Header {
             allreduce,
@@ -129,7 +135,9 @@ impl<T: Element, O: ReduceOp<T>> DenseAllreduceHandler<T, O> {
             elem_count: 0,
         };
         // The PspinPacket payload carries the full Flare header + values;
-        // no extra link-layer header is modeled (header_bytes = 0).
+        // no extra link-layer header is modeled (header_bytes = 0). The
+        // engine never hands emitted payloads back, so there is nothing
+        // to recycle a scratch pool from — encode allocates directly.
         let payload = encode_dense(header, result);
         ctx.emit(PspinPacket::new(allreduce, block, 0, 0, payload));
     }
@@ -138,7 +146,7 @@ impl<T: Element, O: ReduceOp<T>> DenseAllreduceHandler<T, O> {
 impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
     fn process(&mut self, ctx: &mut HpuCtx<'_>, pkt: &PspinPacket) {
         ctx.compute(PARSE_CYCLES);
-        let (header, vals) = match decode_dense::<T>(&pkt.payload) {
+        let (header, view) = match DenseView::<T>::parse(&pkt.payload) {
             Ok(x) => x,
             Err(_) => return, // malformed: drop after parse
         };
@@ -146,13 +154,13 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
         if self.completed.contains(pkt.block) {
             return; // late retransmission of a finished block
         }
-        let n = vals.len();
+        let n = view.len();
         let l_agg = agg_cycles::<T>(n);
         let buf_bytes = (n * T::WIRE_BYTES) as i64;
         let children = self.cfg.children;
         let algorithm = self.cfg.algorithm;
         let cluster = ctx.cluster;
-        let block_entry = self.blocks.entry(pkt.block).or_insert_with(|| DenseBlock {
+        let Some(block_entry) = self.blocks.get_or_insert_with(pkt.block, || DenseBlock {
             state: match algorithm {
                 AggKind::SingleBuffer => DenseBlockState::Single(SingleBufferBlock::new(children)),
                 AggKind::MultiBuffer(b) => {
@@ -165,7 +173,9 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
             // packets on that cluster, global FCFS does not and pays the
             // remote-L1 penalty below.
             home_cluster: cluster,
-        });
+        }) else {
+            return; // below the slab floor: retired block
+        };
         let home = block_entry.home_cluster;
         let remote = home != ctx.cluster;
         let remote_factor = if remote { ctx.remote_factor() } else { 1 };
@@ -175,7 +185,7 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
             DenseBlockState::Single(blk) => {
                 // Critical section around the shared buffer (Section 6.1).
                 ctx.acquire_any(&[(pkt.block, 0)], scaled(l_agg));
-                let r = blk.insert(&self.op, header.child, vals.as_slice());
+                let r = blk.insert_from(&self.op, header.child, &view, &mut self.val_pool);
                 if r.result.is_some() {
                     ctx.release_buffer((pkt.block, 0));
                 }
@@ -185,7 +195,7 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
                 let b = blk.buffers();
                 let candidates: Vec<(u64, u32)> = (0..b as u32).map(|i| (pkt.block, i)).collect();
                 let chosen = ctx.acquire_any(&candidates, scaled(l_agg));
-                let r = blk.insert(&self.op, chosen, header.child, vals.as_slice());
+                let r = blk.insert_from(&self.op, chosen, header.child, &view, &mut self.val_pool);
                 if r.merges > 0 {
                     // Final fold of the B−1 other buffers (Section 6.2),
                     // still inside the critical section.
@@ -203,7 +213,7 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
                 // (64 cycles vs 1024 for aggregation, Section 6.3), then
                 // perform whatever merges both-ready subtrees allow.
                 ctx.dma_copy();
-                let r = blk.insert(&self.op, header.child, vals.as_slice());
+                let r = blk.insert_from(&self.op, header.child, &view, &mut self.val_pool);
                 if r.merges > 0 {
                     ctx.compute_on_buffer(r.merges as u64 * l_agg, home);
                 }
@@ -220,12 +230,14 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
             ctx.working_mem(mem_delta);
         }
         if let Some(result) = report.result {
-            self.blocks.remove(&pkt.block);
+            self.blocks.remove(pkt.block);
             self.completed.insert(pkt.block);
             Self::emit_result(ctx, self.cfg.allreduce, pkt.block, &result);
             ctx.complete_block(pkt.block);
             if self.cfg.capture_results {
                 self.results.push((pkt.block, result));
+            } else {
+                self.val_pool.put(result);
             }
         }
     }
@@ -280,10 +292,11 @@ enum SparseStoreState<T: Element> {
 pub struct SparseAllreduceHandler<T: Element, O> {
     cfg: SparseHandlerConfig,
     op: O,
-    blocks: HashMap<u64, SparseBlock<T>>,
+    blocks: BlockSlab<SparseBlock<T>>,
     completed: CompletedSet,
     results: Vec<(u64, Vec<(u32, T)>)>,
     spilled_elems: u64,
+    pair_pool: BufferPool<(u32, T)>,
 }
 
 impl<T: Element, O: ReduceOp<T>> SparseAllreduceHandler<T, O> {
@@ -293,11 +306,17 @@ impl<T: Element, O: ReduceOp<T>> SparseAllreduceHandler<T, O> {
         Self {
             cfg,
             op,
-            blocks: HashMap::new(),
+            blocks: BlockSlab::new(BlockSlab::<SparseBlock<T>>::DEFAULT_SLOTS),
             completed: CompletedSet::default(),
             results: Vec::new(),
             spilled_elems: 0,
+            pair_pool: BufferPool::new(),
         }
+    }
+
+    /// Pair-batch pool counters (steady-state assertions).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pair_pool.stats()
     }
 
     /// Completed `(block, pairs)` results in completion order.
@@ -335,10 +354,11 @@ impl<T: Element, O: ReduceOp<T>> SparseAllreduceHandler<T, O> {
         pairs_per_packet: usize,
         pairs: &[(u32, T)],
     ) -> usize {
-        let chunks = pairs.chunks(pairs_per_packet.max(1));
-        let mut count = 0;
-        let total = pairs.len().div_ceil(pairs_per_packet.max(1)).max(1);
-        for (i, chunk) in chunks.enumerate() {
+        let per = pairs_per_packet.max(1);
+        // An empty block still announces completion downstream.
+        let total = pairs.len().div_ceil(per).max(1);
+        for i in 0..total {
+            let chunk = &pairs[(i * per).min(pairs.len())..((i + 1) * per).min(pairs.len())];
             let header = Header {
                 allreduce,
                 block: block as u32,
@@ -350,31 +370,15 @@ impl<T: Element, O: ReduceOp<T>> SparseAllreduceHandler<T, O> {
             };
             let payload = encode_sparse(header, chunk);
             ctx.emit(PspinPacket::new(allreduce, block, 0, 0, payload));
-            count += 1;
         }
-        if pairs.is_empty() {
-            // Empty block: still announce completion downstream.
-            let header = Header {
-                allreduce,
-                block: block as u32,
-                child: 0,
-                kind,
-                last_shard: true,
-                shard_count: 1,
-                elem_count: 0,
-            };
-            let payload = encode_sparse::<T>(header, &[]);
-            ctx.emit(PspinPacket::new(allreduce, block, 0, 0, payload));
-            count += 1;
-        }
-        count
+        total
     }
 }
 
 impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> {
     fn process(&mut self, ctx: &mut HpuCtx<'_>, pkt: &PspinPacket) {
         ctx.compute(PARSE_CYCLES);
-        let (header, pairs) = match decode_sparse::<T>(&pkt.payload) {
+        let (header, view) = match SparseView::<T>::parse(&pkt.payload) {
             Ok(x) => x,
             Err(_) => return,
         };
@@ -383,16 +387,22 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
             return; // late packet for a finished block
         }
         let cluster = ctx.cluster;
-        if !self.blocks.contains_key(&pkt.block) {
+        if self.blocks.get_mut(pkt.block).is_none() {
             let fresh = self.new_block(cluster);
             let bytes = match &fresh.store {
                 SparseStoreState::Hash(h) => h.memory_bytes(),
                 SparseStoreState::Array(a) => a.memory_bytes(),
             };
+            if self
+                .blocks
+                .get_or_insert_with(pkt.block, || fresh)
+                .is_none()
+            {
+                return; // below the slab floor: retired block
+            }
             ctx.working_mem(bytes as i64);
-            self.blocks.insert(pkt.block, fresh);
         }
-        let block = self.blocks.get_mut(&pkt.block).expect("just inserted");
+        let block = self.blocks.get_mut(pkt.block).expect("just inserted");
         let remote_factor = if block.home_cluster != cluster {
             ctx.remote_factor()
         } else {
@@ -406,21 +416,22 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
             SparseStoreState::Hash(_) => flare_model::sparse::HASH_INSERT_CYCLES,
             SparseStoreState::Array(_) => flare_model::sparse::ARRAY_STORE_CYCLES,
         };
-        let hold = ((pairs.len() as f64 * per_elem).ceil() as u64 + 1) * remote_factor;
+        let hold = ((view.len() as f64 * per_elem).ceil() as u64 + 1) * remote_factor;
         let lock = (pkt.block, 0u32);
         ctx.acquire_any(&[lock], hold);
 
-        let mut flushed: Vec<(u32, T)> = Vec::new();
+        let mut flushed = self.pair_pool.get(0);
         match &mut block.store {
             SparseStoreState::Hash(h) => {
-                for (idx, val) in pairs {
+                for (idx, val) in view.iter() {
                     match h.insert(&self.op, idx, val) {
                         HashInsert::SpillFlush(batch) => {
                             let extra = (batch.len() as f64
                                 * flare_model::sparse::SPILL_PUSH_CYCLES)
                                 .ceil() as u64;
                             ctx.extend_hold(lock, extra * remote_factor);
-                            flushed.extend(batch);
+                            flushed.extend_from_slice(&batch);
+                            h.recycle_spill(batch);
                         }
                         HashInsert::Spilled => {
                             ctx.extend_hold(
@@ -433,7 +444,7 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
                 }
             }
             SparseStoreState::Array(a) => {
-                for (idx, val) in pairs {
+                for (idx, val) in view.iter() {
                     a.insert(&self.op, idx, val);
                 }
             }
@@ -452,31 +463,36 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
         }
 
         // Shard protocol: has this child delivered all its packets?
+        let block = self.blocks.get_mut(pkt.block).expect("present");
         if block.shards[header.child as usize].on_shard(header.last_shard, header.shard_count) {
             block.children_done += 1;
         }
         if block.children_done < self.cfg.children {
+            self.pair_pool.put(flushed);
             return;
         }
 
-        // Block complete: drain the store (paying the flush cost) and emit.
-        let mut block = self.blocks.remove(&pkt.block).expect("present");
+        // Block complete: drain the store (paying the flush cost) and
+        // emit, reusing the pooled batch buffer.
+        let mut block = self.blocks.remove(pkt.block).expect("present");
         self.completed.insert(pkt.block);
-        let (result, flush_cycles, mem_bytes) = match &mut block.store {
+        flushed.clear();
+        let mut result = flushed;
+        let (flush_cycles, mem_bytes) = match &mut block.store {
             SparseStoreState::Hash(h) => {
                 let mem = h.memory_bytes();
-                let out = h.drain();
-                let cycles = (out.len() as f64 * flare_model::sparse::EMIT_CYCLES).ceil() as u64;
-                (out, cycles, mem)
+                h.drain_into(&mut result);
+                let cycles = (result.len() as f64 * flare_model::sparse::EMIT_CYCLES).ceil() as u64;
+                (cycles, mem)
             }
             SparseStoreState::Array(a) => {
                 let mem = a.memory_bytes();
                 let span = a.span();
-                let out = a.drain();
+                a.drain_into(&mut result);
                 let cycles = (span as f64 * flare_model::sparse::ARRAY_FLUSH_SCAN_CYCLES
-                    + out.len() as f64 * flare_model::sparse::EMIT_CYCLES)
+                    + result.len() as f64 * flare_model::sparse::EMIT_CYCLES)
                     .ceil() as u64;
-                (out, cycles, mem)
+                (cycles, mem)
             }
         };
         ctx.extend_hold(lock, flush_cycles * remote_factor);
@@ -492,9 +508,13 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
         );
         ctx.complete_block(pkt.block);
         if self.cfg.capture_results {
+            // Captured results keep their buffer (test/inspection mode);
+            // the pool is replenished by the non-capturing paths.
             let mut sorted = result;
             sorted.sort_unstable_by_key(|&(i, _)| i);
             self.results.push((pkt.block, sorted));
+        } else {
+            self.pair_pool.put(result);
         }
     }
 }
@@ -503,7 +523,7 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
 mod tests {
     use super::*;
     use crate::op::{golden_reduce, Sum};
-    use crate::wire::HEADER_BYTES;
+    use crate::wire::{decode_sparse, HEADER_BYTES};
     use bytes::Bytes;
     use flare_pspin::engine::run_trace;
     use flare_pspin::{ArrivalTrace, PspinConfig, SchedulingPolicy, StaggerMode, TraceConfig};

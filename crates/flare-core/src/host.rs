@@ -17,8 +17,11 @@ use flare_net::{HostCtx, HostProgram, NetPacket, NodeId};
 
 use crate::dtype::Element;
 use crate::op::ReduceOp;
+use crate::pool::BufferPool;
 use crate::sparse::ShardTracker;
-use crate::wire::{decode_dense, decode_sparse, encode_dense, encode_sparse, Header, PacketKind};
+use crate::wire::{
+    encode_dense_into, encode_sparse_into, DenseView, Header, PacketKind, SparseView, HEADER_BYTES,
+};
 
 /// Shared slot a host writes its final reduced vector into, readable by
 /// the caller after the simulation (the simulator owns the programs).
@@ -61,6 +64,8 @@ pub struct DenseFlareHost<T: Element> {
     outstanding: HashMap<u64, Time>,
     completed: u64,
     sink: ResultSink<T>,
+    /// Encode scratch, replenished from consumed result payloads.
+    scratch: BufferPool<u8>,
     /// Contribution packets sent (including retransmissions).
     pub sent_packets: u64,
 }
@@ -89,6 +94,7 @@ impl<T: Element> DenseFlareHost<T> {
             outstanding: HashMap::new(),
             completed: 0,
             sink,
+            scratch: BufferPool::new(),
             sent_packets: 0,
         }
     }
@@ -112,7 +118,10 @@ impl<T: Element> DenseFlareHost<T> {
             shard_count: 0,
             elem_count: 0,
         };
-        let payload = encode_dense(header, &self.data[self.block_range(block)]);
+        let range = self.block_range(block);
+        let mut buf = self.scratch.get(HEADER_BYTES + range.len() * T::WIRE_BYTES);
+        encode_dense_into(header, &self.data[range], &mut buf);
+        let payload = bytes::Bytes::from(buf);
         let pkt = NetPacket::new(
             ctx.node(),
             self.cfg.leaf,
@@ -146,7 +155,7 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
     }
 
     fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: NetPacket) {
-        let Ok((header, vals)) = decode_dense::<T>(&pkt.payload) else {
+        let Ok((header, view)) = DenseView::<T>::parse(&pkt.payload) else {
             return;
         };
         if header.kind != PacketKind::DenseResult {
@@ -156,7 +165,17 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
             return; // duplicate result (e.g. after a retransmission race)
         }
         let range = self.block_range(pkt.block);
-        self.result[range.clone()].copy_from_slice(&vals[..range.len()]);
+        assert!(
+            view.len() >= range.len(),
+            "DenseResult for block {} carries {} elements, need {}",
+            pkt.block,
+            view.len(),
+            range.len()
+        );
+        view.copy_to_slice(&mut self.result[range]);
+        // Consumed: recycle the payload as encode scratch when this host
+        // held the last reference.
+        self.scratch.reclaim(pkt.payload);
         self.completed += 1;
         if self.completed == self.total_blocks() {
             *self.sink.borrow_mut() = Some(std::mem::take(&mut self.result));
@@ -206,6 +225,8 @@ pub struct SparseFlareHost<T: Element, O> {
     blocks_done: u64,
     result: Vec<T>,
     sink: ResultSink<T>,
+    /// Encode scratch, replenished from consumed result payloads.
+    scratch: BufferPool<u8>,
     /// Contribution packets sent.
     pub sent_packets: u64,
 }
@@ -257,6 +278,7 @@ impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
             blocks_done: 0,
             result: vec![identity; total_elems],
             sink,
+            scratch: BufferPool::new(),
             sent_packets: 0,
         }
     }
@@ -274,7 +296,11 @@ impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
                 shard_count: total,
                 elem_count: 0,
             };
-            let payload = encode_sparse(header, shard);
+            let mut buf = self
+                .scratch
+                .get(HEADER_BYTES + shard.len() * (4 + T::WIRE_BYTES));
+            encode_sparse_into(header, shard, &mut buf);
+            let payload = bytes::Bytes::from(buf);
             let pkt = NetPacket::new(
                 ctx.node(),
                 self.cfg.leaf,
@@ -311,7 +337,7 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
     }
 
     fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: NetPacket) {
-        let Ok((header, pairs)) = decode_sparse::<T>(&pkt.payload) else {
+        let Ok((header, view)) = SparseView::<T>::parse(&pkt.payload) else {
             return;
         };
         if header.kind != PacketKind::SparseResult {
@@ -321,12 +347,13 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
         // Combine: spilled elements may deliver the same index in several
         // result shards, so accumulation (not overwrite) is required.
         let base = block * self.span;
-        for (idx, val) in pairs {
+        for (idx, val) in view.iter() {
             let g = base + idx as usize;
             if g < self.total_elems {
                 self.result[g] = self.op.combine(self.result[g], val);
             }
         }
+        self.scratch.reclaim(pkt.payload);
         if self.trackers[block].on_shard(header.last_shard, header.shard_count) {
             self.blocks_done += 1;
             self.inflight = self.inflight.saturating_sub(1);

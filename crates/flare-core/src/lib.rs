@@ -17,6 +17,9 @@
 //!   engine with the paper's cycle costs.
 //! * [`switch_prog`] / [`host`] — the same protocol as network-simulator
 //!   programs for system-level runs (Figure 15).
+//! * [`pool`] — steady-state allocation recycling: pooled aggregation /
+//!   scratch buffers and the direct-mapped open-block slab behind the
+//!   zero-copy datapath.
 //! * [`manager`] — the network manager: reduction-tree computation,
 //!   allreduce-id allocation, static memory partitioning and admission
 //!   control (Section 4).
@@ -35,6 +38,7 @@ pub mod handlers;
 pub mod host;
 pub mod manager;
 pub mod op;
+pub mod pool;
 pub mod session;
 pub mod sparse;
 pub mod switch_prog;
@@ -42,6 +46,7 @@ pub mod wire;
 
 pub use dtype::{Element, F16};
 pub use op::{golden_reduce, Custom, Max, Min, Prod, ReduceOp, Sum};
+pub use pool::{BlockSlab, BufferPool, PoolStats, SlabStats};
 pub use session::{
     Collective, CollectiveHandle, CollectiveResult, FlareSession, FlareSessionBuilder, RunReport,
     SessionError, SparsePolicy, Tuning,

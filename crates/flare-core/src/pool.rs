@@ -1,0 +1,444 @@
+//! Steady-state allocation recycling for the per-packet datapath.
+//!
+//! The paper's premise is that in-network aggregation wins by touching
+//! each byte as few times as possible; the simulator must therefore not
+//! spend its time in the allocator. Two pieces make the per-packet path
+//! allocation-free once warmed up:
+//!
+//! * [`BufferPool`] — a free-list of `Vec`s (aggregation buffers, encode
+//!   scratch, spill batches). Completed blocks return their buffers; new
+//!   blocks take them back. Hit/miss counters make "zero allocations per
+//!   packet in steady state" a testable property instead of a hope.
+//! * [`BlockSlab`] — open-block state indexed by `block % slots` instead
+//!   of a `HashMap` probe per packet. Block ids are dense and windowed
+//!   (hosts keep at most `window` consecutive ids in flight), so the
+//!   direct-mapped slot almost always hits; rare collisions fall back to
+//!   an overflow map, and ids below the retirement floor are rejected as
+//!   out-of-window.
+
+use std::collections::HashMap;
+
+/// Counters exposed by [`BufferPool`] for steady-state assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers requested.
+    pub gets: u64,
+    /// Requests served from the free-list (no allocation).
+    pub hits: u64,
+    /// Buffers returned to the free-list.
+    pub puts: u64,
+}
+
+impl PoolStats {
+    /// Requests that had to allocate (`gets - hits`).
+    pub fn misses(&self) -> u64 {
+        self.gets - self.hits
+    }
+
+    /// Fraction of requests served without allocating (1.0 for an idle
+    /// pool).
+    pub fn hit_rate(&self) -> f64 {
+        if self.gets == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+}
+
+/// A free-list of `Vec<E>` buffers with reuse accounting.
+#[derive(Debug)]
+pub struct BufferPool<E> {
+    free: Vec<Vec<E>>,
+    max_free: usize,
+    stats: PoolStats,
+}
+
+impl<E> Default for BufferPool<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BufferPool<E> {
+    /// Default free-list bound: enough for every concurrently-open block
+    /// of a windowed allreduce without holding a whole run's buffers.
+    pub const DEFAULT_MAX_FREE: usize = 1024;
+
+    /// Pool with the default free-list bound.
+    pub fn new() -> Self {
+        Self::with_max_free(Self::DEFAULT_MAX_FREE)
+    }
+
+    /// Pool keeping at most `max_free` idle buffers (excess is dropped).
+    pub fn with_max_free(max_free: usize) -> Self {
+        Self {
+            free: Vec::new(),
+            max_free,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Take a cleared buffer with capacity for at least `cap` elements.
+    /// Served from the free-list when possible; counts a hit either way
+    /// the buffer came from the list (growing a recycled buffer is
+    /// amortized away once sizes stabilize).
+    pub fn get(&mut self, cap: usize) -> Vec<E> {
+        self.stats.gets += 1;
+        match self.free.pop() {
+            Some(mut v) => {
+                self.stats.hits += 1;
+                v.clear();
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a buffer to the free-list (dropped if the list is full).
+    pub fn put(&mut self, mut v: Vec<E>) {
+        if self.free.len() < self.max_free {
+            v.clear();
+            self.free.push(v);
+            self.stats.puts += 1;
+        }
+    }
+
+    /// Reuse accounting.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl BufferPool<u8> {
+    /// Reclaim a consumed packet payload into the free-list when this is
+    /// the last reference to it (multicast copies still in flight keep
+    /// their shared buffer alive and are simply not reclaimed).
+    pub fn reclaim(&mut self, payload: bytes::Bytes) {
+        if let Ok(v) = payload.try_into_vec() {
+            self.put(v);
+        }
+    }
+}
+
+/// Counters exposed by [`BlockSlab`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlabStats {
+    /// Lookups answered by the direct-mapped slot.
+    pub direct: u64,
+    /// Lookups that fell back to the overflow map (slot collision).
+    pub collisions: u64,
+    /// Accesses rejected because the block id was below the floor.
+    pub stale_rejected: u64,
+}
+
+/// Open-block storage indexed by `block % slots` with an overflow map.
+#[derive(Debug)]
+pub struct BlockSlab<V> {
+    slots: Vec<Option<(u64, V)>>,
+    mask: u64,
+    overflow: HashMap<u64, V>,
+    floor: u64,
+    len: usize,
+    stats: SlabStats,
+}
+
+impl<V> BlockSlab<V> {
+    /// Default slot count: covers the block window of every scenario in
+    /// the perf matrix without collisions.
+    pub const DEFAULT_SLOTS: usize = 1024;
+
+    /// Slab with at least `min_slots` direct-mapped slots (rounded up to
+    /// a power of two).
+    pub fn new(min_slots: usize) -> Self {
+        let slots = min_slots.max(2).next_power_of_two();
+        Self {
+            slots: (0..slots).map(|_| None).collect(),
+            mask: slots as u64 - 1,
+            overflow: HashMap::new(),
+            floor: 0,
+            len: 0,
+            stats: SlabStats::default(),
+        }
+    }
+
+    fn idx(&self, block: u64) -> usize {
+        (block & self.mask) as usize
+    }
+
+    /// Open blocks currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no blocks are open.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lookup/insert accounting.
+    pub fn stats(&self) -> SlabStats {
+        self.stats
+    }
+
+    /// The retirement floor: ids below it are out of the window.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Raise the retirement floor; future accesses to ids below it are
+    /// rejected (returns `None`). Open entries below the floor are
+    /// dropped. The floor never moves backwards.
+    pub fn set_floor(&mut self, floor: u64) {
+        if floor <= self.floor {
+            return;
+        }
+        self.floor = floor;
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|(b, _)| *b < floor) {
+                *slot = None;
+                self.len -= 1;
+            }
+        }
+        let before = self.overflow.len();
+        self.overflow.retain(|b, _| *b >= floor);
+        self.len -= before - self.overflow.len();
+    }
+
+    /// The open entry for `block`, or `None` when it is not open (or is
+    /// below the floor).
+    pub fn get_mut(&mut self, block: u64) -> Option<&mut V> {
+        if block < self.floor {
+            self.stats.stale_rejected += 1;
+            return None;
+        }
+        let i = self.idx(block);
+        match &self.slots[i] {
+            Some((b, _)) if *b == block => {
+                self.stats.direct += 1;
+                Some(&mut self.slots[i].as_mut().expect("just matched").1)
+            }
+            _ => match self.overflow.get_mut(&block) {
+                Some(v) => {
+                    self.stats.collisions += 1;
+                    Some(v)
+                }
+                None => None,
+            },
+        }
+    }
+
+    /// The open entry for `block`, creating it with `make` if absent.
+    /// Returns `None` (without calling `make`) when `block` is below the
+    /// floor — the caller treats that as a late packet for a retired
+    /// block.
+    pub fn get_or_insert_with(&mut self, block: u64, make: impl FnOnce() -> V) -> Option<&mut V> {
+        if block < self.floor {
+            self.stats.stale_rejected += 1;
+            return None;
+        }
+        let i = self.idx(block);
+        let state = match &self.slots[i] {
+            Some((b, _)) if *b == block => 0u8, // present in slot
+            None => 1,                          // free slot
+            Some(_) => 2,                       // collision
+        };
+        match state {
+            0 => {
+                self.stats.direct += 1;
+                Some(&mut self.slots[i].as_mut().expect("matched").1)
+            }
+            1 => {
+                // The slot is free, but the block may already live in the
+                // overflow map (it collided while a different block held
+                // the slot). Migrate it home instead of opening a
+                // duplicate that would orphan its state.
+                if let Some(v) = self.overflow.remove(&block) {
+                    self.stats.collisions += 1;
+                    self.slots[i] = Some((block, v));
+                } else {
+                    self.stats.direct += 1;
+                    self.len += 1;
+                    self.slots[i] = Some((block, make()));
+                }
+                Some(&mut self.slots[i].as_mut().expect("inserted").1)
+            }
+            _ => {
+                self.stats.collisions += 1;
+                let entry = self.overflow.entry(block);
+                if matches!(entry, std::collections::hash_map::Entry::Vacant(_)) {
+                    self.len += 1;
+                }
+                Some(entry.or_insert_with(make))
+            }
+        }
+    }
+
+    /// Close `block`, handing its state back (slot or overflow).
+    pub fn remove(&mut self, block: u64) -> Option<V> {
+        if block < self.floor {
+            self.stats.stale_rejected += 1;
+            return None;
+        }
+        let i = self.idx(block);
+        if self.slots[i].as_ref().is_some_and(|(b, _)| *b == block) {
+            self.len -= 1;
+            return self.slots[i].take().map(|(_, v)| v);
+        }
+        let out = self.overflow.remove(&block);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Iterate the open `(block, state)` entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(b, v)| (*b, v)))
+            .chain(self.overflow.iter().map(|(b, v)| (*b, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_returned_buffers() {
+        let mut pool: BufferPool<i32> = BufferPool::new();
+        let a = pool.get(16);
+        assert_eq!(pool.stats().misses(), 1, "first get allocates");
+        pool.put(a);
+        let b = pool.get(16);
+        assert_eq!(pool.stats().hits, 1, "second get reuses");
+        assert!(b.capacity() >= 16 && b.is_empty());
+        assert_eq!(pool.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn pool_steady_state_is_allocation_free() {
+        let mut pool: BufferPool<u8> = BufferPool::new();
+        // Warm up with one buffer, then churn get/put 1000 times.
+        let warm = pool.get(64);
+        pool.put(warm);
+        for _ in 0..1000 {
+            let v = pool.get(64);
+            pool.put(v);
+        }
+        assert_eq!(pool.stats().misses(), 1, "only the warm-up allocated");
+    }
+
+    #[test]
+    fn pool_bounds_its_free_list() {
+        let mut pool: BufferPool<u8> = BufferPool::with_max_free(2);
+        for _ in 0..5 {
+            pool.put(Vec::new());
+        }
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.stats().puts, 2, "overflowing puts are dropped");
+    }
+
+    #[test]
+    fn reclaim_recovers_unique_payloads_only() {
+        let mut pool: BufferPool<u8> = BufferPool::new();
+        let payload = bytes::Bytes::from(vec![1u8, 2, 3]);
+        let shared = payload.clone();
+        pool.reclaim(payload);
+        assert_eq!(pool.idle(), 0, "shared payloads are not reclaimed");
+        pool.reclaim(shared);
+        assert_eq!(pool.idle(), 1, "unique payloads are");
+    }
+
+    #[test]
+    fn slab_stores_and_removes_without_collisions() {
+        let mut slab: BlockSlab<u32> = BlockSlab::new(8);
+        for b in 0..8u64 {
+            *slab.get_or_insert_with(b, || 0).unwrap() = b as u32;
+        }
+        assert_eq!(slab.len(), 8);
+        assert_eq!(slab.stats().collisions, 0);
+        for b in 0..8u64 {
+            assert_eq!(slab.remove(b), Some(b as u32));
+        }
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn slab_wraps_around_the_window() {
+        // Dense windowed ids: open/close a sliding window of 4 over 100
+        // ids through an 8-slot slab; every id reuses slots mod 8.
+        let mut slab: BlockSlab<u64> = BlockSlab::new(8);
+        for b in 0..100u64 {
+            slab.get_or_insert_with(b, || b).unwrap();
+            if b >= 4 {
+                assert_eq!(slab.remove(b - 4), Some(b - 4));
+            }
+        }
+        assert_eq!(slab.len(), 4);
+        assert_eq!(slab.stats().collisions, 0, "windowed ids never collide");
+    }
+
+    #[test]
+    fn slab_collisions_fall_back_to_overflow_correctly() {
+        let mut slab: BlockSlab<&'static str> = BlockSlab::new(4);
+        slab.get_or_insert_with(1, || "a").unwrap();
+        slab.get_or_insert_with(5, || "b").unwrap(); // 5 % 4 == 1: collides
+        assert_eq!(slab.len(), 2);
+        assert!(slab.stats().collisions > 0);
+        assert_eq!(*slab.get_mut(1).unwrap(), "a");
+        assert_eq!(*slab.get_mut(5).unwrap(), "b");
+        assert_eq!(slab.remove(5), Some("b"));
+        assert_eq!(slab.remove(1), Some("a"));
+    }
+
+    #[test]
+    fn slab_migrates_overflow_entries_home_when_their_slot_frees() {
+        // X and Y collide; X owns the slot, Y lives in overflow. When X
+        // closes, a later get_or_insert_with for Y must find Y's existing
+        // state (migrated into the slot), not open a duplicate.
+        let mut slab: BlockSlab<u32> = BlockSlab::new(4);
+        slab.get_or_insert_with(1, || 10).unwrap(); // slot 1
+        *slab.get_or_insert_with(5, || 0).unwrap() = 50; // 5 % 4 == 1: overflow
+        assert_eq!(slab.remove(1), Some(10)); // slot 1 now free
+        let y = slab.get_or_insert_with(5, || 999).unwrap();
+        assert_eq!(*y, 50, "must migrate the live overflow entry, not make()");
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.remove(5), Some(50));
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn slab_rejects_ids_below_the_floor() {
+        let mut slab: BlockSlab<u8> = BlockSlab::new(8);
+        slab.get_or_insert_with(3, || 1).unwrap();
+        slab.get_or_insert_with(9, || 2).unwrap();
+        slab.set_floor(8);
+        assert_eq!(slab.len(), 1, "entries below the floor are dropped");
+        assert!(slab.get_or_insert_with(3, || 9).is_none());
+        assert!(slab.get_mut(3).is_none());
+        assert!(slab.remove(3).is_none());
+        assert_eq!(slab.stats().stale_rejected, 3);
+        assert_eq!(*slab.get_mut(9).unwrap(), 2);
+        // The floor never moves backwards.
+        slab.set_floor(2);
+        assert_eq!(slab.floor(), 8);
+    }
+
+    #[test]
+    fn slab_iter_covers_slots_and_overflow() {
+        let mut slab: BlockSlab<u8> = BlockSlab::new(2);
+        slab.get_or_insert_with(0, || 10).unwrap();
+        slab.get_or_insert_with(2, || 20).unwrap(); // collides with 0
+        let mut seen: Vec<(u64, u8)> = slab.iter().map(|(b, v)| (b, *v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 10), (2, 20)]);
+    }
+}

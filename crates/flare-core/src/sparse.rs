@@ -106,7 +106,15 @@ impl<T: Element> SparseHashStore<T> {
     /// Drain the table (slot order) plus any residual spill, resetting the
     /// store. Slot order is hash order — deterministic but unsorted.
     pub fn drain(&mut self) -> Vec<(u32, T)> {
-        let mut out = Vec::with_capacity(self.occupied + self.spill.len());
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// As [`Self::drain`], appending into a caller-provided (typically
+    /// pooled) buffer instead of allocating.
+    pub fn drain_into(&mut self, out: &mut Vec<(u32, T)>) {
+        out.reserve(self.occupied + self.spill.len());
         for slot in &mut self.slots {
             if let Some(pair) = slot.take() {
                 out.push(pair);
@@ -114,7 +122,17 @@ impl<T: Element> SparseHashStore<T> {
         }
         out.append(&mut self.spill);
         self.occupied = 0;
-        out
+    }
+
+    /// Hand a drained spill batch's buffer back after a
+    /// [`HashInsert::SpillFlush`], so the next spill cycle reuses it
+    /// instead of growing a fresh `Vec`. Ignored if the store already
+    /// holds a sized spill buffer.
+    pub fn recycle_spill(&mut self, mut v: Vec<(u32, T)>) {
+        if self.spill.capacity() == 0 {
+            v.clear();
+            self.spill = v;
+        }
     }
 
     /// Occupied slots.
@@ -179,7 +197,15 @@ impl<T: Element> SparseArrayStore<T> {
     /// resetting the store. The scan cost (span slots) is what makes array
     /// flushes expensive at low density.
     pub fn drain(&mut self) -> Vec<(u32, T)> {
-        let mut out = Vec::with_capacity(self.nonzero);
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// As [`Self::drain`], appending into a caller-provided (typically
+    /// pooled) buffer instead of allocating.
+    pub fn drain_into(&mut self, out: &mut Vec<(u32, T)>) {
+        out.reserve(self.nonzero);
         for (i, (v, t)) in self.vals.iter_mut().zip(&mut self.touched).enumerate() {
             if *t {
                 out.push((i as u32, *v));
@@ -188,7 +214,6 @@ impl<T: Element> SparseArrayStore<T> {
             }
         }
         self.nonzero = 0;
-        out
     }
 
     /// Block span in elements.

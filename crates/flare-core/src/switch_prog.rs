@@ -6,12 +6,21 @@
 //! (replicated to every child); sparse spills are forwarded up immediately
 //! and re-aggregated by the parent (paper Section 7).
 //!
+//! The per-packet datapath is zero-copy and allocation-free in steady
+//! state: contributions are folded straight out of the packet bytes via
+//! [`DenseView`]/[`SparseView`], aggregation and encode buffers cycle
+//! through per-program [`BufferPool`]s, open blocks live in a
+//! direct-mapped [`BlockSlab`] instead of a per-packet `HashMap` probe,
+//! and multicast replicates one encoded payload by `Bytes` refcount.
+//!
 //! The processing rate of each switch is modeled by
 //! [`flare_net::SwitchCtx::processing_done`], calibrated against the PsPIN
 //! engine — the same methodology the paper used to couple its two
 //! simulators.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
 
 use flare_net::{NetPacket, NodeId, PortId, SwitchCtx, SwitchProgram};
 
@@ -19,8 +28,11 @@ use crate::dense::TreeBlock;
 use crate::dtype::Element;
 use crate::handlers::SparseStorageKind;
 use crate::op::ReduceOp;
+use crate::pool::{BlockSlab, BufferPool, PoolStats, SlabStats};
 use crate::sparse::{HashInsert, ShardTracker, SparseArrayStore, SparseHashStore};
-use crate::wire::{decode_dense, decode_sparse, encode_dense, encode_sparse, Header, PacketKind};
+use crate::wire::{
+    encode_dense_into, encode_sparse_into, DenseView, Header, PacketKind, SparseView, HEADER_BYTES,
+};
 
 /// Placement of a switch within one allreduce's reduction tree.
 #[derive(Debug, Clone)]
@@ -39,6 +51,17 @@ pub struct TreePlacement {
 /// replays (a lost result packet would otherwise deadlock the block).
 const RESULT_CACHE: usize = 1024;
 
+/// Combined recycling counters of one switch program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProgramStats {
+    /// Aggregation-buffer pool (elements / pairs).
+    pub agg_pool: PoolStats,
+    /// Encode-scratch / reclaimed-payload pool (bytes).
+    pub byte_pool: PoolStats,
+    /// Open-block slab lookups.
+    pub slab: SlabStats,
+}
+
 /// Dense Flare aggregation program for one switch.
 ///
 /// Functionally the aggregation uses the reproducible combining tree for
@@ -48,13 +71,21 @@ const RESULT_CACHE: usize = 1024;
 pub struct FlareDenseProgram<T: Element, O> {
     place: TreePlacement,
     op: O,
-    blocks: HashMap<u64, TreeBlock<T>>,
-    /// Completed results kept for duplicate-contribution replays.
-    completed: HashMap<u64, Vec<T>>,
-    completed_fifo: std::collections::VecDeque<u64>,
+    blocks: BlockSlab<TreeBlock<T>>,
+    /// Encoded `DenseResult` payloads kept for duplicate-contribution
+    /// replays (cheap `Bytes` clones on the loss path).
+    completed: HashMap<u64, Bytes>,
+    completed_fifo: VecDeque<u64>,
+    val_pool: BufferPool<T>,
+    byte_pool: BufferPool<u8>,
+    /// Completed block shells (tree skeleton + bitmap) kept for reuse.
+    spare_blocks: Vec<TreeBlock<T>>,
     /// Blocks fully aggregated at this switch (up-stream progress).
     pub blocks_done: u64,
 }
+
+/// How many completed block shells a program keeps for reuse.
+const SPARE_BLOCKS: usize = 512;
 
 impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
     /// Create the program for one switch of the tree.
@@ -62,34 +93,38 @@ impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
         Self {
             place,
             op,
-            blocks: HashMap::new(),
+            blocks: BlockSlab::new(BlockSlab::<TreeBlock<T>>::DEFAULT_SLOTS),
             completed: HashMap::new(),
-            completed_fifo: std::collections::VecDeque::new(),
+            completed_fifo: VecDeque::new(),
+            val_pool: BufferPool::new(),
+            byte_pool: BufferPool::new(),
+            spare_blocks: Vec::new(),
             blocks_done: 0,
         }
     }
 
-    fn cache_result(&mut self, block: u64, result: Vec<T>) {
+    /// Recycling counters for steady-state zero-allocation assertions.
+    pub fn stats(&self) -> ProgramStats {
+        ProgramStats {
+            agg_pool: self.val_pool.stats(),
+            byte_pool: self.byte_pool.stats(),
+            slab: self.blocks.stats(),
+        }
+    }
+
+    fn cache_result(&mut self, block: u64, payload: Bytes) {
         if self.completed_fifo.len() >= RESULT_CACHE {
             if let Some(old) = self.completed_fifo.pop_front() {
-                self.completed.remove(&old);
+                if let Some(evicted) = self.completed.remove(&old) {
+                    self.byte_pool.reclaim(evicted);
+                }
             }
         }
         self.completed_fifo.push_back(block);
-        self.completed.insert(block, result);
+        self.completed.insert(block, payload);
     }
 
-    fn result_packet(&self, me: NodeId, dst: NodeId, block: u64, result: &[T]) -> NetPacket {
-        let header = Header {
-            allreduce: self.place.allreduce,
-            block: block as u32,
-            child: 0,
-            kind: PacketKind::DenseResult,
-            last_shard: false,
-            shard_count: 0,
-            elem_count: 0,
-        };
-        let payload = encode_dense(header, result);
+    fn result_packet(&self, me: NodeId, dst: NodeId, block: u64, payload: Bytes) -> NetPacket {
         NetPacket::new(
             me,
             dst,
@@ -102,20 +137,37 @@ impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
         )
     }
 
-    fn send_up_or_multicast(&mut self, ctx: &mut SwitchCtx<'_>, at: u64, block: u64, result: &[T]) {
+    /// Encode `result` as `kind` into a pooled scratch buffer.
+    fn encode_payload(&mut self, block: u64, kind: PacketKind, child: u16, result: &[T]) -> Bytes {
+        let header = Header {
+            allreduce: self.place.allreduce,
+            block: block as u32,
+            child,
+            kind,
+            last_shard: false,
+            shard_count: 0,
+            elem_count: 0,
+        };
+        let mut buf = self
+            .byte_pool
+            .get(HEADER_BYTES + result.len() * T::WIRE_BYTES);
+        encode_dense_into(header, result, &mut buf);
+        Bytes::from(buf)
+    }
+
+    fn finish_block(&mut self, ctx: &mut SwitchCtx<'_>, at: u64, block: u64, result: &[T]) {
         let me = ctx.node();
-        match self.place.parent {
+        // One encode per block: the payload actually sent (up as a
+        // contribution, or down as the result) doubles as the replay
+        // cache entry — replays re-head it lazily on the loss path.
+        let payload = match self.place.parent {
             Some(parent) => {
-                let header = Header {
-                    allreduce: self.place.allreduce,
-                    block: block as u32,
-                    child: self.place.my_child_index,
-                    kind: PacketKind::DenseContrib,
-                    last_shard: false,
-                    shard_count: 0,
-                    elem_count: 0,
-                };
-                let payload = encode_dense(header, result);
+                let payload = self.encode_payload(
+                    block,
+                    PacketKind::DenseContrib,
+                    self.place.my_child_index,
+                    result,
+                );
                 let pkt = NetPacket::new(
                     me,
                     parent,
@@ -124,59 +176,108 @@ impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
                     self.place.my_child_index,
                     PacketKind::DenseContrib as u8,
                     0,
-                    payload,
+                    payload.clone(),
                 );
                 ctx.send_at(at, pkt);
+                payload
             }
             None => {
-                // Root: broadcast the fully-reduced block down the tree.
-                for &child in &self.place.children.clone() {
-                    let pkt = self.result_packet(me, child, block, result);
+                // Root: broadcast the fully-reduced block down the tree,
+                // one refcount bump per child.
+                let payload = self.encode_payload(block, PacketKind::DenseResult, 0, result);
+                for i in 0..self.place.children.len() {
+                    let child = self.place.children[i];
+                    let pkt = self.result_packet(me, child, block, payload.clone());
                     ctx.send_at(at, pkt);
                 }
+                payload
             }
+        };
+        self.cache_result(block, payload);
+    }
+
+    /// Turn a cached payload into a `DenseResult` replay payload. At the
+    /// root the cache already holds the result encoding (refcount bump);
+    /// elsewhere the cached upward contribution is re-headed — body bytes
+    /// copied once, on the loss path only.
+    fn replay_payload(&mut self, cached: Bytes) -> Bytes {
+        let Ok((mut h, body)) = Header::decode(&cached) else {
+            return cached; // cached payloads are self-encoded; be lenient
+        };
+        if h.kind == PacketKind::DenseResult {
+            return cached;
         }
+        h.kind = PacketKind::DenseResult;
+        h.child = 0;
+        let mut buf = self.byte_pool.get(cached.len());
+        buf.extend_from_slice(&h.encode());
+        buf.extend_from_slice(body);
+        Bytes::from(buf)
     }
 }
 
-impl<T: Element, O: ReduceOp<T>> SwitchProgram for FlareDenseProgram<T, O> {
+impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareDenseProgram<T, O> {
     fn matches(&self, pkt: &NetPacket) -> bool {
         pkt.flow == self.place.allreduce
     }
 
     fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, _in_port: PortId, pkt: NetPacket) {
-        let Ok((header, vals)) = decode_dense::<T>(&pkt.payload) else {
+        let Ok((header, view)) = DenseView::<T>::parse(&pkt.payload) else {
             return;
         };
         match header.kind {
             PacketKind::DenseContrib => {
                 let fin = ctx.processing_done(pkt.wire_bytes);
-                if let Some(result) = self.completed.get(&pkt.block) {
+                if let Some(cached) = self.completed.get(&pkt.block).cloned() {
                     // Retransmitted contribution for a finished block: the
-                    // child evidently missed the result — replay it.
+                    // child evidently missed the result — replay from the
+                    // cached encoded payload.
+                    let payload = self.replay_payload(cached);
                     let child = self.place.children[header.child as usize];
-                    let replay = self.result_packet(ctx.node(), child, pkt.block, &result.clone());
+                    let replay = self.result_packet(ctx.node(), child, pkt.block, payload);
                     ctx.send_at(fin, replay);
                     return;
                 }
                 let children = self.place.children.len() as u16;
-                let blk = self
-                    .blocks
-                    .entry(pkt.block)
-                    .or_insert_with(|| TreeBlock::new(children));
-                let report = blk.insert(&self.op, header.child, &vals);
-                if let Some(result) = report.result {
-                    self.blocks.remove(&pkt.block);
-                    self.blocks_done += 1;
-                    self.send_up_or_multicast(ctx, fin, pkt.block, &result);
-                    self.cache_result(pkt.block, result);
+                if self.blocks.get_mut(pkt.block).is_none() {
+                    // Reuse a completed block shell when one is spare.
+                    let fresh = match self.spare_blocks.pop() {
+                        Some(mut b) => {
+                            b.reset();
+                            b
+                        }
+                        None => TreeBlock::new(children),
+                    };
+                    if self
+                        .blocks
+                        .get_or_insert_with(pkt.block, || fresh)
+                        .is_none()
+                    {
+                        return; // below the slab floor: retired block
+                    }
                 }
+                let blk = self.blocks.get_mut(pkt.block).expect("present");
+                let report = blk.insert_from(&self.op, header.child, &view, &mut self.val_pool);
+                if let Some(result) = report.result {
+                    let shell = self.blocks.remove(pkt.block).expect("present");
+                    if self.spare_blocks.len() < SPARE_BLOCKS {
+                        self.spare_blocks.push(shell);
+                    }
+                    self.blocks_done += 1;
+                    self.finish_block(ctx, fin, pkt.block, &result);
+                    self.val_pool.put(result);
+                }
+                // The contribution is consumed: recycle its buffer as
+                // encode scratch for outgoing packets.
+                self.byte_pool.reclaim(pkt.payload);
             }
             PacketKind::DenseResult => {
-                // From the parent: replicate down to every child.
+                // From the parent: replicate down to every child by
+                // refcount (the payload is shared, not rebuilt).
                 let fin = ctx.processing_done(pkt.wire_bytes);
                 let me = ctx.node();
-                for &child in &self.place.children.clone() {
+                for i in 0..self.place.children.len() {
+                    let child = self.place.children[i];
                     let mut copy = pkt.clone();
                     copy.src = me;
                     copy.dst = child;
@@ -186,6 +287,10 @@ impl<T: Element, O: ReduceOp<T>> SwitchProgram for FlareDenseProgram<T, O> {
             _ => {}
         }
     }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// Sparse Flare aggregation program for one switch (Section 7).
@@ -194,7 +299,11 @@ pub struct FlareSparseProgram<T: Element, O> {
     op: O,
     storage: SparseStorageKind,
     pairs_per_packet: usize,
-    blocks: HashMap<u64, SparseSwitchBlock<T>>,
+    blocks: BlockSlab<SparseSwitchBlock<T>>,
+    pair_pool: BufferPool<(u32, T)>,
+    byte_pool: BufferPool<u8>,
+    /// Drained block shells (store + trackers) kept for reuse.
+    spare_blocks: Vec<SparseSwitchBlock<T>>,
     /// Spilled elements forwarded unaggregated (extra-traffic metric).
     pub spilled_elems: u64,
     /// Blocks fully aggregated here.
@@ -229,9 +338,21 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
             op,
             storage,
             pairs_per_packet,
-            blocks: HashMap::new(),
+            blocks: BlockSlab::new(BlockSlab::<SparseSwitchBlock<T>>::DEFAULT_SLOTS),
+            pair_pool: BufferPool::new(),
+            byte_pool: BufferPool::new(),
+            spare_blocks: Vec::new(),
             spilled_elems: 0,
             blocks_done: 0,
+        }
+    }
+
+    /// Recycling counters for steady-state zero-allocation assertions.
+    pub fn stats(&self) -> ProgramStats {
+        ProgramStats {
+            agg_pool: self.pair_pool.stats(),
+            byte_pool: self.byte_pool.stats(),
+            slab: self.blocks.stats(),
         }
     }
 
@@ -251,10 +372,12 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
         }
     }
 
-    /// Send `pairs` for `block` as one shard toward `dst`.
+    /// Encode `pairs` for `block` as one shard packet toward `dst`,
+    /// drawing the wire buffer from `scratch`. Associated function so it
+    /// can run while a block borrow is still alive elsewhere.
     #[allow(clippy::too_many_arguments)]
     fn shard_packet(
-        &self,
+        allreduce: u32,
         me: NodeId,
         dst: NodeId,
         block: u64,
@@ -263,9 +386,10 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
         pairs: &[(u32, T)],
         last: bool,
         count: u16,
+        scratch: &mut BufferPool<u8>,
     ) -> NetPacket {
         let header = Header {
-            allreduce: self.place.allreduce,
+            allreduce,
             block: block as u32,
             child,
             kind,
@@ -273,169 +397,203 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
             shard_count: count,
             elem_count: 0,
         };
-        let payload = encode_sparse(header, pairs);
+        let mut buf = scratch.get(HEADER_BYTES + pairs.len() * (4 + T::WIRE_BYTES));
+        encode_sparse_into(header, pairs, &mut buf);
         NetPacket::new(
             me,
             dst,
-            self.place.allreduce,
+            allreduce,
             block,
             child,
             kind as u8,
             0,
-            payload,
+            Bytes::from(buf),
         )
+    }
+
+    /// Send `pairs` chunked into shard packets: up to the parent as
+    /// `up_kind`, or — at the root — multicast down to every child as
+    /// `SparseResult`, sharing each encoded chunk by refcount.
+    #[allow(clippy::too_many_arguments)]
+    fn send_chunked(
+        &mut self,
+        ctx: &mut SwitchCtx<'_>,
+        at: u64,
+        block: u64,
+        up_kind: PacketKind,
+        pairs: &[(u32, T)],
+        mark_last: bool,
+        total_count: u16,
+    ) {
+        let me = ctx.node();
+        let per = self.pairs_per_packet;
+        // An empty pair set still sends one header-only packet (paper
+        // Section 7 "Empty blocks"), hence the `.max(1)`.
+        let chunk_count = pairs.len().div_ceil(per).max(1);
+        for i in 0..chunk_count {
+            let chunk = &pairs[(i * per).min(pairs.len())..((i + 1) * per).min(pairs.len())];
+            let last = mark_last && i + 1 == chunk_count;
+            match self.place.parent {
+                Some(p) => {
+                    let out = Self::shard_packet(
+                        self.place.allreduce,
+                        me,
+                        p,
+                        block,
+                        up_kind,
+                        self.place.my_child_index,
+                        chunk,
+                        last,
+                        total_count,
+                        &mut self.byte_pool,
+                    );
+                    ctx.send_at(at, out);
+                }
+                None => {
+                    // Root: one encode per chunk, one refcount bump per
+                    // child.
+                    let proto = Self::shard_packet(
+                        self.place.allreduce,
+                        me,
+                        me,
+                        block,
+                        PacketKind::SparseResult,
+                        0,
+                        chunk,
+                        last,
+                        total_count,
+                        &mut self.byte_pool,
+                    );
+                    for c in 0..self.place.children.len() {
+                        let child = self.place.children[c];
+                        let mut copy = proto.clone();
+                        copy.dst = child;
+                        ctx.send_at(at, copy);
+                    }
+                }
+            }
+        }
     }
 }
 
-impl<T: Element, O: ReduceOp<T>> SwitchProgram for FlareSparseProgram<T, O> {
+impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<T, O> {
     fn matches(&self, pkt: &NetPacket) -> bool {
         pkt.flow == self.place.allreduce
     }
 
     fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, _in_port: PortId, pkt: NetPacket) {
-        let Ok((header, pairs)) = decode_sparse::<T>(&pkt.payload) else {
+        let Ok((header, view)) = SparseView::<T>::parse(&pkt.payload) else {
             return;
         };
         match header.kind {
             PacketKind::SparseContrib | PacketKind::SparseSpill => {
                 let fin = ctx.processing_done(pkt.wire_bytes);
                 let children = self.place.children.len() as u16;
-                if !self.blocks.contains_key(&pkt.block) {
-                    let b = self.new_block(children);
-                    self.blocks.insert(pkt.block, b);
+                if self.blocks.get_mut(pkt.block).is_none() {
+                    // A drained shell's store is already empty; only the
+                    // shard trackers need resetting.
+                    let fresh = match self.spare_blocks.pop() {
+                        Some(mut b) => {
+                            for t in &mut b.shards {
+                                *t = ShardTracker::default();
+                            }
+                            b.children_done = 0;
+                            b.sent_up = 0;
+                            b
+                        }
+                        None => self.new_block(children),
+                    };
+                    if self
+                        .blocks
+                        .get_or_insert_with(pkt.block, || fresh)
+                        .is_none()
+                    {
+                        return; // below the slab floor: retired block
+                    }
                 }
-                let me = ctx.node();
-                let block = self.blocks.get_mut(&pkt.block).expect("present");
-                let mut flushed: Vec<(u32, T)> = Vec::new();
+                // Aggregate straight from the packet view; spill flushes
+                // collect into a pooled batch.
+                let mut flushed = self.pair_pool.get(0);
+                let block = self.blocks.get_mut(pkt.block).expect("present");
                 match &mut block.store {
                     SparseStore::Hash(h) => {
-                        for (idx, val) in pairs {
+                        for (idx, val) in view.iter() {
                             if let HashInsert::SpillFlush(batch) = h.insert(&self.op, idx, val) {
-                                flushed.extend(batch);
+                                flushed.extend_from_slice(&batch);
+                                h.recycle_spill(batch);
                             }
                         }
                     }
                     SparseStore::Array(a) => {
-                        for (idx, val) in pairs {
+                        for (idx, val) in view.iter() {
                             a.insert(&self.op, idx, val);
                         }
                     }
                 }
                 if !flushed.is_empty() {
-                    self.spilled_elems += flushed.len() as u64;
-                    let parent = self.place.parent;
-                    let block = self.blocks.get_mut(&pkt.block).expect("present");
                     block.sent_up += flushed.len().div_ceil(self.pairs_per_packet) as u16;
-                    let chunks: Vec<Vec<(u32, T)>> = flushed
-                        .chunks(self.pairs_per_packet)
-                        .map(|c| c.to_vec())
-                        .collect();
-                    match parent {
-                        Some(p) => {
-                            for chunk in &chunks {
-                                let out = self.shard_packet(
-                                    me,
-                                    p,
-                                    pkt.block,
-                                    PacketKind::SparseSpill,
-                                    self.place.my_child_index,
-                                    chunk,
-                                    false,
-                                    0,
-                                );
-                                ctx.send_at(fin, out);
-                            }
-                        }
-                        None => {
-                            // Root spill: goes down as extra result shards.
-                            for chunk in &chunks {
-                                for &child in &self.place.children.clone() {
-                                    let out = self.shard_packet(
-                                        me,
-                                        child,
-                                        pkt.block,
-                                        PacketKind::SparseResult,
-                                        0,
-                                        chunk,
-                                        false,
-                                        0,
-                                    );
-                                    ctx.send_at(fin, out);
-                                }
-                            }
-                        }
-                    }
                 }
 
                 // Shard protocol for this child (spills from a child switch
                 // carry last=false and are counted in its final total).
-                let block = self.blocks.get_mut(&pkt.block).expect("present");
                 if block.shards[header.child as usize]
                     .on_shard(header.last_shard, header.shard_count)
                 {
                     block.children_done += 1;
                 }
-                if block.children_done < children {
-                    return;
+                let complete = block.children_done >= children;
+
+                if !flushed.is_empty() {
+                    // Spilled data leaves the switch unaggregated: extra
+                    // traffic.
+                    self.spilled_elems += flushed.len() as u64;
+                    self.send_chunked(
+                        ctx,
+                        fin,
+                        pkt.block,
+                        PacketKind::SparseSpill,
+                        &flushed,
+                        false,
+                        0,
+                    );
                 }
-                // Complete: drain and forward.
-                let mut done = self.blocks.remove(&pkt.block).expect("present");
-                self.blocks_done += 1;
-                let result = match &mut done.store {
-                    SparseStore::Hash(h) => h.drain(),
-                    SparseStore::Array(a) => a.drain(),
-                };
-                let chunks: Vec<Vec<(u32, T)>> = if result.is_empty() {
-                    vec![Vec::new()]
+                flushed.clear();
+
+                if complete {
+                    // Complete: drain into the pooled batch and forward.
+                    let mut done = self.blocks.remove(pkt.block).expect("present");
+                    self.blocks_done += 1;
+                    let mut result = flushed;
+                    match &mut done.store {
+                        SparseStore::Hash(h) => h.drain_into(&mut result),
+                        SparseStore::Array(a) => a.drain_into(&mut result),
+                    }
+                    let chunks = result.len().div_ceil(self.pairs_per_packet).max(1);
+                    let total_up = done.sent_up + chunks as u16;
+                    if self.spare_blocks.len() < SPARE_BLOCKS {
+                        self.spare_blocks.push(done);
+                    }
+                    self.send_chunked(
+                        ctx,
+                        fin,
+                        pkt.block,
+                        PacketKind::SparseContrib,
+                        &result,
+                        true,
+                        total_up,
+                    );
+                    self.pair_pool.put(result);
                 } else {
-                    result
-                        .chunks(self.pairs_per_packet)
-                        .map(|c| c.to_vec())
-                        .collect()
-                };
-                let total_up = done.sent_up + chunks.len() as u16;
-                match self.place.parent {
-                    Some(p) => {
-                        for (i, chunk) in chunks.iter().enumerate() {
-                            let last = i + 1 == chunks.len();
-                            let out = self.shard_packet(
-                                me,
-                                p,
-                                pkt.block,
-                                PacketKind::SparseContrib,
-                                self.place.my_child_index,
-                                chunk,
-                                last,
-                                total_up,
-                            );
-                            ctx.send_at(fin, out);
-                        }
-                    }
-                    None => {
-                        for (i, chunk) in chunks.iter().enumerate() {
-                            let last = i + 1 == chunks.len();
-                            for &child in &self.place.children.clone() {
-                                let out = self.shard_packet(
-                                    me,
-                                    child,
-                                    pkt.block,
-                                    PacketKind::SparseResult,
-                                    0,
-                                    chunk,
-                                    last,
-                                    total_up,
-                                );
-                                ctx.send_at(fin, out);
-                            }
-                        }
-                    }
+                    self.pair_pool.put(flushed);
                 }
+                self.byte_pool.reclaim(pkt.payload);
             }
             PacketKind::SparseResult => {
-                // From the parent: replicate down.
+                // From the parent: replicate down by refcount.
                 let fin = ctx.processing_done(pkt.wire_bytes);
                 let me = ctx.node();
-                for &child in &self.place.children.clone() {
+                for i in 0..self.place.children.len() {
+                    let child = self.place.children[i];
                     let mut copy = pkt.clone();
                     copy.src = me;
                     copy.dst = child;
@@ -444,6 +602,10 @@ impl<T: Element, O: ReduceOp<T>> SwitchProgram for FlareSparseProgram<T, O> {
             }
             _ => {}
         }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -466,5 +628,28 @@ mod tests {
         assert!(prog.matches(&pkt));
         let other = NetPacket::new(NodeId(1), NodeId(0), 4, 0, 0, 0, 0, bytes::Bytes::new());
         assert!(!prog.matches(&other));
+    }
+
+    #[test]
+    fn fresh_programs_report_idle_stats() {
+        let p = TreePlacement {
+            allreduce: 1,
+            parent: None,
+            children: vec![NodeId(1)],
+            my_child_index: 0,
+        };
+        let prog: FlareSparseProgram<f32, Sum> = FlareSparseProgram::new(
+            p,
+            Sum,
+            SparseStorageKind::Hash {
+                slots: 8,
+                spill_cap: 4,
+            },
+            16,
+        );
+        let s = prog.stats();
+        assert_eq!(s.agg_pool.gets, 0);
+        assert_eq!(s.byte_pool.hit_rate(), 1.0);
+        assert_eq!(s.slab.collisions, 0);
     }
 }

@@ -117,60 +117,180 @@ impl std::fmt::Display for WireError {
 }
 impl std::error::Error for WireError {}
 
-/// Encode a dense packet: header + contiguous element values.
-pub fn encode_dense<T: Element>(mut header: Header, values: &[T]) -> Bytes {
-    header.elem_count = values.len() as u16;
-    let mut out = Vec::with_capacity(HEADER_BYTES + values.len() * T::WIRE_BYTES);
-    out.extend_from_slice(&header.encode());
-    for &v in values {
-        v.write_le(&mut out);
+/// A borrowed, zero-copy view over the dense values of a packet body.
+///
+/// Values are decoded lazily with unaligned little-endian reads as the
+/// view is iterated — nothing is materialized, so the switch datapath can
+/// fold a contribution straight into its accumulation buffer without a
+/// per-packet `Vec<T>`. Produced by [`DenseView::parse`]; the legacy
+/// [`decode_dense`] is a thin collecting wrapper over this type.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseView<'a, T> {
+    body: &'a [u8],
+    _elem: std::marker::PhantomData<T>,
+}
+
+impl<'a, T: Element> DenseView<'a, T> {
+    /// Parse a packet buffer into its header and a value view.
+    pub fn parse(buf: &'a [u8]) -> Result<(Header, Self), WireError> {
+        let (h, body) = Header::decode(buf)?;
+        let need = h.elem_count as usize * T::WIRE_BYTES;
+        if body.len() < need {
+            return Err(WireError::Truncated);
+        }
+        Ok((
+            h,
+            Self {
+                body: &body[..need],
+                _elem: std::marker::PhantomData,
+            },
+        ))
     }
+
+    /// Number of values in the packet.
+    pub fn len(&self) -> usize {
+        self.body.len() / T::WIRE_BYTES
+    }
+
+    /// Whether the packet carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Value `i` (unaligned read; `i` must be `< len()`).
+    pub fn get(&self, i: usize) -> T {
+        T::read_le(&self.body[i * T::WIRE_BYTES..])
+    }
+
+    /// Iterate the values without materializing them.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = T> + 'a {
+        self.body.chunks_exact(T::WIRE_BYTES).map(T::read_le)
+    }
+
+    /// Append every value to `out` (the first-contribution copy; bulk
+    /// vectorized path).
+    pub fn append_to(&self, out: &mut Vec<T>) {
+        T::read_slice_le(self.body, out);
+    }
+
+    /// Copy the values over `dst` (`dst.len()` values are written; the
+    /// view must hold at least that many). Bulk vectorized path.
+    pub fn copy_to_slice(&self, dst: &mut [T]) {
+        let n = dst.len().min(self.len());
+        T::fold_slice_le(&self.body[..n * T::WIRE_BYTES], &mut dst[..n], |_, b| b);
+    }
+
+    /// Combine the values elementwise into `acc` with `f` (`acc.len()`
+    /// must equal `len()`). This is the switch aggregation inner loop.
+    pub fn fold_with(&self, acc: &mut [T], f: impl Fn(T, T) -> T) {
+        debug_assert_eq!(acc.len(), self.len(), "block size mismatch");
+        T::fold_slice_le(self.body, acc, f);
+    }
+}
+
+/// A borrowed, zero-copy view over the `(index, value)` pairs of a sparse
+/// packet body. See [`DenseView`]; [`decode_sparse`] is the collecting
+/// wrapper.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseView<'a, T> {
+    body: &'a [u8],
+    _elem: std::marker::PhantomData<T>,
+}
+
+impl<'a, T: Element> SparseView<'a, T> {
+    const STRIDE: usize = 4 + T::WIRE_BYTES;
+
+    /// Parse a packet buffer into its header and a pair view.
+    pub fn parse(buf: &'a [u8]) -> Result<(Header, Self), WireError> {
+        let (h, body) = Header::decode(buf)?;
+        let need = h.elem_count as usize * Self::STRIDE;
+        if body.len() < need {
+            return Err(WireError::Truncated);
+        }
+        Ok((
+            h,
+            Self {
+                body: &body[..need],
+                _elem: std::marker::PhantomData,
+            },
+        ))
+    }
+
+    /// Number of pairs in the packet.
+    pub fn len(&self) -> usize {
+        self.body.len() / Self::STRIDE
+    }
+
+    /// Whether the packet carries no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Pair `i` (unaligned read; `i` must be `< len()`).
+    pub fn get(&self, i: usize) -> (u32, T) {
+        let c = &self.body[i * Self::STRIDE..];
+        let idx = u32::from_le_bytes(c[0..4].try_into().unwrap());
+        (idx, T::read_le(&c[4..]))
+    }
+
+    /// Iterate the pairs without materializing them.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (u32, T)> + 'a {
+        self.body.chunks_exact(Self::STRIDE).map(|c| {
+            let idx = u32::from_le_bytes(c[0..4].try_into().unwrap());
+            (idx, T::read_le(&c[4..]))
+        })
+    }
+}
+
+/// Serialize a dense packet into a caller-provided (typically pooled)
+/// buffer: header + contiguous element values. The buffer is cleared
+/// first; spare capacity is kept.
+pub fn encode_dense_into<T: Element>(mut header: Header, values: &[T], out: &mut Vec<u8>) {
+    header.elem_count = values.len() as u16;
+    out.clear();
+    out.reserve(HEADER_BYTES + values.len() * T::WIRE_BYTES);
+    out.extend_from_slice(&header.encode());
+    T::write_slice_le(values, out);
+}
+
+/// Encode a dense packet: header + contiguous element values.
+pub fn encode_dense<T: Element>(header: Header, values: &[T]) -> Bytes {
+    let mut out = Vec::new();
+    encode_dense_into(header, values, &mut out);
     Bytes::from(out)
 }
 
 /// Decode a dense packet body previously produced by [`encode_dense`].
 pub fn decode_dense<T: Element>(buf: &[u8]) -> Result<(Header, Vec<T>), WireError> {
-    let (h, body) = Header::decode(buf)?;
-    let need = h.elem_count as usize * T::WIRE_BYTES;
-    if body.len() < need {
-        return Err(WireError::Truncated);
+    let (h, view) = DenseView::<T>::parse(buf)?;
+    Ok((h, view.iter().collect()))
+}
+
+/// Serialize a sparse packet into a caller-provided (typically pooled)
+/// buffer: header + (u32 index, value) pairs. Indexes are block-relative.
+pub fn encode_sparse_into<T: Element>(mut header: Header, pairs: &[(u32, T)], out: &mut Vec<u8>) {
+    header.elem_count = pairs.len() as u16;
+    out.clear();
+    out.reserve(HEADER_BYTES + pairs.len() * (4 + T::WIRE_BYTES));
+    out.extend_from_slice(&header.encode());
+    for &(idx, v) in pairs {
+        out.extend_from_slice(&idx.to_le_bytes());
+        v.write_le(out);
     }
-    let vals = body[..need]
-        .chunks_exact(T::WIRE_BYTES)
-        .map(T::read_le)
-        .collect();
-    Ok((h, vals))
 }
 
 /// Encode a sparse packet: header + (u32 index, value) pairs. Indexes are
 /// block-relative.
-pub fn encode_sparse<T: Element>(mut header: Header, pairs: &[(u32, T)]) -> Bytes {
-    header.elem_count = pairs.len() as u16;
-    let mut out = Vec::with_capacity(HEADER_BYTES + pairs.len() * (4 + T::WIRE_BYTES));
-    out.extend_from_slice(&header.encode());
-    for &(idx, v) in pairs {
-        out.extend_from_slice(&idx.to_le_bytes());
-        v.write_le(&mut out);
-    }
+pub fn encode_sparse<T: Element>(header: Header, pairs: &[(u32, T)]) -> Bytes {
+    let mut out = Vec::new();
+    encode_sparse_into(header, pairs, &mut out);
     Bytes::from(out)
 }
 
 /// Decode a sparse packet body previously produced by [`encode_sparse`].
 pub fn decode_sparse<T: Element>(buf: &[u8]) -> Result<(Header, Vec<(u32, T)>), WireError> {
-    let (h, body) = Header::decode(buf)?;
-    let stride = 4 + T::WIRE_BYTES;
-    let need = h.elem_count as usize * stride;
-    if body.len() < need {
-        return Err(WireError::Truncated);
-    }
-    let pairs = body[..need]
-        .chunks_exact(stride)
-        .map(|c| {
-            let idx = u32::from_le_bytes(c[0..4].try_into().unwrap());
-            (idx, T::read_le(&c[4..]))
-        })
-        .collect();
-    Ok((h, pairs))
+    let (h, view) = SparseView::<T>::parse(buf)?;
+    Ok((h, view.iter().collect()))
 }
 
 #[cfg(test)]
@@ -241,6 +361,97 @@ mod tests {
         h.elem_count = 4;
         let enc = h.encode();
         assert_eq!(decode_dense::<i32>(&enc).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn dense_view_matches_decode_dense() {
+        let vals: Vec<i32> = (0..300).map(|i| i * 7 - 950).collect();
+        let pkt = encode_dense(header(PacketKind::DenseContrib), &vals);
+        let (h_old, old) = decode_dense::<i32>(&pkt).unwrap();
+        let (h_new, view) = DenseView::<i32>::parse(&pkt).unwrap();
+        assert_eq!(h_old, h_new);
+        assert_eq!(view.len(), old.len());
+        assert_eq!(view.iter().collect::<Vec<_>>(), old);
+        assert_eq!(view.get(0), old[0]);
+        assert_eq!(view.get(299), old[299]);
+        let mut copied = Vec::new();
+        view.append_to(&mut copied);
+        assert_eq!(copied, old);
+    }
+
+    #[test]
+    fn sparse_view_matches_decode_sparse() {
+        let pairs: Vec<(u32, f32)> = (0..77).map(|i| (i * 13, i as f32 * 0.25 - 3.0)).collect();
+        let pkt = encode_sparse(header(PacketKind::SparseContrib), &pairs);
+        let (h_old, old) = decode_sparse::<f32>(&pkt).unwrap();
+        let (h_new, view) = SparseView::<f32>::parse(&pkt).unwrap();
+        assert_eq!(h_old, h_new);
+        assert_eq!(view.len(), 77);
+        assert_eq!(view.iter().collect::<Vec<_>>(), old);
+        assert_eq!(view.get(76), old[76]);
+    }
+
+    #[test]
+    fn views_read_unaligned_payload_offsets() {
+        // Shift the whole packet by 1..3 bytes inside a larger buffer so
+        // every element read is misaligned; values must still decode.
+        let vals: Vec<i32> = (0..32).map(|i| i * 1_000_003).collect();
+        let pkt = encode_dense(header(PacketKind::DenseContrib), &vals);
+        for shift in 1usize..4 {
+            let mut shifted = vec![0u8; shift];
+            shifted.extend_from_slice(&pkt);
+            let (_, view) = DenseView::<i32>::parse(&shifted[shift..]).unwrap();
+            assert_eq!(view.iter().collect::<Vec<_>>(), vals, "shift {shift}");
+        }
+        let pairs: Vec<(u32, f32)> = vec![(3, 1.5), (9, -2.0)];
+        let spkt = encode_sparse(header(PacketKind::SparseContrib), &pairs);
+        let mut shifted = vec![0u8; 3];
+        shifted.extend_from_slice(&spkt);
+        let (_, view) = SparseView::<f32>::parse(&shifted[3..]).unwrap();
+        assert_eq!(view.iter().collect::<Vec<_>>(), pairs);
+    }
+
+    #[test]
+    fn views_reject_truncated_buffers() {
+        let vals = vec![1i32, 2, 3, 4];
+        let pkt = encode_dense(header(PacketKind::DenseContrib), &vals);
+        // Chop the body: header promises 4 elements, body has fewer.
+        for cut in 1..=(4 * 4) {
+            let short = &pkt[..pkt.len() - cut];
+            assert_eq!(
+                DenseView::<i32>::parse(short).unwrap_err(),
+                WireError::Truncated,
+                "cut {cut}"
+            );
+        }
+        assert_eq!(
+            DenseView::<i32>::parse(&pkt[..8]).unwrap_err(),
+            WireError::Truncated
+        );
+        let pairs = vec![(1u32, 2.0f32)];
+        let spkt = encode_sparse(header(PacketKind::SparseContrib), &pairs);
+        assert_eq!(
+            SparseView::<f32>::parse(&spkt[..spkt.len() - 1]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode() {
+        let vals: Vec<f32> = (0..100).map(|i| i as f32 * 0.5).collect();
+        let reference = encode_dense(header(PacketKind::DenseContrib), &vals);
+        let mut buf = vec![0xAAu8; 7]; // stale content must be cleared
+        encode_dense_into(header(PacketKind::DenseContrib), &vals, &mut buf);
+        assert_eq!(&buf[..], &reference[..]);
+        let cap = buf.capacity();
+        encode_dense_into(header(PacketKind::DenseContrib), &vals, &mut buf);
+        assert_eq!(buf.capacity(), cap, "steady-state encode must not grow");
+
+        let pairs: Vec<(u32, i16)> = vec![(5, -3), (1000, 22)];
+        let sref = encode_sparse(header(PacketKind::SparseContrib), &pairs);
+        let mut sbuf = Vec::new();
+        encode_sparse_into(header(PacketKind::SparseContrib), &pairs, &mut sbuf);
+        assert_eq!(&sbuf[..], &sref[..]);
     }
 
     #[test]

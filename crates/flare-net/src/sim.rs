@@ -70,8 +70,16 @@ pub trait SwitchProgram {
     /// Whether this program handles `pkt` (unmatched packets are forwarded
     /// normally, "not further delayed" per paper Section 3).
     fn matches(&self, pkt: &NetPacket) -> bool;
-    /// Handle a matched packet.
+    /// Handle a matched packet. The packet is moved in: a program that
+    /// consumes the payload holds its only reference and may reclaim the
+    /// backing buffer into a pool.
     fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, in_port: PortId, pkt: NetPacket);
+    /// Downcast hook so callers of [`NetSim::take_switch`] can inspect
+    /// concrete program state (pool counters, completion tallies) after a
+    /// run. Programs that opt in return `Some(self)`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 struct DirState {
@@ -466,23 +474,25 @@ impl Simulator for NetSim {
                     }
                 }
                 NodeKind::Switch => {
-                    let handled = if let Some(mut prog) = self.switch_progs[node.0].take() {
-                        let m = prog.matches(&pkt);
-                        if m {
+                    if let Some(mut prog) = self.switch_progs[node.0].take() {
+                        if prog.matches(&pkt) {
                             let mut ctx = SwitchCtx {
                                 core: &mut self.core,
                                 queue,
                                 node,
                                 now: t,
                             };
-                            prog.on_packet(&mut ctx, in_port, pkt.clone());
+                            // Move the packet in (no payload refcount bump)
+                            // so consuming programs can recycle the buffer.
+                            prog.on_packet(&mut ctx, in_port, pkt);
+                            self.switch_progs[node.0] = Some(prog);
+                        } else {
+                            self.switch_progs[node.0] = Some(prog);
+                            if let Some(port) = self.core.route_port(node, &pkt) {
+                                queue.schedule_at(t, NetEvent::Egress { node, port, pkt });
+                            }
                         }
-                        self.switch_progs[node.0] = Some(prog);
-                        m
                     } else {
-                        false
-                    };
-                    if !handled {
                         // Default forwarding along the routing tables.
                         if let Some(port) = self.core.route_port(node, &pkt) {
                             queue.schedule_at(t, NetEvent::Egress { node, port, pkt });

@@ -5,6 +5,12 @@
 //! clonable, immutable, reference-counted byte buffer. Packet payloads are
 //! cloned on every multicast fan-out, so the `Arc` sharing matters for
 //! simulator throughput, exactly as with the real crate.
+//!
+//! The buffer is backed by `Arc<Vec<u8>>` so that `From<Vec<u8>>` never
+//! copies and a uniquely-held buffer can be reclaimed with
+//! [`Bytes::try_into_vec`] — the stand-in for the real crate's
+//! `try_into_mut`, which the simulator's buffer pools use to recycle
+//! consumed packet payloads.
 
 #![deny(missing_docs)]
 
@@ -16,29 +22,37 @@ use std::sync::Arc;
 /// A cheaply clonable, immutable slice of bytes (reference counted).
 #[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
         Self {
-            data: Arc::from(&[][..]),
+            data: Arc::new(Vec::new()),
         }
     }
 
-    /// Wrap a static byte slice.
+    /// Wrap a static byte slice (copies; the stand-in has no zero-copy
+    /// static variant).
     pub fn from_static(bytes: &'static [u8]) -> Self {
         Self {
-            data: Arc::from(bytes),
+            data: Arc::new(bytes.to_vec()),
         }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Self {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
+    }
+
+    /// Reclaim the backing `Vec<u8>` when this handle is the only
+    /// reference (the stand-in for the real crate's `try_into_mut`).
+    /// Returns the buffer unchanged as `Err` when it is still shared.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        Arc::try_unwrap(self.data).map_err(|data| Bytes { data })
     }
 
     /// Length in bytes.
@@ -65,7 +79,7 @@ impl Bytes {
             Bound::Unbounded => self.data.len(),
         };
         Self {
-            data: Arc::from(&self.data[start..end]),
+            data: Arc::new(self.data[start..end].to_vec()),
         }
     }
 
@@ -101,21 +115,25 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self {
-            data: Arc::from(v.into_boxed_slice()),
-        }
+        // No copy, no `into_boxed_slice` shrink: pooled buffers keep
+        // their spare capacity for the next reuse cycle.
+        Self { data: Arc::new(v) }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Self { data: Arc::from(v) }
+        Self {
+            data: Arc::new(v.to_vec()),
+        }
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Self { data: Arc::from(v) }
+        Self {
+            data: Arc::new(v.into_vec()),
+        }
     }
 }
 
@@ -162,5 +180,20 @@ mod tests {
         let b = Bytes::from(vec![0u8, 1, 2, 3, 4]);
         assert_eq!(&*b.slice(1..4), &[1, 2, 3]);
         assert_eq!(&*b.slice(..), &*b);
+    }
+
+    #[test]
+    fn try_into_vec_reclaims_unique_buffers_only() {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(&[1u8, 2, 3]);
+        let b = Bytes::from(v);
+        let shared = b.clone();
+        // Still shared: reclamation refuses and hands the handle back.
+        let b = b.try_into_vec().unwrap_err();
+        drop(shared);
+        // Unique again: the original Vec comes back, capacity intact.
+        let v = b.try_into_vec().unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(v.capacity() >= 64, "spare capacity survives the roundtrip");
     }
 }

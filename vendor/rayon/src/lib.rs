@@ -2,93 +2,201 @@
 //!
 //! The build environment has no registry access, so this workspace vendors
 //! the entry points the benchmark harness uses — `par_iter()` /
-//! `into_par_iter()` — implemented as their *sequential* `std` iterator
-//! counterparts. Results are bit-identical to the parallel versions (the
-//! harness only fans out independent simulations); only wall-clock
-//! parallelism is lost.
+//! `par_iter_mut()` / `into_par_iter()` followed by `map(..).collect()` or
+//! reductions. Unlike the first-generation stub (which was sequential),
+//! terminal operations now **really fan out across cores** with
+//! `std::thread::scope`: the items are materialized, split into one
+//! contiguous chunk per worker, and each worker writes its results into
+//! its own slot so output order — and therefore every figure — is
+//! bit-identical to the sequential path.
+//!
+//! Setting the environment variable `FLARE_RAYON_SEQUENTIAL=1` forces the
+//! sequential path (single worker), which determinism checks use to prove
+//! the parallel fan-out does not change results.
 
 #![deny(missing_docs)]
 
-/// Sequential re-exports of the rayon parallel-iterator traits.
+/// Number of workers the pool fans out to: the available hardware
+/// parallelism, or 1 when `FLARE_RAYON_SEQUENTIAL=1` is set.
+pub fn current_num_threads() -> usize {
+    if std::env::var_os("FLARE_RAYON_SEQUENTIAL").is_some_and(|v| v != "0" && !v.is_empty()) {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// An eager "parallel" iterator: the items are materialized up front and
+/// the terminal operation fans the mapped work out across threads.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Map each item through `f`; `f` runs on worker threads at the
+    /// terminal operation.
+    pub fn map<O, F>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I) -> O + Sync,
+        O: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The mapped stage of a [`ParIter`]; its terminal ops run on threads.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, O, F> ParMap<I, F>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    /// Evaluate the map with one contiguous chunk per worker and collect
+    /// the results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Parallel sum of the mapped outputs.
+    pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    fn run(self) -> Vec<O> {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        let workers = current_num_threads().clamp(1, n.max(1));
+        if workers <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut inputs: Vec<Option<I>> = items.into_iter().map(Some).collect();
+        let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let f = &f;
+        // Pair each input chunk with its output chunk so every worker
+        // owns disjoint slices; order is preserved by construction.
+        let mut item_tail: &mut [Option<I>] = &mut inputs;
+        let mut out_tail: &mut [Option<O>] = &mut out;
+        std::thread::scope(|scope| {
+            while !item_tail.is_empty() {
+                let take = chunk.min(item_tail.len());
+                let (ins, rest_in) = item_tail.split_at_mut(take);
+                let (outs, rest_out) = out_tail.split_at_mut(take);
+                item_tail = rest_in;
+                out_tail = rest_out;
+                scope.spawn(move || {
+                    for (i, o) in ins.iter_mut().zip(outs) {
+                        *o = Some(f(i.take().expect("item present")));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|o| o.expect("worker filled every slot"))
+            .collect()
+    }
+}
+
+/// Re-exports of the rayon parallel-iterator traits.
 pub mod prelude {
-    /// `par_iter()` over a shared slice — sequential stand-in.
+    use super::ParIter;
+
+    /// `par_iter()` over a shared slice.
     pub trait IntoParallelRefIterator<'data> {
         /// Item type yielded by the iterator.
-        type Item: 'data;
-        /// The iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Iterate sequentially (stands in for rayon's parallel iteration).
-        fn par_iter(&'data self) -> Self::Iter;
+        type Item: Send + 'data;
+        /// Fan out over references to the items.
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
     }
 
     impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
         type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
         }
     }
 
     impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
         type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
         }
     }
 
-    /// `par_iter_mut()` over an exclusive slice — sequential stand-in.
+    /// `par_iter_mut()` over an exclusive slice.
     pub trait IntoParallelRefMutIterator<'data> {
         /// Item type yielded by the iterator.
-        type Item: 'data;
-        /// The iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Iterate sequentially with mutable access.
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
+        type Item: Send + 'data;
+        /// Fan out over exclusive references to the items.
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
     }
 
     impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
         type Item = &'data mut T;
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
+        fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+            ParIter {
+                items: self.iter_mut().collect(),
+            }
         }
     }
 
     impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
         type Item = &'data mut T;
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
+        fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+            ParIter {
+                items: self.iter_mut().collect(),
+            }
         }
     }
 
-    /// `into_par_iter()` — sequential stand-in.
+    /// `into_par_iter()` — consume a collection into a parallel iterator.
     pub trait IntoParallelIterator {
         /// Item type yielded by the iterator.
-        type Item;
-        /// The iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Consume into a sequential iterator.
-        fn into_par_iter(self) -> Self::Iter;
+        type Item: Send;
+        /// Consume into an eager parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
     }
 
     impl<T: Send> IntoParallelIterator for Vec<T> {
         type Item = T;
-        type Iter = std::vec::IntoIter<T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
         }
     }
 
-    impl<T> IntoParallelIterator for std::ops::Range<T>
+    impl<T: Send> IntoParallelIterator for std::ops::Range<T>
     where
         std::ops::Range<T>: Iterator<Item = T>,
     {
         type Item = T;
-        type Iter = std::ops::Range<T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter {
+                items: self.collect(),
+            }
         }
     }
 }
@@ -97,14 +205,71 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
 
+    /// Tests that read or write `FLARE_RAYON_SEQUENTIAL` hold this lock:
+    /// the harness runs tests concurrently in one process, and the env
+    /// var is process-global.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn par_iter_matches_iter() {
         let v = vec![1, 2, 3, 4];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
-        let consumed: i32 = v.into_par_iter().sum();
+        let consumed: i32 = v.into_par_iter().map(|x| x).sum();
         assert_eq!(consumed, 10);
-        let ranged: Vec<usize> = (0..4usize).into_par_iter().collect();
+        let ranged: Vec<usize> = (0..4usize).into_par_iter().map(|i| i).collect();
         assert_eq!(ranged, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn output_order_is_preserved_across_many_items() {
+        // More items than any plausible worker count, odd remainder.
+        let n = 1003usize;
+        let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * 7).collect();
+        assert_eq!(out.len(), n);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i * 7);
+        }
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let _env = ENV_LOCK.lock().unwrap();
+        if super::current_num_threads() <= 1 {
+            return; // single-core runner or sequential override
+        }
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                // Keep each worker alive long enough for others to start.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected at least two workers"
+        );
+    }
+
+    #[test]
+    fn sequential_override_is_bit_identical() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let par: Vec<u64> = (0..500u64).into_par_iter().map(|i| i * i + 3).collect();
+        std::env::set_var("FLARE_RAYON_SEQUENTIAL", "1");
+        assert_eq!(super::current_num_threads(), 1);
+        let seq: Vec<u64> = (0..500u64).into_par_iter().map(|i| i * i + 3).collect();
+        std::env::remove_var("FLARE_RAYON_SEQUENTIAL");
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1u64, 2, 3, 4, 5];
+        let _: Vec<()> = v.par_iter_mut().map(|x| *x *= 10).collect();
+        assert_eq!(v, vec![10, 20, 30, 40, 50]);
     }
 }
