@@ -1,13 +1,19 @@
 //! Run the wall-clock perf matrix and write `BENCH_*.json`.
 //!
 //! Usage:
-//!   perf [--smoke] [--out PATH]
+//!   perf [--smoke] [--out PATH] [--only SUBSTR] [--baseline PATH]
 //!
-//! `--smoke` runs the reduced CI matrix (two small cells); `--out` sets
-//! the JSON output path (default `BENCH_PR2.json` in the working
-//! directory). The scenario rows also print as an aligned table.
+//! `--smoke` runs the reduced CI matrix (three small cells); `--out` sets
+//! the JSON output path (default `BENCH_PR3.json` in the working
+//! directory); `--only` filters cells by name substring; `--baseline`
+//! compares every measured cell's *simulated makespan* against a
+//! checked-in `BENCH_*.json` and exits non-zero on any drift — wall-clock
+//! changes are expected between machines, simulation-semantics changes
+//! are not. The scenario rows also print as an aligned table.
 
-use flare_bench::perf::{matrix, run, smoke_matrix, to_json};
+use flare_bench::perf::{
+    diff_against_baseline, matrix, parse_baseline, run, smoke_matrix, to_json,
+};
 use flare_bench::table::render;
 
 fn main() {
@@ -18,8 +24,21 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
-    let scenarios = if smoke { smoke_matrix() } else { matrix() };
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut scenarios = if smoke { smoke_matrix() } else { matrix() };
+    if let Some(filter) = &only {
+        scenarios.retain(|s| s.name().contains(filter.as_str()));
+    }
     let cells = scenarios.len();
     let mut rows = Vec::with_capacity(cells);
     let mut table = Vec::with_capacity(cells);
@@ -50,4 +69,32 @@ fn main() {
     let json = to_json(label, &rows);
     std::fs::write(&out_path, json).expect("write JSON output");
     eprintln!("wrote {out_path}");
+    if let Some(path) = baseline_path {
+        let doc =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let baseline = parse_baseline(&doc);
+        assert!(!baseline.is_empty(), "baseline {path} has no rows");
+        let diff = diff_against_baseline(&rows, &baseline);
+        if diff.compared == 0 {
+            // A gate that matched nothing proves nothing: fail loudly
+            // instead of printing a vacuous "no drift".
+            eprintln!("baseline {path}: no measured cell matched any baseline row — gate vacuous");
+            std::process::exit(1);
+        }
+        if diff.drift.is_empty() {
+            eprintln!(
+                "baseline {path}: no makespan drift ({} cell(s) compared)",
+                diff.compared
+            );
+        } else {
+            for line in &diff.drift {
+                eprintln!("DRIFT {line}");
+            }
+            eprintln!(
+                "{} cell(s) drifted from {path}: the datapath changed simulation semantics",
+                diff.drift.len()
+            );
+            std::process::exit(1);
+        }
+    }
 }

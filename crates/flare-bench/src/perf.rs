@@ -75,17 +75,12 @@ impl Scenario {
 
     /// Short `dense/fat_tree/8h/128KiB`-style name.
     pub fn name(&self) -> String {
-        let size = if self.bytes_per_host >= 1 << 20 {
-            format!("{}MiB", self.bytes_per_host >> 20)
-        } else {
-            format!("{}KiB", self.bytes_per_host >> 10)
-        };
         format!(
             "{}/{}/{}h/{}",
             self.mode.label(),
             self.topo.label(),
             self.hosts,
-            size
+            size_label(self.bytes_per_host as u64)
         )
     }
 }
@@ -111,14 +106,18 @@ pub struct Measurement {
 }
 
 /// The full tracked matrix: dense/sparse × star/fat-tree × 8/32 hosts ×
-/// 128 KiB/8 MiB. Large cells run once; small cells take the best of 3.
+/// 128 KiB/8 MiB, plus the Canary/Swing-scale fat-tree sweep (dense ×
+/// 128/256 hosts — affordable since the ladder event queue). 8 MiB cells
+/// take the best of 2, small cells the best of 3; the 8 MiB *scale* rows
+/// run once (a 256-host rep is ~8 s — treat their wall numbers as
+/// single-sample).
 pub fn matrix() -> Vec<Scenario> {
     let mut out = Vec::new();
     for mode in [Mode::Dense, Mode::Sparse] {
         for topo in [TopoKind::Star, TopoKind::FatTree] {
             for hosts in [8usize, 32] {
                 for bytes in [128 * 1024usize, 8 * 1024 * 1024] {
-                    let reps = if bytes <= 128 * 1024 { 3 } else { 1 };
+                    let reps = if bytes <= 128 * 1024 { 3 } else { 2 };
                     out.push(Scenario {
                         mode,
                         topo,
@@ -130,11 +129,23 @@ pub fn matrix() -> Vec<Scenario> {
             }
         }
     }
+    // Scale rows: the host counts Canary and Swing evaluate at.
+    for hosts in [128usize, 256] {
+        for bytes in [128 * 1024usize, 8 * 1024 * 1024] {
+            out.push(Scenario {
+                mode: Mode::Dense,
+                topo: TopoKind::FatTree,
+                hosts,
+                bytes_per_host: bytes,
+                reps: if bytes <= 128 * 1024 { 3 } else { 1 },
+            });
+        }
+    }
     out
 }
 
 /// Reduced matrix for CI smoke runs: one small dense and one small sparse
-/// cell, single repetition.
+/// cell plus one 128-host scale cell, single repetition.
 pub fn smoke_matrix() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -148,6 +159,13 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             mode: Mode::Sparse,
             topo: TopoKind::Star,
             hosts: 8,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+        },
+        Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 128,
             bytes_per_host: 128 * 1024,
             reps: 1,
         },
@@ -180,26 +198,31 @@ fn build_topology(topo: TopoKind, hosts: usize) -> (Topology, Vec<NodeId>) {
 }
 
 /// Execute one scenario cell and measure it.
+///
+/// Workload synthesis (the per-host input vectors) happens *outside* the
+/// timed window: the harness measures the simulator, not the generator.
+/// Session construction and result delivery stay inside — they are part
+/// of running a collective.
 pub fn run(s: &Scenario) -> Measurement {
     let elems = s.elems();
     let mut best: Option<(f64, u64, u64, u64)> = None;
     for _ in 0..s.reps.max(1) {
         let (topo, hosts) = build_topology(s.topo, s.hosts);
-        let start = Instant::now();
         let report = match s.mode {
             Mode::Dense => {
-                let mut session = FlareSession::builder(topo).hosts(hosts).build();
                 let inputs: Vec<Vec<f32>> =
                     (0..s.hosts).map(|h| vec![(h + 1) as f32; elems]).collect();
+                let start = Instant::now();
+                let mut session = FlareSession::builder(topo).hosts(hosts).build();
                 let out = session.allreduce(inputs).op(Sum).run().expect("dense run");
-                out.report
+                let wall = start.elapsed().as_secs_f64();
+                (wall, out.report)
             }
             Mode::Sparse => {
                 // ~1% density, indexes striped across the domain so every
                 // block sees traffic and hash stores actually collide.
                 let nnz = (elems / 100).max(1);
                 let stride = (elems / nnz).max(1);
-                let mut session = FlareSession::builder(topo).hosts(hosts).build();
                 let pairs: Vec<Vec<(u32, f32)>> = (0..s.hosts)
                     .map(|h| {
                         (0..nnz)
@@ -207,15 +230,18 @@ pub fn run(s: &Scenario) -> Measurement {
                             .collect()
                     })
                     .collect();
+                let start = Instant::now();
+                let mut session = FlareSession::builder(topo).hosts(hosts).build();
                 let out = session
                     .sparse_allreduce(elems, pairs)
                     .op(Sum)
                     .run()
                     .expect("sparse run");
-                out.report
+                let wall = start.elapsed().as_secs_f64();
+                (wall, out.report)
             }
         };
-        let wall = start.elapsed().as_secs_f64();
+        let (wall, report) = report;
         let cand = (
             wall,
             report.net.events,
@@ -271,6 +297,103 @@ pub fn to_json(label: &str, rows: &[Measurement]) -> String {
     out
 }
 
+/// `128KiB`/`8MiB`-style payload label — the single source of the size
+/// component of [`Scenario::name`], shared with [`parse_baseline`] so a
+/// format change cannot silently break baseline cell matching.
+fn size_label(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}MiB", bytes >> 20)
+    } else {
+        format!("{}KiB", bytes >> 10)
+    }
+}
+
+/// A parsed baseline row: cell name (the [`Scenario::name`] form) and its
+/// simulated makespan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineRow {
+    /// `dense/fat_tree/32h/8MiB`-style cell name.
+    pub name: String,
+    /// Simulated makespan in nanoseconds.
+    pub makespan_ns: u64,
+}
+
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    line[start..]
+        .split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Parse a checked-in `BENCH_*.json` document (the exact format
+/// [`to_json`] writes — the workspace is offline, so no serde) into
+/// per-cell makespans for drift comparison.
+pub fn parse_baseline(json: &str) -> Vec<BaselineRow> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(mode) = json_str_field(line, "mode") else {
+            continue;
+        };
+        let (Some(topo), Some(hosts), Some(bytes), Some(makespan)) = (
+            json_str_field(line, "topology"),
+            json_u64_field(line, "hosts"),
+            json_u64_field(line, "payload_bytes"),
+            json_u64_field(line, "makespan_ns"),
+        ) else {
+            continue;
+        };
+        out.push(BaselineRow {
+            name: format!("{mode}/{topo}/{hosts}h/{}", size_label(bytes)),
+            makespan_ns: makespan,
+        });
+    }
+    out
+}
+
+/// Outcome of a baseline comparison: drift lines plus how many cells
+/// were actually matched (a gate that compared zero cells is vacuous and
+/// must be treated as a failure by the caller, not as "clean").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineDiff {
+    /// Human-readable drift lines (empty = no drift among compared cells).
+    pub drift: Vec<String>,
+    /// Cells present in both the measured rows and the baseline.
+    pub compared: usize,
+}
+
+/// Compare measured rows against a baseline document: any cell present in
+/// both whose simulated makespan differs is *drift* — a datapath change
+/// that altered simulation semantics. Cells only on one side are ignored
+/// (new rows are expected as the matrix grows), but the returned
+/// `compared` count lets the caller reject a vacuous match-nothing run.
+pub fn diff_against_baseline(rows: &[Measurement], baseline: &[BaselineRow]) -> BaselineDiff {
+    let mut drift = Vec::new();
+    let mut compared = 0;
+    for m in rows {
+        let name = m.scenario.name();
+        if let Some(b) = baseline.iter().find(|b| b.name == name) {
+            compared += 1;
+            if b.makespan_ns != m.makespan_ns {
+                drift.push(format!(
+                    "{name}: makespan {} ns != baseline {} ns",
+                    m.makespan_ns, b.makespan_ns
+                ));
+            }
+        }
+    }
+    BaselineDiff { drift, compared }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,11 +401,11 @@ mod tests {
     #[test]
     fn matrix_covers_the_full_cross_product() {
         let m = matrix();
-        assert_eq!(m.len(), 16);
+        assert_eq!(m.len(), 20, "16 tracked cells + 4 scale rows");
         assert_eq!(m.iter().filter(|s| s.mode == Mode::Sparse).count(), 8);
         assert_eq!(m.iter().filter(|s| s.topo == TopoKind::Star).count(), 8);
         assert_eq!(m.iter().filter(|s| s.hosts == 32).count(), 8);
-        assert_eq!(m.iter().filter(|s| s.bytes_per_host == 8 << 20).count(), 8);
+        assert_eq!(m.iter().filter(|s| s.bytes_per_host == 8 << 20).count(), 10);
     }
 
     #[test]
@@ -313,6 +436,116 @@ mod tests {
         };
         let m = run(&s);
         assert!(m.events > 0 && m.total_link_bytes > 0);
+    }
+
+    fn measurement(s: Scenario, makespan: u64) -> Measurement {
+        Measurement {
+            scenario: s,
+            wall_ms: 1.0,
+            events: 10,
+            events_per_sec: 1.0,
+            ns_per_element: 1.0,
+            makespan_ns: makespan,
+            total_link_bytes: 1,
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_to_json() {
+        let s = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 32,
+            bytes_per_host: 8 << 20,
+            reps: 1,
+        };
+        let json = to_json("perf", &[measurement(s, 694397)]);
+        let rows = parse_baseline(&json);
+        assert_eq!(
+            rows,
+            vec![BaselineRow {
+                name: "dense/fat_tree/32h/8MiB".into(),
+                makespan_ns: 694397,
+            }]
+        );
+    }
+
+    #[test]
+    fn baseline_diff_flags_makespan_drift_only() {
+        let s = Scenario {
+            mode: Mode::Sparse,
+            topo: TopoKind::Star,
+            hosts: 8,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+        };
+        let baseline = vec![
+            BaselineRow {
+                name: "sparse/star/8h/128KiB".into(),
+                makespan_ns: 2131,
+            },
+            BaselineRow {
+                name: "dense/star/8h/128KiB".into(),
+                makespan_ns: 999,
+            },
+        ];
+        // Identical makespan: clean (wall-clock differences never drift).
+        let clean = diff_against_baseline(&[measurement(s, 2131)], &baseline);
+        assert!(clean.drift.is_empty());
+        assert_eq!(clean.compared, 1);
+        // Changed makespan: flagged.
+        let diff = diff_against_baseline(&[measurement(s, 2132)], &baseline);
+        assert_eq!(diff.drift.len(), 1);
+        assert!(diff.drift[0].contains("sparse/star/8h/128KiB"), "{diff:?}");
+        // Cells absent from the baseline (new matrix rows) are ignored,
+        // but the compared count exposes a vacuous match-nothing run.
+        let new_cell = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 128,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+        };
+        let vacuous = diff_against_baseline(&[measurement(new_cell, 1)], &baseline);
+        assert!(vacuous.drift.is_empty());
+        assert_eq!(vacuous.compared, 0, "caller must detect the vacuous gate");
+    }
+
+    #[test]
+    fn parse_baseline_reads_the_checked_in_pr2_format() {
+        let sample = r#"{
+  "bench": "flare-perf",
+  "rows": [
+    {"mode": "dense", "topology": "star", "hosts": 8, "payload_bytes": 131072, "elems_per_host": 32768, "wall_ms": 1.757, "events": 4096, "events_per_sec": 2331869, "ns_per_element": 6.70, "makespan_ns": 14179, "total_link_bytes": 2129920},
+    {"mode": "sparse", "topology": "fat_tree", "hosts": 32, "payload_bytes": 8388608, "elems_per_host": 2097152, "wall_ms": 270.407, "events": 589824, "events_per_sec": 2181243, "ns_per_element": 4.03, "makespan_ns": 446677, "total_link_bytes": 208724480}
+  ]
+}"#;
+        let rows = parse_baseline(sample);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "dense/star/8h/128KiB");
+        assert_eq!(rows[0].makespan_ns, 14179);
+        assert_eq!(rows[1].name, "sparse/fat_tree/32h/8MiB");
+        assert_eq!(rows[1].makespan_ns, 446677);
+    }
+
+    #[test]
+    fn matrix_includes_the_scale_rows() {
+        let m = matrix();
+        assert_eq!(m.len(), 20);
+        let names: Vec<String> = m.iter().map(|s| s.name()).collect();
+        for want in [
+            "dense/fat_tree/128h/128KiB",
+            "dense/fat_tree/128h/8MiB",
+            "dense/fat_tree/256h/128KiB",
+            "dense/fat_tree/256h/8MiB",
+        ] {
+            assert!(names.contains(&want.to_string()), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn smoke_matrix_has_a_128_host_cell() {
+        assert!(smoke_matrix().iter().any(|s| s.hosts == 128));
     }
 
     #[test]

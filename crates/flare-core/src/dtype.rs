@@ -55,12 +55,51 @@ pub trait Element: Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static {
 
     /// Decode `bytes` and combine elementwise into `acc` with `f`
     /// (`acc.len() == bytes.len() / WIRE_BYTES`). With `f = op.combine`
-    /// this is the switch's aggregation inner loop; with `f = |_, b| b`
-    /// it is a bulk copy. Built-in types override with a vectorizable
-    /// bulk path.
+    /// this is the switch's aggregation inner loop. Built-in types
+    /// override with a vectorizable bulk path.
     fn fold_slice_le(bytes: &[u8], acc: &mut [Self], f: impl Fn(Self, Self) -> Self) {
         for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(Self::WIRE_BYTES)) {
             *a = f(*a, Self::read_le(c));
+        }
+    }
+
+    /// Decode `bytes` over `dst` (`dst.len() == bytes.len() / WIRE_BYTES`).
+    /// Unlike [`Element::fold_slice_le`] with an ignoring closure, this
+    /// never reads `dst`, so the compiler lowers it to a straight
+    /// memcpy-with-shuffle — the host's result-assembly hot loop.
+    fn copy_slice_le(bytes: &[u8], dst: &mut [Self]) {
+        for (a, c) in dst.iter_mut().zip(bytes.chunks_exact(Self::WIRE_BYTES)) {
+            *a = Self::read_le(c);
+        }
+    }
+
+    /// Decode sparse wire pairs — a `u32` little-endian index followed by
+    /// a value, stride `4 + WIRE_BYTES` — calling `f` for each pair.
+    /// `bytes` must be a whole multiple of the stride. Built-in types
+    /// override with an `as_chunks`-based fixed-stride path that keeps
+    /// the loop free of per-pair bounds checks — the sparse datapath's
+    /// equivalent of the dense bulk decoder.
+    fn for_each_pair_le(bytes: &[u8], mut f: impl FnMut(u32, Self)) {
+        for c in bytes.chunks_exact(4 + Self::WIRE_BYTES) {
+            let idx = u32::from_le_bytes(c[0..4].try_into().expect("4-byte index"));
+            f(idx, Self::read_le(&c[4..]));
+        }
+    }
+
+    /// Decode sparse wire pairs appending to `out` (bulk path; see
+    /// [`Element::for_each_pair_le`]).
+    fn read_pairs_le(bytes: &[u8], out: &mut Vec<(u32, Self)>) {
+        out.reserve(bytes.len() / (4 + Self::WIRE_BYTES));
+        Self::for_each_pair_le(bytes, |idx, v| out.push((idx, v)));
+    }
+
+    /// Append the wire encoding of `(index, value)` pairs to `out`.
+    /// Built-in types override with a block-buffered bulk path.
+    fn write_pairs_le(pairs: &[(u32, Self)], out: &mut Vec<u8>) {
+        out.reserve(pairs.len() * (4 + Self::WIRE_BYTES));
+        for &(idx, v) in pairs {
+            out.extend_from_slice(&idx.to_le_bytes());
+            v.write_le(out);
         }
     }
 
@@ -106,6 +145,37 @@ macro_rules! impl_bulk_wire {
             debug_assert!(rest.is_empty(), "truncated element payload");
             for (a, c) in acc.iter_mut().zip(chunks) {
                 *a = f(*a, <$t>::from_le_bytes(*c));
+            }
+        }
+
+        fn copy_slice_le(bytes: &[u8], dst: &mut [Self]) {
+            let (chunks, rest) = bytes.as_chunks::<$bytes>();
+            debug_assert!(rest.is_empty(), "truncated element payload");
+            for (a, c) in dst.iter_mut().zip(chunks) {
+                *a = <$t>::from_le_bytes(*c);
+            }
+        }
+
+        fn for_each_pair_le(bytes: &[u8], mut f: impl FnMut(u32, Self)) {
+            let (chunks, rest) = bytes.as_chunks::<{ $bytes + 4 }>();
+            debug_assert!(rest.is_empty(), "truncated pair payload");
+            for c in chunks {
+                let idx = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+                let mut vb = [0u8; $bytes];
+                vb.copy_from_slice(&c[4..]);
+                f(idx, <$t>::from_le_bytes(vb));
+            }
+        }
+
+        fn write_pairs_le(pairs: &[(u32, Self)], out: &mut Vec<u8>) {
+            out.reserve(pairs.len() * ($bytes + 4));
+            let mut tmp = [[0u8; $bytes + 4]; 64];
+            for chunk in pairs.chunks(64) {
+                for (t, &(idx, v)) in tmp.iter_mut().zip(chunk) {
+                    t[0..4].copy_from_slice(&idx.to_le_bytes());
+                    t[4..].copy_from_slice(&v.to_le_bytes());
+                }
+                out.extend_from_slice(tmp[..chunk.len()].as_flattened());
             }
         }
     };

@@ -20,40 +20,12 @@ use flare_pspin::{HpuCtx, PacketHandler, PspinPacket};
 use crate::dense::{MultiBufferBlock, SingleBufferBlock, TreeBlock};
 use crate::dtype::Element;
 use crate::op::ReduceOp;
-use crate::pool::{BlockSlab, BufferPool};
+use crate::pool::{BlockSlab, BufferPool, RetirementFloor};
 use crate::sparse::{HashInsert, ShardTracker, SparseArrayStore, SparseHashStore};
 use crate::wire::{encode_dense, encode_sparse, DenseView, Header, PacketKind, SparseView};
 
 /// Fixed cost to parse the Flare header and dispatch (cycles).
 pub const PARSE_CYCLES: u64 = 32;
-
-/// How many recently-completed block ids a handler remembers, so that
-/// late retransmissions of finished blocks are ignored instead of opening
-/// a ghost block (and emitting a second result).
-const COMPLETED_MEMORY: usize = 4096;
-
-/// Bounded set of recently-completed block ids (FIFO eviction).
-#[derive(Debug, Default)]
-struct CompletedSet {
-    set: std::collections::HashSet<u64>,
-    fifo: std::collections::VecDeque<u64>,
-}
-
-impl CompletedSet {
-    fn insert(&mut self, block: u64) {
-        if self.fifo.len() >= COMPLETED_MEMORY {
-            if let Some(old) = self.fifo.pop_front() {
-                self.set.remove(&old);
-            }
-        }
-        self.fifo.push_back(block);
-        self.set.insert(block);
-    }
-
-    fn contains(&self, block: u64) -> bool {
-        self.set.contains(&block)
-    }
-}
 
 /// Cycles to aggregate `elems` elements of `T` (the paper's 4 cycles per
 /// f32, SIMD-scaled for narrower types).
@@ -91,7 +63,10 @@ pub struct DenseAllreduceHandler<T: Element, O> {
     cfg: DenseHandlerConfig,
     op: O,
     blocks: BlockSlab<DenseBlock<T>>,
-    completed: CompletedSet,
+    /// Completed blocks: late retransmissions are rejected by comparing
+    /// against the retirement floor (mirrored into the slab) instead of a
+    /// per-packet hash probe.
+    retired: RetirementFloor,
     results: Vec<(u64, Vec<T>)>,
     val_pool: BufferPool<T>,
 }
@@ -103,7 +78,7 @@ impl<T: Element, O: ReduceOp<T>> DenseAllreduceHandler<T, O> {
             cfg,
             op,
             blocks: BlockSlab::new(BlockSlab::<DenseBlock<T>>::DEFAULT_SLOTS),
-            completed: CompletedSet::default(),
+            retired: RetirementFloor::new(),
             results: Vec::new(),
             val_pool: BufferPool::new(),
         }
@@ -151,7 +126,7 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
             Err(_) => return, // malformed: drop after parse
         };
         debug_assert_eq!(header.allreduce, self.cfg.allreduce);
-        if self.completed.contains(pkt.block) {
+        if self.retired.is_retired(pkt.block) {
             return; // late retransmission of a finished block
         }
         let n = view.len();
@@ -231,7 +206,8 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
         }
         if let Some(result) = report.result {
             self.blocks.remove(pkt.block);
-            self.completed.insert(pkt.block);
+            let floor = self.retired.retire(pkt.block);
+            self.blocks.set_floor(floor);
             Self::emit_result(ctx, self.cfg.allreduce, pkt.block, &result);
             ctx.complete_block(pkt.block);
             if self.cfg.capture_results {
@@ -293,7 +269,9 @@ pub struct SparseAllreduceHandler<T: Element, O> {
     cfg: SparseHandlerConfig,
     op: O,
     blocks: BlockSlab<SparseBlock<T>>,
-    completed: CompletedSet,
+    /// Completed blocks, rejected by floor comparison (see the dense
+    /// handler).
+    retired: RetirementFloor,
     results: Vec<(u64, Vec<(u32, T)>)>,
     spilled_elems: u64,
     pair_pool: BufferPool<(u32, T)>,
@@ -307,7 +285,7 @@ impl<T: Element, O: ReduceOp<T>> SparseAllreduceHandler<T, O> {
             cfg,
             op,
             blocks: BlockSlab::new(BlockSlab::<SparseBlock<T>>::DEFAULT_SLOTS),
-            completed: CompletedSet::default(),
+            retired: RetirementFloor::new(),
             results: Vec::new(),
             spilled_elems: 0,
             pair_pool: BufferPool::new(),
@@ -383,7 +361,7 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
             Err(_) => return,
         };
         debug_assert_eq!(header.allreduce, self.cfg.allreduce);
-        if self.completed.contains(pkt.block) {
+        if self.retired.is_retired(pkt.block) {
             return; // late packet for a finished block
         }
         let cluster = ctx.cluster;
@@ -423,30 +401,27 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
         let mut flushed = self.pair_pool.get(0);
         match &mut block.store {
             SparseStoreState::Hash(h) => {
-                for (idx, val) in view.iter() {
-                    match h.insert(&self.op, idx, val) {
-                        HashInsert::SpillFlush(batch) => {
-                            let extra = (batch.len() as f64
-                                * flare_model::sparse::SPILL_PUSH_CYCLES)
-                                .ceil() as u64;
-                            ctx.extend_hold(lock, extra * remote_factor);
-                            flushed.extend_from_slice(&batch);
-                            h.recycle_spill(batch);
-                        }
-                        HashInsert::Spilled => {
-                            ctx.extend_hold(
-                                lock,
-                                flare_model::sparse::SPILL_PUSH_CYCLES as u64 * remote_factor,
-                            );
-                        }
-                        _ => {}
+                view.for_each(|idx, val| match h.insert(&self.op, idx, val) {
+                    HashInsert::SpillFlush(batch) => {
+                        let extra = (batch.len() as f64 * flare_model::sparse::SPILL_PUSH_CYCLES)
+                            .ceil() as u64;
+                        ctx.extend_hold(lock, extra * remote_factor);
+                        flushed.extend_from_slice(&batch);
+                        h.recycle_spill(batch);
                     }
-                }
+                    HashInsert::Spilled => {
+                        ctx.extend_hold(
+                            lock,
+                            flare_model::sparse::SPILL_PUSH_CYCLES as u64 * remote_factor,
+                        );
+                    }
+                    _ => {}
+                });
             }
             SparseStoreState::Array(a) => {
-                for (idx, val) in view.iter() {
+                view.for_each(|idx, val| {
                     a.insert(&self.op, idx, val);
-                }
+                });
             }
         }
         if !flushed.is_empty() {
@@ -475,7 +450,8 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
         // Block complete: drain the store (paying the flush cost) and
         // emit, reusing the pooled batch buffer.
         let mut block = self.blocks.remove(pkt.block).expect("present");
-        self.completed.insert(pkt.block);
+        let floor = self.retired.retire(pkt.block);
+        self.blocks.set_floor(floor);
         flushed.clear();
         let mut result = flushed;
         let (flush_cycles, mem_bytes) = match &mut block.store {

@@ -9,7 +9,6 @@
 //! the switch-side child bitmap absorbs the duplicates).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use flare_des::Time;
@@ -52,16 +51,60 @@ pub struct HostConfig {
 
 const RETX_TAG: u64 = 0xF1A8;
 
+/// In-flight block map in insertion order. Windows are small (the manager
+/// caps them near `hosts + 64`), so a linear scan over a contiguous vec
+/// beats a SipHash probe per packet — and, unlike `HashMap`, iteration
+/// order is deterministic, which makes the retransmission scan
+/// reproducible across processes (std's hasher is randomly seeded).
+#[derive(Debug, Default)]
+struct WindowMap {
+    entries: Vec<(u64, Time)>,
+}
+
+impl WindowMap {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Record `block` as in flight since `at` (updates the timestamp if
+    /// the block is already outstanding, e.g. on retransmission).
+    fn insert(&mut self, block: u64, at: Time) {
+        match self.entries.iter_mut().find(|(b, _)| *b == block) {
+            Some(e) => e.1 = at,
+            None => self.entries.push((block, at)),
+        }
+    }
+
+    /// Close `block`, returning its send time (`None` if not in flight).
+    fn remove(&mut self, block: u64) -> Option<Time> {
+        let at = self.entries.iter().position(|(b, _)| *b == block)?;
+        Some(self.entries.remove(at).1)
+    }
+
+    /// In-flight `(block, sent_at)` pairs in insertion order.
+    fn iter(&self) -> impl Iterator<Item = (u64, Time)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
 /// Dense allreduce participant.
+///
+/// The reduction is performed *in place* (the `MPI_IN_PLACE` pattern): a
+/// block's result overwrites that block's range of the input buffer. This
+/// is safe — a result only arrives after the block's contribution was
+/// sent, and retransmission only re-reads blocks whose result has *not*
+/// arrived — and it halves the per-host memory footprint, which both
+/// matters at the 256-host sweep scale and avoids a page-fault storm on
+/// first write to a fresh result allocation.
 pub struct DenseFlareHost<T: Element> {
     cfg: HostConfig,
     elems_per_packet: usize,
+    /// Input data, progressively overwritten with reduced blocks.
     data: Vec<T>,
-    result: Vec<T>,
     /// Block ids in send order (staggered).
     order: Vec<u64>,
     next_pos: usize,
-    outstanding: HashMap<u64, Time>,
+    outstanding: WindowMap,
     completed: u64,
     sink: ResultSink<T>,
     /// Encode scratch, replenished from consumed result payloads.
@@ -83,15 +126,13 @@ impl<T: Element> DenseFlareHost<T> {
         let order = (0..blocks)
             .map(|p| (p + cfg.stagger_offset) % blocks)
             .collect();
-        let result = vec![T::zero(); data.len()];
         Self {
             cfg,
             elems_per_packet,
             data,
-            result,
             order,
             next_pos: 0,
-            outstanding: HashMap::new(),
+            outstanding: WindowMap::default(),
             completed: 0,
             sink,
             scratch: BufferPool::new(),
@@ -161,7 +202,7 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
         if header.kind != PacketKind::DenseResult {
             return;
         }
-        if self.outstanding.remove(&pkt.block).is_none() {
+        if self.outstanding.remove(pkt.block).is_none() {
             return; // duplicate result (e.g. after a retransmission race)
         }
         let range = self.block_range(pkt.block);
@@ -172,13 +213,15 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
             view.len(),
             range.len()
         );
-        view.copy_to_slice(&mut self.result[range]);
+        // In-place: the block is no longer outstanding, so its input
+        // range will never be re-read for a retransmission.
+        view.copy_to_slice(&mut self.data[range]);
         // Consumed: recycle the payload as encode scratch when this host
         // held the last reference.
         self.scratch.reclaim(pkt.payload);
         self.completed += 1;
         if self.completed == self.total_blocks() {
-            *self.sink.borrow_mut() = Some(std::mem::take(&mut self.result));
+            *self.sink.borrow_mut() = Some(std::mem::take(&mut self.data));
             ctx.mark_done();
         } else {
             self.pump(ctx);
@@ -194,8 +237,8 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
         let overdue: Vec<u64> = self
             .outstanding
             .iter()
-            .filter(|&(_, &sent)| now.saturating_sub(sent) >= timeout)
-            .map(|(&b, _)| b)
+            .filter(|&(_, sent)| now.saturating_sub(sent) >= timeout)
+            .map(|(b, _)| b)
             .collect();
         for block in overdue {
             self.send_block(ctx, block);
@@ -347,12 +390,12 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
         // Combine: spilled elements may deliver the same index in several
         // result shards, so accumulation (not overwrite) is required.
         let base = block * self.span;
-        for (idx, val) in view.iter() {
+        view.for_each(|idx, val| {
             let g = base + idx as usize;
             if g < self.total_elems {
                 self.result[g] = self.op.combine(self.result[g], val);
             }
-        }
+        });
         self.scratch.reclaim(pkt.payload);
         if self.trackers[block].on_shard(header.last_shard, header.shard_count) {
             self.blocks_done += 1;

@@ -127,6 +127,75 @@ impl BufferPool<u8> {
     }
 }
 
+/// Tracks retired (completed) block ids as a contiguous floor plus a
+/// small sorted set of out-of-order completions.
+///
+/// Block ids are dense and windowed, so completions are nearly in order:
+/// the common case is `retire(floor)` advancing the floor and
+/// `is_retired` answering with a single comparison — replacing the
+/// per-packet `HashSet` probe the PsPIN handlers used to pay for
+/// duplicate/late-packet rejection. Out-of-order completions (bounded by
+/// the sender window) wait in a sorted vector consulted by binary search
+/// until the floor catches up.
+///
+/// Feed the returned floor to [`BlockSlab::set_floor`] so the slab
+/// rejects retired ids on the same comparison.
+#[derive(Debug, Default)]
+pub struct RetirementFloor {
+    floor: u64,
+    /// Completed ids `>= floor`, sorted ascending.
+    pending: Vec<u64>,
+}
+
+impl RetirementFloor {
+    /// A fresh tracker: nothing retired, floor at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The contiguous retirement floor: every id below it is retired.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Completed ids still waiting for the floor to catch up.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether `id` has been retired.
+    pub fn is_retired(&self, id: u64) -> bool {
+        id < self.floor || (!self.pending.is_empty() && self.pending.binary_search(&id).is_ok())
+    }
+
+    /// Retire `id` and return the (possibly advanced) contiguous floor.
+    /// Retiring an id twice, or below the floor, is a no-op.
+    pub fn retire(&mut self, id: u64) -> u64 {
+        if id < self.floor {
+            return self.floor;
+        }
+        if id == self.floor {
+            self.floor += 1;
+            // Absorb any consecutive out-of-order completions.
+            let caught_up = self
+                .pending
+                .iter()
+                .take_while(|&&p| {
+                    let hit = p == self.floor;
+                    if hit {
+                        self.floor += 1;
+                    }
+                    hit
+                })
+                .count();
+            self.pending.drain(..caught_up);
+        } else if let Err(at) = self.pending.binary_search(&id) {
+            self.pending.insert(at, id);
+        }
+        self.floor
+    }
+}
+
 /// Counters exposed by [`BlockSlab`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SlabStats {
@@ -430,6 +499,64 @@ mod tests {
         // The floor never moves backwards.
         slab.set_floor(2);
         assert_eq!(slab.floor(), 8);
+    }
+
+    #[test]
+    fn retirement_floor_advances_contiguously() {
+        let mut r = RetirementFloor::new();
+        assert!(!r.is_retired(0));
+        assert_eq!(r.retire(0), 1);
+        assert_eq!(r.retire(1), 2);
+        assert!(r.is_retired(0) && r.is_retired(1));
+        assert!(!r.is_retired(2));
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn retirement_floor_absorbs_out_of_order_completions() {
+        let mut r = RetirementFloor::new();
+        // Blocks complete 2, 3, 0, 1 (window reordering).
+        assert_eq!(r.retire(2), 0);
+        assert_eq!(r.retire(3), 0);
+        assert_eq!(r.pending(), 2);
+        assert!(r.is_retired(2) && r.is_retired(3));
+        assert!(!r.is_retired(0) && !r.is_retired(1));
+        assert_eq!(r.retire(0), 1);
+        assert_eq!(r.retire(1), 4, "floor jumps over the pending run");
+        assert_eq!(r.pending(), 0);
+        for b in 0..4 {
+            assert!(r.is_retired(b));
+        }
+        assert!(!r.is_retired(4));
+    }
+
+    #[test]
+    fn retirement_floor_ignores_duplicates_and_below_floor() {
+        let mut r = RetirementFloor::new();
+        r.retire(0);
+        assert_eq!(r.retire(0), 1, "re-retiring below the floor is a no-op");
+        r.retire(5);
+        r.retire(5);
+        assert_eq!(r.pending(), 1, "duplicate pending id not double-counted");
+        assert_eq!(r.floor(), 1);
+    }
+
+    #[test]
+    fn retirement_floor_matches_slab_rejection() {
+        // The floor handed to BlockSlab::set_floor makes the slab reject
+        // exactly the contiguously retired prefix.
+        let mut r = RetirementFloor::new();
+        let mut slab: BlockSlab<u8> = BlockSlab::new(8);
+        for b in [0u64, 1, 2] {
+            slab.get_or_insert_with(b, || b as u8).unwrap();
+        }
+        for b in [0u64, 1] {
+            slab.remove(b);
+            slab.set_floor(r.retire(b));
+        }
+        assert!(slab.get_or_insert_with(0, || 9).is_none());
+        assert!(slab.get_or_insert_with(1, || 9).is_none());
+        assert_eq!(*slab.get_mut(2).unwrap(), 2);
     }
 
     #[test]

@@ -18,8 +18,6 @@
 //! engine — the same methodology the paper used to couple its two
 //! simulators.
 
-use std::collections::{HashMap, VecDeque};
-
 use bytes::Bytes;
 
 use flare_net::{NetPacket, NodeId, PortId, SwitchCtx, SwitchProgram};
@@ -28,7 +26,7 @@ use crate::dense::TreeBlock;
 use crate::dtype::Element;
 use crate::handlers::SparseStorageKind;
 use crate::op::ReduceOp;
-use crate::pool::{BlockSlab, BufferPool, PoolStats, SlabStats};
+use crate::pool::{BlockSlab, BufferPool, PoolStats, RetirementFloor, SlabStats};
 use crate::sparse::{HashInsert, ShardTracker, SparseArrayStore, SparseHashStore};
 use crate::wire::{
     encode_dense_into, encode_sparse_into, DenseView, Header, PacketKind, SparseView, HEADER_BYTES,
@@ -51,6 +49,40 @@ pub struct TreePlacement {
 /// replays (a lost result packet would otherwise deadlock the block).
 const RESULT_CACHE: usize = 1024;
 
+/// Replay cache for completed dense blocks: a direct-mapped ring indexed
+/// by `block % RESULT_CACHE`. Block ids are dense and windowed, so the
+/// ring behaves like the old FIFO `HashMap` cache but costs one index
+/// compare per lookup instead of a SipHash probe — the lookup sits on the
+/// per-contribution hot path (gated behind [`RetirementFloor`], which
+/// rejects non-retired blocks on a comparison).
+#[derive(Debug)]
+struct ReplayRing {
+    slots: Vec<Option<(u64, Bytes)>>,
+}
+
+impl ReplayRing {
+    fn new() -> Self {
+        Self {
+            slots: (0..RESULT_CACHE).map(|_| None).collect(),
+        }
+    }
+
+    /// Cache `payload` for `block`, handing back any evicted payload so
+    /// the caller can reclaim its buffer.
+    fn put(&mut self, block: u64, payload: Bytes) -> Option<Bytes> {
+        let slot = &mut self.slots[(block % RESULT_CACHE as u64) as usize];
+        slot.replace((block, payload)).map(|(_, old)| old)
+    }
+
+    /// The cached payload for `block`, if still resident.
+    fn get(&self, block: u64) -> Option<&Bytes> {
+        match &self.slots[(block % RESULT_CACHE as u64) as usize] {
+            Some((b, payload)) if *b == block => Some(payload),
+            _ => None,
+        }
+    }
+}
+
 /// Combined recycling counters of one switch program.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProgramStats {
@@ -72,10 +104,12 @@ pub struct FlareDenseProgram<T: Element, O> {
     place: TreePlacement,
     op: O,
     blocks: BlockSlab<TreeBlock<T>>,
+    /// Which blocks have completed here: floor comparison on the hot
+    /// path, with the slab floor raised in lockstep.
+    retired: RetirementFloor,
     /// Encoded `DenseResult` payloads kept for duplicate-contribution
     /// replays (cheap `Bytes` clones on the loss path).
-    completed: HashMap<u64, Bytes>,
-    completed_fifo: VecDeque<u64>,
+    replay: ReplayRing,
     val_pool: BufferPool<T>,
     byte_pool: BufferPool<u8>,
     /// Completed block shells (tree skeleton + bitmap) kept for reuse.
@@ -94,8 +128,8 @@ impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
             place,
             op,
             blocks: BlockSlab::new(BlockSlab::<TreeBlock<T>>::DEFAULT_SLOTS),
-            completed: HashMap::new(),
-            completed_fifo: VecDeque::new(),
+            retired: RetirementFloor::new(),
+            replay: ReplayRing::new(),
             val_pool: BufferPool::new(),
             byte_pool: BufferPool::new(),
             spare_blocks: Vec::new(),
@@ -113,15 +147,9 @@ impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
     }
 
     fn cache_result(&mut self, block: u64, payload: Bytes) {
-        if self.completed_fifo.len() >= RESULT_CACHE {
-            if let Some(old) = self.completed_fifo.pop_front() {
-                if let Some(evicted) = self.completed.remove(&old) {
-                    self.byte_pool.reclaim(evicted);
-                }
-            }
+        if let Some(evicted) = self.replay.put(block, payload) {
+            self.byte_pool.reclaim(evicted);
         }
-        self.completed_fifo.push_back(block);
-        self.completed.insert(block, payload);
     }
 
     fn result_packet(&self, me: NodeId, dst: NodeId, block: u64, payload: Bytes) -> NetPacket {
@@ -228,14 +256,17 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareDenseProgram<T
         match header.kind {
             PacketKind::DenseContrib => {
                 let fin = ctx.processing_done(pkt.wire_bytes);
-                if let Some(cached) = self.completed.get(&pkt.block).cloned() {
+                if self.retired.is_retired(pkt.block) {
                     // Retransmitted contribution for a finished block: the
                     // child evidently missed the result — replay from the
-                    // cached encoded payload.
-                    let payload = self.replay_payload(cached);
-                    let child = self.place.children[header.child as usize];
-                    let replay = self.result_packet(ctx.node(), child, pkt.block, payload);
-                    ctx.send_at(fin, replay);
+                    // cached encoded payload (dropped if the replay cache
+                    // already evicted it; the next retransmission retries).
+                    if let Some(cached) = self.replay.get(pkt.block).cloned() {
+                        let payload = self.replay_payload(cached);
+                        let child = self.place.children[header.child as usize];
+                        let replay = self.result_packet(ctx.node(), child, pkt.block, payload);
+                        ctx.send_at(fin, replay);
+                    }
                     return;
                 }
                 let children = self.place.children.len() as u16;
@@ -264,6 +295,8 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareDenseProgram<T
                         self.spare_blocks.push(shell);
                     }
                     self.blocks_done += 1;
+                    let floor = self.retired.retire(pkt.block);
+                    self.blocks.set_floor(floor);
                     self.finish_block(ctx, fin, pkt.block, &result);
                     self.val_pool.put(result);
                 }
@@ -300,6 +333,10 @@ pub struct FlareSparseProgram<T: Element, O> {
     storage: SparseStorageKind,
     pairs_per_packet: usize,
     blocks: BlockSlab<SparseSwitchBlock<T>>,
+    /// Which blocks have completed here: late/duplicate packets for a
+    /// retired block are rejected by comparison instead of re-opening a
+    /// ghost block (which would emit a spurious second result).
+    retired: RetirementFloor,
     pair_pool: BufferPool<(u32, T)>,
     byte_pool: BufferPool<u8>,
     /// Drained block shells (store + trackers) kept for reuse.
@@ -339,6 +376,7 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
             storage,
             pairs_per_packet,
             blocks: BlockSlab::new(BlockSlab::<SparseSwitchBlock<T>>::DEFAULT_SLOTS),
+            retired: RetirementFloor::new(),
             pair_pool: BufferPool::new(),
             byte_pool: BufferPool::new(),
             spare_blocks: Vec::new(),
@@ -488,6 +526,9 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
         match header.kind {
             PacketKind::SparseContrib | PacketKind::SparseSpill => {
                 let fin = ctx.processing_done(pkt.wire_bytes);
+                if self.retired.is_retired(pkt.block) {
+                    return; // late packet for a finished block
+                }
                 let children = self.place.children.len() as u16;
                 if self.blocks.get_mut(pkt.block).is_none() {
                     // A drained shell's store is already empty; only the
@@ -517,17 +558,17 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
                 let block = self.blocks.get_mut(pkt.block).expect("present");
                 match &mut block.store {
                     SparseStore::Hash(h) => {
-                        for (idx, val) in view.iter() {
+                        view.for_each(|idx, val| {
                             if let HashInsert::SpillFlush(batch) = h.insert(&self.op, idx, val) {
                                 flushed.extend_from_slice(&batch);
                                 h.recycle_spill(batch);
                             }
-                        }
+                        });
                     }
                     SparseStore::Array(a) => {
-                        for (idx, val) in view.iter() {
+                        view.for_each(|idx, val| {
                             a.insert(&self.op, idx, val);
-                        }
+                        });
                     }
                 }
                 if !flushed.is_empty() {
@@ -563,6 +604,8 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
                     // Complete: drain into the pooled batch and forward.
                     let mut done = self.blocks.remove(pkt.block).expect("present");
                     self.blocks_done += 1;
+                    let floor = self.retired.retire(pkt.block);
+                    self.blocks.set_floor(floor);
                     let mut result = flushed;
                     match &mut done.store {
                         SparseStore::Hash(h) => h.drain_into(&mut result),

@@ -174,10 +174,11 @@ impl<'a, T: Element> DenseView<'a, T> {
     }
 
     /// Copy the values over `dst` (`dst.len()` values are written; the
-    /// view must hold at least that many). Bulk vectorized path.
+    /// view must hold at least that many). Bulk vectorized path that
+    /// never reads `dst`.
     pub fn copy_to_slice(&self, dst: &mut [T]) {
         let n = dst.len().min(self.len());
-        T::fold_slice_le(&self.body[..n * T::WIRE_BYTES], &mut dst[..n], |_, b| b);
+        T::copy_slice_le(&self.body[..n * T::WIRE_BYTES], &mut dst[..n]);
     }
 
     /// Combine the values elementwise into `acc` with `f` (`acc.len()`
@@ -240,6 +241,19 @@ impl<'a, T: Element> SparseView<'a, T> {
             (idx, T::read_le(&c[4..]))
         })
     }
+
+    /// Call `f` for every `(index, value)` pair — the bulk fixed-stride
+    /// decode path (`as_chunks`-based, like the dense decoder): the
+    /// sparse store insertion loops run over this instead of [`Self::iter`]
+    /// so the stride decode has no per-pair bounds checks.
+    pub fn for_each(&self, f: impl FnMut(u32, T)) {
+        T::for_each_pair_le(self.body, f);
+    }
+
+    /// Append every pair to `out` (bulk vectorized path).
+    pub fn append_to(&self, out: &mut Vec<(u32, T)>) {
+        T::read_pairs_le(self.body, out);
+    }
 }
 
 /// Serialize a dense packet into a caller-provided (typically pooled)
@@ -273,10 +287,7 @@ pub fn encode_sparse_into<T: Element>(mut header: Header, pairs: &[(u32, T)], ou
     out.clear();
     out.reserve(HEADER_BYTES + pairs.len() * (4 + T::WIRE_BYTES));
     out.extend_from_slice(&header.encode());
-    for &(idx, v) in pairs {
-        out.extend_from_slice(&idx.to_le_bytes());
-        v.write_le(out);
-    }
+    T::write_pairs_le(pairs, out);
 }
 
 /// Encode a sparse packet: header + (u32 index, value) pairs. Indexes are
@@ -290,7 +301,9 @@ pub fn encode_sparse<T: Element>(header: Header, pairs: &[(u32, T)]) -> Bytes {
 /// Decode a sparse packet body previously produced by [`encode_sparse`].
 pub fn decode_sparse<T: Element>(buf: &[u8]) -> Result<(Header, Vec<(u32, T)>), WireError> {
     let (h, view) = SparseView::<T>::parse(buf)?;
-    Ok((h, view.iter().collect()))
+    let mut pairs = Vec::new();
+    view.append_to(&mut pairs);
+    Ok((h, pairs))
 }
 
 #[cfg(test)]
@@ -389,6 +402,49 @@ mod tests {
         assert_eq!(view.len(), 77);
         assert_eq!(view.iter().collect::<Vec<_>>(), old);
         assert_eq!(view.get(76), old[76]);
+    }
+
+    #[test]
+    fn sparse_bulk_paths_match_elementwise_for_every_type() {
+        // The as_chunks stride decoder must agree with the per-pair
+        // iterator for every built-in element type (different strides).
+        fn check<T: Element>(mk: impl Fn(u32) -> T) {
+            let pairs: Vec<(u32, T)> = (0..97).map(|i| (i * 31 + 5, mk(i))).collect();
+            let pkt = encode_sparse(header(PacketKind::SparseContrib), &pairs);
+            let (_, view) = SparseView::<T>::parse(&pkt).unwrap();
+            let elementwise: Vec<(u32, T)> = view.iter().collect();
+            let mut via_for_each = Vec::new();
+            view.for_each(|i, v| via_for_each.push((i, v)));
+            assert_eq!(via_for_each, elementwise, "{}", T::NAME);
+            let mut via_append = Vec::new();
+            view.append_to(&mut via_append);
+            assert_eq!(via_append, elementwise, "{}", T::NAME);
+            assert_eq!(elementwise, pairs, "{}", T::NAME);
+        }
+        check::<i32>(|i| i as i32 * -3);
+        check::<i16>(|i| i as i16);
+        check::<i8>(|i| (i % 100) as i8);
+        check::<f32>(|i| i as f32 * 0.75 - 9.0);
+        check::<crate::dtype::F16>(|i| crate::dtype::F16::from_f32(i as f32 / 4.0));
+    }
+
+    #[test]
+    fn sparse_bulk_encode_matches_elementwise_layout() {
+        // write_pairs_le (block-buffered) must produce byte-identical
+        // encodings to the original per-pair loop.
+        fn check<T: Element>(pairs: Vec<(u32, T)>) {
+            let mut reference = Vec::new();
+            for &(idx, v) in &pairs {
+                reference.extend_from_slice(&idx.to_le_bytes());
+                v.write_le(&mut reference);
+            }
+            let mut bulk = Vec::new();
+            T::write_pairs_le(&pairs, &mut bulk);
+            assert_eq!(bulk, reference, "{}", T::NAME);
+        }
+        check::<f32>((0..200).map(|i| (i * 7, i as f32 * 1.5)).collect());
+        check::<i16>((0..65).map(|i| (i, i as i16 - 30)).collect());
+        check::<i8>(vec![(0, -1), (u32::MAX, i8::MAX)]);
     }
 
     #[test]

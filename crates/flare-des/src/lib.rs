@@ -4,9 +4,14 @@
 //! simulator (`flare-pspin`) and the packet-level network simulator
 //! (`flare-net`) — are built on this crate. It provides:
 //!
-//! * [`EventQueue`]: a monotonic, deterministic event queue with stable
-//!   FIFO ordering among simultaneous events,
-//! * [`Simulator`] and the [`run`]/[`run_until`] drivers,
+//! * [`EventQueue`]: a monotonic, deterministic two-level *ladder* queue
+//!   with stable FIFO ordering among simultaneous events (see the
+//!   [`queue`] module docs for the structure and the determinism
+//!   contract; [`heap::HeapQueue`] is the binary-heap reference
+//!   implementation the differential tests compare against),
+//! * [`Simulator`] and the [`run`]/[`run_until`] drivers, plus
+//!   [`run_batched`]/[`run_batched_until`] which deliver whole
+//!   equal-timestamp batches per queue operation,
 //! * a statistics toolkit ([`stats`]) for counters, time-weighted occupancy
 //!   integrals (used for the paper's input-buffer and working-memory plots),
 //!   and log2 histograms,
@@ -18,6 +23,9 @@
 //! 1 GHz (paper Section 3), so one nanosecond is exactly one core cycle and
 //! the two units are used interchangeably throughout the workspace.
 
+#![deny(missing_docs)]
+
+pub mod heap;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -64,6 +72,42 @@ pub fn run_until<S: Simulator>(
     last
 }
 
+/// Run a simulator until its event queue drains, draining each
+/// equal-timestamp batch with one queue operation
+/// ([`EventQueue::pop_batch`]).
+///
+/// The handler sequence is identical to [`run`] as long as handlers never
+/// schedule same-timestamp events at a *lower* priority than events
+/// already pending at that timestamp (see the [`queue`] module docs) —
+/// both workspace simulators satisfy this. Multicast fan-outs and
+/// forwarding chains then cost O(1) amortized per event instead of one
+/// heap sift each.
+pub fn run_batched<S: Simulator>(sim: &mut S, queue: &mut EventQueue<S::Event>) -> Time {
+    run_batched_until(sim, queue, Time::MAX)
+}
+
+/// Run with batched draining until the queue drains or the clock passes
+/// `deadline` (events at exactly `deadline` are still processed).
+pub fn run_batched_until<S: Simulator>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+    deadline: Time,
+) -> Time {
+    let mut last = queue.now();
+    let mut batch = Vec::new();
+    while let Some(t) = queue.peek_time() {
+        if t > deadline {
+            break;
+        }
+        queue.pop_batch(&mut batch).expect("peeked batch must pop");
+        last = t;
+        for ev in batch.drain(..) {
+            sim.handle(t, ev, queue);
+        }
+    }
+    last
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +146,71 @@ mod tests {
         q.schedule_at(0, 10u32);
         let end = run_until(&mut sim, &mut q, 20);
         // Events at t=0,10,20 run; t=30 stays queued.
+        assert_eq!(end, 20);
+        assert_eq!(sim.seen.len(), 3);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn run_batched_matches_run_event_for_event() {
+        let mut a = Countdown { seen: Vec::new() };
+        let mut qa = EventQueue::new();
+        qa.schedule_at(5, 3u32);
+        qa.schedule_at(5, 2u32);
+        qa.schedule_at(15, 4u32);
+        let end_a = run(&mut a, &mut qa);
+
+        let mut b = Countdown { seen: Vec::new() };
+        let mut qb = EventQueue::new();
+        qb.schedule_at(5, 3u32);
+        qb.schedule_at(5, 2u32);
+        qb.schedule_at(15, 4u32);
+        let end_b = run_batched(&mut b, &mut qb);
+
+        assert_eq!(a.seen, b.seen);
+        assert_eq!(end_a, end_b);
+        assert_eq!(qa.processed(), qb.processed());
+    }
+
+    /// A simulator that fans out same-timestamp events (multicast shape)
+    /// and counts handled events — the batched driver's target workload.
+    struct FanOut {
+        handled: Vec<(Time, u32)>,
+    }
+
+    impl Simulator for FanOut {
+        type Event = u32;
+        fn handle(&mut self, t: Time, ev: u32, q: &mut EventQueue<u32>) {
+            self.handled.push((t, ev));
+            if ev >= 100 {
+                // Fan out 8 copies at the *same* timestamp.
+                for i in 0..8 {
+                    q.schedule_at(t, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_batched_delivers_same_time_fanout_in_fifo_order() {
+        let mut sim = FanOut {
+            handled: Vec::new(),
+        };
+        let mut q = EventQueue::new();
+        q.schedule_at(10, 100u32);
+        run_batched(&mut sim, &mut q);
+        let want: Vec<(Time, u32)> = std::iter::once((10, 100))
+            .chain((0..8).map(|i| (10, i)))
+            .collect();
+        assert_eq!(sim.handled, want);
+    }
+
+    #[test]
+    fn run_batched_until_stops_at_deadline_inclusive() {
+        let mut sim = Countdown { seen: Vec::new() };
+        let mut q = EventQueue::new();
+        q.schedule_at(0, 10u32);
+        let end = run_batched_until(&mut sim, &mut q, 20);
         assert_eq!(end, 20);
         assert_eq!(sim.seen.len(), 3);
         assert_eq!(q.len(), 1);

@@ -1,43 +1,71 @@
-//! Deterministic event queue.
+//! Deterministic ladder event queue.
 //!
-//! The queue is a binary heap keyed on `(time, sequence)`. The sequence
-//! number makes ordering among simultaneous events FIFO and therefore
-//! deterministic, which the reproducibility experiments (paper Section 6.3)
-//! rely on: two runs with identical inputs must interleave handler
-//! executions identically.
+//! The queue orders events by the total key `(time, prio, seq)`. The
+//! sequence number makes ordering among simultaneous equal-priority events
+//! FIFO and therefore deterministic, which the reproducibility experiments
+//! (paper Section 6.3) rely on: two runs with identical inputs must
+//! interleave handler executions identically.
+//!
+//! # Structure
+//!
+//! Instead of a binary heap (one `O(log n)` sift per operation, payloads
+//! shuffled on every sift), the queue is a two-level *ladder*:
+//!
+//! * **bottom** — the batch of events at the earliest pending timestamp,
+//!   sorted by `(prio, seq)` and drained front-to-front. Handler
+//!   re-scheduling at the current timestamp (switch forwarding, multicast
+//!   fan-out) appends here in `O(1)`.
+//! * **near rung** — [`NEAR_WINDOW`] one-nanosecond buckets directly
+//!   indexed by `time - win_base`. Scheduling within the window is an
+//!   `O(1)` push; a bucket is sorted once, when it becomes the bottom.
+//! * **overflow rung** — far-future events (retransmission `Wake` timers,
+//!   deep link backlogs) collect in a lazily sorted vector. When the near
+//!   window drains, the queue *rebases*: the rung is sorted (adaptive —
+//!   already-sorted prefixes cost `O(n)`) and the next window's worth of
+//!   events moves into the buckets.
+//!
+//! # Determinism contract
+//!
+//! The pop sequence is **exactly** the strict ascending `(time, prio,
+//! seq)` order — bit-identical to the reference binary-heap implementation
+//! ([`crate::heap::HeapQueue`]), which the differential tests in
+//! `tests/queue_equivalence.rs` assert on adversarial and randomized
+//! schedules. Where an event is stored (bottom, bucket, overflow) is a
+//! function of its timestamp only, never of insertion order, so the
+//! structure cannot leak nondeterminism into the pop order.
+//!
+//! [`EventQueue::pop_batch`] additionally drains every *currently queued*
+//! event of the earliest timestamp in one call (multicast fan-outs cost
+//! `O(1)` amortized per copy instead of one heap sift each). Events
+//! scheduled at that same timestamp *while the batch is being processed*
+//! form a follow-up batch; because their sequence numbers are larger than
+//! everything already drained, batch delivery preserves the total order
+//! whenever those late arrivals do not use a *lower* priority than the
+//! already-drained events — trivially true for the network simulator
+//! (every event uses [`DEFAULT_PRIO`]) and for the PsPIN engine (handlers
+//! never schedule same-timestamp events). See [`crate::run_batched`].
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use crate::Time;
 
 /// A scheduled event: ordering key is `(time, priority, seq)`.
-struct Entry<E> {
-    time: Time,
-    prio: u8,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.prio == other.prio && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.prio, self.seq).cmp(&(other.time, other.prio, other.seq))
-    }
+pub(crate) struct Entry<E> {
+    pub(crate) time: Time,
+    pub(crate) prio: u8,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 /// Default priority for events scheduled without an explicit one.
 pub const DEFAULT_PRIO: u8 = 128;
+
+/// Width of the near rung in time units (1 ns buckets): events up to this
+/// far ahead of the window base are direct-indexed; everything beyond
+/// collects in the overflow rung until a rebase.
+pub const NEAR_WINDOW: usize = 4096;
+
+const WORD_BITS: usize = 64;
 
 /// Behaviour plugged into the DES driver loop ([`crate::run`]).
 pub trait Simulator {
@@ -48,11 +76,35 @@ pub trait Simulator {
 }
 
 /// Monotonic future-event list with stable FIFO tie-breaking.
+///
+/// See the [module docs](self) for the ladder structure and the
+/// determinism contract.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
     now: Time,
     seq: u64,
     processed: u64,
+    len: usize,
+    /// The earliest-timestamp batch, sorted ascending by `(prio, seq)`.
+    /// Invariant: when non-empty outside of `pop`, every entry's time
+    /// equals `now` (or the queue has never popped and they equal the
+    /// earliest scheduled time == `now` at start).
+    bottom: VecDeque<Entry<E>>,
+    /// Near rung: `buckets[d]` holds events at `win_base + d`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// One bit per bucket: set while the bucket is non-empty.
+    occupied: Vec<u64>,
+    /// Absolute time of bucket 0.
+    win_base: Time,
+    /// Buckets below this index are drained; scans start here.
+    cur_slot: usize,
+    /// Overflow rung: events at `time >= win_base + NEAR_WINDOW`, kept
+    /// sorted descending by `(time, prio, seq)` between rebases so a
+    /// rebase can peel the earliest chunk off the tail.
+    overflow: Vec<Entry<E>>,
+    /// Whether `overflow` has unsorted appends.
+    overflow_dirty: bool,
+    /// Smallest timestamp in `overflow` (`Time::MAX` when empty).
+    overflow_min: Time,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -65,10 +117,18 @@ impl<E> EventQueue<E> {
     /// Create an empty queue with the clock at zero.
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
             now: 0,
             seq: 0,
             processed: 0,
+            len: 0,
+            bottom: VecDeque::new(),
+            buckets: (0..NEAR_WINDOW).map(|_| Vec::new()).collect(),
+            occupied: vec![0; NEAR_WINDOW / WORD_BITS],
+            win_base: 0,
+            cur_slot: 0,
+            overflow: Vec::new(),
+            overflow_dirty: false,
+            overflow_min: Time::MAX,
         }
     }
 
@@ -106,44 +166,209 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry {
+        self.len += 1;
+        let entry = Entry {
             time,
             prio,
             seq,
             event,
-        }));
+        };
+        // Same-timestamp as the active batch: merge into the bottom.
+        if let Some(front) = self.bottom.front() {
+            if time == front.time {
+                self.insert_bottom(entry);
+                return;
+            }
+            debug_assert!(time > front.time, "bottom holds the minimum timestamp");
+        } else if time == self.now {
+            // The `now` batch drained, and a handler scheduled a follow-up
+            // at the same instant: it becomes the new earliest batch (all
+            // pending buckets/overflow hold strictly later times).
+            self.bottom.push_back(entry);
+            return;
+        }
+        // `time > now >= win_base`, so the delta cannot underflow.
+        let delta = time - self.win_base;
+        if delta < NEAR_WINDOW as Time {
+            let slot = delta as usize;
+            if self.buckets[slot].is_empty() {
+                self.occupied[slot / WORD_BITS] |= 1 << (slot % WORD_BITS);
+            }
+            self.buckets[slot].push(entry);
+        } else {
+            if time < self.overflow_min {
+                self.overflow_min = time;
+            }
+            self.overflow_dirty = true;
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Insert into the non-empty bottom batch, keeping `(prio, seq)`
+    /// order. The new entry has the largest sequence number, so unless it
+    /// uses a lower priority than the batch tail this is an O(1) append.
+    fn insert_bottom(&mut self, entry: Entry<E>) {
+        match self.bottom.back() {
+            Some(back) if back.prio > entry.prio => {
+                let at = self
+                    .bottom
+                    .partition_point(|e| (e.prio, e.seq) < (entry.prio, entry.seq));
+                self.bottom.insert(at, entry);
+            }
+            _ => self.bottom.push_back(entry),
+        }
     }
 
     /// Schedule an event `delay` time units after the current clock.
+    ///
+    /// # Panics
+    /// Panics if `now + delay` overflows [`Time`] — a timer that far out
+    /// is a bug in the caller, and scheduling it at a clamped time would
+    /// silently reorder it against genuine far-future events.
     #[inline]
     pub fn schedule_in(&mut self, delay: Time, event: E) {
-        self.schedule_at(self.now.saturating_add(delay), event);
+        let time = self.now.checked_add(delay).unwrap_or_else(|| {
+            panic!(
+                "timer overflows simulation time: now={} + delay={} exceeds Time::MAX",
+                self.now, delay
+            )
+        });
+        self.schedule_at(time, event);
+    }
+
+    /// First occupied bucket at or after `cur_slot`, if any.
+    fn next_occupied_slot(&self) -> Option<usize> {
+        let mut word_idx = self.cur_slot / WORD_BITS;
+        if word_idx >= self.occupied.len() {
+            return None;
+        }
+        // Mask off bits below cur_slot in the first word.
+        let mut word = self.occupied[word_idx] & (!0u64 << (self.cur_slot % WORD_BITS));
+        loop {
+            if word != 0 {
+                return Some(word_idx * WORD_BITS + word.trailing_zeros() as usize);
+            }
+            word_idx += 1;
+            if word_idx >= self.occupied.len() {
+                return None;
+            }
+            word = self.occupied[word_idx];
+        }
+    }
+
+    /// Load the next pending batch into `bottom` (which must be empty):
+    /// activate the first occupied near bucket, rebasing the window onto
+    /// the overflow rung when the near rung is dry.
+    fn activate(&mut self) {
+        debug_assert!(self.bottom.is_empty());
+        loop {
+            if let Some(slot) = self.next_occupied_slot() {
+                self.occupied[slot / WORD_BITS] &= !(1 << (slot % WORD_BITS));
+                let bucket = &mut self.buckets[slot];
+                // One timestamp per bucket: order within is (prio, seq).
+                // Pushes arrive in seq order, so this is usually a single
+                // already-sorted run.
+                bucket.sort_unstable_by_key(|e| (e.prio, e.seq));
+                self.bottom.extend(bucket.drain(..));
+                self.cur_slot = slot + 1;
+                return;
+            }
+            if self.overflow.is_empty() {
+                return; // queue fully drained
+            }
+            // Rebase: the near rung is empty, so the overflow minimum is
+            // the next pending timestamp. Sort the rung (adaptive), peel
+            // the next window off its tail into the buckets, and rescan.
+            if self.overflow_dirty {
+                self.overflow
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.prio, e.seq)));
+                self.overflow_dirty = false;
+            }
+            let base = self.overflow.last().expect("non-empty").time;
+            debug_assert!(base > self.now || self.processed == 0);
+            self.win_base = base;
+            self.cur_slot = 0;
+            while let Some(last) = self.overflow.last() {
+                let delta = last.time - base;
+                if delta >= NEAR_WINDOW as Time {
+                    break;
+                }
+                let entry = self.overflow.pop().expect("non-empty");
+                let slot = delta as usize;
+                if self.buckets[slot].is_empty() {
+                    self.occupied[slot / WORD_BITS] |= 1 << (slot % WORD_BITS);
+                }
+                self.buckets[slot].push(entry);
+            }
+            self.overflow_min = self.overflow.last().map_or(Time::MAX, |e| e.time);
+        }
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let Reverse(entry) = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now, "heap returned stale event");
+        if self.bottom.is_empty() {
+            self.activate();
+        }
+        let entry = self.bottom.pop_front()?;
+        debug_assert!(entry.time >= self.now, "ladder returned a stale event");
         self.now = entry.time;
         self.processed += 1;
+        self.len -= 1;
         Some((entry.time, entry.event))
+    }
+
+    /// Drain every currently queued event of the earliest pending
+    /// timestamp into `out` (in exact pop order), advancing the clock.
+    /// Returns that timestamp, or `None` when the queue is empty.
+    ///
+    /// The batch is **appended** to `out` — existing contents are kept,
+    /// so a driver can accumulate; clear the buffer between calls when
+    /// reusing it for one-batch-at-a-time processing (as
+    /// [`crate::run_batched`] does).
+    ///
+    /// Events scheduled at the same timestamp *after* this call form the
+    /// next batch; see the module docs for when batch delivery preserves
+    /// the single-pop total order.
+    pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<Time> {
+        if self.bottom.is_empty() {
+            self.activate();
+        }
+        let time = self.bottom.front()?.time;
+        debug_assert!(time >= self.now, "ladder returned a stale batch");
+        self.now = time;
+        let n = self.bottom.len();
+        self.processed += n as u64;
+        self.len -= n;
+        out.reserve(n);
+        out.extend(self.bottom.drain(..).map(|e| e.event));
+        Some(time)
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        if let Some(front) = self.bottom.front() {
+            return Some(front.time);
+        }
+        if let Some(slot) = self.next_occupied_slot() {
+            return Some(self.win_base + slot as Time);
+        }
+        if self.overflow.is_empty() {
+            None
+        } else {
+            Some(self.overflow_min)
+        }
     }
 
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -214,5 +439,128 @@ mod tests {
         assert_eq!(q.processed(), 1);
         q.pop();
         assert_eq!(q.processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows simulation time")]
+    fn schedule_in_overflow_panics_instead_of_clamping() {
+        // Regression: `schedule_in` used to `saturating_add`, silently
+        // parking the event at `Time::MAX` instead of surfacing the bug.
+        let mut q = EventQueue::new();
+        q.schedule_at(10, ());
+        q.pop();
+        q.schedule_in(Time::MAX, ());
+    }
+
+    #[test]
+    fn schedule_in_at_the_exact_limit_still_works() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, "start");
+        q.pop();
+        q.schedule_in(Time::MAX - 10, "limit");
+        assert_eq!(q.pop(), Some((Time::MAX, "limit")));
+    }
+
+    #[test]
+    fn far_future_events_go_through_the_overflow_rung() {
+        let mut q = EventQueue::new();
+        // Beyond NEAR_WINDOW: must take the overflow path.
+        let far = NEAR_WINDOW as Time * 3 + 17;
+        q.schedule_at(far, "far");
+        q.schedule_at(far + 1, "farther");
+        q.schedule_at(2, "near");
+        assert_eq!(q.peek_time(), Some(2));
+        assert_eq!(q.pop(), Some((2, "near")));
+        assert_eq!(q.peek_time(), Some(far));
+        assert_eq!(q.pop(), Some((far, "far")));
+        assert_eq!(q.pop(), Some((far + 1, "farther")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_rebase_spanning_multiple_windows() {
+        let mut q = EventQueue::new();
+        let w = NEAR_WINDOW as Time;
+        // One event per window over many windows, pushed out of order.
+        let times: Vec<Time> = (1..20).rev().map(|i| i * w + i).collect();
+        for &t in &times {
+            q.schedule_at(t, t);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        for t in sorted {
+            assert_eq!(q.pop(), Some((t, t)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn events_at_time_max_are_not_lost() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::MAX, "omega");
+        q.schedule_at(1, "alpha");
+        assert_eq!(q.pop(), Some((1, "alpha")));
+        assert_eq!(q.pop(), Some((Time::MAX, "omega")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_the_equal_time_prefix() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, "a");
+        q.schedule_at(5, "b");
+        q.schedule_at_prio(5, 0, "urgent");
+        q.schedule_at(9, "later");
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(5));
+        assert_eq!(batch, vec!["urgent", "a", "b"]);
+        assert_eq!(q.now(), 5);
+        assert_eq!(q.len(), 1);
+        batch.clear();
+        assert_eq!(q.pop_batch(&mut batch), Some(9));
+        assert_eq!(batch, vec!["later"]);
+        assert_eq!(q.pop_batch(&mut batch), None);
+        assert_eq!(q.processed(), 4);
+    }
+
+    #[test]
+    fn same_time_events_scheduled_after_a_batch_form_the_next_batch() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, 1);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(5));
+        // A handler reacting to the batch schedules at the same instant.
+        q.schedule_at(5, 2);
+        q.schedule_at(5, 3);
+        batch.clear();
+        assert_eq!(q.pop_batch(&mut batch), Some(5));
+        assert_eq!(batch, vec![2, 3]);
+    }
+
+    #[test]
+    fn reschedule_at_now_after_draining_everything() {
+        let mut q = EventQueue::new();
+        q.schedule_at(40, "x");
+        assert_eq!(q.pop(), Some((40, "x")));
+        assert!(q.is_empty());
+        q.schedule_at(40, "y"); // same instant, queue already drained
+        q.schedule_at(41, "z");
+        assert_eq!(q.pop(), Some((40, "y")));
+        assert_eq!(q.pop(), Some((41, "z")));
+    }
+
+    #[test]
+    fn len_tracks_all_three_levels() {
+        let mut q = EventQueue::new();
+        q.schedule_at(0, "bottom"); // time == now: bottom
+        q.schedule_at(3, "bucket");
+        q.schedule_at(NEAR_WINDOW as Time + 100, "overflow");
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        q.pop();
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
     }
 }

@@ -194,9 +194,14 @@ ctx_common!(HostCtx);
 
 impl<'a> HostCtx<'a> {
     /// Request an `on_wake(tag)` callback after `delay` ns.
+    ///
+    /// # Panics
+    /// Panics if the timer overflows [`Time`] (see
+    /// [`EventQueue::schedule_in`]).
     pub fn wake_in(&mut self, delay: Time, tag: u64) {
-        self.queue.schedule_at(
-            self.now + delay,
+        debug_assert_eq!(self.queue.now(), self.now);
+        self.queue.schedule_in(
+            delay,
             NetEvent::Wake {
                 node: self.node,
                 tag,
@@ -378,9 +383,13 @@ impl NetSim {
                 self.host_progs[node.0] = Some(prog);
             }
         }
+        // Batched draining: every event in the simulator uses the default
+        // priority, so whole equal-timestamp buckets (multicast fan-outs,
+        // forwarding chains) are delivered with one queue operation while
+        // preserving the exact single-pop order (see `flare_des::queue`).
         let makespan = match deadline {
-            Some(d) => flare_des::run_until(self, &mut queue, d),
-            None => flare_des::run(self, &mut queue),
+            Some(d) => flare_des::run_batched_until(self, &mut queue, d),
+            None => flare_des::run_batched(self, &mut queue),
         };
         let total_link_bytes: u64 = self
             .core

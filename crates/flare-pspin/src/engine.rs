@@ -260,7 +260,11 @@ pub fn run_trace<H: PacketHandler>(
     for (t, pkt) in arrivals {
         queue.schedule_at(t, Event::Arrival(pkt));
     }
-    let end = flare_des::run(&mut engine, &mut queue);
+    // Batched draining is order-identical to single pops here: handlers
+    // never schedule same-timestamp events (a `CoreDone` always lands at
+    // least one cycle after the packet it completes), so each batch is
+    // fixed before the first of its events runs.
+    let end = flare_des::run_batched(&mut engine, &mut queue);
     let report = engine.report(end);
     (report, engine)
 }

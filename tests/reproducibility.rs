@@ -140,3 +140,54 @@ fn policy_guarantees_reproducibility_when_requested() {
         assert!(select_algorithm(bytes, true).reproducible());
     }
 }
+
+/// A full 128-host fat-tree allreduce (Canary/Swing scale, affordable
+/// since the ladder event queue) run twice through the session API: the
+/// batched same-timestamp draining must leave makespan, traffic, event
+/// count and every rank's f32 result bit-identical across runs.
+#[test]
+fn fat_tree_128_hosts_is_bitwise_reproducible() {
+    use flare::core::op::Sum;
+    use flare::core::session::FlareSession;
+    use flare::net::{LinkSpec, Topology};
+
+    let run_once = || {
+        let (topo, ft) = Topology::fat_tree_two_level(16, 8, 16, LinkSpec::hundred_gig());
+        assert_eq!(ft.hosts.len(), 128);
+        let inputs: Vec<Vec<f32>> = (0..128i32)
+            .map(|h| {
+                dense_uniform_f32(4242, h as u64, 4096, -1.0, 1.0)
+                    .into_iter()
+                    .map(|x| x * 10f32.powi((h % 5) * 2 - 4))
+                    .collect()
+            })
+            .collect();
+        let mut session = FlareSession::builder(topo).hosts(ft.hosts).build();
+        let out = session
+            .allreduce(inputs)
+            .op(Sum)
+            .run()
+            .expect("128-host run");
+        let bits: Vec<Vec<u32>> = out
+            .ranks()
+            .iter()
+            .map(|r| r.iter().map(|x| x.to_bits()).collect())
+            .collect();
+        (
+            out.report.net.makespan,
+            out.report.net.events,
+            out.report.net.total_link_bytes,
+            bits,
+        )
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.0, b.0, "makespan must be deterministic");
+    assert_eq!(a.1, b.1, "event count must be deterministic");
+    assert_eq!(a.2, b.2, "traffic must be deterministic");
+    assert_eq!(a.3, b.3, "per-rank results must be bit-identical");
+    // Every rank of an allreduce receives the same reduction.
+    for rank in 1..a.3.len() {
+        assert_eq!(a.3[0], a.3[rank], "rank {rank} diverged from rank 0");
+    }
+}
