@@ -65,6 +65,11 @@ pub struct Scenario {
     pub bytes_per_host: usize,
     /// Timed repetitions; the fastest is reported.
     pub reps: usize,
+    /// Per-link drop probability (0.0 = lossless). Lossy cells pair it
+    /// with the default retransmission timeout and carry a `/lossN%`
+    /// name suffix, so they never collide with the tracked lossless
+    /// baseline rows.
+    pub drop_prob: f64,
 }
 
 impl Scenario {
@@ -73,15 +78,23 @@ impl Scenario {
         self.bytes_per_host / 4
     }
 
-    /// Short `dense/fat_tree/8h/128KiB`-style name.
+    /// Short `dense/fat_tree/8h/128KiB`-style name (lossy cells append
+    /// `/lossN%`).
     pub fn name(&self) -> String {
-        format!(
+        let mut name = format!(
             "{}/{}/{}h/{}",
             self.mode.label(),
             self.topo.label(),
             self.hosts,
             size_label(self.bytes_per_host as u64)
-        )
+        );
+        if self.drop_prob > 0.0 {
+            name.push_str(&format!(
+                "/loss{}%",
+                (self.drop_prob * 100.0).round() as u32
+            ));
+        }
+        name
     }
 }
 
@@ -124,6 +137,7 @@ pub fn matrix() -> Vec<Scenario> {
                         hosts,
                         bytes_per_host: bytes,
                         reps,
+                        drop_prob: 0.0,
                     });
                 }
             }
@@ -138,6 +152,7 @@ pub fn matrix() -> Vec<Scenario> {
                 hosts,
                 bytes_per_host: bytes,
                 reps: if bytes <= 128 * 1024 { 3 } else { 1 },
+                drop_prob: 0.0,
             });
         }
     }
@@ -145,7 +160,10 @@ pub fn matrix() -> Vec<Scenario> {
 }
 
 /// Reduced matrix for CI smoke runs: one small dense and one small sparse
-/// cell plus one 128-host scale cell, single repetition.
+/// cell, one 128-host scale cell, and one *lossy* sparse cell exercising
+/// the shard-aware retransmission path end to end — all single
+/// repetition. The lossy cell's `/lossN%` name keeps it out of the
+/// lossless baseline comparison.
 pub fn smoke_matrix() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -154,6 +172,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hosts: 8,
             bytes_per_host: 128 * 1024,
             reps: 1,
+            drop_prob: 0.0,
         },
         Scenario {
             mode: Mode::Sparse,
@@ -161,6 +180,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hosts: 8,
             bytes_per_host: 128 * 1024,
             reps: 1,
+            drop_prob: 0.0,
         },
         Scenario {
             mode: Mode::Dense,
@@ -168,6 +188,15 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hosts: 128,
             bytes_per_host: 128 * 1024,
             reps: 1,
+            drop_prob: 0.0,
+        },
+        Scenario {
+            mode: Mode::Sparse,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+            drop_prob: 0.01,
         },
     ]
 }
@@ -205,6 +234,15 @@ fn build_topology(topo: TopoKind, hosts: usize) -> (Topology, Vec<NodeId>) {
 /// of running a collective.
 pub fn run(s: &Scenario) -> Measurement {
     let elems = s.elems();
+    let build_session = |topo, hosts: Vec<NodeId>| {
+        let mut b = FlareSession::builder(topo).hosts(hosts);
+        if s.drop_prob > 0.0 {
+            b = b
+                .link_drop_prob(s.drop_prob)
+                .retransmit_after(Some(200_000));
+        }
+        b.build()
+    };
     let mut best: Option<(f64, u64, u64, u64)> = None;
     for _ in 0..s.reps.max(1) {
         let (topo, hosts) = build_topology(s.topo, s.hosts);
@@ -213,7 +251,7 @@ pub fn run(s: &Scenario) -> Measurement {
                 let inputs: Vec<Vec<f32>> =
                     (0..s.hosts).map(|h| vec![(h + 1) as f32; elems]).collect();
                 let start = Instant::now();
-                let mut session = FlareSession::builder(topo).hosts(hosts).build();
+                let mut session = build_session(topo, hosts);
                 let out = session.allreduce(inputs).op(Sum).run().expect("dense run");
                 let wall = start.elapsed().as_secs_f64();
                 (wall, out.report)
@@ -231,7 +269,7 @@ pub fn run(s: &Scenario) -> Measurement {
                     })
                     .collect();
                 let start = Instant::now();
-                let mut session = FlareSession::builder(topo).hosts(hosts).build();
+                let mut session = build_session(topo, hosts);
                 let out = session
                     .sparse_allreduce(elems, pairs)
                     .op(Sum)
@@ -416,6 +454,7 @@ mod tests {
             hosts: 4,
             bytes_per_host: 4096,
             reps: 1,
+            drop_prob: 0.0,
         };
         let m = run(&s);
         assert!(m.wall_ms > 0.0);
@@ -433,6 +472,7 @@ mod tests {
             hosts: 4,
             bytes_per_host: 8192,
             reps: 1,
+            drop_prob: 0.0,
         };
         let m = run(&s);
         assert!(m.events > 0 && m.total_link_bytes > 0);
@@ -458,6 +498,7 @@ mod tests {
             hosts: 32,
             bytes_per_host: 8 << 20,
             reps: 1,
+            drop_prob: 0.0,
         };
         let json = to_json("perf", &[measurement(s, 694397)]);
         let rows = parse_baseline(&json);
@@ -478,6 +519,7 @@ mod tests {
             hosts: 8,
             bytes_per_host: 128 * 1024,
             reps: 1,
+            drop_prob: 0.0,
         };
         let baseline = vec![
             BaselineRow {
@@ -505,6 +547,7 @@ mod tests {
             hosts: 128,
             bytes_per_host: 128 * 1024,
             reps: 1,
+            drop_prob: 0.0,
         };
         let vacuous = diff_against_baseline(&[measurement(new_cell, 1)], &baseline);
         assert!(vacuous.drift.is_empty());
@@ -549,6 +592,39 @@ mod tests {
     }
 
     #[test]
+    fn smoke_matrix_has_a_lossy_sparse_cell_outside_the_baseline() {
+        let m = smoke_matrix();
+        let lossy: Vec<&Scenario> = m.iter().filter(|s| s.drop_prob > 0.0).collect();
+        assert_eq!(lossy.len(), 1);
+        assert_eq!(lossy[0].mode, Mode::Sparse);
+        assert_eq!(lossy[0].name(), "sparse/fat_tree/8h/128KiB/loss1%");
+        // The suffix keeps the lossy cell from ever matching a lossless
+        // baseline row (whose makespan it would legitimately differ from).
+        let baseline = vec![BaselineRow {
+            name: "sparse/fat_tree/8h/128KiB".into(),
+            makespan_ns: 1,
+        }];
+        let diff = diff_against_baseline(&[measurement(*lossy[0], 2)], &baseline);
+        assert_eq!(diff.compared, 0);
+        assert!(diff.drift.is_empty());
+    }
+
+    #[test]
+    fn lossy_sparse_smoke_cell_completes() {
+        let s = Scenario {
+            mode: Mode::Sparse,
+            topo: TopoKind::Star,
+            hosts: 4,
+            bytes_per_host: 64 * 1024,
+            reps: 1,
+            drop_prob: 0.05,
+        };
+        let m = run(&s);
+        assert!(m.events > 0 && m.makespan_ns > 0);
+        assert_eq!(s.name(), "sparse/star/4h/64KiB/loss5%");
+    }
+
+    #[test]
     fn json_is_structurally_sound() {
         let s = Scenario {
             mode: Mode::Dense,
@@ -556,6 +632,7 @@ mod tests {
             hosts: 8,
             bytes_per_host: 128 * 1024,
             reps: 1,
+            drop_prob: 0.0,
         };
         let m = Measurement {
             scenario: s,

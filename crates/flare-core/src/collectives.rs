@@ -43,7 +43,8 @@ pub struct RunOptions {
     pub pairs_per_packet: usize,
     /// Switch processing rate in bytes/ns (PsPIN-calibrated).
     pub switch_proc_rate: f64,
-    /// Retransmission timeout for dense hosts (None = reliable network).
+    /// Host retransmission timeout, dense and sparse (None = reliable
+    /// network).
     pub retransmit_after: Option<Time>,
     /// RNG seed (loss injection etc.).
     pub seed: u64,

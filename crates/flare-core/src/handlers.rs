@@ -17,11 +17,13 @@
 use flare_model::AggKind;
 use flare_pspin::{HpuCtx, PacketHandler, PspinPacket};
 
+use bytes::Bytes;
+
 use crate::dense::{MultiBufferBlock, SingleBufferBlock, TreeBlock};
 use crate::dtype::Element;
 use crate::op::ReduceOp;
-use crate::pool::{BlockSlab, BufferPool, RetirementFloor};
-use crate::sparse::{HashInsert, ShardTracker, SparseArrayStore, SparseHashStore};
+use crate::pool::{BlockSlab, BufferPool, ReplayRing, RetirementFloor};
+use crate::sparse::{HashInsert, ShardEvent, ShardTracker, SparseArrayStore, SparseHashStore};
 use crate::wire::{encode_dense, encode_sparse, DenseView, Header, PacketKind, SparseView};
 
 /// Fixed cost to parse the Flare header and dispatch (cycles).
@@ -67,6 +69,14 @@ pub struct DenseAllreduceHandler<T: Element, O> {
     /// against the retirement floor (mirrored into the slab) instead of a
     /// per-packet hash probe.
     retired: RetirementFloor,
+    /// Encoded result payloads of completed blocks, re-emitted when a
+    /// retransmitted contribution shows the sender missed the result.
+    /// Only populated under [`with_loss_recovery`](Self::with_loss_recovery).
+    replay: ReplayRing<Bytes>,
+    /// Whether the deployment injects loss: gates the replay-cache writes
+    /// so reliable runs do not pin completed payloads for replays that
+    /// can never be requested.
+    loss_recovery: bool,
     results: Vec<(u64, Vec<T>)>,
     val_pool: BufferPool<T>,
 }
@@ -79,9 +89,18 @@ impl<T: Element, O: ReduceOp<T>> DenseAllreduceHandler<T, O> {
             op,
             blocks: BlockSlab::new(BlockSlab::<DenseBlock<T>>::DEFAULT_SLOTS),
             retired: RetirementFloor::new(),
+            replay: ReplayRing::new(ReplayRing::<Bytes>::DEFAULT_CAPACITY),
+            loss_recovery: false,
             results: Vec::new(),
             val_pool: BufferPool::new(),
         }
+    }
+
+    /// Enable (or disable) the loss-recovery replay cache — mirror of
+    /// [`crate::switch_prog::FlareDenseProgram::with_loss_recovery`].
+    pub fn with_loss_recovery(mut self, yes: bool) -> Self {
+        self.loss_recovery = yes;
+        self
     }
 
     /// Completed `(block, result)` pairs, in completion order.
@@ -99,7 +118,9 @@ impl<T: Element, O: ReduceOp<T>> DenseAllreduceHandler<T, O> {
         self.val_pool.stats()
     }
 
-    fn emit_result(ctx: &mut HpuCtx<'_>, allreduce: u32, block: u64, result: &[T]) {
+    /// Emit the block's `DenseResult`; returns the payload so the caller
+    /// can cache it for retransmission replays.
+    fn emit_result(ctx: &mut HpuCtx<'_>, allreduce: u32, block: u64, result: &[T]) -> Bytes {
         let header = Header {
             allreduce,
             block: block as u32,
@@ -114,7 +135,8 @@ impl<T: Element, O: ReduceOp<T>> DenseAllreduceHandler<T, O> {
         // engine never hands emitted payloads back, so there is nothing
         // to recycle a scratch pool from — encode allocates directly.
         let payload = encode_dense(header, result);
-        ctx.emit(PspinPacket::new(allreduce, block, 0, 0, payload));
+        ctx.emit(PspinPacket::new(allreduce, block, 0, 0, payload.clone()));
+        payload
     }
 }
 
@@ -127,7 +149,19 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
         };
         debug_assert_eq!(header.allreduce, self.cfg.allreduce);
         if self.retired.is_retired(pkt.block) {
-            return; // late retransmission of a finished block
+            // Late retransmission of a finished block: the sender missed
+            // the result — re-emit it from the replay cache (dropped if
+            // evicted; the next retransmission retries).
+            if let Some(cached) = self.replay.get(pkt.block).cloned() {
+                ctx.emit(PspinPacket::new(
+                    self.cfg.allreduce,
+                    pkt.block,
+                    0,
+                    0,
+                    cached,
+                ));
+            }
+            return;
         }
         let n = view.len();
         let l_agg = agg_cycles::<T>(n);
@@ -208,7 +242,10 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for DenseAllreduceHandler<T, O> {
             self.blocks.remove(pkt.block);
             let floor = self.retired.retire(pkt.block);
             self.blocks.set_floor(floor);
-            Self::emit_result(ctx, self.cfg.allreduce, pkt.block, &result);
+            let payload = Self::emit_result(ctx, self.cfg.allreduce, pkt.block, &result);
+            if self.loss_recovery {
+                self.replay.put(pkt.block, payload);
+            }
             ctx.complete_block(pkt.block);
             if self.cfg.capture_results {
                 self.results.push((pkt.block, result));
@@ -256,6 +293,16 @@ struct SparseBlock<T: Element> {
     store: SparseStoreState<T>,
     shards: Vec<ShardTracker>,
     children_done: u16,
+    /// Shard packets already emitted for this block (spill flushes) —
+    /// also the next shard sequence number, so spills and the final
+    /// result set share one contiguous sequence per block (the identity
+    /// the shard-dedup protocol relies on).
+    sent_up: u16,
+    /// Clones of the spill payloads emitted while the block was open,
+    /// so the cached replay set covers the *whole* announced shard
+    /// sequence, not just the final drain. Empty unless loss recovery
+    /// is on.
+    sent_cache: Vec<Bytes>,
     home_cluster: usize,
 }
 
@@ -272,6 +319,13 @@ pub struct SparseAllreduceHandler<T: Element, O> {
     /// Completed blocks, rejected by floor comparison (see the dense
     /// handler).
     retired: RetirementFloor,
+    /// Encoded `SparseResult` shard sets of completed blocks, re-emitted
+    /// on a retransmitted contribution for a retired block. Only
+    /// populated under [`with_loss_recovery`](Self::with_loss_recovery).
+    replay: ReplayRing<Vec<Bytes>>,
+    /// Whether the deployment injects loss: gates the replay-cache
+    /// writes (see the dense handler).
+    loss_recovery: bool,
     results: Vec<(u64, Vec<(u32, T)>)>,
     spilled_elems: u64,
     pair_pool: BufferPool<(u32, T)>,
@@ -286,10 +340,19 @@ impl<T: Element, O: ReduceOp<T>> SparseAllreduceHandler<T, O> {
             op,
             blocks: BlockSlab::new(BlockSlab::<SparseBlock<T>>::DEFAULT_SLOTS),
             retired: RetirementFloor::new(),
+            replay: ReplayRing::new(ReplayRing::<Bytes>::DEFAULT_CAPACITY),
+            loss_recovery: false,
             results: Vec::new(),
             spilled_elems: 0,
             pair_pool: BufferPool::new(),
         }
+    }
+
+    /// Enable (or disable) the loss-recovery replay cache — mirror of
+    /// [`crate::switch_prog::FlareSparseProgram::with_loss_recovery`].
+    pub fn with_loss_recovery(mut self, yes: bool) -> Self {
+        self.loss_recovery = yes;
+        self
     }
 
     /// Pair-batch pool counters (steady-state assertions).
@@ -320,10 +383,21 @@ impl<T: Element, O: ReduceOp<T>> SparseAllreduceHandler<T, O> {
             },
             shards: vec![ShardTracker::default(); self.cfg.children as usize],
             children_done: 0,
+            sent_up: 0,
+            sent_cache: Vec::new(),
             home_cluster: cluster,
         }
     }
 
+    /// Emit `pairs` chunked into shard packets with consecutive sequence
+    /// numbers starting at `first_seq` (non-last shards carry their
+    /// sequence in `shard_count`, the last carries the announced
+    /// `total_count`) — the same contiguous per-block sequencing as the
+    /// net switch program's `send_chunked`, so spill bursts and the final
+    /// result set never reuse a shard identity. Returns the emitted
+    /// payloads (when `collect`) so the caller can cache the result set
+    /// for retransmission replays.
+    #[allow(clippy::too_many_arguments)]
     fn emit_pairs(
         ctx: &mut HpuCtx<'_>,
         allreduce: u32,
@@ -331,25 +405,34 @@ impl<T: Element, O: ReduceOp<T>> SparseAllreduceHandler<T, O> {
         kind: PacketKind,
         pairs_per_packet: usize,
         pairs: &[(u32, T)],
-    ) -> usize {
+        mark_last: bool,
+        total_count: u16,
+        first_seq: u16,
+        collect: bool,
+    ) -> Vec<Bytes> {
         let per = pairs_per_packet.max(1);
         // An empty block still announces completion downstream.
-        let total = pairs.len().div_ceil(per).max(1);
-        for i in 0..total {
+        let chunks = pairs.len().div_ceil(per).max(1);
+        let mut emitted = Vec::new();
+        for i in 0..chunks {
             let chunk = &pairs[(i * per).min(pairs.len())..((i + 1) * per).min(pairs.len())];
+            let last = mark_last && i + 1 == chunks;
             let header = Header {
                 allreduce,
                 block: block as u32,
                 child: 0,
                 kind,
-                last_shard: i + 1 == total,
-                shard_count: total as u16,
+                last_shard: last,
+                shard_count: Header::shard_seq_field(last, first_seq + i as u16, total_count),
                 elem_count: 0,
             };
             let payload = encode_sparse(header, chunk);
+            if collect {
+                emitted.push(payload.clone());
+            }
             ctx.emit(PspinPacket::new(allreduce, block, 0, 0, payload));
         }
-        total
+        emitted
     }
 }
 
@@ -362,7 +445,23 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
         };
         debug_assert_eq!(header.allreduce, self.cfg.allreduce);
         if self.retired.is_retired(pkt.block) {
-            return; // late packet for a finished block
+            // Late packet for a finished block: the sender missed the
+            // result — re-emit the cached shard set, once per poke round
+            // (on the burst's last shard) to bound the amplification.
+            if header.last_shard {
+                if let Some(cached) = self.replay.get(pkt.block) {
+                    for payload in cached.clone() {
+                        ctx.emit(PspinPacket::new(
+                            self.cfg.allreduce,
+                            pkt.block,
+                            0,
+                            0,
+                            payload,
+                        ));
+                    }
+                }
+            }
+            return;
         }
         let cluster = ctx.cluster;
         if self.blocks.get_mut(pkt.block).is_none() {
@@ -381,6 +480,16 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
             ctx.working_mem(bytes as i64);
         }
         let block = self.blocks.get_mut(pkt.block).expect("just inserted");
+        // Shard protocol first: a retransmitted shard whose original made
+        // it through must not fold its pairs into the store again.
+        let event = block.shards[header.child as usize].on_shard(
+            header.shard_index(),
+            header.last_shard,
+            header.shard_count,
+        );
+        if event == ShardEvent::Duplicate {
+            return; // rejected at parse cost, before taking the lock
+        }
         let remote_factor = if block.home_cluster != cluster {
             ctx.remote_factor()
         } else {
@@ -426,20 +535,31 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
         }
         if !flushed.is_empty() {
             // Spilled data leaves the switch unaggregated: extra traffic.
+            // The spill shards take the next sequence numbers of the
+            // block's emit stream and (on lossy deployments) join the
+            // replay set, so a replayed shard sequence is never missing
+            // its announced prefix.
+            let spill_first = block.sent_up;
+            block.sent_up += flushed.len().div_ceil(self.cfg.pairs_per_packet.max(1)) as u16;
             self.spilled_elems += flushed.len() as u64;
-            Self::emit_pairs(
+            let spills = Self::emit_pairs(
                 ctx,
                 self.cfg.allreduce,
                 pkt.block,
                 PacketKind::SparseSpill,
                 self.cfg.pairs_per_packet,
                 &flushed,
+                false,
+                0,
+                spill_first,
+                self.loss_recovery,
             );
+            block.sent_cache.extend(spills);
         }
 
         // Shard protocol: has this child delivered all its packets?
         let block = self.blocks.get_mut(pkt.block).expect("present");
-        if block.shards[header.child as usize].on_shard(header.last_shard, header.shard_count) {
+        if event == ShardEvent::Complete {
             block.children_done += 1;
         }
         if block.children_done < self.cfg.children {
@@ -474,14 +594,29 @@ impl<T: Element, O: ReduceOp<T>> PacketHandler for SparseAllreduceHandler<T, O> 
         ctx.extend_hold(lock, flush_cycles * remote_factor);
         ctx.release_buffer(lock);
         ctx.working_mem(-(mem_bytes as i64));
-        Self::emit_pairs(
+        let chunks = result
+            .len()
+            .div_ceil(self.cfg.pairs_per_packet.max(1))
+            .max(1) as u16;
+        let payloads = Self::emit_pairs(
             ctx,
             self.cfg.allreduce,
             pkt.block,
             PacketKind::SparseResult,
             self.cfg.pairs_per_packet,
             &result,
+            true,
+            block.sent_up + chunks,
+            block.sent_up,
+            self.loss_recovery,
         );
+        if self.loss_recovery {
+            // Cache spills + final drain together: the whole announced
+            // shard sequence replays as one set.
+            let mut cached = std::mem::take(&mut block.sent_cache);
+            cached.extend(payloads);
+            self.replay.put(pkt.block, cached);
+        }
         ctx.complete_block(pkt.block);
         if self.cfg.capture_results {
             // Captured results keep their buffer (test/inspection mode);

@@ -6,7 +6,9 @@
 //! switch's working-memory reservation ℛ, Section 4.3), rotate their block
 //! send order by a per-host *stagger offset* (Section 5), and retransmit
 //! blocks whose result has not arrived within a timeout (Section 4.1 —
-//! the switch-side child bitmap absorbs the duplicates).
+//! switch-side duplicate rejection absorbs the retransmissions: child
+//! bitmaps on the dense path, per-`(block, child)` shard-sequence
+//! tracking on the sparse path).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -17,7 +19,7 @@ use flare_net::{HostCtx, HostProgram, NetPacket, NodeId};
 use crate::dtype::Element;
 use crate::op::ReduceOp;
 use crate::pool::BufferPool;
-use crate::sparse::ShardTracker;
+use crate::sparse::{ShardEvent, ShardTracker};
 use crate::wire::{
     encode_dense_into, encode_sparse_into, DenseView, Header, PacketKind, SparseView, HEADER_BYTES,
 };
@@ -111,6 +113,8 @@ pub struct DenseFlareHost<T: Element> {
     scratch: BufferPool<u8>,
     /// Contribution packets sent (including retransmissions).
     pub sent_packets: u64,
+    /// Blocks re-sent by the retransmission timer.
+    pub retransmits: u64,
 }
 
 impl<T: Element> DenseFlareHost<T> {
@@ -137,6 +141,7 @@ impl<T: Element> DenseFlareHost<T> {
             sink,
             scratch: BufferPool::new(),
             sent_packets: 0,
+            retransmits: 0,
         }
     }
 
@@ -203,7 +208,10 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
             return;
         }
         if self.outstanding.remove(pkt.block).is_none() {
-            return; // duplicate result (e.g. after a retransmission race)
+            // Duplicate result (a loss-path replay): already applied —
+            // but still recycle its buffer into the encode scratch pool.
+            self.scratch.reclaim(pkt.payload);
+            return;
         }
         let range = self.block_range(pkt.block);
         assert!(
@@ -241,6 +249,7 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
             .map(|(b, _)| b)
             .collect();
         for block in overdue {
+            self.retransmits += 1;
             self.send_block(ctx, block);
         }
         ctx.wake_in(timeout, RETX_TAG);
@@ -253,25 +262,34 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
 /// span `span` consecutive indexes; each block's pairs are chunked into
 /// shards of at most `pairs_per_packet`, the last shard announcing the
 /// count; empty blocks still send a header-only packet.
+///
+/// Loss recovery mirrors the dense host: in-flight blocks live in a
+/// [`WindowMap`], a [`HostConfig::retransmit_after`] timer re-encodes and
+/// re-sends every shard of an overdue block (same shard sequence numbers,
+/// so switches reject the duplicates), and incoming result shards are
+/// deduplicated by sequence number before accumulating — a replayed
+/// result must not double-count.
 pub struct SparseFlareHost<T: Element, O> {
     cfg: HostConfig,
     op: O,
     span: usize,
-    pairs_per_packet: usize,
     total_elems: usize,
-    /// Per-block shards of block-relative pairs.
+    /// Per-block shards of block-relative pairs, kept until the block's
+    /// result completes so overdue blocks can be re-sent.
     shards_out: Vec<Vec<Vec<(u32, T)>>>,
     order: Vec<u64>,
     next_pos: usize,
-    inflight: usize,
+    outstanding: WindowMap,
     trackers: Vec<ShardTracker>,
     blocks_done: u64,
     result: Vec<T>,
     sink: ResultSink<T>,
     /// Encode scratch, replenished from consumed result payloads.
     scratch: BufferPool<u8>,
-    /// Contribution packets sent.
+    /// Contribution packets sent (including retransmissions).
     pub sent_packets: u64,
+    /// Blocks re-sent by the retransmission timer.
+    pub retransmits: u64,
 }
 
 impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
@@ -311,32 +329,36 @@ impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
             cfg,
             op,
             span,
-            pairs_per_packet,
             total_elems,
             shards_out,
             order,
             next_pos: 0,
-            inflight: 0,
+            outstanding: WindowMap::default(),
             trackers: vec![ShardTracker::default(); blocks],
             blocks_done: 0,
             result: vec![identity; total_elems],
             sink,
             scratch: BufferPool::new(),
             sent_packets: 0,
+            retransmits: 0,
         }
     }
 
     fn send_block(&mut self, ctx: &mut HostCtx<'_>, block: u64) {
+        // Take the shard list to appease the borrow checker, then put it
+        // back: the shards must survive the send so the retransmission
+        // timer can re-send them with the same sequence numbers.
         let shards = std::mem::take(&mut self.shards_out[block as usize]);
         let total = shards.len() as u16;
         for (i, shard) in shards.iter().enumerate() {
+            let last = i + 1 == shards.len();
             let header = Header {
                 allreduce: self.cfg.allreduce,
                 block: block as u32,
                 child: self.cfg.child_index,
                 kind: PacketKind::SparseContrib,
-                last_shard: i + 1 == shards.len(),
-                shard_count: total,
+                last_shard: last,
+                shard_count: Header::shard_seq_field(last, i as u16, total),
                 elem_count: 0,
             };
             let mut buf = self
@@ -357,26 +379,25 @@ impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
             ctx.send(pkt);
             self.sent_packets += 1;
         }
-        self.inflight += 1;
+        self.shards_out[block as usize] = shards;
+        self.outstanding.insert(block, ctx.now());
     }
 
     fn pump(&mut self, ctx: &mut HostCtx<'_>) {
-        while self.inflight < self.cfg.window && self.next_pos < self.order.len() {
+        while self.outstanding.len() < self.cfg.window && self.next_pos < self.order.len() {
             let block = self.order[self.next_pos];
             self.next_pos += 1;
             self.send_block(ctx, block);
         }
     }
-
-    fn pairs_per_packet(&self) -> usize {
-        self.pairs_per_packet
-    }
 }
 
 impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-        let _ = self.pairs_per_packet();
         self.pump(ctx);
+        if let Some(t) = self.cfg.retransmit_after {
+            ctx.wake_in(t, RETX_TAG);
+        }
     }
 
     fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: NetPacket) {
@@ -387,6 +408,22 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
             return;
         }
         let block = pkt.block as usize;
+        if block >= self.trackers.len() {
+            return;
+        }
+        // Shard protocol first: a replayed result shard (loss recovery)
+        // must not accumulate pairs it already delivered.
+        let event = self.trackers[block].on_shard(
+            header.shard_index(),
+            header.last_shard,
+            header.shard_count,
+        );
+        if event == ShardEvent::Duplicate {
+            // Already applied (a loss-path replay) — but still recycle
+            // its buffer into the encode scratch pool.
+            self.scratch.reclaim(pkt.payload);
+            return;
+        }
         // Combine: spilled elements may deliver the same index in several
         // result shards, so accumulation (not overwrite) is required.
         let base = block * self.span;
@@ -397,9 +434,11 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
             }
         });
         self.scratch.reclaim(pkt.payload);
-        if self.trackers[block].on_shard(header.last_shard, header.shard_count) {
+        if event == ShardEvent::Complete {
             self.blocks_done += 1;
-            self.inflight = self.inflight.saturating_sub(1);
+            self.outstanding.remove(pkt.block);
+            // The block can never be re-sent again: free its shards.
+            self.shards_out[block] = Vec::new();
             if self.blocks_done == self.trackers.len() as u64 {
                 *self.sink.borrow_mut() = Some(std::mem::take(&mut self.result));
                 ctx.mark_done();
@@ -407,6 +446,25 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
                 self.pump(ctx);
             }
         }
+    }
+
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_>, tag: u64) {
+        if tag != RETX_TAG || self.blocks_done == self.trackers.len() as u64 {
+            return;
+        }
+        let timeout = self.cfg.retransmit_after.expect("timer armed");
+        let now = ctx.now();
+        let overdue: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|&(_, sent)| now.saturating_sub(sent) >= timeout)
+            .map(|(b, _)| b)
+            .collect();
+        for block in overdue {
+            self.retransmits += 1;
+            self.send_block(ctx, block);
+        }
+        ctx.wake_in(timeout, RETX_TAG);
     }
 }
 

@@ -127,6 +127,71 @@ impl BufferPool<u8> {
     }
 }
 
+/// Replay cache for completed blocks: a direct-mapped ring indexed by
+/// `block % capacity`.
+///
+/// Block ids are dense and windowed, so the ring behaves like a FIFO
+/// `HashMap` cache but costs one index compare per lookup instead of a
+/// SipHash probe — the lookup sits on the per-contribution hot path
+/// (gated behind [`RetirementFloor`], which rejects non-retired blocks on
+/// a comparison). Both switch-program backends keep their completed-block
+/// payloads here so a retransmitted contribution can be answered with a
+/// replay instead of deadlocking the block (paper Section 4.1); the entry
+/// type is generic because the dense program caches one encoded payload
+/// per block while the sparse program caches a whole shard set.
+#[derive(Debug)]
+pub struct ReplayRing<P> {
+    slots: Vec<Option<(u64, P)>>,
+}
+
+impl<P> ReplayRing<P> {
+    /// Default slot count shared by every backend: far larger than any
+    /// admitted window, so an entry can only evict once all senders have
+    /// moved past it.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Ring with `capacity` direct-mapped slots. Entries evict when a
+    /// block `capacity` ids later completes; senders stay well within
+    /// that because their in-flight window is far smaller.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            slots: (0..capacity).map(|_| None).collect(),
+        }
+    }
+
+    fn idx(&self, block: u64) -> usize {
+        (block % self.slots.len() as u64) as usize
+    }
+
+    /// Cache `payload` for `block`, handing back any evicted (or
+    /// replaced) payload so the caller can reclaim its buffers.
+    pub fn put(&mut self, block: u64, payload: P) -> Option<P> {
+        let i = self.idx(block);
+        self.slots[i].replace((block, payload)).map(|(_, old)| old)
+    }
+
+    /// The cached payload for `block`, if still resident.
+    pub fn get(&self, block: u64) -> Option<&P> {
+        match &self.slots[self.idx(block)] {
+            Some((b, payload)) if *b == block => Some(payload),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the cached payload for `block`, creating it with
+    /// `make` if absent (evicting whatever held the slot; the evicted
+    /// payload is dropped).
+    pub fn get_or_insert_with(&mut self, block: u64, make: impl FnOnce() -> P) -> &mut P {
+        let i = self.idx(block);
+        let hit = matches!(&self.slots[i], Some((b, _)) if *b == block);
+        if !hit {
+            self.slots[i] = Some((block, make()));
+        }
+        &mut self.slots[i].as_mut().expect("just ensured").1
+    }
+}
+
 /// Tracks retired (completed) block ids as a contiguous floor plus a
 /// small sorted set of out-of-order completions.
 ///
@@ -424,6 +489,23 @@ mod tests {
         assert_eq!(pool.idle(), 0, "shared payloads are not reclaimed");
         pool.reclaim(shared);
         assert_eq!(pool.idle(), 1, "unique payloads are");
+    }
+
+    #[test]
+    fn replay_ring_is_direct_mapped_and_evicts_by_modulus() {
+        let mut ring: ReplayRing<&'static str> = ReplayRing::new(4);
+        assert_eq!(ring.put(1, "a"), None);
+        assert_eq!(ring.get(1), Some(&"a"));
+        assert_eq!(ring.get(5), None, "same slot, different block");
+        // Block 5 maps to the same slot: evicts 1, handing it back.
+        assert_eq!(ring.put(5, "b"), Some("a"));
+        assert_eq!(ring.get(1), None);
+        assert_eq!(ring.get(5), Some(&"b"));
+        // Replacing the same block also hands back the old payload.
+        assert_eq!(ring.put(5, "c"), Some("b"));
+        *ring.get_or_insert_with(5, || "x") = "d";
+        assert_eq!(ring.get(5), Some(&"d"));
+        assert_eq!(*ring.get_or_insert_with(2, || "fresh"), "fresh");
     }
 
     #[test]

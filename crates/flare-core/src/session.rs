@@ -84,13 +84,13 @@ pub enum SessionError {
         /// The collective's domain size.
         total_elems: usize,
     },
-    /// Loss injection was configured for a sparse collective: sparse
-    /// hosts have no retransmission protocol, so a lossy network cannot
-    /// complete.
-    SparseLossUnsupported,
     /// Loss injection was configured without a retransmission timeout:
     /// a dropped packet would stall the collective forever.
     LossWithoutRetransmit,
+    /// `retransmit_after` was set to `Some(0)`: a zero-delay timer would
+    /// re-arm itself at the same instant forever, flooding the event
+    /// queue without simulated time ever advancing.
+    ZeroRetransmitTimeout,
     /// `.reproducible(true)` was combined with a [`Collective::via`]
     /// handle whose plan was not admitted with tree aggregation, so the
     /// bitwise-reproducibility guarantee cannot be honored. Admit the
@@ -129,16 +129,16 @@ impl std::fmt::Display for SessionError {
                     "sparse index {index} outside the {total_elems}-element domain"
                 )
             }
-            SessionError::SparseLossUnsupported => {
-                write!(
-                    f,
-                    "link_drop_prob > 0 with a sparse collective: sparse hosts do not retransmit"
-                )
-            }
             SessionError::LossWithoutRetransmit => {
                 write!(
                     f,
                     "link_drop_prob > 0 without retransmit_after: drops would stall the run"
+                )
+            }
+            SessionError::ZeroRetransmitTimeout => {
+                write!(
+                    f,
+                    "retransmit_after = Some(0): a zero-delay timer would loop without advancing time"
                 )
             }
             SessionError::ReproducibleViaMismatch => {
@@ -201,15 +201,17 @@ pub struct Tuning {
     pub pairs_per_packet: usize,
     /// Switch processing rate in bytes/ns (PsPIN-calibrated).
     pub switch_proc_rate: f64,
-    /// Retransmission timeout for dense hosts (None = reliable network).
+    /// Host retransmission timeout, dense and sparse (None = reliable
+    /// network).
     pub retransmit_after: Option<Time>,
     /// RNG seed (loss injection etc.).
     pub seed: u64,
     /// Packet size in bytes quoted to admission control.
     pub packet_bytes: usize,
     /// Drop probability injected on every link (0.0 = lossless). Pair
-    /// with [`Tuning::retransmit_after`]: the switch-side child bitmaps
-    /// absorb the duplicate contributions (paper Section 4.1).
+    /// with [`Tuning::retransmit_after`]: switch-side duplicate rejection
+    /// (child bitmaps dense, shard-sequence tracking sparse) absorbs the
+    /// retransmissions (paper Section 4.1).
     pub link_drop_prob: f64,
 }
 
@@ -272,7 +274,10 @@ impl FlareSessionBuilder {
         self
     }
 
-    /// Dense-host retransmission timeout (None = reliable network).
+    /// Host retransmission timeout for dense and sparse collectives
+    /// (None = reliable network). `Some(0)` is rejected at
+    /// [`Collective::run`] with [`SessionError::ZeroRetransmitTimeout`]:
+    /// a zero-delay timer would re-arm at the same instant forever.
     pub fn retransmit_after(mut self, timeout: Option<Time>) -> Self {
         self.tuning.retransmit_after = timeout;
         self
@@ -291,10 +296,13 @@ impl FlareSessionBuilder {
     }
 
     /// Inject packet loss on every link with probability `p` (pair with
-    /// [`retransmit_after`](Self::retransmit_after) to recover). Dense
-    /// collectives only: sparse hosts have no retransmission protocol,
-    /// so sparse runs on a lossy session return
-    /// [`SessionError::SparseLossUnsupported`].
+    /// [`retransmit_after`](Self::retransmit_after) to recover). Both
+    /// dense and sparse collectives recover: hosts retransmit overdue
+    /// blocks, switches reject the duplicates (child bitmaps dense,
+    /// shard-sequence tracking sparse) and replay completed results from
+    /// their caches (paper Section 4.1). Drops are decided by a
+    /// per-link RNG stream derived from the run seed, so a lossy run is
+    /// bitwise-reproducible.
     pub fn link_drop_prob(mut self, p: f64) -> Self {
         self.tuning.link_drop_prob = p;
         self
@@ -660,6 +668,11 @@ impl<T: Element, O: ReduceOp<T> + Clone + 'static> Collective<'_, T, O> {
         // Resolve per-rank dense inputs or sparse pair lists.
         let op = self.op;
         let tuning = self.session.tuning.clone();
+        if tuning.retransmit_after == Some(0) {
+            // A zero-delay timer re-arms at the same instant forever,
+            // flooding the event queue without time ever advancing.
+            return Err(SessionError::ZeroRetransmitTimeout);
+        }
         if tuning.link_drop_prob > 0.0 && tuning.retransmit_after.is_none() {
             // A drop with no retransmission stalls the run forever; fail
             // fast with a typed error instead of panicking mid-sim.
@@ -698,11 +711,6 @@ impl<T: Element, O: ReduceOp<T> + Clone + 'static> Collective<'_, T, O> {
                 }
                 if total_elems == 0 {
                     return Err(SessionError::EmptyData);
-                }
-                if tuning.link_drop_prob > 0.0 {
-                    // Sparse hosts have no retransmission protocol: a
-                    // dropped contribution would stall the run forever.
-                    return Err(SessionError::SparseLossUnsupported);
                 }
                 if let Some(&(index, _)) = pairs
                     .iter()
@@ -941,7 +949,8 @@ pub(crate) fn execute_dense<T: Element, O: ReduceOp<T> + Clone + 'static>(
         }
     }
     for s in &plan.tree.switches {
-        let prog = FlareDenseProgram::new(placement_for(plan, s.switch), op.clone());
+        let prog = FlareDenseProgram::new(placement_for(plan, s.switch), op.clone())
+            .with_loss_recovery(tuning.link_drop_prob > 0.0);
         sim.install_switch(s.switch, Box::new(prog), tuning.switch_proc_rate);
     }
     let blocks = inputs[0].len().div_ceil(tuning.elems_per_packet) as u64;
@@ -1007,7 +1016,8 @@ pub(crate) fn execute_sparse<T: Element, O: ReduceOp<T> + Clone + 'static>(
             op.clone(),
             storage,
             tuning.pairs_per_packet,
-        );
+        )
+        .with_loss_recovery(tuning.link_drop_prob > 0.0);
         sim.install_switch(s.switch, Box::new(prog), tuning.switch_proc_rate);
     }
     let blocks = total_elems.div_ceil(policy.span) as u64;
@@ -1023,7 +1033,7 @@ pub(crate) fn execute_sparse<T: Element, O: ReduceOp<T> + Clone + 'static>(
             child_index,
             window: plan.window,
             stagger_offset: rank as u64 * step,
-            retransmit_after: None,
+            retransmit_after: tuning.retransmit_after,
         };
         let host = SparseFlareHost::new(
             cfg,
@@ -1220,17 +1230,44 @@ mod tests {
     }
 
     #[test]
-    fn sparse_on_a_lossy_session_is_rejected_with_a_typed_error() {
+    fn sparse_on_a_lossy_session_completes_with_correct_results() {
+        // Regression for the old `SparseLossUnsupported` early-return:
+        // sparse collectives now ride the shard-aware retransmission
+        // protocol instead of refusing to run.
         let (topo, _sw, _hosts) = Topology::star(3, LinkSpec::hundred_gig());
         let mut session = FlareSession::builder(topo)
             .link_drop_prob(0.05)
             .retransmit_after(Some(100_000))
             .build();
+        let pairs: Vec<Vec<(u32, f32)>> = (0..3)
+            .map(|r| (0..40).map(|i| (i * 25 + r, 1.0f32)).collect())
+            .collect();
+        let out = session.sparse_allreduce(1000, pairs).run().unwrap();
+        let total: f32 = out.rank(0).iter().sum();
+        assert_eq!(total, 120.0, "every contributed pair counted exactly once");
+        for r in out.ranks() {
+            assert_eq!(r, out.rank(0));
+        }
+    }
+
+    #[test]
+    fn zero_retransmit_timeout_is_rejected_up_front() {
+        // `Some(0)` used to arm a zero-delay wake_in loop that flooded
+        // the event queue; it must be a typed error for every collective.
+        let (topo, _sw, _hosts) = Topology::star(3, LinkSpec::hundred_gig());
+        let mut session = FlareSession::builder(topo)
+            .retransmit_after(Some(0))
+            .build();
+        let err = session
+            .allreduce(vec![vec![1i32; 64]; 3])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SessionError::ZeroRetransmitTimeout);
         let err = session
             .sparse_allreduce(100, vec![vec![(1u32, 1.0f32)]; 3])
             .run()
             .unwrap_err();
-        assert_eq!(err, SessionError::SparseLossUnsupported);
+        assert_eq!(err, SessionError::ZeroRetransmitTimeout);
     }
 
     #[test]

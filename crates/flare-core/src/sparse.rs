@@ -232,20 +232,56 @@ impl<T: Element> SparseArrayStore<T> {
     }
 }
 
-/// Tracks the multi-packet ("shard") protocol of one child within a block.
-#[derive(Debug, Default, Clone, Copy)]
+/// Outcome of feeding one shard to a [`ShardTracker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardEvent {
+    /// This shard sequence number was already recorded (a retransmission,
+    /// or any shard after completion): its payload must **not** be
+    /// aggregated again.
+    Duplicate,
+    /// A new shard, but the set is not complete yet.
+    Progress,
+    /// A new shard that completed the announced set. Fires exactly once.
+    Complete,
+}
+
+/// Tracks the multi-packet ("shard") protocol of one child within a
+/// block, with per-shard duplicate rejection.
+///
+/// Each shard carries a 0-based sequence number (see
+/// [`crate::wire::Header::shard_index`]); the tracker records which
+/// sequence numbers arrived in a bitmap, so a retransmitted shard —
+/// Section 4.1's timeout-driven recovery applied to the sparse path — is
+/// reported as [`ShardEvent::Duplicate`] instead of advancing the
+/// counters (and, at the caller, instead of double-reducing its pairs).
+#[derive(Debug, Default, Clone)]
 pub struct ShardTracker {
+    /// Bitmap of received sequence numbers 0..64.
+    seen: u64,
+    /// Overflow bitmap for sequence numbers ≥ 64 (empty for the common
+    /// few-shards-per-block case, so cloning a fresh tracker allocates
+    /// nothing).
+    seen_hi: Vec<u64>,
     received: u16,
     expected: Option<u16>,
     complete: bool,
 }
 
 impl ShardTracker {
-    /// Record one shard; `last` carries the child's total `count`.
-    /// Returns `true` exactly once, when the child completes.
-    pub fn on_shard(&mut self, last: bool, count: u16) -> bool {
-        if self.complete {
-            return false;
+    /// A tracker whose shard set is already complete (used to seed replay
+    /// caches for locally-generated shard sets, e.g. the root's result).
+    pub fn completed() -> Self {
+        Self {
+            complete: true,
+            ..Self::default()
+        }
+    }
+
+    /// Record the `index`-th shard; `last` carries the child's announced
+    /// total `count`.
+    pub fn on_shard(&mut self, index: u16, last: bool, count: u16) -> ShardEvent {
+        if self.complete || !self.mark(index) {
+            return ShardEvent::Duplicate;
         }
         self.received += 1;
         if last {
@@ -253,9 +289,26 @@ impl ShardTracker {
         }
         if self.expected.is_some_and(|e| self.received >= e) {
             self.complete = true;
-            return true;
+            ShardEvent::Complete
+        } else {
+            ShardEvent::Progress
         }
-        false
+    }
+
+    /// Set `index` in the bitmap; `false` if it was already set.
+    fn mark(&mut self, index: u16) -> bool {
+        let (word, bit) = (index as usize / 64, 1u64 << (index % 64));
+        let slot = if word == 0 {
+            &mut self.seen
+        } else {
+            if self.seen_hi.len() < word {
+                self.seen_hi.resize(word, 0);
+            }
+            &mut self.seen_hi[word - 1]
+        };
+        let fresh = *slot & bit == 0;
+        *slot |= bit;
+        fresh
     }
 
     /// Whether all announced shards arrived.
@@ -355,12 +408,16 @@ mod tests {
     #[test]
     fn shard_tracker_completes_on_announced_count() {
         let mut t = ShardTracker::default();
-        assert!(!t.on_shard(false, 0));
-        assert!(!t.on_shard(false, 0));
+        assert_eq!(t.on_shard(0, false, 0), ShardEvent::Progress);
+        assert_eq!(t.on_shard(1, false, 1), ShardEvent::Progress);
         // Last shard announces 3 total: complete now.
-        assert!(t.on_shard(true, 3));
+        assert_eq!(t.on_shard(2, true, 3), ShardEvent::Complete);
         assert!(t.is_complete());
-        assert!(!t.on_shard(false, 0), "completion fires once");
+        assert_eq!(
+            t.on_shard(0, false, 0),
+            ShardEvent::Duplicate,
+            "completion fires once"
+        );
     }
 
     #[test]
@@ -368,14 +425,48 @@ mod tests {
         // The "last" shard (carrying the count) may be reordered before
         // earlier shards.
         let mut t = ShardTracker::default();
-        assert!(!t.on_shard(true, 2));
-        assert!(t.on_shard(false, 0));
+        assert_eq!(t.on_shard(1, true, 2), ShardEvent::Progress);
+        assert_eq!(t.on_shard(0, false, 0), ShardEvent::Complete);
     }
 
     #[test]
     fn shard_tracker_single_empty_packet() {
-        // Empty-block packet: last=true, count=1.
+        // Empty-block packet: index 0, last=true, count=1.
         let mut t = ShardTracker::default();
-        assert!(t.on_shard(true, 1));
+        assert_eq!(t.on_shard(0, true, 1), ShardEvent::Complete);
+    }
+
+    #[test]
+    fn shard_tracker_rejects_retransmitted_shards() {
+        // A retransmission replays the whole shard sequence; only the
+        // genuinely missing shard may advance the tracker.
+        let mut t = ShardTracker::default();
+        assert_eq!(t.on_shard(0, false, 0), ShardEvent::Progress);
+        // Shard 1 was dropped; shard 2 (last of 3) arrives.
+        assert_eq!(t.on_shard(2, true, 3), ShardEvent::Progress);
+        // Retransmission of all three shards: 0 and 2 are duplicates.
+        assert_eq!(t.on_shard(0, false, 0), ShardEvent::Duplicate);
+        assert_eq!(t.on_shard(1, false, 1), ShardEvent::Complete);
+        assert_eq!(t.on_shard(2, true, 3), ShardEvent::Duplicate);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn shard_tracker_bitmap_covers_high_sequence_numbers() {
+        let mut t = ShardTracker::default();
+        for i in 0..200u16 {
+            assert_eq!(t.on_shard(i, false, i), ShardEvent::Progress, "{i}");
+        }
+        for i in 0..200u16 {
+            assert_eq!(t.on_shard(i, false, i), ShardEvent::Duplicate, "{i}");
+        }
+        assert_eq!(t.on_shard(200, true, 201), ShardEvent::Complete);
+    }
+
+    #[test]
+    fn shard_tracker_completed_constructor_rejects_everything() {
+        let mut t = ShardTracker::completed();
+        assert!(t.is_complete());
+        assert_eq!(t.on_shard(0, true, 1), ShardEvent::Duplicate);
     }
 }

@@ -13,6 +13,14 @@
 //! direct-mapped [`BlockSlab`] instead of a per-packet `HashMap` probe,
 //! and multicast replicates one encoded payload by `Bytes` refcount.
 //!
+//! On lossy sessions (`with_loss_recovery`) both programs implement the
+//! paper's Section 4.1 recovery: duplicate contributions are rejected
+//! (child bitmaps dense, shard-sequence tracking sparse) and a
+//! retransmitted contribution for a *retired* block is answered from a
+//! [`ReplayRing`] — with the cached result if it already passed through
+//! this switch, or by re-sending the cached upward aggregate towards the
+//! parent if it has not.
+//!
 //! The processing rate of each switch is modeled by
 //! [`flare_net::SwitchCtx::processing_done`], calibrated against the PsPIN
 //! engine — the same methodology the paper used to couple its two
@@ -26,8 +34,8 @@ use crate::dense::TreeBlock;
 use crate::dtype::Element;
 use crate::handlers::SparseStorageKind;
 use crate::op::ReduceOp;
-use crate::pool::{BlockSlab, BufferPool, PoolStats, RetirementFloor, SlabStats};
-use crate::sparse::{HashInsert, ShardTracker, SparseArrayStore, SparseHashStore};
+use crate::pool::{BlockSlab, BufferPool, PoolStats, ReplayRing, RetirementFloor, SlabStats};
+use crate::sparse::{HashInsert, ShardEvent, ShardTracker, SparseArrayStore, SparseHashStore};
 use crate::wire::{
     encode_dense_into, encode_sparse_into, DenseView, Header, PacketKind, SparseView, HEADER_BYTES,
 };
@@ -43,44 +51,6 @@ pub struct TreePlacement {
     pub children: Vec<NodeId>,
     /// This switch's child index at its parent.
     pub my_child_index: u16,
-}
-
-/// How many completed dense block results to cache for retransmission
-/// replays (a lost result packet would otherwise deadlock the block).
-const RESULT_CACHE: usize = 1024;
-
-/// Replay cache for completed dense blocks: a direct-mapped ring indexed
-/// by `block % RESULT_CACHE`. Block ids are dense and windowed, so the
-/// ring behaves like the old FIFO `HashMap` cache but costs one index
-/// compare per lookup instead of a SipHash probe — the lookup sits on the
-/// per-contribution hot path (gated behind [`RetirementFloor`], which
-/// rejects non-retired blocks on a comparison).
-#[derive(Debug)]
-struct ReplayRing {
-    slots: Vec<Option<(u64, Bytes)>>,
-}
-
-impl ReplayRing {
-    fn new() -> Self {
-        Self {
-            slots: (0..RESULT_CACHE).map(|_| None).collect(),
-        }
-    }
-
-    /// Cache `payload` for `block`, handing back any evicted payload so
-    /// the caller can reclaim its buffer.
-    fn put(&mut self, block: u64, payload: Bytes) -> Option<Bytes> {
-        let slot = &mut self.slots[(block % RESULT_CACHE as u64) as usize];
-        slot.replace((block, payload)).map(|(_, old)| old)
-    }
-
-    /// The cached payload for `block`, if still resident.
-    fn get(&self, block: u64) -> Option<&Bytes> {
-        match &self.slots[(block % RESULT_CACHE as u64) as usize] {
-            Some((b, payload)) if *b == block => Some(payload),
-            _ => None,
-        }
-    }
 }
 
 /// Combined recycling counters of one switch program.
@@ -107,9 +77,16 @@ pub struct FlareDenseProgram<T: Element, O> {
     /// Which blocks have completed here: floor comparison on the hot
     /// path, with the slab floor raised in lockstep.
     retired: RetirementFloor,
-    /// Encoded `DenseResult` payloads kept for duplicate-contribution
-    /// replays (cheap `Bytes` clones on the loss path).
-    replay: ReplayRing,
+    /// Encoded payloads of completed blocks kept for duplicate-contribution
+    /// replays (cheap `Bytes` clones on the loss path): the upward
+    /// aggregate until the block's `DenseResult` passes through, then the
+    /// result itself. Only populated under
+    /// [`with_loss_recovery`](Self::with_loss_recovery).
+    replay: ReplayRing<Bytes>,
+    /// Whether the session injects loss: gates the replay-cache writes so
+    /// a reliable run keeps the exact allocation-free datapath (cached
+    /// payloads pin their buffers and defeat reclaim).
+    loss_recovery: bool,
     val_pool: BufferPool<T>,
     byte_pool: BufferPool<u8>,
     /// Completed block shells (tree skeleton + bitmap) kept for reuse.
@@ -129,12 +106,22 @@ impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
             op,
             blocks: BlockSlab::new(BlockSlab::<TreeBlock<T>>::DEFAULT_SLOTS),
             retired: RetirementFloor::new(),
-            replay: ReplayRing::new(),
+            replay: ReplayRing::new(ReplayRing::<Bytes>::DEFAULT_CAPACITY),
+            loss_recovery: false,
             val_pool: BufferPool::new(),
             byte_pool: BufferPool::new(),
             spare_blocks: Vec::new(),
             blocks_done: 0,
         }
+    }
+
+    /// Enable (or disable) the loss-recovery replay cache. The session
+    /// turns this on whenever `link_drop_prob > 0`; reliable runs leave
+    /// it off so completed payloads recycle into the pools instead of
+    /// being pinned for replays that can never be requested.
+    pub fn with_loss_recovery(mut self, yes: bool) -> Self {
+        self.loss_recovery = yes;
+        self
     }
 
     /// Recycling counters for steady-state zero-allocation assertions.
@@ -187,7 +174,7 @@ impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
         let me = ctx.node();
         // One encode per block: the payload actually sent (up as a
         // contribution, or down as the result) doubles as the replay
-        // cache entry — replays re-head it lazily on the loss path.
+        // cache entry on lossy sessions.
         let payload = match self.place.parent {
             Some(parent) => {
                 let payload = self.encode_payload(
@@ -221,26 +208,58 @@ impl<T: Element, O: ReduceOp<T>> FlareDenseProgram<T, O> {
                 payload
             }
         };
-        self.cache_result(block, payload);
+        if self.loss_recovery {
+            self.cache_result(block, payload);
+        }
     }
 
-    /// Turn a cached payload into a `DenseResult` replay payload. At the
-    /// root the cache already holds the result encoding (refcount bump);
-    /// elsewhere the cached upward contribution is re-headed — body bytes
-    /// copied once, on the loss path only.
-    fn replay_payload(&mut self, cached: Bytes) -> Bytes {
-        let Ok((mut h, body)) = Header::decode(&cached) else {
-            return cached; // cached payloads are self-encoded; be lenient
+    /// Answer a retransmitted contribution for a block already finished
+    /// here (paper Section 4.1: duplicate rejection + result replay). If
+    /// this switch has seen the block's final `DenseResult` (always true
+    /// at the root, where the result is produced), replay it down to the
+    /// poking child. Otherwise the loss may have been on our own uplink:
+    /// re-send the cached upward aggregate and let the result replicate
+    /// down normally once the parent completes — replaying the *partial*
+    /// subtree aggregate down as if it were the result would hand the
+    /// child a wrong vector.
+    fn answer_retired_poke(
+        &mut self,
+        ctx: &mut SwitchCtx<'_>,
+        at: u64,
+        block: u64,
+        poking_child: u16,
+    ) {
+        let Some(cached) = self.replay.get(block).cloned() else {
+            return; // evicted: the next retransmission retries
         };
-        if h.kind == PacketKind::DenseResult {
-            return cached;
+        let me = ctx.node();
+        let is_result = matches!(
+            Header::decode(&cached),
+            Ok((
+                Header {
+                    kind: PacketKind::DenseResult,
+                    ..
+                },
+                _,
+            ))
+        );
+        if is_result {
+            let child = self.place.children[poking_child as usize];
+            let replay = self.result_packet(me, child, block, cached);
+            ctx.send_at(at, replay);
+        } else if let Some(parent) = self.place.parent {
+            let pkt = NetPacket::new(
+                me,
+                parent,
+                self.place.allreduce,
+                block,
+                self.place.my_child_index,
+                PacketKind::DenseContrib as u8,
+                0,
+                cached,
+            );
+            ctx.send_at(at, pkt);
         }
-        h.kind = PacketKind::DenseResult;
-        h.child = 0;
-        let mut buf = self.byte_pool.get(cached.len());
-        buf.extend_from_slice(&h.encode());
-        buf.extend_from_slice(body);
-        Bytes::from(buf)
     }
 }
 
@@ -258,15 +277,8 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareDenseProgram<T
                 let fin = ctx.processing_done(pkt.wire_bytes);
                 if self.retired.is_retired(pkt.block) {
                     // Retransmitted contribution for a finished block: the
-                    // child evidently missed the result — replay from the
-                    // cached encoded payload (dropped if the replay cache
-                    // already evicted it; the next retransmission retries).
-                    if let Some(cached) = self.replay.get(pkt.block).cloned() {
-                        let payload = self.replay_payload(cached);
-                        let child = self.place.children[header.child as usize];
-                        let replay = self.result_packet(ctx.node(), child, pkt.block, payload);
-                        ctx.send_at(fin, replay);
-                    }
+                    // child evidently missed something downstream.
+                    self.answer_retired_poke(ctx, fin, pkt.block, header.child);
                     return;
                 }
                 let children = self.place.children.len() as u16;
@@ -308,6 +320,12 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareDenseProgram<T
                 // From the parent: replicate down to every child by
                 // refcount (the payload is shared, not rebuilt).
                 let fin = ctx.processing_done(pkt.wire_bytes);
+                if self.loss_recovery {
+                    // The final result supersedes the cached upward
+                    // aggregate: future pokes replay it directly instead
+                    // of round-tripping through the parent.
+                    self.cache_result(pkt.block, pkt.payload.clone());
+                }
                 let me = ctx.node();
                 for i in 0..self.place.children.len() {
                     let child = self.place.children[i];
@@ -337,6 +355,12 @@ pub struct FlareSparseProgram<T: Element, O> {
     /// retired block are rejected by comparison instead of re-opening a
     /// ghost block (which would emit a spurious second result).
     retired: RetirementFloor,
+    /// Per-block shard payload sets kept for loss-path replays. Only
+    /// populated under [`with_loss_recovery`](Self::with_loss_recovery).
+    replay: ReplayRing<SparseReplay>,
+    /// Whether the session injects loss: gates the replay caches so a
+    /// reliable run keeps the exact allocation-free datapath.
+    loss_recovery: bool,
     pair_pool: BufferPool<(u32, T)>,
     byte_pool: BufferPool<u8>,
     /// Drained block shells (store + trackers) kept for reuse.
@@ -351,8 +375,30 @@ struct SparseSwitchBlock<T: Element> {
     store: SparseStore<T>,
     shards: Vec<ShardTracker>,
     children_done: u16,
-    /// Packets already sent towards the parent for this block (spills).
+    /// Shard packets already sent towards the parent for this block
+    /// (spills) — also the next upward shard sequence number.
     sent_up: u16,
+    /// Clones of the shard payloads sent towards the parent while the
+    /// block was open (spill shards), kept so a retransmission can replay
+    /// them. Empty unless loss recovery is on.
+    sent_cache: Vec<Bytes>,
+}
+
+/// Cached shard payloads of one block completed at this switch, the
+/// sparse counterpart of the dense single-payload replay entry.
+#[derive(Default)]
+struct SparseReplay {
+    /// Encoded shards this switch sent up (spills + the final drained
+    /// aggregate), replayed towards the parent while the block's result
+    /// has not come back down. Empty at the root.
+    up: Vec<Bytes>,
+    /// Encoded downward `SparseResult` shards: generated at the root,
+    /// recorded in passing at inner switches. Replayed to a poking child
+    /// once the set is complete.
+    down: Vec<Bytes>,
+    /// Completion of the downward set (duplicate shards rejected by
+    /// sequence number).
+    down_tracker: ShardTracker,
 }
 
 enum SparseStore<T: Element> {
@@ -377,12 +423,21 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
             pairs_per_packet,
             blocks: BlockSlab::new(BlockSlab::<SparseSwitchBlock<T>>::DEFAULT_SLOTS),
             retired: RetirementFloor::new(),
+            replay: ReplayRing::new(ReplayRing::<Bytes>::DEFAULT_CAPACITY),
+            loss_recovery: false,
             pair_pool: BufferPool::new(),
             byte_pool: BufferPool::new(),
             spare_blocks: Vec::new(),
             spilled_elems: 0,
             blocks_done: 0,
         }
+    }
+
+    /// Enable (or disable) the loss-recovery replay caches; see
+    /// [`FlareDenseProgram::with_loss_recovery`].
+    pub fn with_loss_recovery(mut self, yes: bool) -> Self {
+        self.loss_recovery = yes;
+        self
     }
 
     /// Recycling counters for steady-state zero-allocation assertions.
@@ -407,6 +462,7 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
             shards: vec![ShardTracker::default(); children as usize],
             children_done: 0,
             sent_up: 0,
+            sent_cache: Vec::new(),
         }
     }
 
@@ -451,7 +507,11 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
 
     /// Send `pairs` chunked into shard packets: up to the parent as
     /// `up_kind`, or — at the root — multicast down to every child as
-    /// `SparseResult`, sharing each encoded chunk by refcount.
+    /// `SparseResult`, sharing each encoded chunk by refcount. Chunks get
+    /// consecutive shard sequence numbers starting at `first_seq` (the
+    /// wire's `shard_count` field carries the sequence number on non-last
+    /// shards, the announced `total_count` on the last one). Returns
+    /// payload clones for the replay cache when loss recovery is on.
     #[allow(clippy::too_many_arguments)]
     fn send_chunked(
         &mut self,
@@ -462,15 +522,18 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
         pairs: &[(u32, T)],
         mark_last: bool,
         total_count: u16,
-    ) {
+        first_seq: u16,
+    ) -> Vec<Bytes> {
         let me = ctx.node();
         let per = self.pairs_per_packet;
         // An empty pair set still sends one header-only packet (paper
         // Section 7 "Empty blocks"), hence the `.max(1)`.
         let chunk_count = pairs.len().div_ceil(per).max(1);
+        let mut sent = Vec::new();
         for i in 0..chunk_count {
             let chunk = &pairs[(i * per).min(pairs.len())..((i + 1) * per).min(pairs.len())];
             let last = mark_last && i + 1 == chunk_count;
+            let seq_field = Header::shard_seq_field(last, first_seq + i as u16, total_count);
             match self.place.parent {
                 Some(p) => {
                     let out = Self::shard_packet(
@@ -482,9 +545,12 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
                         self.place.my_child_index,
                         chunk,
                         last,
-                        total_count,
+                        seq_field,
                         &mut self.byte_pool,
                     );
+                    if self.loss_recovery {
+                        sent.push(out.payload.clone());
+                    }
                     ctx.send_at(at, out);
                 }
                 None => {
@@ -499,9 +565,12 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
                         0,
                         chunk,
                         last,
-                        total_count,
+                        seq_field,
                         &mut self.byte_pool,
                     );
+                    if self.loss_recovery {
+                        sent.push(proto.payload.clone());
+                    }
                     for c in 0..self.place.children.len() {
                         let child = self.place.children[c];
                         let mut copy = proto.clone();
@@ -509,6 +578,68 @@ impl<T: Element, O: ReduceOp<T>> FlareSparseProgram<T, O> {
                         ctx.send_at(at, copy);
                     }
                 }
+            }
+        }
+        sent
+    }
+
+    /// Answer a retransmitted contribution for a block already finished
+    /// here — the sparse mirror of the dense
+    /// [`FlareDenseProgram::answer_retired_poke`], replaying whole shard
+    /// sets. Responds only to the *last* shard of a retransmission burst
+    /// so one poke round triggers one replay, not one per shard.
+    fn answer_retired_poke(
+        &mut self,
+        ctx: &mut SwitchCtx<'_>,
+        at: u64,
+        block: u64,
+        header: &Header,
+    ) {
+        if !header.last_shard {
+            return;
+        }
+        let Some(entry) = self.replay.get(block) else {
+            return; // evicted: the next retransmission retries
+        };
+        let me = ctx.node();
+        if entry.down_tracker.is_complete() {
+            // The full result passed through here: replay it to the
+            // poking child (hosts reject duplicates by shard sequence).
+            let payloads = entry.down.clone();
+            let child = self.place.children[header.child as usize];
+            for payload in payloads {
+                let pkt = NetPacket::new(
+                    me,
+                    child,
+                    self.place.allreduce,
+                    block,
+                    0,
+                    PacketKind::SparseResult as u8,
+                    0,
+                    payload,
+                );
+                ctx.send_at(at, pkt);
+            }
+        } else if let Some(parent) = self.place.parent {
+            // Result not seen yet: the loss may have been on our uplink —
+            // re-send our aggregate (the parent dedups by shard sequence)
+            // and let the result replicate down normally.
+            let payloads = entry.up.clone();
+            for payload in payloads {
+                let kind = Header::decode(&payload)
+                    .map(|(h, _)| h.kind)
+                    .unwrap_or(PacketKind::SparseContrib);
+                let pkt = NetPacket::new(
+                    me,
+                    parent,
+                    self.place.allreduce,
+                    block,
+                    self.place.my_child_index,
+                    kind as u8,
+                    0,
+                    payload,
+                );
+                ctx.send_at(at, pkt);
             }
         }
     }
@@ -527,7 +658,10 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
             PacketKind::SparseContrib | PacketKind::SparseSpill => {
                 let fin = ctx.processing_done(pkt.wire_bytes);
                 if self.retired.is_retired(pkt.block) {
-                    return; // late packet for a finished block
+                    // Retransmitted shard for a finished block: replay
+                    // instead of silently dropping (Section 4.1).
+                    self.answer_retired_poke(ctx, fin, pkt.block, &header);
+                    return;
                 }
                 let children = self.place.children.len() as u16;
                 if self.blocks.get_mut(pkt.block).is_none() {
@@ -540,6 +674,7 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
                             }
                             b.children_done = 0;
                             b.sent_up = 0;
+                            b.sent_cache.clear();
                             b
                         }
                         None => self.new_block(children),
@@ -556,6 +691,19 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
                 // collect into a pooled batch.
                 let mut flushed = self.pair_pool.get(0);
                 let block = self.blocks.get_mut(pkt.block).expect("present");
+                // Shard protocol first: a retransmitted shard whose
+                // original made it through must not fold its pairs into
+                // the store a second time (idempotency under duplicates).
+                let event = block.shards[header.child as usize].on_shard(
+                    header.shard_index(),
+                    header.last_shard,
+                    header.shard_count,
+                );
+                if event == ShardEvent::Duplicate {
+                    self.pair_pool.put(flushed);
+                    self.byte_pool.reclaim(pkt.payload);
+                    return;
+                }
                 match &mut block.store {
                     SparseStore::Hash(h) => {
                         view.for_each(|idx, val| {
@@ -571,15 +719,15 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
                         });
                     }
                 }
+                let mut spill_seq = 0;
                 if !flushed.is_empty() {
+                    spill_seq = block.sent_up;
                     block.sent_up += flushed.len().div_ceil(self.pairs_per_packet) as u16;
                 }
 
-                // Shard protocol for this child (spills from a child switch
-                // carry last=false and are counted in its final total).
-                if block.shards[header.child as usize]
-                    .on_shard(header.last_shard, header.shard_count)
-                {
+                // Spills from a child switch carry last=false and are
+                // counted in its final total.
+                if event == ShardEvent::Complete {
                     block.children_done += 1;
                 }
                 let complete = block.children_done >= children;
@@ -588,7 +736,7 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
                     // Spilled data leaves the switch unaggregated: extra
                     // traffic.
                     self.spilled_elems += flushed.len() as u64;
-                    self.send_chunked(
+                    let sent = self.send_chunked(
                         ctx,
                         fin,
                         pkt.block,
@@ -596,7 +744,13 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
                         &flushed,
                         false,
                         0,
+                        spill_seq,
                     );
+                    if !sent.is_empty() {
+                        if let Some(b) = self.blocks.get_mut(pkt.block) {
+                            b.sent_cache.extend(sent);
+                        }
+                    }
                 }
                 flushed.clear();
 
@@ -612,11 +766,13 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
                         SparseStore::Array(a) => a.drain_into(&mut result),
                     }
                     let chunks = result.len().div_ceil(self.pairs_per_packet).max(1);
+                    let first_seq = done.sent_up;
                     let total_up = done.sent_up + chunks as u16;
+                    let mut sent_cache = std::mem::take(&mut done.sent_cache);
                     if self.spare_blocks.len() < SPARE_BLOCKS {
                         self.spare_blocks.push(done);
                     }
-                    self.send_chunked(
+                    let sent = self.send_chunked(
                         ctx,
                         fin,
                         pkt.block,
@@ -624,7 +780,33 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
                         &result,
                         true,
                         total_up,
+                        first_seq,
                     );
+                    if self.loss_recovery {
+                        sent_cache.extend(sent);
+                        // At the root the shards just sent *are* the
+                        // complete downward result. Elsewhere they are the
+                        // upward aggregate awaiting its result — merged
+                        // into any entry the SparseResult branch already
+                        // opened (root spill shards can pass down while
+                        // this block is still open here; overwriting
+                        // would wipe their recorded down set).
+                        if self.place.parent.is_some() {
+                            let entry = self
+                                .replay
+                                .get_or_insert_with(pkt.block, SparseReplay::default);
+                            entry.up = sent_cache;
+                        } else {
+                            self.replay.put(
+                                pkt.block,
+                                SparseReplay {
+                                    down: sent_cache,
+                                    down_tracker: ShardTracker::completed(),
+                                    up: Vec::new(),
+                                },
+                            );
+                        }
+                    }
                     self.pair_pool.put(result);
                 } else {
                     self.pair_pool.put(flushed);
@@ -634,6 +816,23 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
             PacketKind::SparseResult => {
                 // From the parent: replicate down by refcount.
                 let fin = ctx.processing_done(pkt.wire_bytes);
+                if self.loss_recovery {
+                    // Record the passing result shard so a later poke can
+                    // be answered from here instead of round-tripping to
+                    // the root (duplicate shards — themselves replays —
+                    // are not cached twice).
+                    let entry = self
+                        .replay
+                        .get_or_insert_with(pkt.block, SparseReplay::default);
+                    if entry.down_tracker.on_shard(
+                        header.shard_index(),
+                        header.last_shard,
+                        header.shard_count,
+                    ) != ShardEvent::Duplicate
+                    {
+                        entry.down.push(pkt.payload.clone());
+                    }
+                }
                 let me = ctx.node();
                 for i in 0..self.place.children.len() {
                     let child = self.place.children[i];

@@ -58,8 +58,18 @@ pub struct Header {
     /// accompanying `shard_count` then says how many shards were sent
     /// (paper Section 7, "Block split").
     pub last_shard: bool,
-    /// Number of shards this child split the block into (valid when
-    /// `last_shard`).
+    /// Sparse shard-sequencing field, interpreted by `last_shard`:
+    ///
+    /// * `last_shard == true` — how many shards this child split the
+    ///   block into (the paper's announced total). Shards are emitted in
+    ///   sequence order, so the last shard's own sequence number is
+    ///   `shard_count - 1`.
+    /// * `last_shard == false` — this shard's 0-based sequence number
+    ///   within `(block, child)`.
+    ///
+    /// Together with `last_shard` this gives every shard a unique
+    /// identity (see [`Header::shard_index`]), which is what makes
+    /// retransmitted shards rejectable instead of double-reduced.
     pub shard_count: u16,
     /// Number of elements in the payload (0 for an empty sparse block).
     pub elem_count: u16,
@@ -95,6 +105,32 @@ impl Header {
             elem_count: u16::from_le_bytes(buf[14..16].try_into().unwrap()),
         };
         Ok((h, &buf[HEADER_BYTES..]))
+    }
+
+    /// This shard's 0-based sequence number within `(block, child)`:
+    /// carried directly on non-last shards, derived as `shard_count - 1`
+    /// on the last shard (shards are emitted in sequence order). Only
+    /// meaningful for sparse packets.
+    pub fn shard_index(&self) -> u16 {
+        if self.last_shard {
+            self.shard_count.saturating_sub(1)
+        } else {
+            self.shard_count
+        }
+    }
+
+    /// The `shard_count` wire value for shard number `seq` of a sequence
+    /// announcing `total` shards: the total on the last shard, the
+    /// sequence number otherwise — the single encode-side definition of
+    /// the field's dual use, inverse of [`Header::shard_index`] (every
+    /// sender must emit shards in sequence order so the last shard's own
+    /// number is `total - 1`).
+    pub fn shard_seq_field(last: bool, seq: u16, total: u16) -> u16 {
+        if last {
+            total
+        } else {
+            seq
+        }
     }
 }
 

@@ -19,7 +19,7 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use flare_des::rng::rng_from_seed;
+use flare_des::rng::rng_stream;
 use flare_des::{EventQueue, Simulator, Time};
 
 use crate::packet::NetPacket;
@@ -91,6 +91,11 @@ struct DirState {
 struct LinkState {
     dirs: [DirState; 2],
     drop_prob: f64,
+    /// Per-link RNG stream derived from `(run seed, link id)`: every
+    /// link's drop pattern is a pure function of the seed and that link's
+    /// own packet sequence, independent of how traffic interleaves
+    /// elsewhere — so lossy runs are bitwise-reproducible per run seed.
+    rng: StdRng,
 }
 
 /// Shared mutable simulation state (everything except the programs).
@@ -103,7 +108,6 @@ struct SimCore {
     /// Per-switch processing rate in bytes/ns (f64::INFINITY = unmodeled).
     proc_rate: Vec<f64>,
     done_at: Vec<Option<Time>>,
-    rng: StdRng,
     drops: u64,
 }
 
@@ -127,7 +131,7 @@ impl SimCore {
         d.busy_until = fin;
         d.bytes += bytes as u64;
         d.packets += 1;
-        if state.drop_prob > 0.0 && self.rng.random::<f64>() < state.drop_prob {
+        if state.drop_prob > 0.0 && state.rng.random::<f64>() < state.drop_prob {
             self.drops += 1;
             return None;
         }
@@ -286,11 +290,13 @@ pub struct NetSim {
 
 impl NetSim {
     /// Build a simulator over `topo` with deterministic ECMP routing.
+    /// `seed` drives every stochastic element (currently the per-link
+    /// loss-injection streams), making runs bitwise-reproducible.
     pub fn new(topo: Topology, seed: u64) -> Self {
         let routing = topo.build_routing();
         let n = topo.node_count();
         let links = (0..topo.link_count())
-            .map(|_| LinkState {
+            .map(|link| LinkState {
                 dirs: [
                     DirState {
                         busy_until: 0,
@@ -304,6 +310,7 @@ impl NetSim {
                     },
                 ],
                 drop_prob: 0.0,
+                rng: rng_stream(seed, link as u64),
             })
             .collect();
         Self {
@@ -314,7 +321,6 @@ impl NetSim {
                 proc_busy: vec![0; n],
                 proc_rate: vec![f64::INFINITY; n],
                 done_at: vec![None; n],
-                rng: rng_from_seed(seed),
                 drops: 0,
             },
             host_progs: (0..n).map(|_| None).collect(),
@@ -801,6 +807,78 @@ mod tests {
         sim.set_link_drop_prob(0, 0.5);
         let report = sim.run(None);
         assert!(report.drops > 300 && report.drops < 700, "{}", report.drops);
+    }
+
+    #[test]
+    fn loss_injection_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let (topo, _sw, hosts) = Topology::star(2, spec());
+            let mut sim = NetSim::new(topo, seed);
+            sim.install_host(
+                hosts[0],
+                Box::new(Sender {
+                    peer: hosts[1],
+                    count: 500,
+                    bytes: 100,
+                }),
+            );
+            sim.install_host(
+                hosts[1],
+                Box::new(Receiver {
+                    expect: 1,
+                    ..Default::default()
+                }),
+            );
+            sim.set_link_drop_prob(0, 0.2);
+            let r = sim.run(None);
+            (r.drops, r.makespan, r.total_link_packets)
+        };
+        assert_eq!(run(7), run(7), "same seed must reproduce the drop set");
+        assert_ne!(
+            run(7).0,
+            run(1234).0,
+            "different seeds should draw different drop sets"
+        );
+    }
+
+    #[test]
+    fn per_link_drop_streams_are_independent_of_other_traffic() {
+        // The drop decisions on link 0 must be a function of (seed, link,
+        // packet ordinal on that link) only: adding traffic on another
+        // link must not perturb them. This is what makes loss tests
+        // reproducible when unrelated flows change.
+        let run = |extra_sender: bool| {
+            let (topo, _sw, hosts) = Topology::star(3, spec());
+            let mut sim = NetSim::new(topo, 99);
+            sim.install_host(
+                hosts[0],
+                Box::new(Sender {
+                    peer: hosts[1],
+                    count: 400,
+                    bytes: 100,
+                }),
+            );
+            if extra_sender {
+                sim.install_host(
+                    hosts[2],
+                    Box::new(Sender {
+                        peer: hosts[1],
+                        count: 250,
+                        bytes: 64,
+                    }),
+                );
+            }
+            sim.install_host(
+                hosts[1],
+                Box::new(Receiver {
+                    expect: 1,
+                    ..Default::default()
+                }),
+            );
+            sim.set_link_drop_prob(0, 0.25); // only host 0's uplink drops
+            sim.run(None).drops
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -141,6 +141,68 @@ fn policy_guarantees_reproducibility_when_requested() {
     }
 }
 
+/// Loss injection is driven by per-link RNG streams derived from the run
+/// seed (`flare_net::NetSim`), so a lossy run — drops, retransmissions,
+/// replays and all — must be bitwise-reproducible: same seed, same
+/// everything; different seed, different drop set.
+#[test]
+fn lossy_runs_are_bitwise_reproducible_per_seed() {
+    use flare::core::session::FlareSession;
+    use flare::net::{LinkSpec, Topology};
+
+    let run = |seed: u64| {
+        let (topo, _sw, _hosts) = Topology::star(6, LinkSpec::hundred_gig());
+        let mut session = FlareSession::builder(topo)
+            .link_drop_prob(0.08)
+            .retransmit_after(Some(150_000))
+            .seed(seed)
+            .build();
+        // Adversarial f32 magnitudes: any change in fold order under
+        // retransmission would change the bit patterns.
+        let inputs: Vec<Vec<f32>> = (0..6i32)
+            .map(|h| {
+                dense_uniform_f32(31, h as u64, 2048, -1.0, 1.0)
+                    .into_iter()
+                    .map(|x| x * 10f32.powi((h % 4) * 3 - 5))
+                    .collect()
+            })
+            .collect();
+        let dense = session.allreduce(inputs).run().expect("dense lossy run");
+        let dense_bits: Vec<Vec<u32>> = dense
+            .ranks()
+            .iter()
+            .map(|r| r.iter().map(|x| x.to_bits()).collect())
+            .collect();
+        let pairs: Vec<Vec<(u32, f32)>> = (0..6)
+            .map(|h| (0..300).map(|i| ((i * 40 + h) as u32, 0.5f32)).collect())
+            .collect();
+        let sparse = session
+            .sparse_allreduce(12_000, pairs)
+            .run()
+            .expect("sparse lossy run");
+        let sparse_bits: Vec<u32> = sparse.rank(0).iter().map(|x| x.to_bits()).collect();
+        (
+            dense.report.net.makespan,
+            dense.report.drops(),
+            dense.report.net.events,
+            dense_bits,
+            sparse.report.net.makespan,
+            sparse.report.drops(),
+            sparse_bits,
+        )
+    };
+    let a = run(9);
+    let b = run(9);
+    assert_eq!(a, b, "same seed must reproduce the lossy run exactly");
+    assert!(a.1 > 0 && a.5 > 0, "loss must actually trigger");
+    let c = run(10);
+    assert_ne!(
+        (a.1, a.5),
+        (c.1, c.5),
+        "a different seed should draw a different drop set"
+    );
+}
+
 /// A full 128-host fat-tree allreduce (Canary/Swing scale, affordable
 /// since the ladder event queue) run twice through the session API: the
 /// batched same-timestamp draining must leave makespan, traffic, event
