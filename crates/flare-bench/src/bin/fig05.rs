@@ -2,8 +2,8 @@
 //! as a function of subset size S and intra-block interarrival δc, model
 //! vs PsPIN-engine simulation.
 
-use flare_bench::fig05;
 use flare_bench::table::render;
+use flare_bench::{fig05, fig05_net};
 
 fn main() {
     let rows: Vec<Vec<String>> = fig05::rows()
@@ -35,4 +35,40 @@ fn main() {
     );
     println!("A: global FCFS; B: per-block core pinning builds bursts;");
     println!("C: staggered sending keeps pinning without the queues.");
+
+    // Cross-validation of the network simulator's switch-compute model:
+    // the same scenarios through a real NetSim star under
+    // SwitchModel::Hpu, next to the closed-form model and the engine.
+    let net_rows: Vec<Vec<String>> = fig05_net::rows(256)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                r.s.to_string(),
+                format!("{:.2}", r.model_bandwidth),
+                format!("{:.3}", r.des_bandwidth),
+                format!("{:.1}", r.model_q),
+                r.des_queue_peak.to_string(),
+                r.engine_queue_peak.to_string(),
+            ]
+        })
+        .collect();
+    println!();
+    println!("Cross-validation: NetSim switch-compute (SwitchModel::Hpu) vs model vs engine");
+    println!();
+    println!(
+        "{}",
+        render(
+            &[
+                "scenario",
+                "S",
+                "model B (pkt/cyc)",
+                "DES B (pkt/ns)",
+                "model Q/core",
+                "DES queue peak",
+                "engine queue peak"
+            ],
+            &net_rows
+        )
+    );
 }

@@ -25,18 +25,7 @@ pub struct Row {
 }
 
 fn toy_params() -> SwitchParams {
-    SwitchParams {
-        clusters: 1,
-        cores_per_cluster: 4,
-        ports: 4,
-        packet_bytes: 4,
-        elem_bytes: 4,
-        cycles_per_elem: 4.0,
-        dma_copy_cycles: 0.0,
-        clock_ghz: 1.0,
-        l1_bytes_per_cluster: 1024,
-        l2_packet_bytes: 1 << 20,
-    }
+    SwitchParams::figure5()
 }
 
 fn toy_config(subset: Option<usize>) -> PspinConfig {

@@ -6,6 +6,7 @@
 
 pub mod ablation;
 pub mod fig05;
+pub mod fig05_net;
 pub mod fig07;
 pub mod fig10;
 pub mod fig11;

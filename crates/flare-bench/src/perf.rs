@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use flare_core::op::Sum;
 use flare_core::session::FlareSession;
-use flare_net::{LinkSpec, NodeId, Topology};
+use flare_net::{HpuParams, LinkSpec, NodeId, SwitchModel, Topology};
 
 /// Dense or sparse allreduce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +70,11 @@ pub struct Scenario {
     /// name suffix, so they never collide with the tracked lossless
     /// baseline rows.
     pub drop_prob: f64,
+    /// Run the switches under `SwitchModel::Hpu(HpuParams::paper())`
+    /// instead of the calibrated serial rate limiter. Hpu cells carry a
+    /// `/hpu` name suffix: their makespans legitimately differ from the
+    /// serial-pipeline baseline rows, so they must never match one.
+    pub hpu: bool,
 }
 
 impl Scenario {
@@ -79,7 +84,7 @@ impl Scenario {
     }
 
     /// Short `dense/fat_tree/8h/128KiB`-style name (lossy cells append
-    /// `/lossN%`).
+    /// `/lossN%`, multi-core compute cells `/hpu`).
     pub fn name(&self) -> String {
         let mut name = format!(
             "{}/{}/{}h/{}",
@@ -93,6 +98,9 @@ impl Scenario {
                 "/loss{}%",
                 (self.drop_prob * 100.0).round() as u32
             ));
+        }
+        if self.hpu {
+            name.push_str("/hpu");
         }
         name
     }
@@ -138,6 +146,7 @@ pub fn matrix() -> Vec<Scenario> {
                         bytes_per_host: bytes,
                         reps,
                         drop_prob: 0.0,
+                        hpu: false,
                     });
                 }
             }
@@ -153,17 +162,39 @@ pub fn matrix() -> Vec<Scenario> {
                 bytes_per_host: bytes,
                 reps: if bytes <= 128 * 1024 { 3 } else { 1 },
                 drop_prob: 0.0,
+                hpu: false,
             });
         }
+    }
+    // Hpu rows: the multi-core compute model on the ROADMAP's slowest
+    // dense cell (single-switch star, 32 children folding at one root)
+    // plus one small dense and one sparse cell. The `/hpu` suffix keeps
+    // their (legitimately different) makespans out of the serial-pipeline
+    // baseline match.
+    for (mode, topo, hosts, bytes, reps) in [
+        (Mode::Dense, TopoKind::Star, 32, 8 * 1024 * 1024usize, 2),
+        (Mode::Dense, TopoKind::FatTree, 8, 128 * 1024, 3),
+        (Mode::Sparse, TopoKind::Star, 8, 128 * 1024, 3),
+    ] {
+        out.push(Scenario {
+            mode,
+            topo,
+            hosts,
+            bytes_per_host: bytes,
+            reps,
+            drop_prob: 0.0,
+            hpu: true,
+        });
     }
     out
 }
 
 /// Reduced matrix for CI smoke runs: one small dense and one small sparse
-/// cell, one 128-host scale cell, and one *lossy* sparse cell exercising
-/// the shard-aware retransmission path end to end — all single
-/// repetition. The lossy cell's `/lossN%` name keeps it out of the
-/// lossless baseline comparison.
+/// cell, one 128-host scale cell, a *lossy* sparse cell exercising the
+/// shard-aware retransmission path end to end, and one `Hpu` cell
+/// exercising the multi-core switch-compute model — all single
+/// repetition. The `/lossN%` and `/hpu` names keep those cells out of the
+/// lossless serial-pipeline baseline comparison.
 pub fn smoke_matrix() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -173,6 +204,16 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             bytes_per_host: 128 * 1024,
             reps: 1,
             drop_prob: 0.0,
+            hpu: true,
+        },
+        Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
         },
         Scenario {
             mode: Mode::Sparse,
@@ -181,6 +222,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             bytes_per_host: 128 * 1024,
             reps: 1,
             drop_prob: 0.0,
+            hpu: false,
         },
         Scenario {
             mode: Mode::Dense,
@@ -189,6 +231,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             bytes_per_host: 128 * 1024,
             reps: 1,
             drop_prob: 0.0,
+            hpu: false,
         },
         Scenario {
             mode: Mode::Sparse,
@@ -197,6 +240,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             bytes_per_host: 128 * 1024,
             reps: 1,
             drop_prob: 0.01,
+            hpu: false,
         },
     ]
 }
@@ -240,6 +284,9 @@ pub fn run(s: &Scenario) -> Measurement {
             b = b
                 .link_drop_prob(s.drop_prob)
                 .retransmit_after(Some(200_000));
+        }
+        if s.hpu {
+            b = b.switch_model(SwitchModel::Hpu(HpuParams::paper()));
         }
         b.build()
     };
@@ -439,11 +486,64 @@ mod tests {
     #[test]
     fn matrix_covers_the_full_cross_product() {
         let m = matrix();
-        assert_eq!(m.len(), 20, "16 tracked cells + 4 scale rows");
-        assert_eq!(m.iter().filter(|s| s.mode == Mode::Sparse).count(), 8);
-        assert_eq!(m.iter().filter(|s| s.topo == TopoKind::Star).count(), 8);
-        assert_eq!(m.iter().filter(|s| s.hosts == 32).count(), 8);
-        assert_eq!(m.iter().filter(|s| s.bytes_per_host == 8 << 20).count(), 10);
+        assert_eq!(m.len(), 23, "16 tracked cells + 4 scale rows + 3 hpu");
+        let serial: Vec<&Scenario> = m.iter().filter(|s| !s.hpu).collect();
+        assert_eq!(serial.len(), 20);
+        assert_eq!(serial.iter().filter(|s| s.mode == Mode::Sparse).count(), 8);
+        assert_eq!(
+            serial.iter().filter(|s| s.topo == TopoKind::Star).count(),
+            8
+        );
+        assert_eq!(serial.iter().filter(|s| s.hosts == 32).count(), 8);
+        assert_eq!(
+            serial
+                .iter()
+                .filter(|s| s.bytes_per_host == 8 << 20)
+                .count(),
+            10
+        );
+    }
+
+    #[test]
+    fn matrix_hpu_cells_stay_outside_the_baseline() {
+        let m = matrix();
+        let hpu: Vec<&Scenario> = m.iter().filter(|s| s.hpu).collect();
+        assert_eq!(hpu.len(), 3);
+        assert!(hpu.iter().any(|s| s.name() == "dense/star/32h/8MiB/hpu"));
+        // The suffix must keep an Hpu cell from matching the lossless
+        // serial-pipeline baseline row of the same shape.
+        let baseline = vec![BaselineRow {
+            name: "dense/star/32h/8MiB".into(),
+            makespan_ns: 1,
+        }];
+        let diff = diff_against_baseline(&[measurement(*hpu[0], 2)], &baseline);
+        assert_eq!(diff.compared, 0);
+        assert!(diff.drift.is_empty());
+    }
+
+    #[test]
+    fn hpu_cell_runs_and_differs_from_the_serial_pipeline() {
+        let serial = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::Star,
+            hosts: 4,
+            bytes_per_host: 16 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+        };
+        let hpu = Scenario {
+            hpu: true,
+            ..serial
+        };
+        let a = run(&serial);
+        let b = run(&hpu);
+        assert!(b.makespan_ns > 0);
+        assert_ne!(
+            a.makespan_ns, b.makespan_ns,
+            "the multi-core model must actually engage"
+        );
+        assert_eq!(hpu.name(), "dense/star/4h/16KiB/hpu");
     }
 
     #[test]
@@ -455,6 +555,7 @@ mod tests {
             bytes_per_host: 4096,
             reps: 1,
             drop_prob: 0.0,
+            hpu: false,
         };
         let m = run(&s);
         assert!(m.wall_ms > 0.0);
@@ -473,6 +574,7 @@ mod tests {
             bytes_per_host: 8192,
             reps: 1,
             drop_prob: 0.0,
+            hpu: false,
         };
         let m = run(&s);
         assert!(m.events > 0 && m.total_link_bytes > 0);
@@ -499,6 +601,7 @@ mod tests {
             bytes_per_host: 8 << 20,
             reps: 1,
             drop_prob: 0.0,
+            hpu: false,
         };
         let json = to_json("perf", &[measurement(s, 694397)]);
         let rows = parse_baseline(&json);
@@ -520,6 +623,7 @@ mod tests {
             bytes_per_host: 128 * 1024,
             reps: 1,
             drop_prob: 0.0,
+            hpu: false,
         };
         let baseline = vec![
             BaselineRow {
@@ -548,6 +652,7 @@ mod tests {
             bytes_per_host: 128 * 1024,
             reps: 1,
             drop_prob: 0.0,
+            hpu: false,
         };
         let vacuous = diff_against_baseline(&[measurement(new_cell, 1)], &baseline);
         assert!(vacuous.drift.is_empty());
@@ -574,7 +679,6 @@ mod tests {
     #[test]
     fn matrix_includes_the_scale_rows() {
         let m = matrix();
-        assert_eq!(m.len(), 20);
         let names: Vec<String> = m.iter().map(|s| s.name()).collect();
         for want in [
             "dense/fat_tree/128h/128KiB",
@@ -589,6 +693,14 @@ mod tests {
     #[test]
     fn smoke_matrix_has_a_128_host_cell() {
         assert!(smoke_matrix().iter().any(|s| s.hosts == 128));
+    }
+
+    #[test]
+    fn smoke_matrix_has_an_hpu_cell() {
+        let m = smoke_matrix();
+        let hpu: Vec<&Scenario> = m.iter().filter(|s| s.hpu).collect();
+        assert_eq!(hpu.len(), 1);
+        assert_eq!(hpu[0].name(), "dense/fat_tree/8h/128KiB/hpu");
     }
 
     #[test]
@@ -618,6 +730,7 @@ mod tests {
             bytes_per_host: 64 * 1024,
             reps: 1,
             drop_prob: 0.05,
+            hpu: false,
         };
         let m = run(&s);
         assert!(m.events > 0 && m.makespan_ns > 0);
@@ -633,6 +746,7 @@ mod tests {
             bytes_per_host: 128 * 1024,
             reps: 1,
             drop_prob: 0.0,
+            hpu: false,
         };
         let m = Measurement {
             scenario: s,

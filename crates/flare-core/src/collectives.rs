@@ -56,7 +56,10 @@ impl Default for RunOptions {
         Self {
             elems_per_packet: t.elems_per_packet,
             pairs_per_packet: t.pairs_per_packet,
-            switch_proc_rate: t.switch_proc_rate,
+            switch_proc_rate: match t.switch_model {
+                flare_net::SwitchModel::RateLimited(r) => r,
+                _ => 512.0,
+            },
             retransmit_after: t.retransmit_after,
             seed: t.seed,
         }
@@ -68,7 +71,7 @@ impl RunOptions {
         Tuning {
             elems_per_packet: self.elems_per_packet,
             pairs_per_packet: self.pairs_per_packet,
-            switch_proc_rate: self.switch_proc_rate,
+            switch_model: flare_net::SwitchModel::RateLimited(self.switch_proc_rate),
             retransmit_after: self.retransmit_after,
             seed: self.seed,
             ..Tuning::default()

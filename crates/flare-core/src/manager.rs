@@ -94,7 +94,7 @@ fn try_root(
     let n = topo.node_count();
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
     let mut seen = vec![false; n];
-    seen[root.0] = true;
+    seen[root.index()] = true;
     let mut order = VecDeque::from([root]);
     let mut bfs: Vec<NodeId> = Vec::new();
     while let Some(u) = order.pop_front() {
@@ -104,24 +104,24 @@ fn try_root(
         }
         for pl in topo.ports_of(u) {
             let v = pl.peer;
-            if seen[v.0] || excluded.contains(&v) {
+            if seen[v.index()] || excluded.contains(&v) {
                 continue;
             }
-            seen[v.0] = true;
-            parent[v.0] = Some(u);
+            seen[v.index()] = true;
+            parent[v.index()] = Some(u);
             order.push_back(v);
         }
     }
-    if hosts.iter().any(|h| !seen[h.0]) {
+    if hosts.iter().any(|h| !seen[h.index()]) {
         return None;
     }
     // Union of root→host paths: mark useful nodes.
     let mut useful = vec![false; n];
     for &h in hosts {
         let mut cur = h;
-        while !useful[cur.0] {
-            useful[cur.0] = true;
-            match parent[cur.0] {
+        while !useful[cur.index()] {
+            useful[cur.index()] = true;
+            match parent[cur.index()] {
                 Some(p) => cur = p,
                 None => break,
             }
@@ -131,25 +131,25 @@ fn try_root(
     let mut depth = vec![0usize; n];
     let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
     for &u in &bfs {
-        if !useful[u.0] {
+        if !useful[u.index()] {
             continue;
         }
-        if let Some(p) = parent[u.0] {
-            depth[u.0] = depth[p.0] + 1;
+        if let Some(p) = parent[u.index()] {
+            depth[u.index()] = depth[p.index()] + 1;
             children.entry(p).or_default().push(u);
         }
     }
     let mut switches = Vec::new();
     let mut host_attach = HashMap::new();
     for &u in &bfs {
-        if !useful[u.0] || topo.kind(u) != NodeKind::Switch {
+        if !useful[u.index()] || topo.kind(u) != NodeKind::Switch {
             continue;
         }
         let kids = children.get(&u).cloned().unwrap_or_default();
         if kids.is_empty() {
             continue; // a pass-through switch with no tree children
         }
-        let my_child_index = parent[u.0]
+        let my_child_index = parent[u.index()]
             .map(|p| {
                 children[&p]
                     .iter()
@@ -164,10 +164,10 @@ fn try_root(
         }
         switches.push(TreeSwitch {
             switch: u,
-            parent: parent[u.0],
+            parent: parent[u.index()],
             children: kids,
             my_child_index,
-            depth: depth[u.0],
+            depth: depth[u.index()],
         });
     }
     // Contract chains: a switch whose only child is another switch still

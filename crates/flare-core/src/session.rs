@@ -36,7 +36,7 @@
 
 use flare_des::Time;
 use flare_model::AggKind;
-use flare_net::{NetReport, NetSim, NodeId, Topology};
+use flare_net::{NetReport, NetSim, NodeId, SwitchModel, Topology};
 
 use crate::dtype::Element;
 use crate::handlers::SparseStorageKind;
@@ -91,6 +91,11 @@ pub enum SessionError {
     /// re-arm itself at the same instant forever, flooding the event
     /// queue without simulated time ever advancing.
     ZeroRetransmitTimeout,
+    /// The session's [`flare_net::SwitchModel::Hpu`] parameters are
+    /// inconsistent (e.g. a subset size that does not divide the cluster
+    /// width); the contained message is
+    /// [`flare_net::HpuParams::validate`]'s diagnosis.
+    InvalidSwitchModel(String),
     /// `.reproducible(true)` was combined with a [`Collective::via`]
     /// handle whose plan was not admitted with tree aggregation, so the
     /// bitwise-reproducibility guarantee cannot be honored. Admit the
@@ -140,6 +145,9 @@ impl std::fmt::Display for SessionError {
                     f,
                     "retransmit_after = Some(0): a zero-delay timer would loop without advancing time"
                 )
+            }
+            SessionError::InvalidSwitchModel(why) => {
+                write!(f, "invalid SwitchModel::Hpu parameters: {why}")
             }
             SessionError::ReproducibleViaMismatch => {
                 write!(
@@ -199,8 +207,12 @@ pub struct Tuning {
     pub elems_per_packet: usize,
     /// Pairs per packet (sparse) — the paper's 128 pairs = 1 KiB.
     pub pairs_per_packet: usize,
-    /// Switch processing rate in bytes/ns (PsPIN-calibrated).
-    pub switch_proc_rate: f64,
+    /// How switch processing time is modeled:
+    /// [`SwitchModel::RateLimited`] (the PsPIN-calibrated serial pipeline,
+    /// the default), [`SwitchModel::Ideal`] (no processing delay) or
+    /// [`SwitchModel::Hpu`] (event-driven multi-core handler scheduling
+    /// per [`flare_net::compute`]).
+    pub switch_model: SwitchModel,
     /// Host retransmission timeout, dense and sparse (None = reliable
     /// network).
     pub retransmit_after: Option<Time>,
@@ -223,7 +235,7 @@ impl Default for Tuning {
             // 512 cores / 1024 cycles per 1 KiB packet = 0.5 pkt/ns ≈
             // 512 B/ns — the full-switch dense aggregation rate measured
             // on the PsPIN engine.
-            switch_proc_rate: 512.0,
+            switch_model: SwitchModel::calibrated(),
             retransmit_after: None,
             seed: 7,
             packet_bytes: 1024,
@@ -268,9 +280,20 @@ impl FlareSessionBuilder {
         self
     }
 
-    /// Switch processing rate in bytes/ns.
+    /// Switch processing rate in bytes/ns — shorthand for
+    /// [`switch_model`](Self::switch_model) with
+    /// [`SwitchModel::RateLimited`].
     pub fn switch_proc_rate(mut self, bytes_per_ns: f64) -> Self {
-        self.tuning.switch_proc_rate = bytes_per_ns;
+        self.tuning.switch_model = SwitchModel::RateLimited(bytes_per_ns);
+        self
+    }
+
+    /// Typed switch compute model: `Ideal`, `RateLimited(rate)` or
+    /// `Hpu(params)` — the latter schedules every handler onto a concrete
+    /// HPU core (hierarchical FCFS, per-subset queueing) with service
+    /// times derived from [`flare_model::SwitchParams`].
+    pub fn switch_model(mut self, model: SwitchModel) -> Self {
+        self.tuning.switch_model = model;
         self
     }
 
@@ -678,6 +701,13 @@ impl<T: Element, O: ReduceOp<T> + Clone + 'static> Collective<'_, T, O> {
             // fast with a typed error instead of panicking mid-sim.
             return Err(SessionError::LossWithoutRetransmit);
         }
+        if let SwitchModel::Hpu(params) = &tuning.switch_model {
+            // Catch inconsistent compute parameters here, not as a
+            // `SwitchCompute::new` panic deep inside switch installation.
+            params
+                .validate()
+                .map_err(SessionError::InvalidSwitchModel)?;
+        }
         enum Resolved<T: Element> {
             Dense(Vec<Vec<T>>),
             Sparse {
@@ -951,7 +981,7 @@ pub(crate) fn execute_dense<T: Element, O: ReduceOp<T> + Clone + 'static>(
     for s in &plan.tree.switches {
         let prog = FlareDenseProgram::new(placement_for(plan, s.switch), op.clone())
             .with_loss_recovery(tuning.link_drop_prob > 0.0);
-        sim.install_switch(s.switch, Box::new(prog), tuning.switch_proc_rate);
+        sim.install_switch_model(s.switch, Box::new(prog), tuning.switch_model.clone());
     }
     let blocks = inputs[0].len().div_ceil(tuning.elems_per_packet) as u64;
     let step = stagger_step(plan.window, blocks, hosts.len());
@@ -1018,7 +1048,7 @@ pub(crate) fn execute_sparse<T: Element, O: ReduceOp<T> + Clone + 'static>(
             tuning.pairs_per_packet,
         )
         .with_loss_recovery(tuning.link_drop_prob > 0.0);
-        sim.install_switch(s.switch, Box::new(prog), tuning.switch_proc_rate);
+        sim.install_switch_model(s.switch, Box::new(prog), tuning.switch_model.clone());
     }
     let blocks = total_elems.div_ceil(policy.span) as u64;
     let step = stagger_step(plan.window, blocks, hosts.len());

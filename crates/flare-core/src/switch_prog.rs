@@ -21,10 +21,13 @@
 //! this switch, or by re-sending the cached upward aggregate towards the
 //! parent if it has not.
 //!
-//! The processing rate of each switch is modeled by
-//! [`flare_net::SwitchCtx::processing_done`], calibrated against the PsPIN
-//! engine — the same methodology the paper used to couple its two
-//! simulators.
+//! The processing time of each switch is modeled by
+//! [`flare_net::SwitchCtx::processing_done_for`]: under the session's
+//! default [`flare_net::SwitchModel::RateLimited`] a serial pipeline
+//! calibrated against the PsPIN engine (the paper's SST methodology), and
+//! under [`flare_net::SwitchModel::Hpu`] the event-driven multi-core HPU
+//! scheduler of [`flare_net::compute`] — handlers of one block pinned
+//! hierarchical-FCFS to a core subset, exactly the Section 3 architecture.
 
 use bytes::Bytes;
 
@@ -274,7 +277,7 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareDenseProgram<T
         };
         match header.kind {
             PacketKind::DenseContrib => {
-                let fin = ctx.processing_done(pkt.wire_bytes);
+                let fin = ctx.processing_done_for(pkt.block, pkt.wire_bytes);
                 if self.retired.is_retired(pkt.block) {
                     // Retransmitted contribution for a finished block: the
                     // child evidently missed something downstream.
@@ -319,7 +322,7 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareDenseProgram<T
             PacketKind::DenseResult => {
                 // From the parent: replicate down to every child by
                 // refcount (the payload is shared, not rebuilt).
-                let fin = ctx.processing_done(pkt.wire_bytes);
+                let fin = ctx.processing_done_for(pkt.block, pkt.wire_bytes);
                 if self.loss_recovery {
                     // The final result supersedes the cached upward
                     // aggregate: future pokes replay it directly instead
@@ -656,7 +659,7 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
         };
         match header.kind {
             PacketKind::SparseContrib | PacketKind::SparseSpill => {
-                let fin = ctx.processing_done(pkt.wire_bytes);
+                let fin = ctx.processing_done_for(pkt.block, pkt.wire_bytes);
                 if self.retired.is_retired(pkt.block) {
                     // Retransmitted shard for a finished block: replay
                     // instead of silently dropping (Section 4.1).
@@ -815,7 +818,7 @@ impl<T: Element, O: ReduceOp<T> + 'static> SwitchProgram for FlareSparseProgram<
             }
             PacketKind::SparseResult => {
                 // From the parent: replicate down by refcount.
-                let fin = ctx.processing_done(pkt.wire_bytes);
+                let fin = ctx.processing_done_for(pkt.block, pkt.wire_bytes);
                 if self.loss_recovery {
                     // Record the passing result shard so a later poke can
                     // be answered from here instead of round-tripping to

@@ -67,6 +67,28 @@ impl SwitchParams {
         }
     }
 
+    /// The illustrative switch of Figure 5: one cluster of `K = 4` cores,
+    /// `P = 4` ports, one 4-byte element per packet at 4 cycles/element
+    /// (`τ = 4`), line-rate interarrival `δ = 1`. Small enough to follow
+    /// packet-by-packet, it is the shared fixture for every
+    /// model-vs-simulator cross-validation in the workspace (the Section 5
+    /// scheduling scenarios, the PsPIN engine differential tests, and the
+    /// network simulator's HPU compute model).
+    pub fn figure5() -> Self {
+        Self {
+            clusters: 1,
+            cores_per_cluster: 4,
+            ports: 4,
+            packet_bytes: 4,
+            elem_bytes: 4,
+            cycles_per_elem: 4.0,
+            dma_copy_cycles: 0.0,
+            clock_ghz: 1.0,
+            l1_bytes_per_cluster: 1024,
+            l2_packet_bytes: 1 << 20,
+        }
+    }
+
     /// Total number of HPU cores, `K = clusters × C`.
     pub fn cores(&self) -> usize {
         self.clusters * self.cores_per_cluster
@@ -136,6 +158,16 @@ mod tests {
         let p = SwitchParams::rtl_sim();
         assert_eq!(p.clusters, 4);
         assert_eq!(p.cores(), 32);
+    }
+
+    #[test]
+    fn figure5_switch_is_the_k4_tau4_delta1_toy() {
+        let p = SwitchParams::figure5();
+        assert_eq!(p.cores(), 4);
+        assert_eq!(p.elems_per_packet(), 1);
+        assert_eq!(p.l_cycles(), 4.0);
+        assert_eq!(p.line_rate_delta(), 1.0);
+        assert!(p.l_cycles() / p.cores() as f64 == p.line_rate_delta());
     }
 
     #[test]

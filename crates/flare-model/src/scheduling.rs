@@ -105,18 +105,7 @@ mod tests {
 
     /// The illustrative switch of Figure 5: K=4 cores, τ=4, δ=1, P=4.
     fn fig5_params() -> SwitchParams {
-        SwitchParams {
-            clusters: 1,
-            cores_per_cluster: 4,
-            ports: 4,
-            packet_bytes: 4, // irrelevant for the queue traces
-            elem_bytes: 4,
-            cycles_per_elem: 4.0, // τ = 4 with 1 elem/packet
-            dma_copy_cycles: 0.0,
-            clock_ghz: 1.0,
-            l1_bytes_per_cluster: 1024,
-            l2_packet_bytes: 1024,
-        }
+        SwitchParams::figure5()
     }
 
     #[test]

@@ -22,10 +22,12 @@
 //! that the bandwidth of the switches matches that obtained through the
 //! cycle-accurate PsPIN simulator".
 
+pub mod compute;
 pub mod packet;
 pub mod sim;
 pub mod topology;
 
+pub use compute::{ComputeStats, HpuParams, SwitchCompute, SwitchModel};
 pub use packet::NetPacket;
 pub use sim::{HostCtx, HostProgram, NetReport, NetSim, SwitchCtx, SwitchProgram};
 pub use topology::{LinkSpec, NodeId, PortId, Topology};

@@ -10,6 +10,12 @@ use crate::topology::NodeId;
 /// extracts (allreduce id, reduction block, tree-child index); `kind` is an
 /// application-defined discriminator (e.g. contribution vs. result vs.
 /// ack); the payload is opaque to the network.
+///
+/// The layout is deliberately lean — `NodeId` is `u32`, the payload a
+/// single `Arc` pointer — because a `NetPacket` is moved by value through
+/// every ladder-queue hop (bucket → bottom → batch) of every
+/// egress/deliver event; a `size_of` regression test pins it at 40 bytes
+/// (down from the 48 of word-sized node ids).
 #[derive(Debug, Clone)]
 pub struct NetPacket {
     /// Origin node.
@@ -76,5 +82,15 @@ mod tests {
         );
         assert_eq!(p.wire_bytes, 1064);
         assert_eq!(p.kind, 1);
+    }
+
+    #[test]
+    fn hot_path_layout_stays_lean() {
+        // Every simulated hop moves a NetPacket by value through the
+        // event queue; keep the struct at 5 words (40 B on 64-bit) so the
+        // bucket→bottom→batch copies stay cheap. Growing this is a perf
+        // regression — widen deliberately or pack the new field.
+        assert_eq!(std::mem::size_of::<NetPacket>(), 40);
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
     }
 }

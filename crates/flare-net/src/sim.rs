@@ -11,10 +11,13 @@
 //! * `Wake` — a host-requested timer (retransmission timeouts, phased
 //!   algorithms).
 //!
-//! Switch programs process packets through a rate limiter calibrated from
-//! the PsPIN simulator (`processing_done(bytes)`), mirroring the paper's
-//! SST calibration, and can emit packets to arbitrary ports/destinations —
-//! including multicast by emitting one copy per port.
+//! Switch programs process packets through a per-switch compute model
+//! ([`SwitchModel`]): either the serial rate limiter calibrated from the
+//! PsPIN simulator (`processing_done(bytes)`, mirroring the paper's SST
+//! calibration) or the event-driven multi-core HPU scheduler
+//! ([`crate::compute`], `processing_done_for(block, bytes)`) — and can
+//! emit packets to arbitrary ports/destinations, including multicast by
+//! emitting one copy per port.
 
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -22,6 +25,7 @@ use rand::RngExt;
 use flare_des::rng::rng_stream;
 use flare_des::{EventQueue, Simulator, Time};
 
+use crate::compute::{ComputeStats, SwitchCompute, SwitchModel};
 use crate::packet::NetPacket;
 use crate::topology::{NodeId, NodeKind, PortId, Routing, Topology};
 
@@ -107,6 +111,9 @@ struct SimCore {
     proc_busy: Vec<Time>,
     /// Per-switch processing rate in bytes/ns (f64::INFINITY = unmodeled).
     proc_rate: Vec<f64>,
+    /// Per-switch multi-core HPU scheduler, when the switch was installed
+    /// with [`SwitchModel::Hpu`] (boxed: most nodes have none).
+    compute: Vec<Option<Box<SwitchCompute>>>,
     done_at: Vec<Option<Time>>,
     drops: u64,
 }
@@ -121,7 +128,7 @@ impl SimCore {
         port: PortId,
         bytes: u32,
     ) -> Option<(NodeId, PortId, Time)> {
-        let pl = self.topo.ports_of(node)[port.0];
+        let pl = self.topo.ports_of(node)[port.index()];
         let spec = self.topo.link(pl.link).spec;
         let dir = usize::from(self.topo.link(pl.link).a.0 != node);
         let state = &mut self.links[pl.link];
@@ -216,7 +223,7 @@ impl<'a> HostCtx<'a> {
     /// Record this host as finished (first call wins); the simulation keeps
     /// running until the event queue drains.
     pub fn mark_done(&mut self) {
-        let slot = &mut self.core.done_at[self.node.0];
+        let slot = &mut self.core.done_at[self.node.index()];
         if slot.is_none() {
             *slot = Some(self.now);
         }
@@ -236,9 +243,25 @@ impl<'a> SwitchCtx<'a> {
     /// Push `bytes` through this switch's processing pipeline; returns the
     /// completion time at which derived packets should be emitted. The
     /// pipeline rate is the PsPIN-calibrated aggregation bandwidth.
+    ///
+    /// This is the serial [`SwitchModel::RateLimited`] path; programs that
+    /// know the packet's reduction block should call
+    /// [`processing_done_for`](Self::processing_done_for) instead, which
+    /// also engages the multi-core [`SwitchModel::Hpu`] scheduler.
+    ///
+    /// # Panics
+    /// Debug builds panic when this switch was installed with
+    /// [`SwitchModel::Hpu`]: the serial path would silently model *zero*
+    /// processing delay there (its rate is ∞), hiding a program that
+    /// forgot to go block-aware.
     pub fn processing_done(&mut self, bytes: u32) -> Time {
-        let rate = self.core.proc_rate[self.node.0];
-        let busy = &mut self.core.proc_busy[self.node.0];
+        debug_assert!(
+            self.core.compute[self.node.index()].is_none(),
+            "switch {:?} runs SwitchModel::Hpu: use processing_done_for(block, bytes)",
+            self.node
+        );
+        let rate = self.core.proc_rate[self.node.index()];
+        let busy = &mut self.core.proc_busy[self.node.index()];
         let start = self.now.max(*busy);
         let fin = if rate.is_finite() {
             start + ((bytes as f64 / rate).ceil() as Time).max(1)
@@ -247,6 +270,22 @@ impl<'a> SwitchCtx<'a> {
         };
         *busy = fin;
         fin
+    }
+
+    /// Execute the handler for a packet of `block` with `bytes` wire
+    /// bytes; returns the completion time at which derived packets should
+    /// be emitted.
+    ///
+    /// Under [`SwitchModel::Hpu`] the handler is scheduled
+    /// hierarchical-FCFS onto `block`'s core subset (queueing when all
+    /// its cores are busy); under `Ideal`/`RateLimited` this is exactly
+    /// [`processing_done`](Self::processing_done) — bit-identical timing
+    /// to the pre-compute-subsystem simulator.
+    pub fn processing_done_for(&mut self, block: u64, bytes: u32) -> Time {
+        match &mut self.core.compute[self.node.index()] {
+            Some(hpu) => hpu.execute(self.now, block, bytes),
+            None => self.processing_done(bytes),
+        }
     }
 
     /// Forward `pkt` along the routing tables (the default action for
@@ -320,6 +359,7 @@ impl NetSim {
                 links,
                 proc_busy: vec![0; n],
                 proc_rate: vec![f64::INFINITY; n],
+                compute: (0..n).map(|_| None).collect(),
                 done_at: vec![None; n],
                 drops: 0,
             },
@@ -342,20 +382,58 @@ impl NetSim {
     /// Install application logic on a host.
     pub fn install_host(&mut self, node: NodeId, prog: Box<dyn HostProgram>) {
         assert_eq!(self.core.topo.kind(node), NodeKind::Host, "not a host");
-        self.host_progs[node.0] = Some(prog);
+        self.host_progs[node.index()] = Some(prog);
     }
 
     /// Install an in-network program on a switch with a processing rate in
-    /// bytes/ns (calibrated from the PsPIN simulator).
+    /// bytes/ns (calibrated from the PsPIN simulator) — shorthand for
+    /// [`install_switch_model`](Self::install_switch_model) with
+    /// [`SwitchModel::RateLimited`].
     pub fn install_switch(
         &mut self,
         node: NodeId,
         prog: Box<dyn SwitchProgram>,
         proc_rate_bytes_per_ns: f64,
     ) {
+        self.install_switch_model(node, prog, SwitchModel::RateLimited(proc_rate_bytes_per_ns));
+    }
+
+    /// Install an in-network program on a switch under a typed compute
+    /// model: `Ideal` (no processing delay), `RateLimited` (serial
+    /// pipeline, the historical behavior) or `Hpu` (event-driven
+    /// multi-core handler scheduling; see [`crate::compute`]).
+    ///
+    /// # Panics
+    /// Panics if `node` is not a switch, or the `Hpu` parameters fail
+    /// [`crate::compute::HpuParams::validate`].
+    pub fn install_switch_model(
+        &mut self,
+        node: NodeId,
+        prog: Box<dyn SwitchProgram>,
+        model: SwitchModel,
+    ) {
         assert_eq!(self.core.topo.kind(node), NodeKind::Switch, "not a switch");
-        self.switch_progs[node.0] = Some(prog);
-        self.core.proc_rate[node.0] = proc_rate_bytes_per_ns;
+        self.switch_progs[node.index()] = Some(prog);
+        match model {
+            SwitchModel::Ideal => {
+                self.core.proc_rate[node.index()] = f64::INFINITY;
+                self.core.compute[node.index()] = None;
+            }
+            SwitchModel::RateLimited(rate) => {
+                self.core.proc_rate[node.index()] = rate;
+                self.core.compute[node.index()] = None;
+            }
+            SwitchModel::Hpu(params) => {
+                self.core.proc_rate[node.index()] = f64::INFINITY;
+                self.core.compute[node.index()] = Some(Box::new(SwitchCompute::new(params)));
+            }
+        }
+    }
+
+    /// Compute-model counters of a switch installed with
+    /// [`SwitchModel::Hpu`] (`None` for `Ideal`/`RateLimited` switches).
+    pub fn compute_stats(&self, node: NodeId) -> Option<ComputeStats> {
+        self.core.compute[node.index()].as_ref().map(|c| *c.stats())
     }
 
     /// Inject loss on a link (both directions).
@@ -365,12 +443,12 @@ impl NetSim {
 
     /// Take a switch program back out (to inspect its final state).
     pub fn take_switch(&mut self, node: NodeId) -> Option<Box<dyn SwitchProgram>> {
-        self.switch_progs[node.0].take()
+        self.switch_progs[node.index()].take()
     }
 
     /// Take a host program back out (to inspect its final state).
     pub fn take_host(&mut self, node: NodeId) -> Option<Box<dyn HostProgram>> {
-        self.host_progs[node.0].take()
+        self.host_progs[node.index()].take()
     }
 
     /// Run to quiescence (or `deadline`); returns the report.
@@ -378,7 +456,7 @@ impl NetSim {
         let mut queue = EventQueue::new();
         // Start hosts.
         for node in self.core.topo.hosts() {
-            if let Some(mut prog) = self.host_progs[node.0].take() {
+            if let Some(mut prog) = self.host_progs[node.index()].take() {
                 let mut ctx = HostCtx {
                     core: &mut self.core,
                     queue: &mut queue,
@@ -386,7 +464,7 @@ impl NetSim {
                     now: 0,
                 };
                 prog.on_start(&mut ctx);
-                self.host_progs[node.0] = Some(prog);
+                self.host_progs[node.index()] = Some(prog);
             }
         }
         // Batched draining: every event in the simulator uses the default
@@ -477,7 +555,7 @@ impl Simulator for NetSim {
             }
             NetEvent::Deliver { node, in_port, pkt } => match self.core.topo.kind(node) {
                 NodeKind::Host => {
-                    if let Some(mut prog) = self.host_progs[node.0].take() {
+                    if let Some(mut prog) = self.host_progs[node.index()].take() {
                         let mut ctx = HostCtx {
                             core: &mut self.core,
                             queue,
@@ -485,11 +563,11 @@ impl Simulator for NetSim {
                             now: t,
                         };
                         prog.on_packet(&mut ctx, pkt);
-                        self.host_progs[node.0] = Some(prog);
+                        self.host_progs[node.index()] = Some(prog);
                     }
                 }
                 NodeKind::Switch => {
-                    if let Some(mut prog) = self.switch_progs[node.0].take() {
+                    if let Some(mut prog) = self.switch_progs[node.index()].take() {
                         if prog.matches(&pkt) {
                             let mut ctx = SwitchCtx {
                                 core: &mut self.core,
@@ -500,9 +578,9 @@ impl Simulator for NetSim {
                             // Move the packet in (no payload refcount bump)
                             // so consuming programs can recycle the buffer.
                             prog.on_packet(&mut ctx, in_port, pkt);
-                            self.switch_progs[node.0] = Some(prog);
+                            self.switch_progs[node.index()] = Some(prog);
                         } else {
-                            self.switch_progs[node.0] = Some(prog);
+                            self.switch_progs[node.index()] = Some(prog);
                             if let Some(port) = self.core.route_port(node, &pkt) {
                                 queue.schedule_at(t, NetEvent::Egress { node, port, pkt });
                             }
@@ -516,7 +594,7 @@ impl Simulator for NetSim {
                 }
             },
             NetEvent::Wake { node, tag } => {
-                if let Some(mut prog) = self.host_progs[node.0].take() {
+                if let Some(mut prog) = self.host_progs[node.index()].take() {
                     let mut ctx = HostCtx {
                         core: &mut self.core,
                         queue,
@@ -524,7 +602,7 @@ impl Simulator for NetSim {
                         now: t,
                     };
                     prog.on_wake(&mut ctx, tag);
-                    self.host_progs[node.0] = Some(prog);
+                    self.host_progs[node.index()] = Some(prog);
                 }
             }
         }
@@ -582,6 +660,15 @@ mod tests {
             gbps: 100.0,
             latency_ns: 50,
         }
+    }
+
+    #[test]
+    fn event_layout_stays_lean() {
+        // NetEvent is the unit the ladder queue stores and copies; with
+        // the narrowed NodeId/PortId an Egress/Deliver variant packs next
+        // to its 40-byte packet instead of spilling past it (was 64 B
+        // with word-sized ids).
+        assert_eq!(std::mem::size_of::<NetEvent>(), 48);
     }
 
     #[test]
@@ -783,6 +870,39 @@ mod tests {
         // serializes: done ≈ 130 + 4×2000; plus egress 80 + 50.
         let done = report.last_done.unwrap();
         assert!(done > 8000, "processing must pace emissions: {done}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "use processing_done_for")]
+    fn serial_processing_done_is_rejected_on_hpu_switches() {
+        // A block-unaware program on an Hpu switch would silently get
+        // zero processing delay; debug builds must flag the mismatch.
+        struct Legacy;
+        impl SwitchProgram for Legacy {
+            fn matches(&self, _: &NetPacket) -> bool {
+                true
+            }
+            fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, _in: PortId, pkt: NetPacket) {
+                let _ = ctx.processing_done(pkt.wire_bytes);
+            }
+        }
+        let (topo, sw, hosts) = Topology::star(2, spec());
+        let mut sim = NetSim::new(topo, 1);
+        sim.install_host(
+            hosts[0],
+            Box::new(Sender {
+                peer: hosts[1],
+                count: 1,
+                bytes: 100,
+            }),
+        );
+        sim.install_switch_model(
+            sw,
+            Box::new(Legacy),
+            SwitchModel::Hpu(crate::compute::HpuParams::figure5()),
+        );
+        sim.run(None);
     }
 
     #[test]

@@ -13,12 +13,36 @@ use flare_des::rng::splitmix64;
 use flare_des::Time;
 
 /// A node (host or switch) in the topology.
+///
+/// Deliberately `u32`: a `NodeId` rides in every [`crate::NetPacket`] and
+/// every event moved through the simulator's ladder queue, so narrowing it
+/// (4 B instead of a machine word) directly cuts the bytes copied per
+/// packet hop. Four billion nodes is far beyond any simulated fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeId(pub usize);
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index into per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// A port index local to a node.
+///
+/// `u16` for the same hot-path layout reason as [`NodeId`]; switch radix
+/// never approaches 65 k ports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct PortId(pub usize);
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// The port as a `usize` index into a node's port table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// Physical link parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,7 +133,7 @@ impl Topology {
     }
 
     fn add_node(&mut self, kind: NodeKind, name: String) -> NodeId {
-        let id = NodeId(self.kinds.len());
+        let id = NodeId(self.kinds.len() as u32);
         self.kinds.push(kind);
         self.names.push(name);
         self.ports.push(Vec::new());
@@ -120,14 +144,14 @@ impl Topology {
     pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> usize {
         assert_ne!(a, b, "self-links are not allowed");
         let link = self.links.len();
-        let pa = PortId(self.ports[a.0].len());
-        let pb = PortId(self.ports[b.0].len());
-        self.ports[a.0].push(PortLink {
+        let pa = PortId(self.ports[a.index()].len() as u16);
+        let pb = PortId(self.ports[b.index()].len() as u16);
+        self.ports[a.index()].push(PortLink {
             link,
             peer: b,
             peer_port: pb,
         });
-        self.ports[b.0].push(PortLink {
+        self.ports[b.index()].push(PortLink {
             link,
             peer: a,
             peer_port: pa,
@@ -152,18 +176,18 @@ impl Topology {
 
     /// Node kind.
     pub fn kind(&self, n: NodeId) -> NodeKind {
-        self.kinds[n.0]
+        self.kinds[n.index()]
     }
 
     /// Node display name.
     pub fn name(&self, n: NodeId) -> &str {
-        &self.names[n.0]
+        &self.names[n.index()]
     }
 
     /// All hosts, in id order.
     pub fn hosts(&self) -> Vec<NodeId> {
         (0..self.node_count())
-            .map(NodeId)
+            .map(|i| NodeId(i as u32))
             .filter(|&n| self.kind(n) == NodeKind::Host)
             .collect()
     }
@@ -171,14 +195,14 @@ impl Topology {
     /// All switches, in id order.
     pub fn switches(&self) -> Vec<NodeId> {
         (0..self.node_count())
-            .map(NodeId)
+            .map(|i| NodeId(i as u32))
             .filter(|&n| self.kind(n) == NodeKind::Switch)
             .collect()
     }
 
     /// Ports of a node.
     pub fn ports_of(&self, n: NodeId) -> &[PortLink] {
-        &self.ports[n.0]
+        &self.ports[n.index()]
     }
 
     /// Link record.
@@ -188,10 +212,10 @@ impl Topology {
 
     /// The port of `from` whose link peers with `to`, if directly connected.
     pub fn port_towards(&self, from: NodeId, to: NodeId) -> Option<PortId> {
-        self.ports[from.0]
+        self.ports[from.index()]
             .iter()
             .position(|pl| pl.peer == to)
-            .map(PortId)
+            .map(|i| PortId(i as u16))
     }
 
     /// Compute destination-based routing: `next_port[node][dest]` = egress
@@ -206,7 +230,7 @@ impl Topology {
             let mut q = VecDeque::from([dest]);
             while let Some(u) = q.pop_front() {
                 for pl in &self.ports[u] {
-                    let v = pl.peer.0;
+                    let v = pl.peer.index();
                     if dist[v] == u32::MAX {
                         dist[v] = dist[u] + 1;
                         q.push_back(v);
@@ -218,7 +242,7 @@ impl Topology {
                     continue;
                 }
                 for (pi, pl) in self.ports[u].iter().enumerate() {
-                    if dist[pl.peer.0] + 1 == dist[u] {
+                    if dist[pl.peer.index()] + 1 == dist[u] {
                         next_hops[u][dest].push(pi as u16);
                     }
                 }
@@ -321,17 +345,17 @@ impl Routing {
     ///
     /// Returns `None` when `node == dest` or `dest` is unreachable.
     pub fn next_port(&self, node: NodeId, dest: NodeId, flow: u32) -> Option<PortId> {
-        let cands = &self.next_hops[node.0][dest.0];
+        let cands = &self.next_hops[node.index()][dest.index()];
         if cands.is_empty() {
             return None;
         }
         let pick = (splitmix64(flow as u64) % cands.len() as u64) as usize;
-        Some(PortId(cands[pick] as usize))
+        Some(PortId(cands[pick]))
     }
 
     /// Number of equal-cost choices at `node` towards `dest`.
     pub fn ecmp_width(&self, node: NodeId, dest: NodeId) -> usize {
-        self.next_hops[node.0][dest.0].len()
+        self.next_hops[node.index()][dest.index()].len()
     }
 }
 
@@ -384,7 +408,7 @@ mod tests {
         let h0 = ft.hosts[0];
         let h1 = ft.hosts[1];
         let p = routing.next_port(h0, h1, 0).unwrap();
-        assert_eq!(topo.ports_of(h0)[p.0].peer, ft.leaf_of(0));
+        assert_eq!(topo.ports_of(h0)[p.index()].peer, ft.leaf_of(0));
         // Cross-leaf: leaf must offer ECMP across both spines.
         let h2 = ft.hosts[2];
         assert_eq!(routing.ecmp_width(ft.leaf_of(0), h2), 2);

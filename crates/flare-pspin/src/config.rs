@@ -75,6 +75,39 @@ impl PspinConfig {
         }
     }
 
+    /// Build an engine configuration from the analytical model's
+    /// [`flare_model::SwitchParams`] — the same typed source the network
+    /// simulator's HPU compute model (`flare-net::compute`) derives its
+    /// per-packet service times from, so DES-vs-engine cross-validation
+    /// runs both simulators off one parameter set. `subset_size` selects
+    /// hierarchical FCFS (`Some(S)`) or global FCFS (`None`);
+    /// `icache_fill_cycles` is the engine-only cold-start cost.
+    ///
+    /// `SwitchParams` carries no remote-L1 penalty (the closed-form model
+    /// assumes cluster-local buffers), so this keeps [`Self::paper`]'s
+    /// 25× factor: under global FCFS the engine still charges
+    /// cross-cluster buffer touches the paper's cost. Override the field
+    /// afterwards to model different silicon.
+    pub fn from_switch_params(
+        p: &flare_model::SwitchParams,
+        subset_size: Option<usize>,
+        icache_fill_cycles: u64,
+    ) -> Self {
+        Self {
+            clusters: p.clusters,
+            cores_per_cluster: p.cores_per_cluster,
+            l1_bytes_per_cluster: p.l1_bytes_per_cluster,
+            l2_packet_bytes: p.l2_packet_bytes,
+            dma_copy_cycles: p.dma_copy_cycles as u64,
+            remote_l1_factor: Self::paper().remote_l1_factor,
+            icache_fill_cycles,
+            policy: match subset_size {
+                None => SchedulingPolicy::GlobalFcfs,
+                Some(s) => SchedulingPolicy::Hierarchical { subset_size: s },
+            },
+        }
+    }
+
     /// Total number of HPU cores (`K`).
     pub fn cores(&self) -> usize {
         self.clusters * self.cores_per_cluster
@@ -138,6 +171,25 @@ mod tests {
         let c = PspinConfig::rtl_sim();
         assert_eq!(c.clusters, 4);
         assert_eq!(c.cores(), 32);
+    }
+
+    #[test]
+    fn from_switch_params_mirrors_the_model_crate() {
+        let c = PspinConfig::from_switch_params(&flare_model::SwitchParams::paper(), Some(8), 256);
+        assert_eq!(c.cores(), 512);
+        assert_eq!(c.l1_bytes_per_cluster, 1 << 20);
+        assert_eq!(c.l2_packet_bytes, 4 << 20);
+        assert_eq!(c.dma_copy_cycles, 64);
+        assert_eq!(c.policy, SchedulingPolicy::Hierarchical { subset_size: 8 });
+        assert_eq!(
+            c.remote_l1_factor,
+            PspinConfig::paper().remote_l1_factor,
+            "the paper's remote-L1 penalty survives the conversion"
+        );
+        assert!(c.validate().is_ok());
+        let toy = PspinConfig::from_switch_params(&flare_model::SwitchParams::figure5(), None, 0);
+        assert_eq!(toy.cores(), 4);
+        assert_eq!(toy.policy, SchedulingPolicy::GlobalFcfs);
     }
 
     #[test]

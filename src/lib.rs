@@ -30,5 +30,5 @@ pub mod prelude {
         RunReport, SessionError, SparsePolicy, Tuning,
     };
     pub use flare_model::{AggKind, SparseStorage, SwitchParams};
-    pub use flare_net::{LinkSpec, NodeId, Topology};
+    pub use flare_net::{HpuParams, LinkSpec, NodeId, SwitchModel, Topology};
 }

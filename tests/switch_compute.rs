@@ -1,0 +1,202 @@
+//! Integration tests for the switch-compute subsystem (`SwitchModel`).
+//!
+//! Three contracts, matching the PR's acceptance criteria:
+//!
+//! 1. **Fidelity** — with `SwitchModel::Hpu(HpuParams::figure5())` the
+//!    network simulator reproduces the analytical switch bandwidth and
+//!    queue build-up of `flare_model::scheduling` on the Figure 5
+//!    illustrative switch, within a documented tolerance.
+//! 2. **Determinism** — `Hpu` sessions are bitwise-reproducible: same
+//!    inputs, same seed ⇒ same results and same makespan.
+//! 3. **Regression** — the default (`RateLimited`) and `Ideal` models
+//!    leave every pre-subsystem makespan untouched; the checked-in
+//!    `BENCH_PR3.json` makespans are the witness.
+
+use flare::core::op::{golden_reduce, Sum};
+use flare::core::session::FlareSession;
+use flare::model::{scheduling, SwitchParams};
+use flare::net::{HpuParams, LinkSpec, SwitchModel, Topology};
+
+/// Documented tolerance of the DES-vs-analytical bandwidth comparison:
+/// the DES runs a finite trace and pays one pipeline fill/drain (~τ)
+/// against the asymptotic closed form — under 2% at 256 blocks.
+const BW_TOLERANCE: f64 = 0.02;
+
+#[test]
+fn hpu_des_reproduces_the_analytical_figure5_bandwidth() {
+    let params = SwitchParams::figure5();
+    let tau = params.l_cycles();
+    for (subset, label) in [(params.cores(), "S=K"), (1, "S=1")] {
+        let op = scheduling::evaluate(&params, subset, 1.0, tau);
+        let hpu = HpuParams::figure5().with_subset_size(subset);
+        let trace = flare_bench::fig05_net::line_rate_trace(params.ports, 256);
+        let (des_bw, _peak) = flare_bench::fig05_net::run_des(hpu, &trace);
+        let rel = (des_bw - op.bandwidth_pkt_cycle).abs() / op.bandwidth_pkt_cycle;
+        assert!(
+            rel < BW_TOLERANCE,
+            "{label}: DES bandwidth {des_bw} vs model {} (rel {rel})",
+            op.bandwidth_pkt_cycle
+        );
+    }
+}
+
+#[test]
+fn hpu_des_reproduces_the_analytical_queue_buildup() {
+    // Scenario B (S=1, δc=1): per-core queue Q = P/S·(1 − δk/τ) = 3;
+    // scenario C (S=1, δc=τ): staggering removes it. The DES must agree
+    // exactly — the queue trace is integer-valued on the toy switch.
+    let params = SwitchParams::figure5();
+    let tau = params.l_cycles();
+    let line = flare_bench::fig05_net::line_rate_trace(params.ports, 64);
+    let staggered = flare_bench::fig05_net::staggered_trace(params.ports, 64, tau as u64);
+    let hpu = || HpuParams::figure5().with_subset_size(1);
+
+    let model_b = scheduling::evaluate(&params, 1, 1.0, tau);
+    let (_, peak_b) = flare_bench::fig05_net::run_des(hpu(), &line);
+    assert_eq!(model_b.q, 3.0);
+    assert_eq!(peak_b as f64, model_b.q, "burst queue must match Eq. Q");
+
+    let model_c = scheduling::evaluate(&params, 1, tau, tau);
+    let (_, peak_c) = flare_bench::fig05_net::run_des(hpu(), &staggered);
+    assert_eq!(model_c.q, 0.0);
+    assert_eq!(peak_c, 0, "staggered sending must not queue");
+}
+
+fn hpu_session(hosts: usize) -> FlareSession {
+    let (topo, _sw, _hosts) = Topology::star(hosts, LinkSpec::hundred_gig());
+    FlareSession::builder(topo)
+        .switch_model(SwitchModel::Hpu(HpuParams::paper()))
+        .build()
+}
+
+#[test]
+fn hpu_sessions_compute_correct_results() {
+    let mut session = hpu_session(6);
+    let inputs: Vec<Vec<i32>> = (0..6).map(|r| vec![r + 1; 2000]).collect();
+    let want = golden_reduce(&Sum, &inputs);
+    let out = session.allreduce(inputs).run().unwrap();
+    for r in out.ranks() {
+        assert_eq!(*r, want);
+    }
+}
+
+#[test]
+fn hpu_sessions_are_bitwise_deterministic() {
+    let run = || {
+        let (topo, ft) = Topology::fat_tree_two_level(2, 4, 2, LinkSpec::hundred_gig());
+        let mut session = FlareSession::builder(topo)
+            .hosts(ft.hosts)
+            .switch_model(SwitchModel::Hpu(HpuParams::paper()))
+            .seed(11)
+            .build();
+        let inputs: Vec<Vec<f32>> = (0..8).map(|r| vec![r as f32 * 0.5; 4096]).collect();
+        let out = session.allreduce(inputs).run().unwrap();
+        (
+            out.report.net.makespan,
+            out.report.net.total_link_bytes,
+            out.into_ranks(),
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.0, b.0, "makespan must be bitwise-reproducible");
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "per-rank results must be bitwise-identical");
+}
+
+#[test]
+fn hpu_model_actually_changes_switch_timing() {
+    // Sanity that the knob engages: a tiny HPU (1 cluster × 1 core) must
+    // be much slower than the 512-core paper switch on the same workload.
+    let run = |params: HpuParams| {
+        let (topo, _sw, _hosts) = Topology::star(8, LinkSpec::hundred_gig());
+        let mut session = FlareSession::builder(topo)
+            .switch_model(SwitchModel::Hpu(params))
+            .build();
+        let inputs: Vec<Vec<f32>> = (0..8).map(|_| vec![1.0; 64 * 1024]).collect();
+        session.allreduce(inputs).run().unwrap().report.net.makespan
+    };
+    let mut tiny = SwitchParams::paper();
+    tiny.clusters = 1;
+    tiny.cores_per_cluster = 1;
+    let serial = run(HpuParams::new(tiny));
+    let full = run(HpuParams::paper());
+    assert!(
+        serial > 2 * full,
+        "1-core switch ({serial} ns) must trail the 512-core switch ({full} ns)"
+    );
+}
+
+/// Read a makespan from the checked-in PR 3 baseline document.
+fn baseline_makespan(cell: &str) -> u64 {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_PR3.json");
+    let doc = std::fs::read_to_string(path).expect("read BENCH_PR3.json");
+    flare_bench::perf::parse_baseline(&doc)
+        .into_iter()
+        .find(|r| r.name == cell)
+        .unwrap_or_else(|| panic!("cell {cell} missing from baseline"))
+        .makespan_ns
+}
+
+#[test]
+fn default_model_reproduces_the_pr3_makespans() {
+    // The compute subsystem must leave the default datapath untouched:
+    // the dense and sparse small star cells of the tracked matrix still
+    // land on the exact makespans recorded before the subsystem existed.
+    use flare_bench::perf::{run, Mode, Scenario, TopoKind};
+    for (mode, cell) in [
+        (Mode::Dense, "dense/star/8h/128KiB"),
+        (Mode::Sparse, "sparse/star/8h/128KiB"),
+    ] {
+        let m = run(&Scenario {
+            mode,
+            topo: TopoKind::Star,
+            hosts: 8,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+        });
+        assert_eq!(
+            m.makespan_ns,
+            baseline_makespan(cell),
+            "{cell}: default-model makespan drifted from BENCH_PR3.json"
+        );
+    }
+}
+
+#[test]
+fn invalid_hpu_params_are_a_typed_error_not_a_panic() {
+    // A subset size that does not divide the cluster width must surface
+    // as SessionError::InvalidSwitchModel at run(), like every other
+    // tuning misconfiguration — not as a SwitchCompute::new panic deep
+    // inside switch installation.
+    use flare::core::session::SessionError;
+    let (topo, _sw, _hosts) = Topology::star(3, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo)
+        .switch_model(SwitchModel::Hpu(HpuParams::paper().with_subset_size(3)))
+        .build();
+    let err = session
+        .allreduce(vec![vec![1i32; 64]; 3])
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, SessionError::InvalidSwitchModel(ref why) if why.contains("subset_size")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn ideal_and_infinite_rate_models_agree() {
+    // `Ideal` is the typed spelling of the historical "rate = ∞" switch:
+    // both must produce identical makespans.
+    let run_with = |model: SwitchModel| {
+        let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut session = FlareSession::builder(topo).switch_model(model).build();
+        let inputs: Vec<Vec<i32>> = (0..4).map(|r| vec![r; 4096]).collect();
+        session.allreduce(inputs).run().unwrap().report.net.makespan
+    };
+    assert_eq!(
+        run_with(SwitchModel::Ideal),
+        run_with(SwitchModel::RateLimited(f64::INFINITY))
+    );
+}

@@ -10,7 +10,10 @@
 //! * encode scratch is replenished by reclaiming consumed contribution
 //!   payloads (`Bytes::try_into_vec`),
 //! * open-block lookups hit the direct-mapped slab slot, never a
-//!   `HashMap` probe.
+//!   `HashMap` probe,
+//! * `Bytes` shells (the `Arc` control blocks) recycle through the
+//!   thread-local shell pool, so `Bytes::from` stops doing one
+//!   control-block malloc/free per packet in steady state.
 
 use flare::core::handlers::SparseStorageKind;
 use flare::core::host::{result_sink, DenseFlareHost, HostConfig, ResultSink, SparseFlareHost};
@@ -125,6 +128,103 @@ fn dense_steady_state_allocates_zero_payload_buffers_per_packet() {
     assert_eq!(stats.slab.collisions, 0, "windowed ids must map directly");
     assert_eq!(stats.slab.stale_rejected, 0);
     assert!(stats.slab.direct >= packets);
+}
+
+#[test]
+fn dense_steady_state_allocates_zero_bytes_shells_per_packet() {
+    // Every packet wraps its payload in a `Bytes` (one Arc control block);
+    // the shell pool must absorb that allocation once warm, exactly like
+    // the payload pools absorb the buffer allocations. The pool is
+    // thread-local and the whole simulation runs on this thread, so the
+    // before/after delta isolates this run.
+    let hosts = 8;
+    let before = bytes::shell_pool_stats();
+    let (mut sim, _sw, sinks) = star_dense(hosts);
+    let report = sim.run(None);
+    assert!(report.last_done.is_some(), "allreduce must complete");
+    for sink in &sinks {
+        assert!(sink.borrow().is_some(), "completed");
+    }
+    let after = bytes::shell_pool_stats();
+    let packets = (hosts * BLOCKS) as u64;
+    let reused = after.reused - before.reused;
+    let allocated = after.allocated - before.allocated;
+    // Steady state: virtually every `Bytes::from` reuses a parked shell.
+    assert!(
+        reused >= packets,
+        "shell reuses {reused} < contribution packets {packets}"
+    );
+    // Allocations happen only while the pool warms up: bounded by the
+    // in-flight window (every host can have `window` contributions and
+    // results in flight before the first shell is recycled), not by the
+    // packet count.
+    let warmup = (4 * WINDOW * (hosts + 1)) as u64;
+    assert!(
+        allocated <= warmup,
+        "shell allocations {allocated} exceed warm-up bound {warmup} (shell reuse broken)"
+    );
+    assert!(
+        after.recycled > before.recycled,
+        "consumed payloads must park their shells"
+    );
+}
+
+#[test]
+fn shell_allocations_do_not_scale_with_block_count() {
+    // 4x the blocks must not mean 4x the shell allocations: the warm-up
+    // envelope depends on the window, not the run length.
+    let run = |blocks: usize| {
+        let hosts = 4;
+        let (topo, sw, hs) = Topology::star(hosts, LinkSpec::hundred_gig());
+        let mut sim = NetSim::new(topo, 7);
+        let place = TreePlacement {
+            allreduce: 1,
+            parent: None,
+            children: hs.clone(),
+            my_child_index: 0,
+        };
+        sim.install_switch(
+            sw,
+            Box::new(FlareDenseProgram::<f32, Sum>::new(place, Sum)),
+            512.0,
+        );
+        for (rank, &h) in hs.iter().enumerate() {
+            let cfg = HostConfig {
+                allreduce: 1,
+                leaf: sw,
+                child_index: rank as u16,
+                window: WINDOW,
+                stagger_offset: 0,
+                retransmit_after: None,
+            };
+            sim.install_host(
+                h,
+                Box::new(DenseFlareHost::new(
+                    cfg,
+                    ELEMS_PER_PACKET,
+                    vec![1.0f32; blocks * ELEMS_PER_PACKET],
+                    result_sink(),
+                )),
+            );
+        }
+        let before = bytes::shell_pool_stats();
+        sim.run(None);
+        let after = bytes::shell_pool_stats();
+        (
+            after.allocated - before.allocated,
+            after.reused - before.reused,
+        )
+    };
+    let (alloc_short, reused_short) = run(128);
+    let (alloc_long, reused_long) = run(512);
+    assert!(
+        reused_long >= 4 * reused_short,
+        "4x blocks => 4x shell traffic ({reused_short} -> {reused_long})"
+    );
+    assert!(
+        alloc_long <= alloc_short + 8,
+        "shell allocations grew with run length: {alloc_short} -> {alloc_long}"
+    );
 }
 
 #[test]

@@ -11,13 +11,66 @@
 //! [`Bytes::try_into_vec`] — the stand-in for the real crate's
 //! `try_into_mut`, which the simulator's buffer pools use to recycle
 //! consumed packet payloads.
+//!
+//! ## Shell pooling
+//!
+//! The `Vec<u8>` *contents* already cycle through the simulator's buffer
+//! pools, but a plain `Arc::new` / `Arc::try_unwrap` round trip still
+//! costs one control-block malloc/free per packet — the last steady-state
+//! per-packet allocation in the datapath. This stand-in therefore keeps a
+//! thread-local free list of empty `Arc<Vec<u8>>` *shells*:
+//! `From<Vec<u8>>` moves the vector into a recycled shell instead of
+//! allocating a fresh control block, and [`Bytes::try_into_vec`] takes the
+//! vector out and parks the (now empty, capacity-0) shell back on the
+//! list. [`shell_pool_stats`] exposes the reuse counters so tests can
+//! assert the steady state allocates zero shells per packet.
 
 #![deny(missing_docs)]
 
 use std::borrow::Borrow;
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
+
+/// Upper bound on parked shells per thread; beyond it a shell is simply
+/// dropped (its inner vector is empty, so this frees one control block).
+const SHELL_POOL_CAP: usize = 4096;
+
+thread_local! {
+    static SHELL_POOL: RefCell<ShellPool> = const {
+        RefCell::new(ShellPool {
+            shells: Vec::new(),
+            stats: ShellPoolStats {
+                reused: 0,
+                allocated: 0,
+                recycled: 0,
+            },
+        })
+    };
+}
+
+struct ShellPool {
+    shells: Vec<Arc<Vec<u8>>>,
+    stats: ShellPoolStats,
+}
+
+/// Cumulative counters of this thread's shell pool (monotonic; diff two
+/// snapshots to measure a region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShellPoolStats {
+    /// `From<Vec<u8>>` conversions served from a recycled shell.
+    pub reused: u64,
+    /// `From<Vec<u8>>` conversions that had to allocate a control block.
+    pub allocated: u64,
+    /// Shells parked back on the free list by [`Bytes::try_into_vec`].
+    pub recycled: u64,
+}
+
+/// Snapshot of the calling thread's shell-pool counters.
+pub fn shell_pool_stats() -> ShellPoolStats {
+    SHELL_POOL.with(|p| p.borrow().stats)
+}
 
 /// A cheaply clonable, immutable slice of bytes (reference counted).
 #[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -51,8 +104,24 @@ impl Bytes {
     /// Reclaim the backing `Vec<u8>` when this handle is the only
     /// reference (the stand-in for the real crate's `try_into_mut`).
     /// Returns the buffer unchanged as `Err` when it is still shared.
-    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
-        Arc::try_unwrap(self.data).map_err(|data| Bytes { data })
+    ///
+    /// The emptied `Arc` shell is parked on the thread-local pool for the
+    /// next `From<Vec<u8>>` instead of freeing its control block.
+    pub fn try_into_vec(mut self) -> Result<Vec<u8>, Bytes> {
+        match Arc::get_mut(&mut self.data) {
+            Some(slot) => {
+                let v = std::mem::take(slot);
+                SHELL_POOL.with(|p| {
+                    let mut p = p.borrow_mut();
+                    if p.shells.len() < SHELL_POOL_CAP {
+                        p.stats.recycled += 1;
+                        p.shells.push(self.data);
+                    }
+                });
+                Ok(v)
+            }
+            None => Err(self),
+        }
     }
 
     /// Length in bytes.
@@ -116,8 +185,24 @@ impl Borrow<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         // No copy, no `into_boxed_slice` shrink: pooled buffers keep
-        // their spare capacity for the next reuse cycle.
-        Self { data: Arc::new(v) }
+        // their spare capacity for the next reuse cycle. The vector moves
+        // into a recycled Arc shell when one is parked, so the steady
+        // state allocates no control block either.
+        let data = SHELL_POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            match p.shells.pop() {
+                Some(mut shell) => {
+                    *Arc::get_mut(&mut shell).expect("parked shells are uniquely held") = v;
+                    p.stats.reused += 1;
+                    shell
+                }
+                None => {
+                    p.stats.allocated += 1;
+                    Arc::new(v)
+                }
+            }
+        });
+        Self { data }
     }
 }
 
@@ -180,6 +265,55 @@ mod tests {
         let b = Bytes::from(vec![0u8, 1, 2, 3, 4]);
         assert_eq!(&*b.slice(1..4), &[1, 2, 3]);
         assert_eq!(&*b.slice(..), &*b);
+    }
+
+    #[test]
+    fn shell_pool_recycles_arc_control_blocks() {
+        let before = shell_pool_stats();
+        // A from → try_into_vec cycle parks the shell...
+        let v = Bytes::from(vec![1u8, 2, 3]).try_into_vec().unwrap();
+        let mid = shell_pool_stats();
+        assert_eq!(mid.recycled, before.recycled + 1);
+        // ...and the next conversion reuses it instead of allocating.
+        let b = Bytes::from(v);
+        let after = shell_pool_stats();
+        assert_eq!(after.reused, mid.reused + 1);
+        assert_eq!(after.allocated, mid.allocated);
+        assert_eq!(&*b, &[1, 2, 3], "contents survive the recycled shell");
+    }
+
+    #[test]
+    fn shared_buffers_never_recycle_their_shell() {
+        let b = Bytes::from(vec![9u8; 8]);
+        let clone = b.clone();
+        let before = shell_pool_stats();
+        let b = b.try_into_vec().unwrap_err();
+        assert_eq!(shell_pool_stats(), before, "shared: no recycle");
+        drop(clone);
+        assert_eq!(b.try_into_vec().unwrap(), vec![9u8; 8]);
+        assert_eq!(shell_pool_stats().recycled, before.recycled + 1);
+    }
+
+    #[test]
+    fn steady_state_cycles_allocate_no_shells() {
+        // Warm the pool with one shell, then run many from/reclaim
+        // cycles: every one must be a reuse, none an allocation.
+        let v = Bytes::from(Vec::with_capacity(256)).try_into_vec().unwrap();
+        let before = shell_pool_stats();
+        let mut v = v;
+        for i in 0..1000u32 {
+            v.clear();
+            v.extend_from_slice(&i.to_le_bytes());
+            v = Bytes::from(v).try_into_vec().unwrap();
+        }
+        let after = shell_pool_stats();
+        assert_eq!(
+            after.allocated, before.allocated,
+            "steady state is alloc-free"
+        );
+        assert_eq!(after.reused, before.reused + 1000);
+        assert_eq!(after.recycled, before.recycled + 1000);
+        assert!(v.capacity() >= 256, "buffer capacity survives the cycles");
     }
 
     #[test]
