@@ -3,8 +3,8 @@
 //! Usage:
 //!   perf [--smoke] [--out PATH] [--only SUBSTR] [--baseline PATH]
 //!
-//! `--smoke` runs the reduced CI matrix (three small cells); `--out` sets
-//! the JSON output path (default `BENCH_PR5.json` in the working
+//! `--smoke` runs the reduced CI matrix; `--out` sets
+//! the JSON output path (default `BENCH_PR6.json` in the working
 //! directory); `--only` filters cells by name substring; `--baseline`
 //! compares every measured cell's *simulated makespan* against a
 //! checked-in `BENCH_*.json` and exits non-zero on any drift — wall-clock
@@ -24,7 +24,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let only = args
         .iter()
         .position(|a| a == "--only")

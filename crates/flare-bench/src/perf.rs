@@ -11,8 +11,10 @@
 use std::time::Instant;
 
 use flare_core::op::Sum;
+use flare_core::report::TailStats;
 use flare_core::session::FlareSession;
 use flare_net::{HpuParams, LinkSpec, NodeId, SwitchModel, Topology};
+use flare_workloads::traffic::{ArrivalProcess, TenantSpec, TrafficEngine};
 
 /// Dense or sparse allreduce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +77,12 @@ pub struct Scenario {
     /// `/hpu` name suffix: their makespans legitimately differ from the
     /// serial-pipeline baseline rows, so they must never match one.
     pub hpu: bool,
+    /// Tenants driven through the multi-tenant traffic engine (0 = a
+    /// plain single-collective cell). Traffic cells carry a `/trafficN`
+    /// name suffix so their (multi-tenant) makespans never match a
+    /// single-collective lossless baseline row of the same shape, and
+    /// their rows additionally record pooled p50/p99 iteration tails.
+    pub tenants: usize,
 }
 
 impl Scenario {
@@ -102,6 +110,9 @@ impl Scenario {
         if self.hpu {
             name.push_str("/hpu");
         }
+        if self.tenants > 0 {
+            name.push_str(&format!("/traffic{}", self.tenants));
+        }
         name
     }
 }
@@ -124,6 +135,12 @@ pub struct Measurement {
     pub makespan_ns: u64,
     /// Simulated link traffic (bytes, each hop counted).
     pub total_link_bytes: u64,
+    /// Pooled per-iteration makespan median across all tenants, ns
+    /// (`None` for single-collective cells).
+    pub p50_ns: Option<u64>,
+    /// Pooled per-iteration makespan 99th percentile, ns (`None` for
+    /// single-collective cells).
+    pub p99_ns: Option<u64>,
 }
 
 /// The full tracked matrix: dense/sparse × star/fat-tree × 8/32 hosts ×
@@ -147,6 +164,7 @@ pub fn matrix() -> Vec<Scenario> {
                         reps,
                         drop_prob: 0.0,
                         hpu: false,
+                        tenants: 0,
                     });
                 }
             }
@@ -163,6 +181,7 @@ pub fn matrix() -> Vec<Scenario> {
                 reps: if bytes <= 128 * 1024 { 3 } else { 1 },
                 drop_prob: 0.0,
                 hpu: false,
+                tenants: 0,
             });
         }
     }
@@ -184,6 +203,23 @@ pub fn matrix() -> Vec<Scenario> {
             reps,
             drop_prob: 0.0,
             hpu: true,
+            tenants: 0,
+        });
+    }
+    // Traffic rows: the multi-tenant engine churning Poisson job arrivals
+    // through one shared fat tree. The `/trafficN` suffix keeps their
+    // fleet makespans out of the single-collective baseline match; their
+    // rows carry pooled p50/p99 iteration tails.
+    for tenants in [8usize, 32] {
+        out.push(Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 64 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+            tenants,
         });
     }
     out
@@ -191,10 +227,11 @@ pub fn matrix() -> Vec<Scenario> {
 
 /// Reduced matrix for CI smoke runs: one small dense and one small sparse
 /// cell, one 128-host scale cell, a *lossy* sparse cell exercising the
-/// shard-aware retransmission path end to end, and one `Hpu` cell
-/// exercising the multi-core switch-compute model — all single
-/// repetition. The `/lossN%` and `/hpu` names keep those cells out of the
-/// lossless serial-pipeline baseline comparison.
+/// shard-aware retransmission path end to end, one `Hpu` cell
+/// exercising the multi-core switch-compute model, and one traffic-engine
+/// cell churning a few tenants through a shared fat tree — all single
+/// repetition. The `/lossN%`, `/hpu` and `/trafficN` names keep those
+/// cells out of the lossless serial-pipeline baseline comparison.
 pub fn smoke_matrix() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -205,6 +242,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             reps: 1,
             drop_prob: 0.0,
             hpu: true,
+            tenants: 0,
         },
         Scenario {
             mode: Mode::Dense,
@@ -214,6 +252,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         },
         Scenario {
             mode: Mode::Sparse,
@@ -223,6 +262,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         },
         Scenario {
             mode: Mode::Dense,
@@ -232,6 +272,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         },
         Scenario {
             mode: Mode::Sparse,
@@ -241,6 +282,17 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             reps: 1,
             drop_prob: 0.01,
             hpu: false,
+            tenants: 0,
+        },
+        Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 32 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+            tenants: 4,
         },
     ]
 }
@@ -277,6 +329,9 @@ fn build_topology(topo: TopoKind, hosts: usize) -> (Topology, Vec<NodeId>) {
 /// Session construction and result delivery stay inside — they are part
 /// of running a collective.
 pub fn run(s: &Scenario) -> Measurement {
+    if s.tenants > 0 {
+        return run_traffic(s);
+    }
     let elems = s.elems();
     let build_session = |topo, hosts: Vec<NodeId>| {
         let mut b = FlareSession::builder(topo).hosts(hosts);
@@ -348,7 +403,65 @@ pub fn run(s: &Scenario) -> Measurement {
         ns_per_element: wall * 1e9 / total_elems,
         makespan_ns: makespan,
         total_link_bytes: link_bytes,
+        p50_ns: None,
+        p99_ns: None,
     }
+}
+
+/// Execute a multi-tenant traffic cell: `s.tenants` Poisson-arriving
+/// dense tenants (two jobs of two compute+allreduce iterations each)
+/// churn through one shared simulation over the scenario topology.
+/// Makespan and event counts come from the shared [`NetSim`] run; the
+/// pooled per-iteration makespan tails land in `p50_ns`/`p99_ns`.
+fn run_traffic(s: &Scenario) -> Measurement {
+    let elems = s.elems();
+    let mut best: Option<Measurement> = None;
+    for _ in 0..s.reps.max(1) {
+        let (topo, hosts) = build_topology(s.topo, s.hosts);
+        let start = Instant::now();
+        let mut session = FlareSession::builder(topo).hosts(hosts).build();
+        let mut engine = TrafficEngine::new(&mut session, 7);
+        for i in 0..s.tenants {
+            engine
+                .add_tenant(
+                    TenantSpec::new(format!("tenant-{i}"), elems)
+                        .iterations(2)
+                        .compute(5_000, 0.2)
+                        .arrivals(ArrivalProcess::Poisson {
+                            mean_interarrival_ns: 20_000.0,
+                            jobs: 2,
+                        }),
+                )
+                .expect("admit traffic tenant");
+        }
+        let report = engine.run().expect("traffic run");
+        engine.release_all().expect("release tenants");
+        let wall = start.elapsed().as_secs_f64();
+        let section = report.tenants.as_ref().expect("tenant section");
+        let pooled: Vec<u64> = section
+            .tenants
+            .iter()
+            .flat_map(|t| t.iteration_makespans_ns.iter().copied())
+            .collect();
+        let tails = TailStats::from_samples(&pooled);
+        let total_elems = (s.hosts * elems * s.tenants) as f64;
+        let m = Measurement {
+            scenario: *s,
+            wall_ms: wall * 1e3,
+            events: report.net.events,
+            events_per_sec: report.net.events as f64 / wall.max(1e-9),
+            ns_per_element: wall * 1e9 / total_elems,
+            makespan_ns: report.net.makespan,
+            total_link_bytes: report.net.total_link_bytes,
+            p50_ns: Some(tails.p50),
+            p99_ns: Some(tails.p99),
+        };
+        best = Some(match best {
+            Some(b) if b.wall_ms <= m.wall_ms => b,
+            _ => m,
+        });
+    }
+    best.expect("at least one rep")
 }
 
 /// Render measurements as the checked-in `BENCH_*.json` document.
@@ -360,10 +473,16 @@ pub fn to_json(label: &str, rows: &[Measurement]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, m) in rows.iter().enumerate() {
         let s = &m.scenario;
+        let traffic = match (s.tenants, m.p50_ns, m.p99_ns) {
+            (t, Some(p50), Some(p99)) if t > 0 => {
+                format!(", \"tenants\": {t}, \"p50_ns\": {p50}, \"p99_ns\": {p99}")
+            }
+            _ => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"mode\": \"{}\", \"topology\": \"{}\", \"hosts\": {}, \"payload_bytes\": {}, \
              \"elems_per_host\": {}, \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \
-             \"ns_per_element\": {:.2}, \"makespan_ns\": {}, \"total_link_bytes\": {}}}{}\n",
+             \"ns_per_element\": {:.2}, \"makespan_ns\": {}, \"total_link_bytes\": {}{}}}{}\n",
             s.mode.label(),
             s.topo.label(),
             s.hosts,
@@ -375,6 +494,7 @@ pub fn to_json(label: &str, rows: &[Measurement]) -> String {
             m.ns_per_element,
             m.makespan_ns,
             m.total_link_bytes,
+            traffic,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -437,8 +557,14 @@ pub fn parse_baseline(json: &str) -> Vec<BaselineRow> {
         ) else {
             continue;
         };
+        let mut name = format!("{mode}/{topo}/{hosts}h/{}", size_label(bytes));
+        // Traffic rows are checked in with their cell suffix so future
+        // runs compare their (deterministic) fleet makespans too.
+        if let Some(tenants) = json_u64_field(line, "tenants").filter(|&t| t > 0) {
+            name.push_str(&format!("/traffic{tenants}"));
+        }
         out.push(BaselineRow {
-            name: format!("{mode}/{topo}/{hosts}h/{}", size_label(bytes)),
+            name,
             makespan_ns: makespan,
         });
     }
@@ -486,8 +612,12 @@ mod tests {
     #[test]
     fn matrix_covers_the_full_cross_product() {
         let m = matrix();
-        assert_eq!(m.len(), 23, "16 tracked cells + 4 scale rows + 3 hpu");
-        let serial: Vec<&Scenario> = m.iter().filter(|s| !s.hpu).collect();
+        assert_eq!(
+            m.len(),
+            25,
+            "16 tracked cells + 4 scale rows + 3 hpu + 2 traffic"
+        );
+        let serial: Vec<&Scenario> = m.iter().filter(|s| !s.hpu && s.tenants == 0).collect();
         assert_eq!(serial.len(), 20);
         assert_eq!(serial.iter().filter(|s| s.mode == Mode::Sparse).count(), 8);
         assert_eq!(
@@ -531,9 +661,11 @@ mod tests {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         };
         let hpu = Scenario {
             hpu: true,
+            tenants: 0,
             ..serial
         };
         let a = run(&serial);
@@ -556,6 +688,7 @@ mod tests {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         };
         let m = run(&s);
         assert!(m.wall_ms > 0.0);
@@ -575,6 +708,7 @@ mod tests {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         };
         let m = run(&s);
         assert!(m.events > 0 && m.total_link_bytes > 0);
@@ -589,6 +723,8 @@ mod tests {
             ns_per_element: 1.0,
             makespan_ns: makespan,
             total_link_bytes: 1,
+            p50_ns: if s.tenants > 0 { Some(2) } else { None },
+            p99_ns: if s.tenants > 0 { Some(3) } else { None },
         }
     }
 
@@ -602,6 +738,7 @@ mod tests {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         };
         let json = to_json("perf", &[measurement(s, 694397)]);
         let rows = parse_baseline(&json);
@@ -624,6 +761,7 @@ mod tests {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         };
         let baseline = vec![
             BaselineRow {
@@ -653,6 +791,7 @@ mod tests {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         };
         let vacuous = diff_against_baseline(&[measurement(new_cell, 1)], &baseline);
         assert!(vacuous.drift.is_empty());
@@ -731,6 +870,7 @@ mod tests {
             reps: 1,
             drop_prob: 0.05,
             hpu: false,
+            tenants: 0,
         };
         let m = run(&s);
         assert!(m.events > 0 && m.makespan_ns > 0);
@@ -747,6 +887,7 @@ mod tests {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         };
         let m = Measurement {
             scenario: s,
@@ -756,11 +897,87 @@ mod tests {
             ns_per_element: 3.0,
             makespan_ns: 4,
             total_link_bytes: 5,
+            p50_ns: None,
+            p99_ns: None,
         };
         let j = to_json("perf", &[m.clone(), m]);
         assert_eq!(j.matches("{\"mode\"").count(), 2);
         assert_eq!(j.matches("\"topology\": \"fat_tree\"").count(), 2);
         assert!(j.ends_with("}\n"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // Single-collective rows never carry traffic-only fields.
+        assert!(!j.contains("\"tenants\""));
+    }
+
+    #[test]
+    fn traffic_rows_roundtrip_with_their_suffix() {
+        let s = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 64 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+            tenants: 8,
+        };
+        assert_eq!(s.name(), "dense/fat_tree/8h/64KiB/traffic8");
+        let mut m = measurement(s, 4242);
+        m.p50_ns = Some(100);
+        m.p99_ns = Some(900);
+        let json = to_json("perf", &[m.clone()]);
+        assert!(json.contains("\"tenants\": 8"));
+        assert!(json.contains("\"p50_ns\": 100"));
+        assert!(json.contains("\"p99_ns\": 900"));
+        // The suffix survives the baseline round trip, so future runs do
+        // compare traffic makespans against each other…
+        let rows = parse_baseline(&json);
+        assert_eq!(
+            rows,
+            vec![BaselineRow {
+                name: "dense/fat_tree/8h/64KiB/traffic8".into(),
+                makespan_ns: 4242,
+            }]
+        );
+        // …while a same-shape single-collective baseline row never
+        // matches a traffic cell.
+        let lossless = vec![BaselineRow {
+            name: "dense/fat_tree/8h/64KiB".into(),
+            makespan_ns: 1,
+        }];
+        let diff = diff_against_baseline(&[m], &lossless);
+        assert_eq!(diff.compared, 0);
+        assert!(diff.drift.is_empty());
+    }
+
+    #[test]
+    fn traffic_smoke_cell_runs_deterministically() {
+        let s = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 32 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+            tenants: 4,
+        };
+        let a = run(&s);
+        let b = run(&s);
+        assert!(a.makespan_ns > 0 && a.events > 0);
+        let (p50, p99) = (a.p50_ns.expect("p50"), a.p99_ns.expect("p99"));
+        assert!(0 < p50 && p50 <= p99);
+        // Simulated results (not wall time) are bitwise-reproducible.
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!((a.p50_ns, a.p99_ns), (b.p50_ns, b.p99_ns));
+        assert_eq!(a.total_link_bytes, b.total_link_bytes);
+    }
+
+    #[test]
+    fn smoke_matrix_has_a_traffic_cell() {
+        let m = smoke_matrix();
+        let traffic: Vec<&Scenario> = m.iter().filter(|s| s.tenants > 0).collect();
+        assert_eq!(traffic.len(), 1);
+        assert_eq!(traffic[0].name(), "dense/fat_tree/8h/32KiB/traffic4");
     }
 }

@@ -300,7 +300,7 @@ mod tests {
         seq.submit_handles(0, &[&a, &b]);
         seq.submit_handles(1, &[&b, &a]);
         assert_eq!(seq.negotiate(), vec!["layer2.grad", "layer1.grad"]);
-        session.release(a);
-        session.release(b);
+        session.release(a).unwrap();
+        session.release(b).unwrap();
     }
 }

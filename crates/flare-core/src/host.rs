@@ -49,6 +49,12 @@ pub struct HostConfig {
     pub stagger_offset: u64,
     /// Retransmit a block if its result is missing after this long.
     pub retransmit_after: Option<Time>,
+    /// Offset added to block ids on the wire. Host-side block numbering
+    /// stays local (`0..blocks`); the wire carries `block_base + local`.
+    /// Successive runs over one admitted collective (DNN iterations driven
+    /// by a traffic engine) bump this so every iteration uses a fresh
+    /// block-id stream and stale switch state can never alias.
+    pub block_base: u64,
 }
 
 const RETX_TAG: u64 = 0xF1A8;
@@ -155,9 +161,10 @@ impl<T: Element> DenseFlareHost<T> {
     }
 
     fn send_block(&mut self, ctx: &mut HostCtx<'_>, block: u64) {
+        let wire_block = self.cfg.block_base + block;
         let header = Header {
             allreduce: self.cfg.allreduce,
-            block: block as u32,
+            block: wire_block as u32,
             child: self.cfg.child_index,
             kind: PacketKind::DenseContrib,
             last_shard: false,
@@ -172,7 +179,7 @@ impl<T: Element> DenseFlareHost<T> {
             ctx.node(),
             self.cfg.leaf,
             self.cfg.allreduce,
-            block,
+            wire_block,
             self.cfg.child_index,
             PacketKind::DenseContrib as u8,
             0,
@@ -207,13 +214,23 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
         if header.kind != PacketKind::DenseResult {
             return;
         }
-        if self.outstanding.remove(pkt.block).is_none() {
+        // Translate the wire block id back into local numbering; ids
+        // outside this run's window are stale (an earlier iteration over
+        // the same collective) and are dropped like duplicates.
+        let local = match pkt.block.checked_sub(self.cfg.block_base) {
+            Some(b) if b < self.total_blocks() => b,
+            _ => {
+                self.scratch.reclaim(pkt.payload);
+                return;
+            }
+        };
+        if self.outstanding.remove(local).is_none() {
             // Duplicate result (a loss-path replay): already applied —
             // but still recycle its buffer into the encode scratch pool.
             self.scratch.reclaim(pkt.payload);
             return;
         }
-        let range = self.block_range(pkt.block);
+        let range = self.block_range(local);
         assert!(
             view.len() >= range.len(),
             "DenseResult for block {} carries {} elements, need {}",
@@ -350,11 +367,12 @@ impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
         // timer can re-send them with the same sequence numbers.
         let shards = std::mem::take(&mut self.shards_out[block as usize]);
         let total = shards.len() as u16;
+        let wire_block = self.cfg.block_base + block;
         for (i, shard) in shards.iter().enumerate() {
             let last = i + 1 == shards.len();
             let header = Header {
                 allreduce: self.cfg.allreduce,
-                block: block as u32,
+                block: wire_block as u32,
                 child: self.cfg.child_index,
                 kind: PacketKind::SparseContrib,
                 last_shard: last,
@@ -370,7 +388,7 @@ impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
                 ctx.node(),
                 self.cfg.leaf,
                 self.cfg.allreduce,
-                block,
+                wire_block,
                 self.cfg.child_index,
                 PacketKind::SparseContrib as u8,
                 0,
@@ -407,8 +425,14 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
         if header.kind != PacketKind::SparseResult {
             return;
         }
-        let block = pkt.block as usize;
+        // Wire → local block id (see the dense path).
+        let Some(local) = pkt.block.checked_sub(self.cfg.block_base) else {
+            self.scratch.reclaim(pkt.payload);
+            return;
+        };
+        let block = local as usize;
         if block >= self.trackers.len() {
+            self.scratch.reclaim(pkt.payload);
             return;
         }
         // Shard protocol first: a replayed result shard (loss recovery)
@@ -436,7 +460,7 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
         self.scratch.reclaim(pkt.payload);
         if event == ShardEvent::Complete {
             self.blocks_done += 1;
-            self.outstanding.remove(pkt.block);
+            self.outstanding.remove(local);
             // The block can never be re-sent again: free its shards.
             self.shards_out[block] = Vec::new();
             if self.blocks_done == self.trackers.len() as u64 {
@@ -480,6 +504,7 @@ mod tests {
             window: 4,
             stagger_offset: 3,
             retransmit_after: None,
+            block_base: 0,
         }
     }
 

@@ -26,6 +26,9 @@
 //! * [`session`] — **the public API**: [`session::FlareSession`] owns the
 //!   manager and tuning; the typed [`session::Collective`] builder runs
 //!   dense/sparse allreduce, reduce, broadcast and barrier.
+//! * [`report`] — multi-tenant reporting: per-tenant tail statistics
+//!   (p50/p99/max), Jain's fairness index and HPU contention summaries,
+//!   attached to [`session::RunReport`] by the traffic engine.
 //! * [`collectives`] — deprecated free-function shims over [`session`]
 //!   plus the Horovod-style issue sequencer (Section 8).
 //! * [`features`] — the machine-readable Table 1 capability matrix.
@@ -39,6 +42,7 @@ pub mod host;
 pub mod manager;
 pub mod op;
 pub mod pool;
+pub mod report;
 pub mod session;
 pub mod sparse;
 pub mod switch_prog;
@@ -47,6 +51,9 @@ pub mod wire;
 pub use dtype::{Element, F16};
 pub use op::{golden_reduce, Custom, Max, Min, Prod, ReduceOp, Sum};
 pub use pool::{BlockSlab, BufferPool, PoolStats, SlabStats};
+pub use report::{
+    jain_index, FabricStats, HpuSwitchReport, TailStats, TenantReport, TenantSection,
+};
 pub use session::{
     Collective, CollectiveHandle, CollectiveResult, FlareSession, FlareSessionBuilder, RunReport,
     SessionError, SparsePolicy, Tuning,

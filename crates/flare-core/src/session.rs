@@ -481,9 +481,33 @@ impl FlareSession {
     }
 
     /// Release an admitted collective, returning its switch memory to the
-    /// pool. Returns `false` if the handle was already released.
-    pub fn release(&mut self, handle: CollectiveHandle) -> bool {
-        self.manager.teardown(handle.plan.id)
+    /// pool.
+    ///
+    /// Releasing a handle whose id was already torn down (a clone of a
+    /// released handle, or a manual double release) is a typed error —
+    /// [`SessionError::HandleReleased`] — not a silent `false`.
+    pub fn release(&mut self, handle: CollectiveHandle) -> Result<(), SessionError> {
+        let id = handle.plan.id;
+        if self.manager.teardown(id) {
+            Ok(())
+        } else {
+            Err(SessionError::HandleReleased { id })
+        }
+    }
+
+    /// Lend the session's topology to a caller-built simulation and take
+    /// it back afterwards — the same no-deep-copy pattern
+    /// [`Collective::run`] uses internally, exposed so external drivers
+    /// (e.g. the `flare-workloads` traffic engine) can run their own
+    /// multi-tenant [`NetSim`] over the session's fabric.
+    ///
+    /// The closure receives the topology by value and must hand it back
+    /// (typically via [`NetSim::into_topology`]) along with its result.
+    pub fn lend_topology<R>(&mut self, f: impl FnOnce(Topology) -> (Topology, R)) -> R {
+        let topo = std::mem::take(&mut self.topology);
+        let (topo, r) = f(topo);
+        self.topology = topo;
+        r
     }
 
     /// An allreduce of `inputs` (one vector per participating host, in
@@ -846,6 +870,7 @@ impl<T: Element, O: ReduceOp<T> + Clone + 'static> Collective<'_, T, O> {
             reserved_bytes: plan.max_reserved_bytes(),
             tree_depth: plan.tree.max_depth(),
             net,
+            tenants: None,
         };
         if owned {
             self.session.manager.teardown(plan.id);
@@ -875,6 +900,10 @@ pub struct RunReport {
     pub tree_depth: usize,
     /// The network simulator's measurements.
     pub net: NetReport,
+    /// Per-tenant tail metrics and fabric contention stats; `Some` only
+    /// for multi-tenant traffic-engine runs (see
+    /// [`crate::report::TenantSection`]), `None` for single collectives.
+    pub tenants: Option<crate::report::TenantSection>,
 }
 
 impl RunReport {
@@ -940,7 +969,7 @@ impl<T> CollectiveResult<T> {
 /// pipelining; when the window already covers every block, staggering is
 /// unconstrained and hosts spread maximally (the paper's Section 5 bound
 /// delta <= delta_c <= delta*Z/N).
-pub(crate) fn stagger_step(window: usize, blocks: u64, hosts: usize) -> u64 {
+pub fn stagger_step(window: usize, blocks: u64, hosts: usize) -> u64 {
     if window as u64 >= blocks {
         (blocks / hosts as u64).max(1)
     } else {
@@ -948,7 +977,14 @@ pub(crate) fn stagger_step(window: usize, blocks: u64, hosts: usize) -> u64 {
     }
 }
 
-fn placement_for(plan: &AllreducePlan, switch: NodeId) -> TreePlacement {
+/// The [`TreePlacement`] of `switch` inside `plan`'s reduction tree —
+/// the record a switch program needs to know its parent, children and
+/// child index. Exposed for external drivers (the traffic engine) that
+/// install their own switch programs over an admitted plan.
+///
+/// # Panics
+/// Panics if `switch` is not part of the plan's tree.
+pub fn placement_for(plan: &AllreducePlan, switch: NodeId) -> TreePlacement {
     let rec = plan.tree.switch(switch).expect("switch in tree");
     TreePlacement {
         allreduce: plan.id,
@@ -997,6 +1033,7 @@ pub(crate) fn execute_dense<T: Element, O: ReduceOp<T> + Clone + 'static>(
             window: plan.window,
             stagger_offset: rank as u64 * step,
             retransmit_after: tuning.retransmit_after,
+            block_base: 0,
         };
         let host = DenseFlareHost::new(cfg, tuning.elems_per_packet, data, sink);
         sim.install_host(h, Box::new(host));
@@ -1064,6 +1101,7 @@ pub(crate) fn execute_sparse<T: Element, O: ReduceOp<T> + Clone + 'static>(
             window: plan.window,
             stagger_offset: rank as u64 * step,
             retransmit_after: tuning.retransmit_after,
+            block_base: 0,
         };
         let host = SparseFlareHost::new(
             cfg,
@@ -1170,7 +1208,7 @@ mod tests {
         assert_eq!(session.active_collectives(), 1);
         assert!(session.reserved_on(handle.root_switch()) > 0);
         let root = handle.root_switch();
-        assert!(session.release(handle));
+        assert!(session.release(handle).is_ok());
         assert_eq!(session.active_collectives(), 0);
         assert_eq!(session.reserved_on(root), 0);
     }
@@ -1188,7 +1226,7 @@ mod tests {
             1,
             "explicit handles persist across runs"
         );
-        session.release(handle);
+        session.release(handle).unwrap();
     }
 
     #[test]
@@ -1241,8 +1279,8 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(out.report.algorithm, AggKind::Tree);
-        session.release(handle);
-        session.release(tree);
+        session.release(handle).unwrap();
+        session.release(tree).unwrap();
     }
 
     #[test]
@@ -1250,7 +1288,7 @@ mod tests {
         let mut session = star_session(4);
         let handle = session.admit(4 << 10, false).unwrap();
         let stale = handle.clone();
-        session.release(handle);
+        session.release(handle).unwrap();
         let err = session
             .allreduce(vec![vec![1i32; 64]; 4])
             .via(&stale)
@@ -1332,7 +1370,7 @@ mod tests {
             .run()
             .unwrap_err();
         assert_eq!(err, SessionError::HostNotInPlan { host: ft.hosts[2] });
-        session.release(handle);
+        session.release(handle).unwrap();
     }
 
     #[test]
@@ -1347,6 +1385,43 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(out.report.window, admitted, "grow requests are clamped");
+    }
+
+    #[test]
+    fn double_release_is_a_typed_error() {
+        // Releasing a clone of an already-released handle used to return
+        // a silent `false`; it must surface as HandleReleased.
+        let mut session = star_session(4);
+        let handle = session.admit(4 << 10, false).unwrap();
+        let dup = handle.clone();
+        let id = handle.id();
+        assert_eq!(session.release(handle), Ok(()));
+        assert_eq!(
+            session.release(dup),
+            Err(SessionError::HandleReleased { id })
+        );
+        assert_eq!(session.active_collectives(), 0);
+    }
+
+    #[test]
+    fn admitting_an_empty_host_set_is_a_typed_error() {
+        let mut session = star_session(3);
+        let err = session.admit_on(Some(&[]), 1024, false).unwrap_err();
+        assert_eq!(err, SessionError::NoHosts);
+        assert_eq!(session.active_collectives(), 0, "nothing was admitted");
+    }
+
+    #[test]
+    fn lend_topology_hands_the_fabric_back() {
+        let mut session = star_session(3);
+        let nodes = session.lend_topology(|topo| {
+            let n = topo.hosts().len();
+            (topo, n)
+        });
+        assert_eq!(nodes, 3);
+        // The session still works after the loan.
+        let out = session.allreduce(vec![vec![1i32; 8]; 3]).run().unwrap();
+        assert_eq!(out.rank(0), &[3i32; 8][..]);
     }
 
     #[test]

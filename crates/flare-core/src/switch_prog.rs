@@ -57,7 +57,7 @@ pub struct TreePlacement {
 }
 
 /// Combined recycling counters of one switch program.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProgramStats {
     /// Aggregation-buffer pool (elements / pairs).
     pub agg_pool: PoolStats,

@@ -436,6 +436,16 @@ impl NetSim {
         self.core.compute[node.index()].as_ref().map(|c| *c.stats())
     }
 
+    /// Per-subset peak FIFO depths of a switch installed with
+    /// [`SwitchModel::Hpu`] (`None` for `Ideal`/`RateLimited` switches).
+    /// Indexed by scheduling subset; the max equals
+    /// [`ComputeStats::queue_peak`].
+    pub fn compute_subset_peaks(&self, node: NodeId) -> Option<Vec<usize>> {
+        self.core.compute[node.index()]
+            .as_ref()
+            .map(|c| c.subset_queue_peaks().to_vec())
+    }
+
     /// Inject loss on a link (both directions).
     pub fn set_link_drop_prob(&mut self, link: usize, p: f64) {
         self.core.links[link].drop_prob = p;

@@ -8,11 +8,18 @@
 //! properties the system actually responds to — per-host non-zero counts
 //! and cross-host index overlap (densification) — plus dense generators
 //! for the single-switch experiments.
+//!
+//! The [`traffic`] module goes beyond single collectives: a
+//! [`traffic::TrafficEngine`] drives a population of tenants — each a
+//! DNN-style job churn of compute + allreduce iterations — through one
+//! shared simulation with per-tenant tail metrics.
 
 pub mod dense;
 pub mod sparse;
+pub mod traffic;
 
 pub use dense::{dense_i32, dense_normal_f32, dense_uniform_f32, gradient_like_f32};
 pub use sparse::{
     densify_f32, overlap_controlled, sparsify_random_k, sparsify_top1_per_bucket, union_nnz,
 };
+pub use traffic::{ArrivalProcess, TenantSpec, TrafficEngine, TrafficError};

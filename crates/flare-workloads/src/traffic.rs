@@ -1,0 +1,1085 @@
+//! Multi-tenant traffic engine: sustained job churn over one shared
+//! simulation.
+//!
+//! Every bench and example used to run one collective at a time; this
+//! module exercises the paper's headline *flexibility* claim instead — a
+//! population of tenants sharing switch memory and HPU cores. A
+//! [`TrafficEngine`] admits tenants through a
+//! [`FlareSession`] (so admission control, reduction trees and switch
+//! reservations are real), then drives their DNN-iteration loops through
+//! **one** [`NetSim`]:
+//!
+//! * **Arrivals** — each tenant's jobs arrive [`ArrivalProcess::AtStart`],
+//!   by a Poisson process, or on an explicit trace. All randomness comes
+//!   from per-tenant [`rng_stream`] streams of the engine seed, so whole
+//!   runs are bitwise-reproducible.
+//! * **Iteration loop** — per job, every host cycles through the DNN phase
+//!   machine: compute delay (jittered around `compute_ns`) → allreduce
+//!   (a real windowed [`DenseFlareHost`] over the tenant's admitted
+//!   reduction tree) → next iteration. Successive iterations of one
+//!   tenant reuse its allreduce id with a bumped
+//!   [`HostConfig::block_base`], so block ids never alias across
+//!   iterations.
+//! * **Shared fabric** — one switch program multiplexes every tenant's
+//!   flow on each switch, under the session's [`SwitchModel`]: with
+//!   `Hpu`, all tenants contend for the same cores and per-subset FIFOs.
+//! * **Metrics** — per-tenant iteration makespans and job queueing delays
+//!   (tail statistics via [`TailStats`](flare_core::report::TailStats)),
+//!   per-switch HPU subset queue peaks, pooled-buffer recycling counters
+//!   and Jain's fairness index over per-tenant switch bytes, attached to
+//!   the returned [`RunReport`] as [`RunReport::tenants`].
+//!
+//! The issue order of tenant flows is negotiated with the Horovod-style
+//! [`Sequencer`] (labels submitted per host rank), mirroring how a real
+//! deployment avoids cross-rank issue-order deadlocks.
+//!
+//! Scope (v1): dense f32 [`Sum`] iterations on a lossless fabric. Loss
+//! injection is rejected ([`TrafficError::LossyUnsupported`]) because the
+//! per-host retransmission timer protocol is not yet flow-multiplexed.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use flare_core::collectives::Sequencer;
+use flare_core::host::{result_sink, DenseFlareHost, HostConfig, ResultSink};
+use flare_core::op::Sum;
+use flare_core::report::{jain_index, FabricStats, HpuSwitchReport, TenantReport, TenantSection};
+use flare_core::session::{
+    placement_for, stagger_step, CollectiveHandle, FlareSession, RunReport, SessionError,
+};
+use flare_core::switch_prog::{FlareDenseProgram, ProgramStats};
+use flare_core::PoolStats;
+use flare_des::rng::{exp_time, rng_stream};
+use flare_des::Time;
+use flare_net::{
+    HostCtx, HostProgram, NetPacket, NetSim, NodeId, PortId, SwitchCtx, SwitchModel, SwitchProgram,
+};
+
+/// Stream-id salt for arrival processes (xor'd with the tenant index).
+const ARRIVAL_STREAM: u64 = 0xA121_77A1;
+/// Stream-id salt for per-host compute jitter.
+const COMPUTE_STREAM: u64 = 0xC0_0B17;
+
+/// Why the traffic engine refused a tenant or a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficError {
+    /// The underlying session rejected an operation (admission, release…).
+    Session(SessionError),
+    /// A [`TenantSpec`] is internally inconsistent; the message says how.
+    InvalidSpec(String),
+    /// The session tuning injects packet loss, which the engine does not
+    /// support yet (the inner hosts run without retransmission timers).
+    LossyUnsupported,
+    /// [`TrafficEngine::run`] was called with no admitted tenants.
+    NoTenants,
+}
+
+impl std::fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrafficError::Session(e) => write!(f, "session error: {e}"),
+            TrafficError::InvalidSpec(why) => write!(f, "invalid tenant spec: {why}"),
+            TrafficError::LossyUnsupported => {
+                write!(
+                    f,
+                    "traffic engine requires a lossless fabric (link_drop_prob = 0)"
+                )
+            }
+            TrafficError::NoTenants => write!(f, "no tenants admitted"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+impl From<SessionError> for TrafficError {
+    fn from(e: SessionError) -> Self {
+        TrafficError::Session(e)
+    }
+}
+
+/// When a tenant's jobs arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// All `jobs` arrive at t = 0 (closed-loop back-to-back execution).
+    AtStart {
+        /// Number of jobs.
+        jobs: usize,
+    },
+    /// `jobs` arrivals with exponentially distributed interarrival times
+    /// (a Poisson process), drawn from the tenant's seeded stream.
+    Poisson {
+        /// Mean interarrival time, ns (must be positive).
+        mean_interarrival_ns: f64,
+        /// Number of jobs.
+        jobs: usize,
+    },
+    /// Explicit arrival instants, ns (sorted internally).
+    Trace(Vec<Time>),
+}
+
+impl ArrivalProcess {
+    /// Number of jobs this process produces.
+    pub fn jobs(&self) -> usize {
+        match self {
+            ArrivalProcess::AtStart { jobs } => *jobs,
+            ArrivalProcess::Poisson { jobs, .. } => *jobs,
+            ArrivalProcess::Trace(ts) => ts.len(),
+        }
+    }
+
+    /// Materialize the arrival instants for tenant `tenant_idx` under
+    /// `seed` (deterministic: same inputs → same instants).
+    fn times(&self, seed: u64, tenant_idx: u64) -> Vec<Time> {
+        match self {
+            ArrivalProcess::AtStart { jobs } => vec![0; *jobs],
+            ArrivalProcess::Poisson {
+                mean_interarrival_ns,
+                jobs,
+            } => {
+                let mut rng = rng_stream(seed, ARRIVAL_STREAM ^ tenant_idx);
+                let mut t: Time = 0;
+                (0..*jobs)
+                    .map(|_| {
+                        t += exp_time(&mut rng, *mean_interarrival_ns);
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Trace(ts) => {
+                let mut v = ts.clone();
+                v.sort_unstable();
+                v
+            }
+        }
+    }
+}
+
+/// One tenant's workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Label (becomes the handle label; used by sequencer negotiation).
+    pub name: String,
+    /// Participating hosts (`None` = the session's default host set).
+    pub hosts: Option<Vec<NodeId>>,
+    /// Elements per allreduce (f32 gradient size).
+    pub elems: usize,
+    /// Allreduce iterations per job (the DNN training loop length).
+    pub iterations: usize,
+    /// Mean compute-phase duration between iterations, ns (0 = none).
+    pub compute_ns: Time,
+    /// Relative compute jitter in `[0, 1]`: each phase draws uniformly
+    /// from `compute_ns · [1 − j, 1 + j]` per host.
+    pub compute_jitter: f64,
+    /// Admit with the bitwise-reproducible tree algorithm.
+    pub reproducible: bool,
+    /// When this tenant's jobs arrive.
+    pub arrivals: ArrivalProcess,
+}
+
+impl TenantSpec {
+    /// A one-job, one-iteration tenant named `name` reducing `elems`
+    /// f32 elements over the session's default hosts, arriving at t = 0.
+    pub fn new(name: impl Into<String>, elems: usize) -> Self {
+        Self {
+            name: name.into(),
+            hosts: None,
+            elems,
+            iterations: 1,
+            compute_ns: 0,
+            compute_jitter: 0.0,
+            reproducible: false,
+            arrivals: ArrivalProcess::AtStart { jobs: 1 },
+        }
+    }
+
+    /// Set the iterations per job.
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Set the compute phase: mean duration and relative jitter.
+    pub fn compute(mut self, ns: Time, jitter: f64) -> Self {
+        self.compute_ns = ns;
+        self.compute_jitter = jitter;
+        self
+    }
+
+    /// Set the arrival process.
+    pub fn arrivals(mut self, a: ArrivalProcess) -> Self {
+        self.arrivals = a;
+        self
+    }
+
+    /// Restrict to an explicit host set.
+    pub fn on_hosts(mut self, hosts: Vec<NodeId>) -> Self {
+        self.hosts = Some(hosts);
+        self
+    }
+
+    /// Request the reproducible tree algorithm at admission.
+    pub fn reproducible(mut self, yes: bool) -> Self {
+        self.reproducible = yes;
+        self
+    }
+
+    fn validate(&self) -> Result<(), TrafficError> {
+        if self.elems == 0 {
+            return Err(TrafficError::InvalidSpec("elems must be positive".into()));
+        }
+        if self.iterations == 0 {
+            return Err(TrafficError::InvalidSpec(
+                "iterations must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.compute_jitter) {
+            return Err(TrafficError::InvalidSpec(format!(
+                "compute_jitter {} outside [0, 1]",
+                self.compute_jitter
+            )));
+        }
+        if let ArrivalProcess::Poisson {
+            mean_interarrival_ns,
+            ..
+        } = self.arrivals
+        {
+            if mean_interarrival_ns <= 0.0 || mean_interarrival_ns.is_nan() {
+                return Err(TrafficError::InvalidSpec(
+                    "Poisson mean interarrival must be positive".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An admitted tenant inside the engine.
+struct TenantRt {
+    spec: TenantSpec,
+    handle: CollectiveHandle,
+    hosts: Vec<NodeId>,
+    arrivals: Vec<Time>,
+}
+
+/// Multi-tenant job-churn driver over a [`FlareSession`] (module docs).
+pub struct TrafficEngine<'s> {
+    session: &'s mut FlareSession,
+    seed: u64,
+    deadline: Option<Time>,
+    reserved_peak: u64,
+    tenants: Vec<TenantRt>,
+}
+
+impl<'s> TrafficEngine<'s> {
+    /// A new engine over `session`; `seed` drives every arrival and
+    /// jitter stream.
+    pub fn new(session: &'s mut FlareSession, seed: u64) -> Self {
+        Self {
+            session,
+            seed,
+            deadline: None,
+            reserved_peak: 0,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Bound the simulation (ns); jobs still in flight at the deadline are
+    /// cut off and simply not counted as completed.
+    pub fn set_deadline(&mut self, deadline: Option<Time>) {
+        self.deadline = deadline;
+    }
+
+    /// Number of admitted tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Admit `spec` as a new tenant: validates the spec, reserves switch
+    /// memory through the session's admission control, labels the handle
+    /// with the spec name and precomputes the arrival instants. Returns
+    /// the tenant's allreduce id.
+    pub fn add_tenant(&mut self, spec: TenantSpec) -> Result<u32, TrafficError> {
+        spec.validate()?;
+        let hosts = match &spec.hosts {
+            Some(h) => h.clone(),
+            None => self.session.hosts().to_vec(),
+        };
+        let bytes = (spec.elems * 4) as u64; // f32 wire bytes
+        let mut handle = self
+            .session
+            .admit_on(Some(&hosts), bytes, spec.reproducible)?;
+        if !spec.name.is_empty() {
+            handle.set_label(spec.name.clone());
+        }
+        // Wire block ids are u32; every (job, iteration) gets a fresh
+        // block_base, so the whole run must fit.
+        let epp = self.session.tuning().elems_per_packet;
+        let bpi = spec.elems.div_ceil(epp) as u64;
+        let total_blocks = (spec.arrivals.jobs() * spec.iterations) as u64 * bpi;
+        if total_blocks > u32::MAX as u64 {
+            self.session.release(handle)?;
+            return Err(TrafficError::InvalidSpec(format!(
+                "jobs × iterations × blocks = {total_blocks} exceeds the u32 wire block-id space"
+            )));
+        }
+        // Track the fabric-wide reservation high-water mark as tenants
+        // are admitted (max is order-independent over the key set).
+        for &sw in handle.plan().reserved.keys() {
+            self.reserved_peak = self.reserved_peak.max(self.session.reserved_on(sw));
+        }
+        let idx = self.tenants.len() as u64;
+        let arrivals = spec.arrivals.times(self.seed, idx);
+        let id = handle.id();
+        self.tenants.push(TenantRt {
+            spec,
+            handle,
+            hosts,
+            arrivals,
+        });
+        Ok(id)
+    }
+
+    /// Release every admitted tenant, returning all switch memory.
+    pub fn release_all(&mut self) -> Result<(), SessionError> {
+        for t in self.tenants.drain(..) {
+            self.session.release(t.handle)?;
+        }
+        Ok(())
+    }
+
+    /// Drive every tenant's job churn through one shared simulation and
+    /// report per-tenant tails plus fabric contention stats.
+    ///
+    /// The returned [`RunReport`]'s scalar fields summarize the *fleet*:
+    /// `collective`/`algorithm` come from the first-admitted tenant,
+    /// `window` and `tree_depth` are maxima over tenants,
+    /// `reserved_bytes` is the admission high-water mark, and
+    /// [`RunReport::tenants`] holds the per-tenant section.
+    ///
+    /// Tenants stay admitted afterwards: call again for another epoch
+    /// (same seed → bitwise-identical results) or
+    /// [`release_all`](Self::release_all) to tear down.
+    pub fn run(&mut self) -> Result<RunReport, TrafficError> {
+        if self.tenants.is_empty() {
+            return Err(TrafficError::NoTenants);
+        }
+        let tuning = self.session.tuning().clone();
+        if tuning.link_drop_prob > 0.0 {
+            return Err(TrafficError::LossyUnsupported);
+        }
+        if let SwitchModel::Hpu(params) = &tuning.switch_model {
+            params
+                .validate()
+                .map_err(|e| TrafficError::Session(SessionError::InvalidSwitchModel(e)))?;
+        }
+
+        // Horovod-style issue-order negotiation: every host rank submits
+        // the labels of the tenants it participates in, in admission
+        // order; the negotiated order (tenants present on every rank,
+        // rank-0 order) leads, remaining tenants follow in admission
+        // order. The result is the per-host cell priority.
+        let union_hosts = {
+            let mut hs: Vec<NodeId> = Vec::new();
+            for t in &self.tenants {
+                for &h in &t.hosts {
+                    if !hs.contains(&h) {
+                        hs.push(h);
+                    }
+                }
+            }
+            hs.sort_by_key(|h| h.index());
+            hs
+        };
+        let mut seq = Sequencer::new();
+        for (rank, &h) in union_hosts.iter().enumerate() {
+            let mine: Vec<&CollectiveHandle> = self
+                .tenants
+                .iter()
+                .filter(|t| t.hosts.contains(&h))
+                .map(|t| &t.handle)
+                .collect();
+            seq.submit_handles(rank, &mine);
+        }
+        let negotiated = seq.negotiate();
+        let mut order: Vec<usize> = Vec::with_capacity(self.tenants.len());
+        for label in &negotiated {
+            if let Some(i) = self
+                .tenants
+                .iter()
+                .position(|t| t.handle.label() == label.as_str())
+            {
+                if !order.contains(&i) {
+                    order.push(i);
+                }
+            }
+        }
+        for i in 0..self.tenants.len() {
+            if !order.contains(&i) {
+                order.push(i);
+            }
+        }
+
+        // Per-tenant static config shared by its cells.
+        let statics: Vec<Rc<TenantStatic>> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let plan = t.handle.plan();
+                let n = t.hosts.len();
+                let bpi = t.spec.elems.div_ceil(tuning.elems_per_packet) as u64;
+                Rc::new(TenantStatic {
+                    id: plan.id,
+                    window: plan.window,
+                    step: stagger_step(plan.window, bpi, n),
+                    epp: tuning.elems_per_packet,
+                    elems: t.spec.elems,
+                    bpi,
+                    iterations: t.spec.iterations,
+                    jobs: t.arrivals.len(),
+                    compute_ns: t.spec.compute_ns,
+                    jitter: t.spec.compute_jitter,
+                    // Tree-sum of per-rank constants (rank+1): exact in f32
+                    // for any realistic host count.
+                    expected: (n * (n + 1) / 2) as f32,
+                    arrivals: t.arrivals.clone(),
+                })
+            })
+            .collect();
+
+        let core = Rc::new(RefCell::new(Core {
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantRun::new(t.hosts.len()))
+                .collect(),
+        }));
+
+        // Per-host cells, in negotiated priority order.
+        let mut host_programs: Vec<(NodeId, TrafficHost)> = Vec::new();
+        for &h in &union_hosts {
+            let mut cells = Vec::new();
+            for &ti in &order {
+                let t = &self.tenants[ti];
+                let Some(rank) = t.hosts.iter().position(|&x| x == h) else {
+                    continue;
+                };
+                let (leaf, child_index) = t.handle.plan().tree.host_attach[&h];
+                let stat = statics[ti].clone();
+                cells.push(Cell {
+                    tenant: ti,
+                    rank,
+                    leaf,
+                    child_index,
+                    stagger_offset: rank as u64 * stat.step,
+                    stat,
+                    rng: rng_stream(
+                        self.seed,
+                        COMPUTE_STREAM ^ ((ti as u64) << 20) ^ rank as u64,
+                    ),
+                    job: 0,
+                    iter: 0,
+                    running: false,
+                    inner: None,
+                    sink: result_sink(),
+                    checked: false,
+                });
+            }
+            host_programs.push((
+                h,
+                TrafficHost {
+                    core: core.clone(),
+                    cells,
+                },
+            ));
+        }
+
+        // Per-switch flow multiplexers over the union of tenant trees.
+        let union_switches = {
+            let mut sws: Vec<NodeId> = Vec::new();
+            for t in &self.tenants {
+                for s in &t.handle.plan().tree.switches {
+                    if !sws.contains(&s.switch) {
+                        sws.push(s.switch);
+                    }
+                }
+            }
+            sws.sort_by_key(|s| s.index());
+            sws
+        };
+        let mut switch_programs: Vec<(NodeId, TrafficSwitch)> = Vec::new();
+        for &sw in &union_switches {
+            let mut entries = Vec::new();
+            for &ti in &order {
+                let plan = self.tenants[ti].handle.plan();
+                if plan.tree.switch(sw).is_some() {
+                    entries.push(FlowEntry {
+                        flow: plan.id,
+                        bytes: 0,
+                        prog: FlareDenseProgram::new(placement_for(plan, sw), Sum),
+                    });
+                }
+            }
+            switch_programs.push((sw, TrafficSwitch { entries }));
+        }
+
+        // One shared simulation over the session's fabric.
+        let seed = self.seed;
+        let deadline = self.deadline;
+        let switch_model = tuning.switch_model.clone();
+        let hpu_switches = union_switches.clone();
+        let (net, flow_bytes, pools, hpu) = self.session.lend_topology(move |topo| {
+            let mut sim = NetSim::new(topo, seed);
+            for (sw, prog) in switch_programs {
+                sim.install_switch_model(sw, Box::new(prog), switch_model.clone());
+            }
+            for (h, prog) in host_programs {
+                sim.install_host(h, Box::new(prog));
+            }
+            let net = sim.run(deadline);
+
+            let mut hpu = Vec::new();
+            for &sw in &hpu_switches {
+                if let Some(stats) = sim.compute_stats(sw) {
+                    hpu.push(HpuSwitchReport {
+                        switch: sw,
+                        stats,
+                        subset_peaks: sim.compute_subset_peaks(sw).unwrap_or_default(),
+                    });
+                }
+            }
+            let mut flow_bytes: HashMap<u32, u64> = HashMap::new();
+            let mut pools = ProgramStats::default();
+            for &sw in &hpu_switches {
+                let Some(mut bx) = sim.take_switch(sw) else {
+                    continue;
+                };
+                if let Some(mux) = bx
+                    .as_any_mut()
+                    .and_then(|a| a.downcast_mut::<TrafficSwitch>())
+                {
+                    for e in &mux.entries {
+                        *flow_bytes.entry(e.flow).or_insert(0) += e.bytes;
+                        pools = add_program_stats(pools, e.prog.stats());
+                    }
+                }
+            }
+            (sim.into_topology(), (net, flow_bytes, pools, hpu))
+        });
+
+        // Assemble per-tenant reports (admission order).
+        let mut reports = Vec::with_capacity(self.tenants.len());
+        let mut tenant_bytes = Vec::with_capacity(self.tenants.len());
+        let mut core = core.borrow_mut();
+        for (i, t) in self.tenants.iter().enumerate() {
+            let tr = &mut core.tenants[i];
+            tr.makespans.sort_by_key(|&(g, _)| g);
+            tr.queue_delays.sort_by_key(|&(j, _)| j);
+            let switch_bytes = flow_bytes.get(&t.handle.id()).copied().unwrap_or(0);
+            tenant_bytes.push(switch_bytes as f64);
+            reports.push(TenantReport {
+                id: t.handle.id(),
+                label: t.handle.label().to_string(),
+                hosts: t.hosts.len(),
+                jobs: t.arrivals.len(),
+                jobs_completed: tr.jobs_completed,
+                iterations_completed: tr.makespans.len(),
+                iteration_makespans_ns: tr.makespans.iter().map(|&(_, m)| m).collect(),
+                queueing_delays_ns: tr.queue_delays.iter().map(|&(_, d)| d).collect(),
+                switch_bytes,
+            });
+        }
+        let fabric = FabricStats {
+            fairness_jain: jain_index(&tenant_bytes),
+            hpu,
+            switch_pools: pools,
+            reserved_peak_bytes: self.reserved_peak,
+        };
+        let first = &self.tenants[0].handle;
+        Ok(RunReport {
+            collective: first.id(),
+            label: Some("traffic-engine".into()),
+            algorithm: first.algorithm(),
+            window: self
+                .tenants
+                .iter()
+                .map(|t| t.handle.window())
+                .max()
+                .unwrap(),
+            reserved_bytes: self.reserved_peak,
+            tree_depth: self
+                .tenants
+                .iter()
+                .map(|t| t.handle.plan().tree.max_depth())
+                .max()
+                .unwrap(),
+            net,
+            tenants: Some(TenantSection {
+                tenants: reports,
+                fabric,
+            }),
+        })
+    }
+}
+
+fn add_pool_stats(a: PoolStats, b: PoolStats) -> PoolStats {
+    PoolStats {
+        gets: a.gets + b.gets,
+        hits: a.hits + b.hits,
+        puts: a.puts + b.puts,
+    }
+}
+
+fn add_program_stats(a: ProgramStats, b: ProgramStats) -> ProgramStats {
+    ProgramStats {
+        agg_pool: add_pool_stats(a.agg_pool, b.agg_pool),
+        byte_pool: add_pool_stats(a.byte_pool, b.byte_pool),
+        slab: flare_core::SlabStats {
+            direct: a.slab.direct + b.slab.direct,
+            collisions: a.slab.collisions + b.slab.collisions,
+            stale_rejected: a.slab.stale_rejected + b.slab.stale_rejected,
+        },
+    }
+}
+
+/// Static per-tenant parameters shared by all of its cells.
+struct TenantStatic {
+    id: u32,
+    window: usize,
+    step: u64,
+    epp: usize,
+    elems: usize,
+    bpi: u64,
+    iterations: usize,
+    jobs: usize,
+    compute_ns: Time,
+    jitter: f64,
+    expected: f32,
+    arrivals: Vec<Time>,
+}
+
+/// One tenant's state machine on one host.
+struct Cell {
+    tenant: usize,
+    rank: usize,
+    leaf: NodeId,
+    child_index: u16,
+    stagger_offset: u64,
+    stat: Rc<TenantStatic>,
+    rng: StdRng,
+    job: usize,
+    iter: usize,
+    running: bool,
+    inner: Option<DenseFlareHost<f32>>,
+    sink: ResultSink<f32>,
+    checked: bool,
+}
+
+impl Cell {
+    /// Jittered compute-phase duration (0 when no compute is configured).
+    fn compute_delay(&mut self) -> Time {
+        if self.stat.compute_ns == 0 {
+            return 0;
+        }
+        if self.stat.jitter == 0.0 {
+            return self.stat.compute_ns.max(1);
+        }
+        let u: f64 = self.rng.random::<f64>();
+        let factor = 1.0 - self.stat.jitter + 2.0 * self.stat.jitter * u;
+        ((self.stat.compute_ns as f64 * factor).round() as Time).max(1)
+    }
+}
+
+/// Shared metric collector (one per run, referenced by every host).
+struct Core {
+    tenants: Vec<TenantRun>,
+}
+
+struct TenantRun {
+    hosts: usize,
+    /// job → hosts that started it (removed once all have).
+    job_starts: HashMap<usize, usize>,
+    /// (job, last-host start − arrival), completion order.
+    queue_delays: Vec<(usize, Time)>,
+    /// global iteration → first-host submit time.
+    iter_first_submit: HashMap<u64, Time>,
+    /// global iteration → hosts done (removed once all are).
+    iter_done: HashMap<u64, usize>,
+    /// (global iteration, makespan), completion order.
+    makespans: Vec<(u64, Time)>,
+    /// job → hosts finished (removed once all have).
+    job_done: HashMap<usize, usize>,
+    jobs_completed: usize,
+}
+
+impl TenantRun {
+    fn new(hosts: usize) -> Self {
+        Self {
+            hosts,
+            job_starts: HashMap::new(),
+            queue_delays: Vec::new(),
+            iter_first_submit: HashMap::new(),
+            iter_done: HashMap::new(),
+            makespans: Vec::new(),
+            job_done: HashMap::new(),
+            jobs_completed: 0,
+        }
+    }
+}
+
+impl Core {
+    fn job_start(&mut self, t: usize, job: usize, arrival: Time, now: Time) {
+        let tr = &mut self.tenants[t];
+        let c = tr.job_starts.entry(job).or_insert(0);
+        *c += 1;
+        if *c == tr.hosts {
+            tr.job_starts.remove(&job);
+            tr.queue_delays.push((job, now - arrival));
+        }
+    }
+
+    fn iter_submit(&mut self, t: usize, g: u64, now: Time) {
+        // Events fire in nondecreasing time order, so the first recorded
+        // submit is the earliest across hosts.
+        self.tenants[t].iter_first_submit.entry(g).or_insert(now);
+    }
+
+    fn iter_done(&mut self, t: usize, g: u64, now: Time) {
+        let tr = &mut self.tenants[t];
+        let c = tr.iter_done.entry(g).or_insert(0);
+        *c += 1;
+        if *c == tr.hosts {
+            tr.iter_done.remove(&g);
+            let first = tr
+                .iter_first_submit
+                .remove(&g)
+                .expect("iteration completed without a submit");
+            tr.makespans.push((g, now - first));
+        }
+    }
+
+    fn job_done(&mut self, t: usize, job: usize) {
+        let tr = &mut self.tenants[t];
+        let c = tr.job_done.entry(job).or_insert(0);
+        *c += 1;
+        if *c == tr.hosts {
+            tr.job_done.remove(&job);
+            tr.jobs_completed += 1;
+        }
+    }
+}
+
+const TAG_ARRIVAL: u64 = 1;
+const TAG_COMPUTE: u64 = 2;
+
+fn tag(kind: u64, cell: usize) -> u64 {
+    kind | ((cell as u64) << 8)
+}
+
+/// Host program multiplexing every tenant cell on one host.
+struct TrafficHost {
+    core: Rc<RefCell<Core>>,
+    cells: Vec<Cell>,
+}
+
+impl TrafficHost {
+    fn try_start_job(&mut self, ctx: &mut HostCtx<'_>, ci: usize) {
+        let now = ctx.now();
+        let (tenant, job, arrival) = {
+            let cell = &mut self.cells[ci];
+            if cell.running || cell.job >= cell.stat.jobs {
+                return;
+            }
+            let arrival = cell.stat.arrivals[cell.job];
+            if arrival > now {
+                // Not arrived yet; the ARRIVAL wake scheduled for this
+                // job will retry.
+                return;
+            }
+            cell.running = true;
+            cell.iter = 0;
+            (cell.tenant, cell.job, arrival)
+        };
+        self.core.borrow_mut().job_start(tenant, job, arrival, now);
+        self.schedule_compute(ctx, ci);
+    }
+
+    fn schedule_compute(&mut self, ctx: &mut HostCtx<'_>, ci: usize) {
+        let delay = self.cells[ci].compute_delay();
+        if delay == 0 {
+            self.submit_iteration(ctx, ci);
+        } else {
+            ctx.wake_in(delay, tag(TAG_COMPUTE, ci));
+        }
+    }
+
+    fn submit_iteration(&mut self, ctx: &mut HostCtx<'_>, ci: usize) {
+        let now = ctx.now();
+        let (tenant, g, mut inner, sink) = {
+            let cell = &mut self.cells[ci];
+            debug_assert!(cell.running && cell.inner.is_none());
+            let g = (cell.job * cell.stat.iterations + cell.iter) as u64;
+            let cfg = HostConfig {
+                allreduce: cell.stat.id,
+                leaf: cell.leaf,
+                child_index: cell.child_index,
+                window: cell.stat.window,
+                stagger_offset: cell.stagger_offset,
+                retransmit_after: None,
+                block_base: g * cell.stat.bpi,
+            };
+            let data = vec![(cell.rank + 1) as f32; cell.stat.elems];
+            let sink = result_sink();
+            let inner = DenseFlareHost::new(cfg, cell.stat.epp, data, sink.clone());
+            (cell.tenant, g, inner, sink)
+        };
+        self.core.borrow_mut().iter_submit(tenant, g, now);
+        inner.on_start(ctx);
+        let cell = &mut self.cells[ci];
+        cell.sink = sink;
+        cell.inner = Some(inner);
+    }
+
+    fn finish_iteration(&mut self, ctx: &mut HostCtx<'_>, ci: usize) {
+        let now = ctx.now();
+        let (tenant, g, job, job_done) = {
+            let cell = &mut self.cells[ci];
+            cell.inner = None;
+            let result = cell.sink.borrow_mut().take().expect("sink was filled");
+            if !cell.checked {
+                // Verify the first completed iteration end to end; later
+                // iterations reuse the identical data path.
+                cell.checked = true;
+                let want = cell.stat.expected;
+                assert_eq!(result.len(), cell.stat.elems);
+                assert!(
+                    result.iter().all(|&v| v == want),
+                    "tenant {} produced a wrong reduction (want {want})",
+                    cell.stat.id
+                );
+            }
+            let g = (cell.job * cell.stat.iterations + cell.iter) as u64;
+            let job = cell.job;
+            cell.iter += 1;
+            let job_done = cell.iter == cell.stat.iterations;
+            (cell.tenant, g, job, job_done)
+        };
+        {
+            let mut core = self.core.borrow_mut();
+            core.iter_done(tenant, g, now);
+            if job_done {
+                core.job_done(tenant, job);
+            }
+        }
+        if job_done {
+            let cell = &mut self.cells[ci];
+            cell.running = false;
+            cell.job += 1;
+            cell.iter = 0;
+            // Backlogged arrival? Start the next job immediately.
+            self.try_start_job(ctx, ci);
+        } else {
+            self.schedule_compute(ctx, ci);
+        }
+    }
+}
+
+impl HostProgram for TrafficHost {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        for ci in 0..self.cells.len() {
+            for i in 0..self.cells[ci].stat.arrivals.len() {
+                let at = self.cells[ci].stat.arrivals[i];
+                ctx.wake_in(at, tag(TAG_ARRIVAL, ci));
+            }
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: NetPacket) {
+        let Some(ci) = self.cells.iter().position(|c| c.stat.id == pkt.flow) else {
+            return;
+        };
+        {
+            let cell = &mut self.cells[ci];
+            let Some(inner) = cell.inner.as_mut() else {
+                // No allreduce in flight for this flow (stale delivery).
+                return;
+            };
+            inner.on_packet(ctx, pkt);
+            if cell.sink.borrow().is_none() {
+                return;
+            }
+        }
+        self.finish_iteration(ctx, ci);
+    }
+
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_>, wake_tag: u64) {
+        let ci = (wake_tag >> 8) as usize;
+        if ci >= self.cells.len() {
+            return;
+        }
+        match wake_tag & 0xFF {
+            TAG_ARRIVAL => self.try_start_job(ctx, ci),
+            TAG_COMPUTE if self.cells[ci].running && self.cells[ci].inner.is_none() => {
+                self.submit_iteration(ctx, ci);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Switch program multiplexing every tenant flow on one switch. All
+/// entries share the switch's compute model (HPU cores, rate limit), so
+/// inter-tenant contention is physical, not modeled.
+struct TrafficSwitch {
+    entries: Vec<FlowEntry>,
+}
+
+struct FlowEntry {
+    flow: u32,
+    /// Wire bytes of matched packets (the fairness-index resource).
+    bytes: u64,
+    prog: FlareDenseProgram<f32, Sum>,
+}
+
+impl SwitchProgram for TrafficSwitch {
+    fn matches(&self, pkt: &NetPacket) -> bool {
+        self.entries.iter().any(|e| e.flow == pkt.flow)
+    }
+
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, in_port: PortId, pkt: NetPacket) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.flow == pkt.flow) {
+            e.bytes += pkt.wire_bytes as u64;
+            e.prog.on_packet(ctx, in_port, pkt);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flare_net::{LinkSpec, Topology};
+
+    #[test]
+    fn arrival_processes_are_deterministic_and_sorted() {
+        let p = ArrivalProcess::Poisson {
+            mean_interarrival_ns: 10_000.0,
+            jobs: 16,
+        };
+        let a = p.times(7, 3);
+        let b = p.times(7, 3);
+        assert_eq!(a, b, "same seed/tenant → same arrivals");
+        assert_ne!(a, p.times(7, 4), "tenants draw from distinct streams");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert_eq!(p.jobs(), 16);
+
+        assert_eq!(
+            ArrivalProcess::AtStart { jobs: 3 }.times(7, 0),
+            vec![0, 0, 0]
+        );
+        assert_eq!(
+            ArrivalProcess::Trace(vec![30, 10, 20]).times(7, 0),
+            vec![10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut session = FlareSession::new(topo);
+        let mut eng = TrafficEngine::new(&mut session, 7);
+        assert!(matches!(
+            eng.add_tenant(TenantSpec::new("t", 0)),
+            Err(TrafficError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            eng.add_tenant(TenantSpec::new("t", 64).iterations(0)),
+            Err(TrafficError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            eng.add_tenant(TenantSpec::new("t", 64).compute(100, 1.5)),
+            Err(TrafficError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            eng.add_tenant(TenantSpec::new("t", 64).arrivals(ArrivalProcess::Poisson {
+                mean_interarrival_ns: 0.0,
+                jobs: 1
+            })),
+            Err(TrafficError::InvalidSpec(_))
+        ));
+        assert_eq!(eng.run().err(), Some(TrafficError::NoTenants));
+    }
+
+    #[test]
+    fn two_tenants_share_one_simulation() {
+        let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut session = FlareSession::new(topo);
+        let mut eng = TrafficEngine::new(&mut session, 11);
+        let a = eng
+            .add_tenant(TenantSpec::new("alpha", 2048).iterations(2))
+            .unwrap();
+        let b = eng
+            .add_tenant(TenantSpec::new("beta", 1024).compute(2_000, 0.1))
+            .unwrap();
+        assert_ne!(a, b);
+        let report = eng.run().unwrap();
+        let section = report.tenants.as_ref().expect("tenant section");
+        assert_eq!(section.tenants.len(), 2);
+        let ta = &section.tenants[0];
+        assert_eq!((ta.label.as_str(), ta.jobs_completed), ("alpha", 1));
+        assert_eq!(ta.iterations_completed, 2);
+        assert_eq!(ta.iteration_makespans_ns.len(), 2);
+        assert!(ta.iteration_makespans_ns.iter().all(|&m| m > 0));
+        let tb = &section.tenants[1];
+        assert_eq!((tb.label.as_str(), tb.iterations_completed), ("beta", 1));
+        assert!(tb.switch_bytes > 0 && ta.switch_bytes > tb.switch_bytes);
+        assert!(section.fabric.fairness_jain > 0.0 && section.fabric.fairness_jain <= 1.0);
+        assert!(report.net.makespan > 0);
+        eng.release_all().unwrap();
+        assert_eq!(session.active_collectives(), 0);
+    }
+
+    #[test]
+    fn lossy_sessions_are_refused() {
+        let (topo, _sw, _hosts) = Topology::star(3, LinkSpec::hundred_gig());
+        let mut session = flare_core::session::FlareSession::builder(topo)
+            .link_drop_prob(0.01)
+            .retransmit_after(Some(10_000))
+            .build();
+        let mut eng = TrafficEngine::new(&mut session, 7);
+        eng.add_tenant(TenantSpec::new("t", 256)).unwrap();
+        assert_eq!(eng.run().err(), Some(TrafficError::LossyUnsupported));
+        eng.release_all().unwrap();
+    }
+
+    #[test]
+    fn repeated_runs_with_one_seed_are_bitwise_identical() {
+        let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut session = FlareSession::new(topo);
+        let mut eng = TrafficEngine::new(&mut session, 21);
+        eng.add_tenant(
+            TenantSpec::new("a", 1024)
+                .iterations(3)
+                .compute(1_000, 0.3)
+                .arrivals(ArrivalProcess::Poisson {
+                    mean_interarrival_ns: 5_000.0,
+                    jobs: 2,
+                }),
+        )
+        .unwrap();
+        eng.add_tenant(TenantSpec::new("b", 512).iterations(2))
+            .unwrap();
+        let r1 = eng.run().unwrap();
+        let r2 = eng.run().unwrap();
+        assert_eq!(r1.tenants, r2.tenants, "tenant sections must match bitwise");
+        assert_eq!(r1.net.makespan, r2.net.makespan);
+        eng.release_all().unwrap();
+    }
+}

@@ -1,23 +1,27 @@
-//! Multi-tenancy and admission control (paper Section 4).
+//! Multi-tenancy: admission control plus sustained job churn.
 //!
-//! Each switch statically partitions its working memory across concurrent
-//! allreduces. When a switch fills up, the session's network manager
-//! recomputes the reduction tree *excluding* it; only when no tree exists
-//! is the request rejected and the application falls back to host-based
-//! allreduce. [`FlareSession::admit`] / [`FlareSession::release`] make the
-//! tenant lifecycle explicit.
+//! Part 1 reproduces the paper's Section 4 story: each switch statically
+//! partitions its working memory across concurrent allreduces, and when
+//! every feasible tree has a saturated switch the request is rejected
+//! (fall back to host-based allreduce).
+//!
+//! Part 2 goes further than one-shot admission: a [`TrafficEngine`]
+//! drives a population of tenants — each a Poisson stream of training
+//! jobs, each job a loop of compute + allreduce iterations — through ONE
+//! shared network simulation, and prints per-tenant p50/p99 iteration
+//! makespans, queueing delays and Jain's fairness index over switch
+//! bytes.
 //!
 //! Run with: `cargo run --release --example multi_tenant`
 
 use flare::core::manager::AdmissionError;
 use flare::prelude::*;
 
-fn main() {
+fn admission_control_demo() {
     // 8 leaves × 2 hosts, 2 spines: two candidate roots for cross-leaf
-    // reductions.
+    // reductions. Small per-switch budget so contention shows quickly;
+    // reproducible tenants force tree aggregation.
     let (topo, ft) = Topology::fat_tree_two_level(8, 2, 2, LinkSpec::hundred_gig());
-    // Small per-switch budget so contention shows quickly; reproducible
-    // tenants force tree aggregation (M = (P-1)/log2 P buffers).
     let mut session = FlareSession::builder(topo)
         .hosts(ft.hosts)
         .switch_memory(600 << 10)
@@ -52,11 +56,9 @@ fn main() {
         }
     }
     let spine_roots: Vec<_> = tenants.iter().map(|t| t.root_switch()).collect();
-    println!();
     println!(
-        "{} tenants admitted ({} active in the session); roots used: {:?}",
+        "{} tenants admitted; roots used: {:?}",
         tenants.len(),
-        session.active_collectives(),
         spine_roots
     );
     assert!(
@@ -64,10 +66,16 @@ fn main() {
         "admission must have rerouted around the saturated spine"
     );
 
-    // Tear one tenant down: capacity returns.
+    // Tear one tenant down: capacity returns. A double release of the
+    // same id is a typed error, not a silent no-op.
     let freed = tenants.remove(0);
+    let dup = freed.clone();
     let freed_id = freed.id();
-    session.release(freed);
+    session.release(freed).expect("first release succeeds");
+    assert!(matches!(
+        session.release(dup),
+        Err(SessionError::HandleReleased { .. })
+    ));
     let again = session.admit(tenant_bytes, true);
     println!(
         "after releasing tenant #{}: new request {}",
@@ -79,4 +87,70 @@ fn main() {
         }
     );
     assert!(again.is_ok());
+    for t in tenants {
+        session.release(t).expect("release tenant");
+    }
+}
+
+fn traffic_engine_demo() {
+    const TENANTS: usize = 12;
+    // 4 leaves × 4 hosts, 2 spines, with the paper's multi-core HPU
+    // switch model so tenants contend for real handler cores.
+    let (topo, ft) = Topology::fat_tree_two_level(4, 4, 2, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo)
+        .hosts(ft.hosts)
+        .switch_model(SwitchModel::Hpu(HpuParams::paper()))
+        .build();
+
+    let mut engine = TrafficEngine::new(&mut session, 42);
+    for i in 0..TENANTS {
+        engine
+            .add_tenant(
+                TenantSpec::new(format!("job-{i:02}"), 16 * 1024)
+                    .iterations(3)
+                    .compute(8_000, 0.25)
+                    .arrivals(ArrivalProcess::Poisson {
+                        mean_interarrival_ns: 40_000.0,
+                        jobs: 2,
+                    }),
+            )
+            .expect("admit tenant");
+    }
+    let report = engine.run().expect("traffic run");
+    let section = report.tenants.as_ref().expect("tenant section");
+
+    println!(
+        "{:<8} {:>5} {:>5} {:>10} {:>10} {:>10} {:>10}",
+        "tenant", "jobs", "iters", "p50 ns", "p99 ns", "max ns", "queue p99"
+    );
+    for t in &section.tenants {
+        let mk = t.makespan_tails();
+        let q = t.queueing_tails();
+        println!(
+            "{:<8} {:>5} {:>5} {:>10} {:>10} {:>10} {:>10}",
+            t.label, t.jobs_completed, t.iterations_completed, mk.p50, mk.p99, mk.max, q.p99
+        );
+        assert_eq!(t.jobs_completed, t.jobs, "every job must finish");
+    }
+    println!(
+        "fleet: makespan {} ns, Jain fairness {:.4}, peak switch reservation {} B",
+        report.net.makespan, section.fabric.fairness_jain, section.fabric.reserved_peak_bytes
+    );
+    for hpu in &section.fabric.hpu {
+        let busiest = hpu.subset_peaks.iter().max().copied().unwrap_or(0);
+        println!(
+            "  switch {:?}: {} handler activations, queue peak {} (busiest subset {})",
+            hpu.switch, hpu.stats.handlers, hpu.stats.queue_peak, busiest
+        );
+    }
+    engine.release_all().expect("release tenants");
+    assert_eq!(session.active_collectives(), 0);
+}
+
+fn main() {
+    println!("== Part 1: admission control (Section 4) ==");
+    admission_control_demo();
+    println!();
+    println!("== Part 2: multi-tenant traffic engine ==");
+    traffic_engine_demo();
 }

@@ -64,8 +64,8 @@ fn concurrent_allreduces_do_not_mix() {
         2,
         "handles persist until released"
     );
-    session.release(tenant_a);
-    session.release(tenant_b);
+    session.release(tenant_a).unwrap();
+    session.release(tenant_b).unwrap();
     assert_eq!(session.active_collectives(), 0);
 }
 
@@ -85,7 +85,7 @@ fn admission_fills_up_then_rejects_then_frees() {
         "single switch saturated"
     );
     assert!(session.reserved_on(sw) > 0);
-    session.release(a);
+    session.release(a).unwrap();
     let c = session.admit(bytes, false).unwrap();
     assert_ne!(b.id(), c.id());
 }
@@ -129,6 +129,6 @@ fn sequencer_prevents_cross_rank_deadlocks() {
     seq.submit_handles(1, &[&grad1, &grad2]);
     let order = seq.negotiate();
     assert_eq!(order, vec!["layer2.grad", "layer1.grad"]);
-    session.release(grad2);
-    session.release(grad1);
+    session.release(grad2).unwrap();
+    session.release(grad1).unwrap();
 }

@@ -155,6 +155,7 @@ fn default_model_reproduces_the_pr3_makespans() {
             reps: 1,
             drop_prob: 0.0,
             hpu: false,
+            tenants: 0,
         });
         assert_eq!(
             m.makespan_ns,

@@ -1,0 +1,189 @@
+//! System-level tests of the multi-tenant traffic engine: the PR 6
+//! acceptance run (64 Poisson tenants on a fat tree with the paper's HPU
+//! switch model), queueing-delay semantics, bitwise reproducibility, and
+//! a churn soak asserting switch memory and buffer pools reach a steady
+//! state instead of growing monotonically.
+
+use flare::prelude::*;
+
+fn fat_tree_session(leaves: usize, per_leaf: usize, spines: usize, hpu: bool) -> FlareSession {
+    let (topo, ft) =
+        Topology::fat_tree_two_level(leaves, per_leaf, spines, LinkSpec::hundred_gig());
+    let mut b = FlareSession::builder(topo).hosts(ft.hosts);
+    if hpu {
+        b = b.switch_model(SwitchModel::Hpu(HpuParams::paper()));
+    }
+    b.build()
+}
+
+fn poisson_fleet(engine: &mut TrafficEngine<'_>, tenants: usize) {
+    for i in 0..tenants {
+        engine
+            .add_tenant(
+                TenantSpec::new(format!("t{i:02}"), 1024)
+                    .iterations(2)
+                    .compute(3_000, 0.2)
+                    .arrivals(ArrivalProcess::Poisson {
+                        mean_interarrival_ns: 25_000.0,
+                        jobs: 1,
+                    }),
+            )
+            .expect("admit tenant");
+    }
+}
+
+/// One 64-tenant Poisson epoch on a 16-host fat tree under the paper's
+/// HPU switch model; returns the tenant section for comparison.
+fn acceptance_epoch() -> (TenantSection, u64) {
+    let mut session = fat_tree_session(4, 4, 2, true);
+    let mut engine = TrafficEngine::new(&mut session, 7);
+    poisson_fleet(&mut engine, 64);
+    let report = engine.run().expect("64-tenant run completes");
+    let section = report.tenants.clone().expect("tenant section");
+    engine.release_all().expect("release fleet");
+    assert_eq!(session.active_collectives(), 0);
+    (section, report.net.makespan)
+}
+
+#[test]
+fn sixty_four_poisson_tenants_complete_with_tail_metrics() {
+    let (section, makespan) = acceptance_epoch();
+    assert!(makespan > 0);
+    assert_eq!(section.tenants.len(), 64);
+    for t in &section.tenants {
+        assert_eq!(t.jobs_completed, t.jobs, "{}: every job finishes", t.label);
+        assert_eq!(t.iterations_completed, 2, "{}: both iterations", t.label);
+        let tails = t.makespan_tails();
+        assert!(tails.count == 2 && tails.p50 > 0 && tails.p50 <= tails.p99);
+        assert_eq!(tails.max, *t.iteration_makespans_ns.iter().max().unwrap());
+        assert_eq!(t.queueing_delays_ns.len(), t.jobs);
+        assert!(t.switch_bytes > 0, "{}: packets crossed switches", t.label);
+    }
+    // Identical workloads sharing one fabric: switch-byte shares are even.
+    assert!(section.fabric.fairness_jain > 0.99);
+    // The HPU switches really contended: activations everywhere, and the
+    // per-subset peaks are consistent with the scalar queue peak.
+    assert!(!section.fabric.hpu.is_empty());
+    for h in &section.fabric.hpu {
+        assert!(h.stats.handlers > 0);
+        assert_eq!(
+            h.subset_peaks.iter().max().copied().unwrap_or(0),
+            h.stats.queue_peak,
+            "subset peaks must roll up to the scalar peak"
+        );
+    }
+    assert!(section.fabric.reserved_peak_bytes > 0);
+}
+
+#[test]
+fn acceptance_run_is_bitwise_reproducible() {
+    // Two engines built from scratch (fresh sessions, fresh managers):
+    // the full tenant sections — every makespan, delay, byte count and
+    // HPU counter — must match bitwise.
+    let (a, mk_a) = acceptance_epoch();
+    let (b, mk_b) = acceptance_epoch();
+    assert_eq!(a, b);
+    assert_eq!(mk_a, mk_b);
+}
+
+#[test]
+fn backlogged_jobs_accrue_queueing_delay() {
+    let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo).build();
+    let mut engine = TrafficEngine::new(&mut session, 7);
+    // Both jobs arrive at t = 0 with no compute phase: the first starts
+    // instantly, the second must wait for the first to finish.
+    engine
+        .add_tenant(TenantSpec::new("backlog", 2048).arrivals(ArrivalProcess::Trace(vec![0, 0])))
+        .unwrap();
+    let report = engine.run().unwrap();
+    let t = &report.tenants.as_ref().unwrap().tenants[0];
+    assert_eq!(t.jobs_completed, 2);
+    assert_eq!(t.queueing_delays_ns.len(), 2);
+    assert_eq!(t.queueing_delays_ns[0], 0, "idle fabric: no queueing");
+    assert!(
+        t.queueing_delays_ns[1] >= t.iteration_makespans_ns[0],
+        "job 2 waits at least the first job's allreduce: {:?}",
+        t.queueing_delays_ns
+    );
+    engine.release_all().unwrap();
+}
+
+#[test]
+fn tenants_on_disjoint_host_sets_coexist() {
+    let mut session = fat_tree_session(2, 4, 1, false);
+    let hosts = session.hosts().to_vec();
+    let (left, right) = hosts.split_at(4);
+    let (left, right) = (left.to_vec(), right.to_vec());
+    let mut engine = TrafficEngine::new(&mut session, 13);
+    engine
+        .add_tenant(TenantSpec::new("left", 1024).iterations(2).on_hosts(left))
+        .unwrap();
+    engine
+        .add_tenant(TenantSpec::new("right", 1024).iterations(2).on_hosts(right))
+        .unwrap();
+    let report = engine.run().unwrap();
+    let section = report.tenants.as_ref().unwrap();
+    for t in &section.tenants {
+        assert_eq!(t.hosts, 4);
+        assert_eq!(t.iterations_completed, 2, "{} completes", t.label);
+    }
+    engine.release_all().unwrap();
+}
+
+#[test]
+fn churn_soak_reaches_a_steady_state() {
+    const ROUNDS: usize = 24;
+    const TENANTS: usize = 10;
+    let (topo, sw, _hosts) = Topology::star(8, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo).build();
+
+    let mut shell_allocated = Vec::with_capacity(ROUNDS);
+    let mut makespans = Vec::with_capacity(ROUNDS);
+    let mut pool_stats = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let mut engine = TrafficEngine::new(&mut session, 7);
+        for i in 0..TENANTS {
+            engine
+                .add_tenant(TenantSpec::new(format!("t{i}"), 512).iterations(2))
+                .expect("admit soak tenant");
+        }
+        let report = engine.run().expect("soak round");
+        let section = report.tenants.as_ref().unwrap();
+        assert!(section.tenants.iter().all(|t| t.jobs_completed == 1));
+        makespans.push(report.net.makespan);
+        pool_stats.push(section.fabric.switch_pools);
+        engine.release_all().expect("release soak tenants");
+        // Switch working memory must return to the pool every round.
+        assert_eq!(session.active_collectives(), 0);
+        assert_eq!(session.reserved_on(sw), 0, "reservation leak");
+        shell_allocated.push(bytes::shell_pool_stats().allocated);
+    }
+
+    // Simulated results are independent of how many tenants lived and
+    // died before (fresh allreduce ids each round notwithstanding).
+    assert!(
+        makespans.windows(2).all(|w| w[0] == w[1]),
+        "round makespans drifted under churn: {makespans:?}"
+    );
+    assert!(
+        pool_stats.windows(2).all(|w| w[0] == w[1]),
+        "switch pool/replay-slab counters drifted under churn"
+    );
+
+    // Packet-shell allocations must plateau: after a warmup, recycled
+    // shells serve every round and the per-round allocation delta stops
+    // growing (no monotonic pool growth).
+    let deltas: Vec<u64> = shell_allocated.windows(2).map(|w| w[1] - w[0]).collect();
+    let (early, late) = deltas.split_at(deltas.len() / 2);
+    let late_max = late.iter().max().copied().unwrap();
+    let early_max = early.iter().max().copied().unwrap();
+    assert!(
+        late_max <= early_max,
+        "shell allocations grew round over round: early {early:?}, late {late:?}"
+    );
+    assert!(
+        late.windows(2).all(|w| w[0] == w[1]),
+        "late rounds must allocate a constant (steady-state) shell count: {late:?}"
+    );
+}

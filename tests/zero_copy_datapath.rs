@@ -50,6 +50,7 @@ fn star_dense(hosts: usize) -> (NetSim, NodeId, Vec<ResultSink<f32>>) {
             window: WINDOW,
             stagger_offset: 0,
             retransmit_after: None,
+            block_base: 0,
         };
         sim.install_host(
             h,
@@ -196,6 +197,7 @@ fn shell_allocations_do_not_scale_with_block_count() {
                 window: WINDOW,
                 stagger_offset: 0,
                 retransmit_after: None,
+                block_base: 0,
             };
             sim.install_host(
                 h,
@@ -258,6 +260,7 @@ fn dense_pool_misses_do_not_scale_with_block_count() {
                 window: WINDOW,
                 stagger_offset: 0,
                 retransmit_after: None,
+                block_base: 0,
             };
             sim.install_host(
                 h,
@@ -326,6 +329,7 @@ fn sparse_program_reuses_pair_batches_and_reclaims_payloads() {
             window: WINDOW,
             stagger_offset: 0,
             retransmit_after: None,
+            block_base: 0,
         };
         // ~3% density, striped.
         let pairs: Vec<(u32, f32)> = (0..total / 32)
