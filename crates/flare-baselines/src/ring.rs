@@ -179,7 +179,7 @@ impl<T: Element, O: ReduceOp<T>> RingHost<T, O> {
     }
 
     fn finish(&mut self, ctx: &mut HostCtx<'_>) {
-        *self.sink.borrow_mut() = Some(std::mem::take(&mut self.data));
+        *self.sink.lock().expect("sink lock") = Some(std::mem::take(&mut self.data));
         ctx.mark_done();
     }
 }

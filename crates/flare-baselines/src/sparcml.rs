@@ -238,7 +238,7 @@ impl<O: ReduceOp<f32>> SparcmlHost<O> {
             for (&i, &v) in &self.acc {
                 out[i as usize] = v;
             }
-            *self.sink.borrow_mut() = Some(out);
+            *self.sink.lock().expect("sink lock") = Some(out);
             ctx.mark_done();
         }
     }

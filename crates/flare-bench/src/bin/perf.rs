@@ -2,14 +2,23 @@
 //!
 //! Usage:
 //!   perf [--smoke] [--out PATH] [--only SUBSTR] [--baseline PATH]
+//!        [--threads N]
 //!
 //! `--smoke` runs the reduced CI matrix; `--out` sets
-//! the JSON output path (default `BENCH_PR6.json` in the working
+//! the JSON output path (default `BENCH_PR7.json` in the working
 //! directory); `--only` filters cells by name substring; `--baseline`
 //! compares every measured cell's *simulated makespan* against a
 //! checked-in `BENCH_*.json` and exits non-zero on any drift — wall-clock
 //! changes are expected between machines, simulation-semantics changes
 //! are not. The scenario rows also print as an aligned table.
+//!
+//! `--threads N` reruns every single-collective cell under the
+//! partitioned parallel driver with `N` workers. The cells pick up a
+//! `/parN` name suffix, so such a run never matches (and can never
+//! corrupt) the serial lossless baseline — it measures the parallel
+//! datapath against other `/parN` runs. Traffic cells stay serial (the
+//! engine drives the simulator directly) and are dropped from a
+//! `--threads` run.
 
 use flare_bench::perf::{
     diff_against_baseline, matrix, parse_baseline, run, smoke_matrix, to_json,
@@ -24,7 +33,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let only = args
         .iter()
         .position(|a| a == "--only")
@@ -35,7 +44,22 @@ fn main() {
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let threads: Option<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes an integer >= 1"));
     let mut scenarios = if smoke { smoke_matrix() } else { matrix() };
+    if let Some(n) = threads {
+        assert!(n >= 1, "--threads takes an integer >= 1");
+        // Rerun the single-collective cells under the parallel driver;
+        // traffic cells are serial-only, so drop them rather than
+        // silently measuring the wrong datapath under a `/parN` name.
+        scenarios.retain(|s| s.tenants == 0);
+        for s in &mut scenarios {
+            s.threads = n;
+        }
+    }
     if let Some(filter) = &only {
         scenarios.retain(|s| s.name().contains(filter.as_str()));
     }

@@ -83,6 +83,14 @@ pub struct Scenario {
     /// single-collective lossless baseline row of the same shape, and
     /// their rows additionally record pooled p50/p99 iteration tails.
     pub tenants: usize,
+    /// Worker threads for the partitioned parallel driver (0 = the
+    /// serial batched driver). Parallel cells carry a `/parN` name
+    /// suffix: their makespans are bitwise-identical to serial (the
+    /// driver's determinism contract) but their wall numbers measure a
+    /// different code path, so they stay out of the serial cells'
+    /// lossless baseline match and are tracked against each other
+    /// instead. Ignored by traffic cells (the engine is serial-only).
+    pub threads: usize,
 }
 
 impl Scenario {
@@ -92,7 +100,8 @@ impl Scenario {
     }
 
     /// Short `dense/fat_tree/8h/128KiB`-style name (lossy cells append
-    /// `/lossN%`, multi-core compute cells `/hpu`).
+    /// `/lossN%`, multi-core compute cells `/hpu`, traffic cells
+    /// `/trafficN`, parallel-driver cells `/parN`).
     pub fn name(&self) -> String {
         let mut name = format!(
             "{}/{}/{}h/{}",
@@ -112,6 +121,9 @@ impl Scenario {
         }
         if self.tenants > 0 {
             name.push_str(&format!("/traffic{}", self.tenants));
+        }
+        if self.threads > 0 {
+            name.push_str(&format!("/par{}", self.threads));
         }
         name
     }
@@ -165,12 +177,14 @@ pub fn matrix() -> Vec<Scenario> {
                         drop_prob: 0.0,
                         hpu: false,
                         tenants: 0,
+                        threads: 0,
                     });
                 }
             }
         }
     }
-    // Scale rows: the host counts Canary and Swing evaluate at.
+    // Scale rows: the host counts Canary and Swing evaluate at, plus a
+    // 1024-host row that only became affordable with the parallel driver.
     for hosts in [128usize, 256] {
         for bytes in [128 * 1024usize, 8 * 1024 * 1024] {
             out.push(Scenario {
@@ -182,8 +196,39 @@ pub fn matrix() -> Vec<Scenario> {
                 drop_prob: 0.0,
                 hpu: false,
                 tenants: 0,
+                threads: 0,
             });
         }
+    }
+    out.push(Scenario {
+        mode: Mode::Dense,
+        topo: TopoKind::FatTree,
+        hosts: 1024,
+        bytes_per_host: 8 * 1024 * 1024,
+        reps: 1,
+        drop_prob: 0.0,
+        hpu: false,
+        tenants: 0,
+        threads: 0,
+    });
+    // Parallel twins of the biggest scale rows: same simulation, the
+    // partitioned conservative-lookahead driver on 4 workers. Their
+    // makespans must equal the serial rows bit for bit (checked by the
+    // driver's differential tests); their wall numbers are the speedup
+    // record. The `/par4` suffix keeps them out of the serial baseline
+    // match until a baseline containing par rows is checked in.
+    for hosts in [256usize, 1024] {
+        out.push(Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts,
+            bytes_per_host: 8 * 1024 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+            tenants: 0,
+            threads: 4,
+        });
     }
     // Hpu rows: the multi-core compute model on the ROADMAP's slowest
     // dense cell (single-switch star, 32 children folding at one root)
@@ -204,6 +249,7 @@ pub fn matrix() -> Vec<Scenario> {
             drop_prob: 0.0,
             hpu: true,
             tenants: 0,
+            threads: 0,
         });
     }
     // Traffic rows: the multi-tenant engine churning Poisson job arrivals
@@ -220,6 +266,7 @@ pub fn matrix() -> Vec<Scenario> {
             drop_prob: 0.0,
             hpu: false,
             tenants,
+            threads: 0,
         });
     }
     out
@@ -228,10 +275,11 @@ pub fn matrix() -> Vec<Scenario> {
 /// Reduced matrix for CI smoke runs: one small dense and one small sparse
 /// cell, one 128-host scale cell, a *lossy* sparse cell exercising the
 /// shard-aware retransmission path end to end, one `Hpu` cell
-/// exercising the multi-core switch-compute model, and one traffic-engine
-/// cell churning a few tenants through a shared fat tree — all single
-/// repetition. The `/lossN%`, `/hpu` and `/trafficN` names keep those
-/// cells out of the lossless serial-pipeline baseline comparison.
+/// exercising the multi-core switch-compute model, one traffic-engine
+/// cell churning a few tenants through a shared fat tree, and one
+/// parallel-driver cell on 2 workers — all single repetition. The
+/// `/lossN%`, `/hpu`, `/trafficN` and `/parN` names keep those cells out
+/// of the lossless serial-pipeline baseline comparison.
 pub fn smoke_matrix() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -243,6 +291,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             drop_prob: 0.0,
             hpu: true,
             tenants: 0,
+            threads: 0,
         },
         Scenario {
             mode: Mode::Dense,
@@ -253,6 +302,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         },
         Scenario {
             mode: Mode::Sparse,
@@ -263,6 +313,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         },
         Scenario {
             mode: Mode::Dense,
@@ -273,6 +324,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         },
         Scenario {
             mode: Mode::Sparse,
@@ -283,6 +335,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             drop_prob: 0.01,
             hpu: false,
             tenants: 0,
+            threads: 0,
         },
         Scenario {
             mode: Mode::Dense,
@@ -293,6 +346,21 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             drop_prob: 0.0,
             hpu: false,
             tenants: 4,
+            threads: 0,
+        },
+        // One parallel-driver cell: the same shape as the tracked serial
+        // smoke cell, on 2 workers, so CI exercises the partitioned
+        // datapath end to end every run.
+        Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+            tenants: 0,
+            threads: 2,
         },
     ]
 }
@@ -342,6 +410,9 @@ pub fn run(s: &Scenario) -> Measurement {
         }
         if s.hpu {
             b = b.switch_model(SwitchModel::Hpu(HpuParams::paper()));
+        }
+        if s.threads > 0 {
+            b = b.threads(s.threads as u32);
         }
         b.build()
     };
@@ -473,12 +544,15 @@ pub fn to_json(label: &str, rows: &[Measurement]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, m) in rows.iter().enumerate() {
         let s = &m.scenario;
-        let traffic = match (s.tenants, m.p50_ns, m.p99_ns) {
+        let mut traffic = match (s.tenants, m.p50_ns, m.p99_ns) {
             (t, Some(p50), Some(p99)) if t > 0 => {
                 format!(", \"tenants\": {t}, \"p50_ns\": {p50}, \"p99_ns\": {p99}")
             }
             _ => String::new(),
         };
+        if s.threads > 0 {
+            traffic.push_str(&format!(", \"threads\": {}", s.threads));
+        }
         out.push_str(&format!(
             "    {{\"mode\": \"{}\", \"topology\": \"{}\", \"hosts\": {}, \"payload_bytes\": {}, \
              \"elems_per_host\": {}, \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \
@@ -558,10 +632,13 @@ pub fn parse_baseline(json: &str) -> Vec<BaselineRow> {
             continue;
         };
         let mut name = format!("{mode}/{topo}/{hosts}h/{}", size_label(bytes));
-        // Traffic rows are checked in with their cell suffix so future
-        // runs compare their (deterministic) fleet makespans too.
+        // Traffic and parallel rows are checked in with their cell suffix
+        // so future runs compare their (deterministic) makespans too.
         if let Some(tenants) = json_u64_field(line, "tenants").filter(|&t| t > 0) {
             name.push_str(&format!("/traffic{tenants}"));
+        }
+        if let Some(threads) = json_u64_field(line, "threads").filter(|&t| t > 0) {
+            name.push_str(&format!("/par{threads}"));
         }
         out.push(BaselineRow {
             name,
@@ -614,11 +691,14 @@ mod tests {
         let m = matrix();
         assert_eq!(
             m.len(),
-            25,
-            "16 tracked cells + 4 scale rows + 3 hpu + 2 traffic"
+            28,
+            "16 tracked cells + 5 scale rows + 2 parallel + 3 hpu + 2 traffic"
         );
-        let serial: Vec<&Scenario> = m.iter().filter(|s| !s.hpu && s.tenants == 0).collect();
-        assert_eq!(serial.len(), 20);
+        let serial: Vec<&Scenario> = m
+            .iter()
+            .filter(|s| !s.hpu && s.tenants == 0 && s.threads == 0)
+            .collect();
+        assert_eq!(serial.len(), 21);
         assert_eq!(serial.iter().filter(|s| s.mode == Mode::Sparse).count(), 8);
         assert_eq!(
             serial.iter().filter(|s| s.topo == TopoKind::Star).count(),
@@ -630,8 +710,93 @@ mod tests {
                 .iter()
                 .filter(|s| s.bytes_per_host == 8 << 20)
                 .count(),
-            10
+            11
         );
+    }
+
+    #[test]
+    fn matrix_parallel_cells_twin_the_largest_scale_rows() {
+        let m = matrix();
+        let par: Vec<&Scenario> = m.iter().filter(|s| s.threads > 0).collect();
+        assert_eq!(par.len(), 2);
+        let names: Vec<String> = par.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"dense/fat_tree/256h/8MiB/par4".to_string()));
+        assert!(names.contains(&"dense/fat_tree/1024h/8MiB/par4".to_string()));
+        // Every parallel cell twins a serial row of the same shape, so
+        // the speedup is always computable from one matrix run.
+        for p in &par {
+            assert!(
+                m.iter().any(|s| s.threads == 0
+                    && s.mode == p.mode
+                    && s.topo == p.topo
+                    && s.hosts == p.hosts
+                    && s.bytes_per_host == p.bytes_per_host),
+                "no serial twin for {}",
+                p.name()
+            );
+        }
+        // The suffix keeps a parallel cell from matching the serial
+        // baseline row of the same shape.
+        let baseline = vec![BaselineRow {
+            name: "dense/fat_tree/256h/8MiB".into(),
+            makespan_ns: 1,
+        }];
+        let diff = diff_against_baseline(&[measurement(*par[0], 2)], &baseline);
+        assert_eq!(diff.compared, 0);
+        assert!(diff.drift.is_empty());
+    }
+
+    #[test]
+    fn parallel_cells_roundtrip_through_the_baseline_format() {
+        let s = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 256,
+            bytes_per_host: 8 << 20,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+            tenants: 0,
+            threads: 4,
+        };
+        assert_eq!(s.name(), "dense/fat_tree/256h/8MiB/par4");
+        let json = to_json("perf", &[measurement(s, 694397)]);
+        assert!(json.contains("\"threads\": 4"));
+        let rows = parse_baseline(&json);
+        assert_eq!(
+            rows,
+            vec![BaselineRow {
+                name: "dense/fat_tree/256h/8MiB/par4".into(),
+                makespan_ns: 694397,
+            }]
+        );
+    }
+
+    #[test]
+    fn parallel_cell_runs_and_matches_the_serial_makespan() {
+        let serial = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 16,
+            bytes_per_host: 32 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+            tenants: 0,
+            threads: 0,
+        };
+        let par = Scenario {
+            threads: 2,
+            ..serial
+        };
+        let a = run(&serial);
+        let b = run(&par);
+        // The determinism contract, end to end through the harness:
+        // identical simulated results, only the wall clock may differ.
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.total_link_bytes, b.total_link_bytes);
+        assert_eq!(par.name(), "dense/fat_tree/16h/32KiB/par2");
     }
 
     #[test]
@@ -662,10 +827,12 @@ mod tests {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         };
         let hpu = Scenario {
             hpu: true,
             tenants: 0,
+            threads: 0,
             ..serial
         };
         let a = run(&serial);
@@ -689,6 +856,7 @@ mod tests {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         };
         let m = run(&s);
         assert!(m.wall_ms > 0.0);
@@ -709,6 +877,7 @@ mod tests {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         };
         let m = run(&s);
         assert!(m.events > 0 && m.total_link_bytes > 0);
@@ -739,6 +908,7 @@ mod tests {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         };
         let json = to_json("perf", &[measurement(s, 694397)]);
         let rows = parse_baseline(&json);
@@ -762,6 +932,7 @@ mod tests {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         };
         let baseline = vec![
             BaselineRow {
@@ -792,6 +963,7 @@ mod tests {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         };
         let vacuous = diff_against_baseline(&[measurement(new_cell, 1)], &baseline);
         assert!(vacuous.drift.is_empty());
@@ -824,9 +996,18 @@ mod tests {
             "dense/fat_tree/128h/8MiB",
             "dense/fat_tree/256h/128KiB",
             "dense/fat_tree/256h/8MiB",
+            "dense/fat_tree/1024h/8MiB",
         ] {
             assert!(names.contains(&want.to_string()), "missing {want}");
         }
+    }
+
+    #[test]
+    fn smoke_matrix_has_a_parallel_cell() {
+        let m = smoke_matrix();
+        let par: Vec<&Scenario> = m.iter().filter(|s| s.threads > 0).collect();
+        assert_eq!(par.len(), 1);
+        assert_eq!(par[0].name(), "dense/fat_tree/8h/128KiB/par2");
     }
 
     #[test]
@@ -871,6 +1052,7 @@ mod tests {
             drop_prob: 0.05,
             hpu: false,
             tenants: 0,
+            threads: 0,
         };
         let m = run(&s);
         assert!(m.events > 0 && m.makespan_ns > 0);
@@ -888,6 +1070,7 @@ mod tests {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         };
         let m = Measurement {
             scenario: s,
@@ -920,6 +1103,7 @@ mod tests {
             drop_prob: 0.0,
             hpu: false,
             tenants: 8,
+            threads: 0,
         };
         assert_eq!(s.name(), "dense/fat_tree/8h/64KiB/traffic8");
         let mut m = measurement(s, 4242);
@@ -961,6 +1145,7 @@ mod tests {
             drop_prob: 0.0,
             hpu: false,
             tenants: 4,
+            threads: 0,
         };
         let a = run(&s);
         let b = run(&s);

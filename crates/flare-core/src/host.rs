@@ -10,8 +10,7 @@
 //! bitmaps on the dense path, per-`(block, child)` shard-sequence
 //! tracking on the sparse path).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use flare_des::Time;
 use flare_net::{HostCtx, HostProgram, NetPacket, NodeId};
@@ -26,11 +25,15 @@ use crate::wire::{
 
 /// Shared slot a host writes its final reduced vector into, readable by
 /// the caller after the simulation (the simulator owns the programs).
-pub type ResultSink<T> = Rc<RefCell<Option<Vec<T>>>>;
+///
+/// `Arc<Mutex<_>>` rather than `Rc<RefCell<_>>` so host programs are
+/// `Send` and can run under the parallel driver; the lock is touched once
+/// per completed allreduce, never per packet.
+pub type ResultSink<T> = Arc<Mutex<Option<Vec<T>>>>;
 
 /// Create an empty result sink.
 pub fn result_sink<T>() -> ResultSink<T> {
-    Rc::new(RefCell::new(None))
+    Arc::new(Mutex::new(None))
 }
 
 /// Host configuration common to dense and sparse participation.
@@ -246,7 +249,7 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
         self.scratch.reclaim(pkt.payload);
         self.completed += 1;
         if self.completed == self.total_blocks() {
-            *self.sink.borrow_mut() = Some(std::mem::take(&mut self.data));
+            *self.sink.lock().expect("sink lock") = Some(std::mem::take(&mut self.data));
             ctx.mark_done();
         } else {
             self.pump(ctx);
@@ -464,7 +467,7 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
             // The block can never be re-sent again: free its shards.
             self.shards_out[block] = Vec::new();
             if self.blocks_done == self.trackers.len() as u64 {
-                *self.sink.borrow_mut() = Some(std::mem::take(&mut self.result));
+                *self.sink.lock().expect("sink lock") = Some(std::mem::take(&mut self.result));
                 ctx.mark_done();
             } else {
                 self.pump(ctx);

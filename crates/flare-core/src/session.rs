@@ -107,6 +107,16 @@ pub enum SessionError {
         /// The released allreduce id.
         id: u32,
     },
+    /// The parallel-driver thread count resolved to something unusable:
+    /// [`Tuning::threads`] was `Some(0)`, or the `FLARE_DES_THREADS`
+    /// environment variable was set to `0` or to a non-numeric value.
+    /// Zero workers cannot make progress, and silently falling back to
+    /// serial would mask a misconfigured benchmark run.
+    InvalidThreadCount {
+        /// The offending value, as configured (builder value or raw
+        /// environment string).
+        given: String,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -153,6 +163,13 @@ impl std::fmt::Display for SessionError {
                 write!(
                     f,
                     "reproducible(true) with a via() handle not admitted for tree aggregation"
+                )
+            }
+            SessionError::InvalidThreadCount { given } => {
+                write!(
+                    f,
+                    "invalid simulation thread count {given:?}: expected an \
+                     integer >= 1 (builder `threads(n)` or FLARE_DES_THREADS)"
                 )
             }
             SessionError::HandleReleased { id } => {
@@ -225,6 +242,19 @@ pub struct Tuning {
     /// (child bitmaps dense, shard-sequence tracking sparse) absorbs the
     /// retransmissions (paper Section 4.1).
     pub link_drop_prob: f64,
+    /// Worker threads for the partitioned parallel simulation driver
+    /// (`NetSim::run_threads`). `None` (the default) runs the serial
+    /// batched driver; `Some(n)` with `n >= 1` runs the conservative
+    /// lookahead driver with up to `n` workers (topologies that partition
+    /// into a single shard fall back to serial). `Some(0)` is rejected at
+    /// [`Collective::run`] with [`SessionError::InvalidThreadCount`].
+    ///
+    /// When unset, the `FLARE_DES_THREADS` environment variable is
+    /// consulted at `run()` with the same semantics; an explicit builder
+    /// value wins over the environment. Serial and parallel runs produce
+    /// bitwise-identical results — see the README's "Parallel simulation"
+    /// section for the determinism contract.
+    pub threads: Option<u32>,
 }
 
 impl Default for Tuning {
@@ -240,6 +270,7 @@ impl Default for Tuning {
             seed: 7,
             packet_bytes: 1024,
             link_drop_prob: 0.0,
+            threads: None,
         }
     }
 }
@@ -324,10 +355,20 @@ impl FlareSessionBuilder {
     /// blocks, switches reject the duplicates (child bitmaps dense,
     /// shard-sequence tracking sparse) and replay completed results from
     /// their caches (paper Section 4.1). Drops are decided by a
-    /// per-link RNG stream derived from the run seed, so a lossy run is
-    /// bitwise-reproducible.
+    /// per-link-direction RNG stream derived from the run seed, so a
+    /// lossy run is bitwise-reproducible — at any thread count.
     pub fn link_drop_prob(mut self, p: f64) -> Self {
         self.tuning.link_drop_prob = p;
+        self
+    }
+
+    /// Run simulations on `n` worker threads via the partitioned
+    /// conservative-lookahead driver (see [`Tuning::threads`]). `n = 0`
+    /// is rejected at [`Collective::run`] with
+    /// [`SessionError::InvalidThreadCount`]; an explicit value here wins
+    /// over the `FLARE_DES_THREADS` environment variable.
+    pub fn threads(mut self, n: u32) -> Self {
+        self.tuning.threads = Some(n);
         self
     }
 
@@ -714,7 +755,8 @@ impl<T: Element, O: ReduceOp<T> + Clone + 'static> Collective<'_, T, O> {
 
         // Resolve per-rank dense inputs or sparse pair lists.
         let op = self.op;
-        let tuning = self.session.tuning.clone();
+        let mut tuning = self.session.tuning.clone();
+        tuning.threads = resolve_threads(tuning.threads)?;
         if tuning.retransmit_after == Some(0) {
             // A zero-delay timer re-arms at the same instant forever,
             // flooding the event queue without time ever advancing.
@@ -998,6 +1040,42 @@ pub fn placement_for(plan: &AllreducePlan, switch: NodeId) -> TreePlacement {
 /// staggered windows, one simulation. Returns the per-rank results, the
 /// network report and the topology (handed back for reuse). Shared by
 /// [`Collective::run`] and the deprecated `run_dense_allreduce` shim.
+/// Resolve the effective worker-thread count for a run: an explicit
+/// [`Tuning::threads`] wins; otherwise the `FLARE_DES_THREADS` environment
+/// variable is consulted. Zero (from either source) and non-numeric
+/// environment values are configuration errors, not silent serial
+/// fallbacks — a benchmark run that *thinks* it is parallel must not
+/// quietly measure the serial driver.
+fn resolve_threads(configured: Option<u32>) -> Result<Option<u32>, SessionError> {
+    if let Some(n) = configured {
+        if n == 0 {
+            return Err(SessionError::InvalidThreadCount {
+                given: "0".to_string(),
+            });
+        }
+        return Ok(Some(n));
+    }
+    match std::env::var("FLARE_DES_THREADS") {
+        Ok(raw) => match raw.trim().parse::<u32>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(SessionError::InvalidThreadCount { given: raw }),
+        },
+        Err(_) => Ok(None),
+    }
+}
+
+/// Run the simulation with the driver selected by [`Tuning::threads`]:
+/// the serial batched driver when `None`, the partitioned
+/// conservative-lookahead driver otherwise. Both produce bitwise-identical
+/// reports (differentially tested in `flare-net`); the parallel driver
+/// itself falls back to serial on topologies that form a single partition.
+fn run_sim(sim: &mut NetSim, tuning: &Tuning) -> NetReport {
+    match tuning.threads {
+        Some(n) => sim.run_threads(None, n as usize),
+        None => sim.run(None),
+    }
+}
+
 pub(crate) fn execute_dense<T: Element, O: ReduceOp<T> + Clone + 'static>(
     topo: Topology,
     hosts: &[NodeId],
@@ -1038,10 +1116,10 @@ pub(crate) fn execute_dense<T: Element, O: ReduceOp<T> + Clone + 'static>(
         let host = DenseFlareHost::new(cfg, tuning.elems_per_packet, data, sink);
         sim.install_host(h, Box::new(host));
     }
-    let report = sim.run(None);
+    let report = run_sim(&mut sim, tuning);
     let results = sinks
         .into_iter()
-        .map(|s| s.borrow_mut().take().expect("host completed"))
+        .map(|s| s.lock().expect("sink lock").take().expect("host completed"))
         .collect();
     (results, report, sim.into_topology())
 }
@@ -1114,10 +1192,10 @@ pub(crate) fn execute_sparse<T: Element, O: ReduceOp<T> + Clone + 'static>(
         );
         sim.install_host(h, Box::new(host));
     }
-    let report = sim.run(None);
+    let report = run_sim(&mut sim, tuning);
     let results = sinks
         .into_iter()
-        .map(|s| s.borrow_mut().take().expect("host completed"))
+        .map(|s| s.lock().expect("sink lock").take().expect("host completed"))
         .collect();
     (results, report, sim.into_topology())
 }

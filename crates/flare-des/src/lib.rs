@@ -26,10 +26,12 @@
 #![deny(missing_docs)]
 
 pub mod heap;
+pub mod partition;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
+pub use partition::{run_parallel, run_parallel_until, Outbox, Partition, PartitionSim};
 pub use queue::{EventQueue, Simulator};
 
 /// Simulation time in nanoseconds.

@@ -22,11 +22,13 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 
+use flare_des::partition::{run_parallel_until, Outbox, Partition, PartitionSim};
 use flare_des::rng::rng_stream;
 use flare_des::{EventQueue, Simulator, Time};
 
 use crate::compute::{ComputeStats, SwitchCompute, SwitchModel};
 use crate::packet::NetPacket;
+use crate::partition::PartitionPlan;
 use crate::topology::{NodeId, NodeKind, PortId, Routing, Topology};
 
 /// Events processed by [`NetSim`].
@@ -60,7 +62,12 @@ pub enum NetEvent {
 }
 
 /// Application logic running on a host.
-pub trait HostProgram {
+///
+/// `Send` is a supertrait so installed programs can migrate to worker
+/// threads under [`NetSim::run_threads`]; programs never run on two
+/// threads at once (each partition is claimed whole), so `Sync` is not
+/// required.
+pub trait HostProgram: Send {
     /// Called once at simulation start.
     fn on_start(&mut self, _ctx: &mut HostCtx<'_>) {}
     /// Called for every packet delivered to this host.
@@ -70,7 +77,9 @@ pub trait HostProgram {
 }
 
 /// In-network program installed on a switch for matching flows.
-pub trait SwitchProgram {
+///
+/// `Send` is a supertrait for the same reason as [`HostProgram`]'s.
+pub trait SwitchProgram: Send {
     /// Whether this program handles `pkt` (unmatched packets are forwarded
     /// normally, "not further delayed" per paper Section 3).
     fn matches(&self, pkt: &NetPacket) -> bool;
@@ -86,6 +95,7 @@ pub trait SwitchProgram {
     }
 }
 
+#[derive(Default)]
 struct DirState {
     busy_until: Time,
     bytes: u64,
@@ -95,11 +105,14 @@ struct DirState {
 struct LinkState {
     dirs: [DirState; 2],
     drop_prob: f64,
-    /// Per-link RNG stream derived from `(run seed, link id)`: every
-    /// link's drop pattern is a pure function of the seed and that link's
-    /// own packet sequence, independent of how traffic interleaves
-    /// elsewhere — so lossy runs are bitwise-reproducible per run seed.
-    rng: StdRng,
+    /// Per-*direction* RNG streams derived from `(run seed, 2·link + dir)`:
+    /// every direction's drop pattern is a pure function of the seed and
+    /// that direction's own packet sequence, independent of how traffic
+    /// interleaves elsewhere — so lossy runs are bitwise-reproducible per
+    /// run seed. Per-direction (rather than per-link) streams also make
+    /// each stream single-writer under partitioned execution: only the
+    /// transmitting side's partition ever draws from it.
+    rngs: [StdRng; 2],
 }
 
 /// Shared mutable simulation state (everything except the programs).
@@ -138,7 +151,7 @@ impl SimCore {
         d.busy_until = fin;
         d.bytes += bytes as u64;
         d.packets += 1;
-        if state.drop_prob > 0.0 && state.rng.random::<f64>() < state.drop_prob {
+        if state.drop_prob > 0.0 && state.rngs[dir].random::<f64>() < state.drop_prob {
             self.drops += 1;
             return None;
         }
@@ -147,6 +160,67 @@ impl SimCore {
 
     fn route_port(&self, node: NodeId, pkt: &NetPacket) -> Option<PortId> {
         self.routing.next_port(node, pkt.dst, pkt.flow)
+    }
+}
+
+/// The mutable simulation state a program context operates on: either the
+/// whole core (serial execution) or one partition's slice of it (parallel
+/// execution under [`NetSim::run_threads`]).
+///
+/// Both variants expose identical semantics, so host and switch programs
+/// are oblivious to which driver is running them.
+enum CoreMut<'a> {
+    Whole(&'a mut SimCore),
+    Lane {
+        topo: &'a Topology,
+        routing: &'a Routing,
+        plan: &'a PartitionPlan,
+        state: &'a mut LaneState,
+    },
+}
+
+impl<'a> CoreMut<'a> {
+    fn topo(&self) -> &Topology {
+        match self {
+            CoreMut::Whole(c) => &c.topo,
+            CoreMut::Lane { topo, .. } => topo,
+        }
+    }
+
+    fn route_port(&self, node: NodeId, pkt: &NetPacket) -> Option<PortId> {
+        match self {
+            CoreMut::Whole(c) => c.route_port(node, pkt),
+            CoreMut::Lane { routing, .. } => routing.next_port(node, pkt.dst, pkt.flow),
+        }
+    }
+
+    /// `(processing rate, busy-until slot)` of a switch's serial pipeline.
+    fn proc_slot(&mut self, node: NodeId) -> (f64, &mut Time) {
+        match self {
+            CoreMut::Whole(c) => (c.proc_rate[node.index()], &mut c.proc_busy[node.index()]),
+            CoreMut::Lane { plan, state, .. } => {
+                let i = plan.node_local[node.index()] as usize;
+                (state.proc_rate[i], &mut state.proc_busy[i])
+            }
+        }
+    }
+
+    fn compute_mut(&mut self, node: NodeId) -> &mut Option<Box<SwitchCompute>> {
+        match self {
+            CoreMut::Whole(c) => &mut c.compute[node.index()],
+            CoreMut::Lane { plan, state, .. } => {
+                &mut state.compute[plan.node_local[node.index()] as usize]
+            }
+        }
+    }
+
+    fn done_slot(&mut self, node: NodeId) -> &mut Option<Time> {
+        match self {
+            CoreMut::Whole(c) => &mut c.done_at[node.index()],
+            CoreMut::Lane { plan, state, .. } => {
+                &mut state.done_at[plan.node_local[node.index()] as usize]
+            }
+        }
     }
 }
 
@@ -196,7 +270,7 @@ macro_rules! ctx_common {
 
 /// Execution context for host programs.
 pub struct HostCtx<'a> {
-    core: &'a mut SimCore,
+    core: CoreMut<'a>,
     queue: &'a mut EventQueue<NetEvent>,
     node: NodeId,
     now: Time,
@@ -223,16 +297,17 @@ impl<'a> HostCtx<'a> {
     /// Record this host as finished (first call wins); the simulation keeps
     /// running until the event queue drains.
     pub fn mark_done(&mut self) {
-        let slot = &mut self.core.done_at[self.node.index()];
+        let now = self.now;
+        let slot = self.core.done_slot(self.node);
         if slot.is_none() {
-            *slot = Some(self.now);
+            *slot = Some(now);
         }
     }
 }
 
 /// Execution context for switch programs.
 pub struct SwitchCtx<'a> {
-    core: &'a mut SimCore,
+    core: CoreMut<'a>,
     queue: &'a mut EventQueue<NetEvent>,
     node: NodeId,
     now: Time,
@@ -256,12 +331,11 @@ impl<'a> SwitchCtx<'a> {
     /// forgot to go block-aware.
     pub fn processing_done(&mut self, bytes: u32) -> Time {
         debug_assert!(
-            self.core.compute[self.node.index()].is_none(),
+            self.core.compute_mut(self.node).is_none(),
             "switch {:?} runs SwitchModel::Hpu: use processing_done_for(block, bytes)",
             self.node
         );
-        let rate = self.core.proc_rate[self.node.index()];
-        let busy = &mut self.core.proc_busy[self.node.index()];
+        let (rate, busy) = self.core.proc_slot(self.node);
         let start = self.now.max(*busy);
         let fin = if rate.is_finite() {
             start + ((bytes as f64 / rate).ceil() as Time).max(1)
@@ -282,7 +356,7 @@ impl<'a> SwitchCtx<'a> {
     /// [`processing_done`](Self::processing_done) — bit-identical timing
     /// to the pre-compute-subsystem simulator.
     pub fn processing_done_for(&mut self, block: u64, bytes: u32) -> Time {
-        match &mut self.core.compute[self.node.index()] {
+        match self.core.compute_mut(self.node) {
             Some(hpu) => hpu.execute(self.now, block, bytes),
             None => self.processing_done(bytes),
         }
@@ -296,7 +370,7 @@ impl<'a> SwitchCtx<'a> {
 
     /// Port of this switch facing a directly-connected neighbor.
     pub fn port_towards(&self, neighbor: NodeId) -> Option<PortId> {
-        self.core.topo.port_towards(self.node, neighbor)
+        self.core.topo().port_towards(self.node, neighbor)
     }
 }
 
@@ -349,7 +423,10 @@ impl NetSim {
                     },
                 ],
                 drop_prob: 0.0,
-                rng: rng_stream(seed, link as u64),
+                rngs: [
+                    rng_stream(seed, 2 * link as u64),
+                    rng_stream(seed, 2 * link as u64 + 1),
+                ],
             })
             .collect();
         Self {
@@ -468,7 +545,7 @@ impl NetSim {
         for node in self.core.topo.hosts() {
             if let Some(mut prog) = self.host_progs[node.index()].take() {
                 let mut ctx = HostCtx {
-                    core: &mut self.core,
+                    core: CoreMut::Whole(&mut self.core),
                     queue: &mut queue,
                     node,
                     now: 0,
@@ -485,6 +562,96 @@ impl NetSim {
             Some(d) => flare_des::run_batched_until(self, &mut queue, d),
             None => flare_des::run_batched(self, &mut queue),
         };
+        self.assemble_report(makespan, queue.processed())
+    }
+
+    /// Run to quiescence (or `deadline`) with the conservative parallel
+    /// driver on `threads` worker threads; returns the report.
+    ///
+    /// The topology is partitioned by [`PartitionPlan::build`] (every
+    /// host-bearing switch plus its hosts form one shard, everything else
+    /// is a singleton) and executed in lookahead windows of
+    /// [`Topology::min_link_latency`]` + 1` ns. The schedule is a pure
+    /// function of the topology and programs — independent of `threads` —
+    /// and is validated differentially against [`NetSim::run`], which
+    /// stays the bitwise reference.
+    ///
+    /// Topologies that collapse to a single partition (e.g. a star) fall
+    /// back to the serial driver.
+    pub fn run_threads(&mut self, deadline: Option<Time>, threads: usize) -> NetReport {
+        let plan = PartitionPlan::build(&self.core.topo);
+        if plan.parts <= 1 {
+            return self.run(deadline);
+        }
+        let threads = threads.max(1);
+        // Split the per-run mutable state and the installed programs into
+        // per-partition lanes: workers never alias a node, link direction,
+        // or program.
+        let lane_states = LaneState::split(&plan, &mut self.core);
+        let mut progs =
+            PartitionedPrograms::split(&plan, &mut self.host_progs, &mut self.switch_progs);
+        let topo = &self.core.topo;
+        let routing = &self.core.routing;
+        let mut parts: Vec<Partition<NetLane<'_>>> = lane_states
+            .into_iter()
+            .enumerate()
+            .map(|(p, state)| {
+                let (hosts, switches) = progs.take_part(p);
+                Partition::new(
+                    NetLane {
+                        topo,
+                        routing,
+                        plan: &plan,
+                        state,
+                        hosts,
+                        switches,
+                    },
+                    EventQueue::new(),
+                    plan.parts,
+                )
+            })
+            .collect();
+        // Start hosts exactly like the serial driver: ascending node id,
+        // now = 0. Partitions do not interact at t = 0, so per-partition
+        // id order projects the serial start order.
+        for part in parts.iter_mut() {
+            let queue = &mut part.queue;
+            part.sim.start_hosts(queue);
+        }
+        let makespan = run_parallel_until(
+            &mut parts,
+            plan.lookahead,
+            threads,
+            deadline.unwrap_or(Time::MAX),
+        );
+        let events: u64 = parts.iter().map(|p| p.queue.processed()).sum();
+        // Tear down: move every lane's state and programs back into the
+        // whole-core layout before any reference to `self.core` re-forms.
+        let collected: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                let NetLane {
+                    state,
+                    hosts,
+                    switches,
+                    ..
+                } = part.sim;
+                (state, hosts, switches)
+            })
+            .collect();
+        let mut lanes = Vec::with_capacity(plan.parts);
+        for (p, (state, hosts, switches)) in collected.into_iter().enumerate() {
+            for ((&m, h), s) in plan.nodes_of[p].iter().zip(hosts).zip(switches) {
+                self.host_progs[m.index()] = h;
+                self.switch_progs[m.index()] = s;
+            }
+            lanes.push(state);
+        }
+        LaneState::merge(&plan, lanes, &mut self.core);
+        self.assemble_report(makespan, events)
+    }
+
+    fn assemble_report(&self, makespan: Time, events: u64) -> NetReport {
         let total_link_bytes: u64 = self
             .core
             .links
@@ -504,7 +671,7 @@ impl NetSim {
             total_link_bytes,
             total_link_packets,
             drops: self.core.drops,
-            events: queue.processed(),
+            events,
         }
     }
 
@@ -567,7 +734,7 @@ impl Simulator for NetSim {
                 NodeKind::Host => {
                     if let Some(mut prog) = self.host_progs[node.index()].take() {
                         let mut ctx = HostCtx {
-                            core: &mut self.core,
+                            core: CoreMut::Whole(&mut self.core),
                             queue,
                             node,
                             now: t,
@@ -580,7 +747,7 @@ impl Simulator for NetSim {
                     if let Some(mut prog) = self.switch_progs[node.index()].take() {
                         if prog.matches(&pkt) {
                             let mut ctx = SwitchCtx {
-                                core: &mut self.core,
+                                core: CoreMut::Whole(&mut self.core),
                                 queue,
                                 node,
                                 now: t,
@@ -606,13 +773,316 @@ impl Simulator for NetSim {
             NetEvent::Wake { node, tag } => {
                 if let Some(mut prog) = self.host_progs[node.index()].take() {
                     let mut ctx = HostCtx {
-                        core: &mut self.core,
+                        core: CoreMut::Whole(&mut self.core),
                         queue,
                         node,
                         now: t,
                     };
                     prog.on_wake(&mut ctx, tag);
                     self.host_progs[node.index()] = Some(prog);
+                }
+            }
+        }
+    }
+}
+
+/// One partition's slice of the per-run mutable state, in dense local
+/// indexing (node slots in [`PartitionPlan::nodes_of`] order, direction
+/// slots in [`PartitionPlan::dir_local`] order). Splitting *moves* the
+/// state out of [`SimCore`] — total memory is unchanged and nothing is
+/// shared between lanes.
+struct LaneState {
+    part: u32,
+    proc_busy: Vec<Time>,
+    proc_rate: Vec<f64>,
+    compute: Vec<Option<Box<SwitchCompute>>>,
+    done_at: Vec<Option<Time>>,
+    dirs: Vec<DirState>,
+    drop_prob: Vec<f64>,
+    rngs: Vec<StdRng>,
+    drops: u64,
+}
+
+impl LaneState {
+    /// Move the per-run state out of `core` into one lane per partition.
+    fn split(plan: &PartitionPlan, core: &mut SimCore) -> Vec<LaneState> {
+        let mut lanes: Vec<LaneState> = (0..plan.parts)
+            .map(|p| {
+                let k = plan.nodes_of[p].len();
+                let mut lane = LaneState {
+                    part: p as u32,
+                    proc_busy: Vec::with_capacity(k),
+                    proc_rate: Vec::with_capacity(k),
+                    compute: Vec::with_capacity(k),
+                    done_at: Vec::with_capacity(k),
+                    dirs: Vec::new(),
+                    drop_prob: Vec::new(),
+                    rngs: Vec::new(),
+                    drops: 0,
+                };
+                for &m in &plan.nodes_of[p] {
+                    let i = m.index();
+                    lane.proc_busy.push(core.proc_busy[i]);
+                    lane.proc_rate.push(core.proc_rate[i]);
+                    lane.compute.push(core.compute[i].take());
+                    lane.done_at.push(core.done_at[i]);
+                }
+                lane
+            })
+            .collect();
+        for (l, link) in std::mem::take(&mut core.links).into_iter().enumerate() {
+            let [d0, d1] = link.dirs;
+            let [r0, r1] = link.rngs;
+            for (d, (dir, rng)) in [(d0, r0), (d1, r1)].into_iter().enumerate() {
+                let lane = &mut lanes[plan.dir_owner[l][d] as usize];
+                debug_assert_eq!(lane.dirs.len(), plan.dir_local[l][d] as usize);
+                lane.dirs.push(dir);
+                lane.rngs.push(rng);
+                lane.drop_prob.push(link.drop_prob);
+            }
+        }
+        lanes
+    }
+
+    /// Move every lane's state back into the whole-core layout.
+    fn merge(plan: &PartitionPlan, mut lanes: Vec<LaneState>, core: &mut SimCore) {
+        for (p, lane) in lanes.iter_mut().enumerate() {
+            for (li, &m) in plan.nodes_of[p].iter().enumerate() {
+                let i = m.index();
+                core.proc_busy[i] = lane.proc_busy[li];
+                core.proc_rate[i] = lane.proc_rate[li];
+                core.compute[i] = lane.compute[li].take();
+                core.done_at[i] = lane.done_at[li];
+            }
+            core.drops += lane.drops;
+        }
+        let mut links = Vec::with_capacity(plan.dir_owner.len());
+        for l in 0..plan.dir_owner.len() {
+            let mut take = |d: usize| {
+                let lane = &mut lanes[plan.dir_owner[l][d] as usize];
+                let li = plan.dir_local[l][d] as usize;
+                (
+                    std::mem::take(&mut lane.dirs[li]),
+                    std::mem::replace(&mut lane.rngs[li], rng_stream(0, 0)),
+                    lane.drop_prob[li],
+                )
+            };
+            let (dir0, rng0, drop_prob) = take(0);
+            let (dir1, rng1, _) = take(1);
+            links.push(LinkState {
+                dirs: [dir0, dir1],
+                drop_prob,
+                rngs: [rng0, rng1],
+            });
+        }
+        core.links = links;
+    }
+
+    /// Lane-local [`SimCore::transmit`]: identical link math and RNG
+    /// stream, operating on this partition's direction slots only (the
+    /// transmitting side owns the direction, so this never races).
+    fn transmit(
+        &mut self,
+        topo: &Topology,
+        plan: &PartitionPlan,
+        now: Time,
+        node: NodeId,
+        port: PortId,
+        bytes: u32,
+    ) -> Option<(NodeId, PortId, Time)> {
+        let pl = topo.ports_of(node)[port.index()];
+        let spec = topo.link(pl.link).spec;
+        let dir = usize::from(topo.link(pl.link).a.0 != node);
+        debug_assert_eq!(plan.dir_owner[pl.link][dir], self.part);
+        let li = plan.dir_local[pl.link][dir] as usize;
+        let d = &mut self.dirs[li];
+        let start = now.max(d.busy_until);
+        let fin = start + spec.serialize_ns(bytes);
+        d.busy_until = fin;
+        d.bytes += bytes as u64;
+        d.packets += 1;
+        if self.drop_prob[li] > 0.0 && self.rngs[li].random::<f64>() < self.drop_prob[li] {
+            self.drops += 1;
+            return None;
+        }
+        Some((pl.peer, pl.peer_port, fin + spec.latency_ns))
+    }
+}
+
+/// Per-partition views of the installed host and switch programs, so the
+/// parallel driver can hand each worker exclusive ownership of its
+/// partition's programs (local-index order, like [`LaneState`]).
+struct PartitionedPrograms {
+    hosts: Vec<Vec<Option<Box<dyn HostProgram>>>>,
+    switches: Vec<Vec<Option<Box<dyn SwitchProgram>>>>,
+}
+
+impl PartitionedPrograms {
+    fn split(
+        plan: &PartitionPlan,
+        host_progs: &mut [Option<Box<dyn HostProgram>>],
+        switch_progs: &mut [Option<Box<dyn SwitchProgram>>],
+    ) -> Self {
+        let mut hosts = Vec::with_capacity(plan.parts);
+        let mut switches = Vec::with_capacity(plan.parts);
+        for members in &plan.nodes_of {
+            hosts.push(
+                members
+                    .iter()
+                    .map(|m| host_progs[m.index()].take())
+                    .collect(),
+            );
+            switches.push(
+                members
+                    .iter()
+                    .map(|m| switch_progs[m.index()].take())
+                    .collect(),
+            );
+        }
+        Self { hosts, switches }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn take_part(
+        &mut self,
+        p: usize,
+    ) -> (
+        Vec<Option<Box<dyn HostProgram>>>,
+        Vec<Option<Box<dyn SwitchProgram>>>,
+    ) {
+        (
+            std::mem::take(&mut self.hosts[p]),
+            std::mem::take(&mut self.switches[p]),
+        )
+    }
+}
+
+/// One partition of the network simulator: shared read-only topology and
+/// routing, plus exclusively-owned local state and programs. Implements
+/// [`PartitionSim`] so `flare-des`'s windowed driver can execute it.
+struct NetLane<'a> {
+    topo: &'a Topology,
+    routing: &'a Routing,
+    plan: &'a PartitionPlan,
+    state: LaneState,
+    hosts: Vec<Option<Box<dyn HostProgram>>>,
+    switches: Vec<Option<Box<dyn SwitchProgram>>>,
+}
+
+impl NetLane<'_> {
+    fn local(&self, node: NodeId) -> usize {
+        debug_assert_eq!(self.plan.part_of[node.index()], self.state.part);
+        self.plan.node_local[node.index()] as usize
+    }
+
+    fn core_mut(&mut self) -> CoreMut<'_> {
+        CoreMut::Lane {
+            topo: self.topo,
+            routing: self.routing,
+            plan: self.plan,
+            state: &mut self.state,
+        }
+    }
+
+    /// Call `on_start` on this partition's hosts in ascending node id.
+    fn start_hosts(&mut self, queue: &mut EventQueue<NetEvent>) {
+        for li in 0..self.hosts.len() {
+            if let Some(mut prog) = self.hosts[li].take() {
+                let node = self.plan.nodes_of[self.state.part as usize][li];
+                let mut ctx = HostCtx {
+                    core: self.core_mut(),
+                    queue,
+                    node,
+                    now: 0,
+                };
+                prog.on_start(&mut ctx);
+                self.hosts[li] = Some(prog);
+            }
+        }
+    }
+}
+
+impl PartitionSim for NetLane<'_> {
+    type Event = NetEvent;
+
+    // The event dispatch mirrors `<NetSim as Simulator>::handle` exactly;
+    // the only semantic addition is routing a `Deliver` whose receiver
+    // lives in another partition through the outbox. The two copies are
+    // held equivalent by the serial-vs-parallel differential tests.
+    fn handle(
+        &mut self,
+        t: Time,
+        event: NetEvent,
+        queue: &mut EventQueue<NetEvent>,
+        outbox: &mut Outbox<NetEvent>,
+    ) {
+        match event {
+            NetEvent::Egress { node, port, pkt } => {
+                if let Some((peer, peer_port, arrive)) =
+                    self.state
+                        .transmit(self.topo, self.plan, t, node, port, pkt.wire_bytes)
+                {
+                    let dst = self.plan.part_of[peer.index()];
+                    let ev = NetEvent::Deliver {
+                        node: peer,
+                        in_port: peer_port,
+                        pkt,
+                    };
+                    if dst == self.state.part {
+                        queue.schedule_at(arrive, ev);
+                    } else {
+                        outbox.send(dst, arrive, ev);
+                    }
+                }
+            }
+            NetEvent::Deliver { node, in_port, pkt } => match self.topo.kind(node) {
+                NodeKind::Host => {
+                    let li = self.local(node);
+                    if let Some(mut prog) = self.hosts[li].take() {
+                        let mut ctx = HostCtx {
+                            core: self.core_mut(),
+                            queue,
+                            node,
+                            now: t,
+                        };
+                        prog.on_packet(&mut ctx, pkt);
+                        self.hosts[li] = Some(prog);
+                    }
+                }
+                NodeKind::Switch => {
+                    let li = self.local(node);
+                    if let Some(mut prog) = self.switches[li].take() {
+                        if prog.matches(&pkt) {
+                            let mut ctx = SwitchCtx {
+                                core: self.core_mut(),
+                                queue,
+                                node,
+                                now: t,
+                            };
+                            prog.on_packet(&mut ctx, in_port, pkt);
+                            self.switches[li] = Some(prog);
+                        } else {
+                            self.switches[li] = Some(prog);
+                            if let Some(port) = self.routing.next_port(node, pkt.dst, pkt.flow) {
+                                queue.schedule_at(t, NetEvent::Egress { node, port, pkt });
+                            }
+                        }
+                    } else if let Some(port) = self.routing.next_port(node, pkt.dst, pkt.flow) {
+                        queue.schedule_at(t, NetEvent::Egress { node, port, pkt });
+                    }
+                }
+            },
+            NetEvent::Wake { node, tag } => {
+                let li = self.local(node);
+                if let Some(mut prog) = self.hosts[li].take() {
+                    let mut ctx = HostCtx {
+                        core: self.core_mut(),
+                        queue,
+                        node,
+                        now: t,
+                    };
+                    prog.on_wake(&mut ctx, tag);
+                    self.hosts[li] = Some(prog);
                 }
             }
         }
@@ -913,6 +1383,118 @@ mod tests {
             SwitchModel::Hpu(crate::compute::HpuParams::figure5()),
         );
         sim.run(None);
+    }
+
+    /// Cross-leaf all-to-one traffic on a fat tree, once serial and once
+    /// parallel: every report field must match bitwise, at every thread
+    /// count.
+    #[test]
+    fn parallel_driver_matches_serial_on_fat_tree() {
+        let build = |drop: bool| {
+            let (topo, ft) = Topology::fat_tree_two_level(4, 4, 2, spec());
+            let mut sim = NetSim::new(topo, 11);
+            // Hosts in leaves 1..4 all send to host 0 (leaf 0), crossing
+            // the spine layer; host 0's own leaf-mates hammer it too.
+            let dst = ft.hosts[0];
+            for (rank, &h) in ft.hosts.iter().enumerate().skip(1) {
+                sim.install_host(
+                    h,
+                    Box::new(Sender {
+                        peer: dst,
+                        count: 5 + (rank as u64 % 3),
+                        bytes: 400 + 100 * (rank as u32 % 2),
+                    }),
+                );
+            }
+            sim.install_host(
+                dst,
+                Box::new(Receiver {
+                    expect: 10,
+                    ..Default::default()
+                }),
+            );
+            if drop {
+                for l in 0..sim.topology().link_count() {
+                    sim.set_link_drop_prob(l, 0.1);
+                }
+            }
+            sim
+        };
+        for drop in [false, true] {
+            let want = build(drop).run(None);
+            for threads in [1, 2, 8] {
+                let got = build(drop).run_threads(None, threads);
+                assert_eq!(got.makespan, want.makespan, "makespan t={threads}");
+                assert_eq!(got.total_link_bytes, want.total_link_bytes);
+                assert_eq!(got.total_link_packets, want.total_link_packets);
+                assert_eq!(got.drops, want.drops, "drops t={threads} lossy={drop}");
+                assert_eq!(got.events, want.events, "events t={threads}");
+                assert_eq!(got.done_at, want.done_at);
+            }
+        }
+    }
+
+    /// `run_threads` on a star (one partition) must take the serial path
+    /// and produce the serial result.
+    #[test]
+    fn run_threads_falls_back_to_serial_on_star() {
+        let build = || {
+            let (topo, _sw, hosts) = Topology::star(4, spec());
+            let mut sim = NetSim::new(topo, 3);
+            sim.install_host(
+                hosts[0],
+                Box::new(Sender {
+                    peer: hosts[1],
+                    count: 8,
+                    bytes: 500,
+                }),
+            );
+            sim.install_host(
+                hosts[1],
+                Box::new(Receiver {
+                    expect: 8,
+                    ..Default::default()
+                }),
+            );
+            sim
+        };
+        let want = build().run(None);
+        let got = build().run_threads(None, 4);
+        assert_eq!(got.makespan, want.makespan);
+        assert_eq!(got.events, want.events);
+        assert_eq!(got.done_at, want.done_at);
+    }
+
+    /// Deadline semantics must match the serial driver: events at exactly
+    /// the deadline run, later ones stay queued.
+    #[test]
+    fn run_threads_honors_deadline_like_serial() {
+        let build = || {
+            let (topo, ft) = Topology::fat_tree_two_level(2, 2, 1, spec());
+            let mut sim = NetSim::new(topo, 5);
+            sim.install_host(
+                ft.hosts[0],
+                Box::new(Sender {
+                    peer: ft.hosts[3],
+                    count: 50,
+                    bytes: 1250,
+                }),
+            );
+            sim.install_host(
+                ft.hosts[3],
+                Box::new(Receiver {
+                    expect: 50,
+                    ..Default::default()
+                }),
+            );
+            sim
+        };
+        for deadline in [0, 299, 300, 301, 2000] {
+            let want = build().run(Some(deadline));
+            let got = build().run_threads(Some(deadline), 3);
+            assert_eq!(got.makespan, want.makespan, "deadline {deadline}");
+            assert_eq!(got.events, want.events, "deadline {deadline}");
+        }
     }
 
     #[test]

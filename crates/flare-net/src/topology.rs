@@ -210,6 +210,18 @@ impl Topology {
         &self.links[id]
     }
 
+    /// Minimum propagation latency over all links, in ns (`None` for a
+    /// linkless topology).
+    ///
+    /// This is the conservative-lookahead bound of the parallel driver:
+    /// a packet egressed at time `t` can reach a neighbor no earlier than
+    /// `t + min_link_latency + 1` (serialization takes at least 1 ns), so
+    /// partitions may process a `min_link_latency + 1` wide window of
+    /// events without synchronizing.
+    pub fn min_link_latency(&self) -> Option<Time> {
+        self.links.iter().map(|l| l.spec.latency_ns).min()
+    }
+
     /// The port of `from` whose link peers with `to`, if directly connected.
     pub fn port_towards(&self, from: NodeId, to: NodeId) -> Option<PortId> {
         self.ports[from.index()]

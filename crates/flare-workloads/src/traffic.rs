@@ -37,9 +37,8 @@
 //! injection is rejected ([`TrafficError::LossyUnsupported`]) because the
 //! per-host retransmission timer protocol is not yet flow-multiplexed.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -425,14 +424,14 @@ impl<'s> TrafficEngine<'s> {
         }
 
         // Per-tenant static config shared by its cells.
-        let statics: Vec<Rc<TenantStatic>> = self
+        let statics: Vec<Arc<TenantStatic>> = self
             .tenants
             .iter()
             .map(|t| {
                 let plan = t.handle.plan();
                 let n = t.hosts.len();
                 let bpi = t.spec.elems.div_ceil(tuning.elems_per_packet) as u64;
-                Rc::new(TenantStatic {
+                Arc::new(TenantStatic {
                     id: plan.id,
                     window: plan.window,
                     step: stagger_step(plan.window, bpi, n),
@@ -451,7 +450,7 @@ impl<'s> TrafficEngine<'s> {
             })
             .collect();
 
-        let core = Rc::new(RefCell::new(Core {
+        let core = Arc::new(Mutex::new(Core {
             tenants: self
                 .tenants
                 .iter()
@@ -574,7 +573,7 @@ impl<'s> TrafficEngine<'s> {
         // Assemble per-tenant reports (admission order).
         let mut reports = Vec::with_capacity(self.tenants.len());
         let mut tenant_bytes = Vec::with_capacity(self.tenants.len());
-        let mut core = core.borrow_mut();
+        let mut core = core.lock().expect("core lock");
         for (i, t) in self.tenants.iter().enumerate() {
             let tr = &mut core.tenants[i];
             tr.makespans.sort_by_key(|&(g, _)| g);
@@ -669,7 +668,7 @@ struct Cell {
     leaf: NodeId,
     child_index: u16,
     stagger_offset: u64,
-    stat: Rc<TenantStatic>,
+    stat: Arc<TenantStatic>,
     rng: StdRng,
     job: usize,
     iter: usize,
@@ -782,7 +781,7 @@ fn tag(kind: u64, cell: usize) -> u64 {
 
 /// Host program multiplexing every tenant cell on one host.
 struct TrafficHost {
-    core: Rc<RefCell<Core>>,
+    core: Arc<Mutex<Core>>,
     cells: Vec<Cell>,
 }
 
@@ -804,7 +803,10 @@ impl TrafficHost {
             cell.iter = 0;
             (cell.tenant, cell.job, arrival)
         };
-        self.core.borrow_mut().job_start(tenant, job, arrival, now);
+        self.core
+            .lock()
+            .expect("core lock")
+            .job_start(tenant, job, arrival, now);
         self.schedule_compute(ctx, ci);
     }
 
@@ -837,7 +839,10 @@ impl TrafficHost {
             let inner = DenseFlareHost::new(cfg, cell.stat.epp, data, sink.clone());
             (cell.tenant, g, inner, sink)
         };
-        self.core.borrow_mut().iter_submit(tenant, g, now);
+        self.core
+            .lock()
+            .expect("core lock")
+            .iter_submit(tenant, g, now);
         inner.on_start(ctx);
         let cell = &mut self.cells[ci];
         cell.sink = sink;
@@ -849,7 +854,12 @@ impl TrafficHost {
         let (tenant, g, job, job_done) = {
             let cell = &mut self.cells[ci];
             cell.inner = None;
-            let result = cell.sink.borrow_mut().take().expect("sink was filled");
+            let result = cell
+                .sink
+                .lock()
+                .expect("sink lock")
+                .take()
+                .expect("sink was filled");
             if !cell.checked {
                 // Verify the first completed iteration end to end; later
                 // iterations reuse the identical data path.
@@ -869,7 +879,7 @@ impl TrafficHost {
             (cell.tenant, g, job, job_done)
         };
         {
-            let mut core = self.core.borrow_mut();
+            let mut core = self.core.lock().expect("core lock");
             core.iter_done(tenant, g, now);
             if job_done {
                 core.job_done(tenant, job);
@@ -909,7 +919,7 @@ impl HostProgram for TrafficHost {
                 return;
             };
             inner.on_packet(ctx, pkt);
-            if cell.sink.borrow().is_none() {
+            if cell.sink.lock().expect("sink lock").is_none() {
                 return;
             }
         }

@@ -40,7 +40,7 @@ fn simulated_ring_matches_functional_ring_on_a_star() {
     let report = sim.run(None);
     assert!(report.last_done.is_some(), "ring must complete");
     for (rank, sink) in sinks.iter().enumerate() {
-        assert_eq!(sink.borrow().as_ref().unwrap(), &want, "rank {rank}");
+        assert_eq!(sink.lock().unwrap().as_ref().unwrap(), &want, "rank {rank}");
     }
 }
 
@@ -70,7 +70,7 @@ fn simulated_ring_on_fat_tree_counts_cross_leaf_hops() {
     }
     let report = sim.run(None);
     for sink in &sinks {
-        assert_eq!(sink.borrow().as_ref().unwrap(), &want);
+        assert_eq!(sink.lock().unwrap().as_ref().unwrap(), &want);
     }
     // Ring neighbours 1→2 and 3→0 cross the spine (4 hops), others stay
     // within a leaf (2 hops): traffic must exceed the all-intra bound.
@@ -118,7 +118,7 @@ fn simulated_sparcml_matches_functional_and_golden() {
     let report = sim.run(None);
     assert!(report.last_done.is_some(), "sparcml must complete");
     for sink in &sinks {
-        for (a, b) in sink.borrow().as_ref().unwrap().iter().zip(&want) {
+        for (a, b) in sink.lock().unwrap().as_ref().unwrap().iter().zip(&want) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
     }
@@ -155,7 +155,7 @@ fn sparcml_switches_to_dense_when_data_densifies() {
     }
     sim.run(None);
     for sink in &sinks {
-        for (a, b) in sink.borrow().as_ref().unwrap().iter().zip(&want) {
+        for (a, b) in sink.lock().unwrap().as_ref().unwrap().iter().zip(&want) {
             assert!((a - b).abs() < 1e-4);
         }
     }

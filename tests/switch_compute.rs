@@ -156,6 +156,7 @@ fn default_model_reproduces_the_pr3_makespans() {
             drop_prob: 0.0,
             hpu: false,
             tenants: 0,
+            threads: 0,
         });
         assert_eq!(
             m.makespan_ns,

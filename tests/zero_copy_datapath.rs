@@ -72,7 +72,7 @@ fn dense_steady_state_allocates_zero_payload_buffers_per_packet() {
     let report = sim.run(None);
     assert!(report.last_done.is_some(), "allreduce must complete");
     for (rank, sink) in sinks.iter().enumerate() {
-        let got = sink.borrow_mut().take().expect("host finished");
+        let got = sink.lock().unwrap().take().expect("host finished");
         let want = (hosts * (hosts + 1) / 2) as f32;
         assert_eq!(got.len(), BLOCKS * ELEMS_PER_PACKET);
         assert!(got.iter().all(|&v| v == want), "rank {rank} result wrong");
@@ -144,7 +144,7 @@ fn dense_steady_state_allocates_zero_bytes_shells_per_packet() {
     let report = sim.run(None);
     assert!(report.last_done.is_some(), "allreduce must complete");
     for sink in &sinks {
-        assert!(sink.borrow().is_some(), "completed");
+        assert!(sink.lock().unwrap().is_some(), "completed");
     }
     let after = bytes::shell_pool_stats();
     let packets = (hosts * BLOCKS) as u64;
@@ -274,7 +274,7 @@ fn dense_pool_misses_do_not_scale_with_block_count() {
         }
         sim.run(None);
         for sink in &sinks {
-            assert!(sink.borrow().is_some(), "completed");
+            assert!(sink.lock().unwrap().is_some(), "completed");
         }
         let mut prog = sim.take_switch(sw).unwrap();
         let stats = prog
@@ -344,7 +344,7 @@ fn sparse_program_reuses_pair_batches_and_reclaims_payloads() {
     }
     sim.run(None);
     for sink in &sinks {
-        assert!(sink.borrow().is_some(), "sparse allreduce completed");
+        assert!(sink.lock().unwrap().is_some(), "sparse allreduce completed");
     }
     let mut prog = sim.take_switch(sw).unwrap();
     let stats = prog
