@@ -5,7 +5,7 @@
 //!        [--threads N]
 //!
 //! `--smoke` runs the reduced CI matrix; `--out` sets
-//! the JSON output path (default `BENCH_PR7.json` in the working
+//! the JSON output path (default `BENCH_PR8.json` in the working
 //! directory); `--only` filters cells by name substring; `--baseline`
 //! compares every measured cell's *simulated makespan* against a
 //! checked-in `BENCH_*.json` and exits non-zero on any drift — wall-clock
@@ -33,7 +33,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
     let only = args
         .iter()
         .position(|a| a == "--only")

@@ -70,7 +70,10 @@ pub struct Scenario {
     /// Per-link drop probability (0.0 = lossless). Lossy cells pair it
     /// with the default retransmission timeout and carry a `/lossN%`
     /// name suffix, so they never collide with the tracked lossless
-    /// baseline rows.
+    /// baseline rows. Combined with `tenants > 0` the suffix reads
+    /// `/trafficN/lossM%`: the traffic engine drives a mixed
+    /// dense/sparse fleet whose inner retransmission timers multiplex
+    /// through the flow-tag namespace.
     pub drop_prob: f64,
     /// Run the switches under `SwitchModel::Hpu(HpuParams::paper())`
     /// instead of the calibrated serial rate limiter. Hpu cells carry a
@@ -99,9 +102,10 @@ impl Scenario {
         self.bytes_per_host / 4
     }
 
-    /// Short `dense/fat_tree/8h/128KiB`-style name (lossy cells append
-    /// `/lossN%`, multi-core compute cells `/hpu`, traffic cells
-    /// `/trafficN`, parallel-driver cells `/parN`).
+    /// Short `dense/fat_tree/8h/128KiB`-style name (traffic cells append
+    /// `/trafficN`, lossy cells `/lossN%` — so a lossy traffic cell reads
+    /// `/trafficN/lossM%` — multi-core compute cells `/hpu`,
+    /// parallel-driver cells `/parN`).
     pub fn name(&self) -> String {
         let mut name = format!(
             "{}/{}/{}h/{}",
@@ -110,6 +114,9 @@ impl Scenario {
             self.hosts,
             size_label(self.bytes_per_host as u64)
         );
+        if self.tenants > 0 {
+            name.push_str(&format!("/traffic{}", self.tenants));
+        }
         if self.drop_prob > 0.0 {
             name.push_str(&format!(
                 "/loss{}%",
@@ -118,9 +125,6 @@ impl Scenario {
         }
         if self.hpu {
             name.push_str("/hpu");
-        }
-        if self.tenants > 0 {
-            name.push_str(&format!("/traffic{}", self.tenants));
         }
         if self.threads > 0 {
             name.push_str(&format!("/par{}", self.threads));
@@ -269,6 +273,22 @@ pub fn matrix() -> Vec<Scenario> {
             threads: 0,
         });
     }
+    // Lossy traffic row: 16 mixed dense/sparse tenants at 1% link loss,
+    // their retransmission timers multiplexed through the flow-tag
+    // namespace. The combined `/traffic16/loss1%` suffix keeps it out of
+    // both the lossless traffic rows and the single-collective lossy
+    // cells.
+    out.push(Scenario {
+        mode: Mode::Dense,
+        topo: TopoKind::FatTree,
+        hosts: 8,
+        bytes_per_host: 64 * 1024,
+        reps: 1,
+        drop_prob: 0.01,
+        hpu: false,
+        tenants: 16,
+        threads: 0,
+    });
     out
 }
 
@@ -276,10 +296,12 @@ pub fn matrix() -> Vec<Scenario> {
 /// cell, one 128-host scale cell, a *lossy* sparse cell exercising the
 /// shard-aware retransmission path end to end, one `Hpu` cell
 /// exercising the multi-core switch-compute model, one traffic-engine
-/// cell churning a few tenants through a shared fat tree, and one
-/// parallel-driver cell on 2 workers — all single repetition. The
-/// `/lossN%`, `/hpu`, `/trafficN` and `/parN` names keep those cells out
-/// of the lossless serial-pipeline baseline comparison.
+/// cell churning a few tenants through a shared fat tree, one *lossy*
+/// traffic cell retransmitting a mixed dense/sparse fleet through the
+/// flow-tag namespace, and one parallel-driver cell on 2 workers — all
+/// single repetition. The `/lossN%`, `/hpu`, `/trafficN` and `/parN`
+/// names keep those cells out of the lossless serial-pipeline baseline
+/// comparison.
 pub fn smoke_matrix() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -344,6 +366,20 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             bytes_per_host: 32 * 1024,
             reps: 1,
             drop_prob: 0.0,
+            hpu: false,
+            tenants: 4,
+            threads: 0,
+        },
+        // One lossy traffic cell: a mixed dense/sparse fleet under 1%
+        // link loss, so CI exercises the flow-scoped retransmission
+        // multiplex end to end every run.
+        Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 32 * 1024,
+            reps: 1,
+            drop_prob: 0.01,
             hpu: false,
             tenants: 4,
             threads: 0,
@@ -480,30 +516,40 @@ pub fn run(s: &Scenario) -> Measurement {
 }
 
 /// Execute a multi-tenant traffic cell: `s.tenants` Poisson-arriving
-/// dense tenants (two jobs of two compute+allreduce iterations each)
-/// churn through one shared simulation over the scenario topology.
-/// Makespan and event counts come from the shared [`NetSim`] run; the
-/// pooled per-iteration makespan tails land in `p50_ns`/`p99_ns`.
+/// tenants (two jobs of two compute+allreduce iterations each) churn
+/// through one shared simulation over the scenario topology. Lossless
+/// cells run the exact all-dense fleet of the tracked baselines; lossy
+/// cells (`drop_prob > 0`) pair the drop probability with the default
+/// retransmission timeout and make every odd tenant sparse, so the cell
+/// exercises the flow-scoped retransmission multiplex over a mixed
+/// fleet. Makespan and event counts come from the shared [`NetSim`] run;
+/// the pooled per-iteration makespan tails land in `p50_ns`/`p99_ns`.
 fn run_traffic(s: &Scenario) -> Measurement {
     let elems = s.elems();
     let mut best: Option<Measurement> = None;
     for _ in 0..s.reps.max(1) {
         let (topo, hosts) = build_topology(s.topo, s.hosts);
         let start = Instant::now();
-        let mut session = FlareSession::builder(topo).hosts(hosts).build();
+        let mut builder = FlareSession::builder(topo).hosts(hosts);
+        if s.drop_prob > 0.0 {
+            builder = builder
+                .link_drop_prob(s.drop_prob)
+                .retransmit_after(Some(200_000));
+        }
+        let mut session = builder.build();
         let mut engine = TrafficEngine::new(&mut session, 7);
         for i in 0..s.tenants {
-            engine
-                .add_tenant(
-                    TenantSpec::new(format!("tenant-{i}"), elems)
-                        .iterations(2)
-                        .compute(5_000, 0.2)
-                        .arrivals(ArrivalProcess::Poisson {
-                            mean_interarrival_ns: 20_000.0,
-                            jobs: 2,
-                        }),
-                )
-                .expect("admit traffic tenant");
+            let mut spec = TenantSpec::new(format!("tenant-{i}"), elems)
+                .iterations(2)
+                .compute(5_000, 0.2)
+                .arrivals(ArrivalProcess::Poisson {
+                    mean_interarrival_ns: 20_000.0,
+                    jobs: 2,
+                });
+            if s.drop_prob > 0.0 && i % 2 == 1 {
+                spec = spec.sparse(0.2);
+            }
+            engine.add_tenant(spec).expect("admit traffic tenant");
         }
         let report = engine.run().expect("traffic run");
         engine.release_all().expect("release tenants");
@@ -550,6 +596,15 @@ pub fn to_json(label: &str, rows: &[Measurement]) -> String {
             }
             _ => String::new(),
         };
+        if s.drop_prob > 0.0 {
+            traffic.push_str(&format!(
+                ", \"loss_pct\": {}",
+                (s.drop_prob * 100.0).round() as u32
+            ));
+        }
+        if s.hpu {
+            traffic.push_str(", \"hpu\": true");
+        }
         if s.threads > 0 {
             traffic.push_str(&format!(", \"threads\": {}", s.threads));
         }
@@ -632,10 +687,20 @@ pub fn parse_baseline(json: &str) -> Vec<BaselineRow> {
             continue;
         };
         let mut name = format!("{mode}/{topo}/{hosts}h/{}", size_label(bytes));
-        // Traffic and parallel rows are checked in with their cell suffix
-        // so future runs compare their (deterministic) makespans too.
+        // Suffixed rows (traffic, lossy, hpu, parallel) are checked in
+        // with their cell suffix — reconstructed in [`Scenario::name`]
+        // order — so future runs compare their (deterministic) makespans
+        // too. Baselines written before a suffix field existed simply
+        // parse without it, and the measured cell's suffixed name then
+        // matches no baseline row (skipped, never corrupted).
         if let Some(tenants) = json_u64_field(line, "tenants").filter(|&t| t > 0) {
             name.push_str(&format!("/traffic{tenants}"));
+        }
+        if let Some(loss) = json_u64_field(line, "loss_pct").filter(|&l| l > 0) {
+            name.push_str(&format!("/loss{loss}%"));
+        }
+        if line.contains("\"hpu\": true") {
+            name.push_str("/hpu");
         }
         if let Some(threads) = json_u64_field(line, "threads").filter(|&t| t > 0) {
             name.push_str(&format!("/par{threads}"));
@@ -691,8 +756,8 @@ mod tests {
         let m = matrix();
         assert_eq!(
             m.len(),
-            28,
-            "16 tracked cells + 5 scale rows + 2 parallel + 3 hpu + 2 traffic"
+            29,
+            "16 tracked cells + 5 scale rows + 2 parallel + 3 hpu + 3 traffic"
         );
         let serial: Vec<&Scenario> = m
             .iter()
@@ -1026,7 +1091,10 @@ mod tests {
     #[test]
     fn smoke_matrix_has_a_lossy_sparse_cell_outside_the_baseline() {
         let m = smoke_matrix();
-        let lossy: Vec<&Scenario> = m.iter().filter(|s| s.drop_prob > 0.0).collect();
+        let lossy: Vec<&Scenario> = m
+            .iter()
+            .filter(|s| s.drop_prob > 0.0 && s.tenants == 0)
+            .collect();
         assert_eq!(lossy.len(), 1);
         assert_eq!(lossy[0].mode, Mode::Sparse);
         assert_eq!(lossy[0].name(), "sparse/fat_tree/8h/128KiB/loss1%");
@@ -1162,7 +1230,110 @@ mod tests {
     fn smoke_matrix_has_a_traffic_cell() {
         let m = smoke_matrix();
         let traffic: Vec<&Scenario> = m.iter().filter(|s| s.tenants > 0).collect();
-        assert_eq!(traffic.len(), 1);
+        assert_eq!(traffic.len(), 2, "one lossless, one lossy");
         assert_eq!(traffic[0].name(), "dense/fat_tree/8h/32KiB/traffic4");
+        assert_eq!(traffic[1].name(), "dense/fat_tree/8h/32KiB/traffic4/loss1%");
+    }
+
+    #[test]
+    fn matrix_has_a_lossy_traffic_cell_outside_every_other_baseline() {
+        let m = matrix();
+        let lossy: Vec<&Scenario> = m
+            .iter()
+            .filter(|s| s.tenants > 0 && s.drop_prob > 0.0)
+            .collect();
+        assert_eq!(lossy.len(), 1);
+        assert_eq!(lossy[0].name(), "dense/fat_tree/8h/64KiB/traffic16/loss1%");
+        // The combined suffix must keep the cell from matching the
+        // lossless traffic row of the same shape *and* the
+        // single-collective row.
+        let baseline = vec![
+            BaselineRow {
+                name: "dense/fat_tree/8h/64KiB/traffic16".into(),
+                makespan_ns: 1,
+            },
+            BaselineRow {
+                name: "dense/fat_tree/8h/64KiB".into(),
+                makespan_ns: 1,
+            },
+        ];
+        let diff = diff_against_baseline(&[measurement(*lossy[0], 2)], &baseline);
+        assert_eq!(diff.compared, 0);
+        assert!(diff.drift.is_empty());
+    }
+
+    #[test]
+    fn lossy_traffic_rows_roundtrip_with_the_combined_suffix() {
+        let s = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 64 * 1024,
+            reps: 1,
+            drop_prob: 0.01,
+            hpu: false,
+            tenants: 16,
+            threads: 0,
+        };
+        assert_eq!(s.name(), "dense/fat_tree/8h/64KiB/traffic16/loss1%");
+        let json = to_json("perf", &[measurement(s, 777)]);
+        assert!(json.contains("\"loss_pct\": 1"));
+        let rows = parse_baseline(&json);
+        assert_eq!(
+            rows,
+            vec![BaselineRow {
+                name: "dense/fat_tree/8h/64KiB/traffic16/loss1%".into(),
+                makespan_ns: 777,
+            }]
+        );
+    }
+
+    #[test]
+    fn hpu_rows_roundtrip_with_their_suffix() {
+        let s = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::Star,
+            hosts: 32,
+            bytes_per_host: 8 << 20,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: true,
+            tenants: 0,
+            threads: 0,
+        };
+        let json = to_json("perf", &[measurement(s, 4242)]);
+        assert!(json.contains("\"hpu\": true"));
+        let rows = parse_baseline(&json);
+        assert_eq!(
+            rows,
+            vec![BaselineRow {
+                name: "dense/star/32h/8MiB/hpu".into(),
+                makespan_ns: 4242,
+            }]
+        );
+    }
+
+    #[test]
+    fn lossy_traffic_cell_completes_with_a_mixed_fleet() {
+        let s = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::Star,
+            hosts: 4,
+            bytes_per_host: 16 * 1024,
+            reps: 1,
+            drop_prob: 0.05,
+            hpu: false,
+            tenants: 4,
+            threads: 0,
+        };
+        let a = run(&s);
+        let b = run(&s);
+        assert!(a.makespan_ns > 0 && a.events > 0);
+        assert!(a.p50_ns.expect("p50") > 0);
+        // Lossy traffic runs are as reproducible as lossless ones: drops
+        // come from seeded per-link streams inside the simulator.
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.total_link_bytes, b.total_link_bytes);
+        assert_eq!(s.name(), "dense/star/4h/16KiB/traffic4/loss5%");
     }
 }

@@ -19,6 +19,7 @@ use crate::dtype::Element;
 use crate::op::ReduceOp;
 use crate::pool::BufferPool;
 use crate::sparse::{ShardEvent, ShardTracker};
+use crate::tag::FlowTag;
 use crate::wire::{
     encode_dense_into, encode_sparse_into, DenseView, Header, PacketKind, SparseView, HEADER_BYTES,
 };
@@ -58,9 +59,25 @@ pub struct HostConfig {
     /// by a traffic engine) bump this so every iteration uses a fresh
     /// block-id stream and stale switch state can never alias.
     pub block_base: u64,
+    /// Incarnation sequence for this host's wake tags ([`FlowTag::seq`]).
+    /// A traffic engine re-running one admitted collective bumps this per
+    /// iteration so a stale retransmit timer armed by iteration `k` is
+    /// ignored by iteration `k+1` (the tag no longer matches). Standalone
+    /// collectives use 0. At most [`crate::tag::MAX_SEQ`] — host
+    /// constructors panic past that; admission layers validate first via
+    /// [`FlowTag::pack`].
+    pub wake_seq: u32,
 }
 
-const RETX_TAG: u64 = 0xF1A8;
+impl HostConfig {
+    /// The packed retransmission wake tag for this configuration:
+    /// `FlowTag { flow: allreduce, kind: KIND_RETRANSMIT, seq: wake_seq }`.
+    fn retx_tag(&self) -> u64 {
+        FlowTag::retransmit(self.allreduce, self.wake_seq)
+            .pack()
+            .expect("wake_seq exceeds FlowTag seq field; validate at admission")
+    }
+}
 
 /// In-flight block map in insertion order. Windows are small (the manager
 /// caps them near `hosts + 64`), so a linear scan over a contiguous vec
@@ -109,6 +126,8 @@ impl WindowMap {
 /// first write to a fresh result allocation.
 pub struct DenseFlareHost<T: Element> {
     cfg: HostConfig,
+    /// Packed [`FlowTag`] this host's retransmit timer fires with.
+    retx_tag: u64,
     elems_per_packet: usize,
     /// Input data, progressively overwritten with reduced blocks.
     data: Vec<T>,
@@ -140,6 +159,7 @@ impl<T: Element> DenseFlareHost<T> {
             .map(|p| (p + cfg.stagger_offset) % blocks)
             .collect();
         Self {
+            retx_tag: cfg.retx_tag(),
             cfg,
             elems_per_packet,
             data,
@@ -206,7 +226,7 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
         self.pump(ctx);
         if let Some(t) = self.cfg.retransmit_after {
-            ctx.wake_in(t, RETX_TAG);
+            ctx.wake_in(t, self.retx_tag);
         }
     }
 
@@ -257,7 +277,10 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
     }
 
     fn on_wake(&mut self, ctx: &mut HostCtx<'_>, tag: u64) {
-        if tag != RETX_TAG || self.completed == self.total_blocks() {
+        // A stale tag (earlier `wake_seq` incarnation under a traffic
+        // mux) dies here without re-arming, bounding timer chains to one
+        // per live incarnation.
+        if tag != self.retx_tag || self.completed == self.total_blocks() {
             return;
         }
         let timeout = self.cfg.retransmit_after.expect("timer armed");
@@ -272,7 +295,7 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
             self.retransmits += 1;
             self.send_block(ctx, block);
         }
-        ctx.wake_in(timeout, RETX_TAG);
+        ctx.wake_in(timeout, self.retx_tag);
     }
 }
 
@@ -291,6 +314,8 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
 /// result must not double-count.
 pub struct SparseFlareHost<T: Element, O> {
     cfg: HostConfig,
+    /// Packed [`FlowTag`] this host's retransmit timer fires with.
+    retx_tag: u64,
     op: O,
     span: usize,
     total_elems: usize,
@@ -346,6 +371,7 @@ impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
             .collect();
         let identity = op.identity();
         Self {
+            retx_tag: cfg.retx_tag(),
             cfg,
             op,
             span,
@@ -417,7 +443,7 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
         self.pump(ctx);
         if let Some(t) = self.cfg.retransmit_after {
-            ctx.wake_in(t, RETX_TAG);
+            ctx.wake_in(t, self.retx_tag);
         }
     }
 
@@ -476,7 +502,8 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
     }
 
     fn on_wake(&mut self, ctx: &mut HostCtx<'_>, tag: u64) {
-        if tag != RETX_TAG || self.blocks_done == self.trackers.len() as u64 {
+        // Stale-incarnation tags are dropped, as on the dense path.
+        if tag != self.retx_tag || self.blocks_done == self.trackers.len() as u64 {
             return;
         }
         let timeout = self.cfg.retransmit_after.expect("timer armed");
@@ -491,7 +518,7 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
             self.retransmits += 1;
             self.send_block(ctx, block);
         }
-        ctx.wake_in(timeout, RETX_TAG);
+        ctx.wake_in(timeout, self.retx_tag);
     }
 }
 
@@ -508,6 +535,7 @@ mod tests {
             stagger_offset: 3,
             retransmit_after: None,
             block_base: 0,
+            wake_seq: 0,
         }
     }
 

@@ -29,6 +29,9 @@
 //! * [`report`] — multi-tenant reporting: per-tenant tail statistics
 //!   (p50/p99/max), Jain's fairness index and HPU contention summaries,
 //!   attached to [`session::RunReport`] by the traffic engine.
+//! * [`tag`] — the namespaced wake-tag scheme ([`tag::FlowTag`]) that
+//!   lets an outer multiplexer (the traffic engine) own many flows'
+//!   timers in one `HostProgram` without collisions.
 //! * [`collectives`] — deprecated free-function shims over [`session`]
 //!   plus the Horovod-style issue sequencer (Section 8).
 //! * [`features`] — the machine-readable Table 1 capability matrix.
@@ -46,15 +49,17 @@ pub mod report;
 pub mod session;
 pub mod sparse;
 pub mod switch_prog;
+pub mod tag;
 pub mod wire;
 
 pub use dtype::{Element, F16};
 pub use op::{golden_reduce, Custom, Max, Min, Prod, ReduceOp, Sum};
 pub use pool::{BlockSlab, BufferPool, PoolStats, SlabStats};
 pub use report::{
-    jain_index, FabricStats, HpuSwitchReport, TailStats, TenantReport, TenantSection,
+    jain_index, FabricStats, HpuSwitchReport, PayloadSpec, TailStats, TenantReport, TenantSection,
 };
 pub use session::{
     Collective, CollectiveHandle, CollectiveResult, FlareSession, FlareSessionBuilder, RunReport,
     SessionError, SparsePolicy, Tuning,
 };
+pub use tag::{FlowTag, FlowTagOverflow};

@@ -82,6 +82,25 @@ pub struct HpuSwitchReport {
     pub subset_peaks: Vec<usize>,
 }
 
+/// What a tenant's per-iteration gradient looks like on the wire: the
+/// payload half of the traffic engine's per-flow program selection (the
+/// other half — loss recovery — follows the session tuning). Lives in
+/// `flare-core` so both the engine's `TenantSpec` and the per-tenant
+/// report speak the same type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PayloadSpec {
+    /// Dense f32 vector: one `DenseFlareHost` + `FlareDenseProgram` per
+    /// flow (the engine's original v1 path).
+    Dense,
+    /// Sparsified `(index, value)` gradient at the given density: one
+    /// `SparseFlareHost` + `FlareSparseProgram` per flow, hash storage in
+    /// the tree and array storage at the root (paper Section 7).
+    Sparse {
+        /// Fraction of elements that are non-zero, in `(0, 1]`.
+        density: f64,
+    },
+}
+
 /// One tenant's outcome in a traffic-engine run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantReport {
@@ -107,6 +126,12 @@ pub struct TenantReport {
     /// Wire bytes of this tenant's packets processed by traffic-engine
     /// switch programs (the fairness-index resource).
     pub switch_bytes: u64,
+    /// The payload this tenant's flows carried.
+    pub payload: PayloadSpec,
+    /// Blocks re-sent by this tenant's hosts' retransmission timers,
+    /// summed over completed iterations (0 on a lossless fabric; in-flight
+    /// iterations cut off at the deadline are not counted).
+    pub retransmits: u64,
 }
 
 impl TenantReport {
@@ -196,6 +221,8 @@ mod tests {
             iteration_makespans_ns: vec![30, 10, 20],
             queueing_delays_ns: vec![0, 7],
             switch_bytes: 1024,
+            payload: PayloadSpec::Dense,
+            retransmits: 0,
         };
         assert_eq!(t.makespan_tails().p50, 20);
         assert_eq!(t.makespan_tails().max, 30);

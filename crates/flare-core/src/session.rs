@@ -1045,8 +1045,9 @@ pub fn placement_for(plan: &AllreducePlan, switch: NodeId) -> TreePlacement {
 /// variable is consulted. Zero (from either source) and non-numeric
 /// environment values are configuration errors, not silent serial
 /// fallbacks — a benchmark run that *thinks* it is parallel must not
-/// quietly measure the serial driver.
-fn resolve_threads(configured: Option<u32>) -> Result<Option<u32>, SessionError> {
+/// quietly measure the serial driver. Public so engine-style drivers
+/// (`flare_workloads::traffic`) honor the same knobs as `Collective::run`.
+pub fn resolve_threads(configured: Option<u32>) -> Result<Option<u32>, SessionError> {
     if let Some(n) = configured {
         if n == 0 {
             return Err(SessionError::InvalidThreadCount {
@@ -1087,11 +1088,7 @@ pub(crate) fn execute_dense<T: Element, O: ReduceOp<T> + Clone + 'static>(
 ) -> (Vec<Vec<T>>, NetReport, Topology) {
     assert_eq!(hosts.len(), inputs.len(), "one input per host");
     let mut sim = NetSim::new(topo, seed);
-    if tuning.link_drop_prob > 0.0 {
-        for l in 0..sim.topology().link_count() {
-            sim.set_link_drop_prob(l, tuning.link_drop_prob);
-        }
-    }
+    sim.set_uniform_drop_prob(tuning.link_drop_prob);
     for s in &plan.tree.switches {
         let prog = FlareDenseProgram::new(placement_for(plan, s.switch), op.clone())
             .with_loss_recovery(tuning.link_drop_prob > 0.0);
@@ -1112,6 +1109,7 @@ pub(crate) fn execute_dense<T: Element, O: ReduceOp<T> + Clone + 'static>(
             stagger_offset: rank as u64 * step,
             retransmit_after: tuning.retransmit_after,
             block_base: 0,
+            wake_seq: 0,
         };
         let host = DenseFlareHost::new(cfg, tuning.elems_per_packet, data, sink);
         sim.install_host(h, Box::new(host));
@@ -1142,11 +1140,7 @@ pub(crate) fn execute_sparse<T: Element, O: ReduceOp<T> + Clone + 'static>(
 ) -> (Vec<Vec<T>>, NetReport, Topology) {
     assert_eq!(hosts.len(), inputs.len());
     let mut sim = NetSim::new(topo, seed);
-    if tuning.link_drop_prob > 0.0 {
-        for l in 0..sim.topology().link_count() {
-            sim.set_link_drop_prob(l, tuning.link_drop_prob);
-        }
-    }
+    sim.set_uniform_drop_prob(tuning.link_drop_prob);
     for s in &plan.tree.switches {
         let storage = if s.parent.is_none() && policy.array_at_root {
             SparseStorageKind::Array { span: policy.span }
@@ -1180,6 +1174,7 @@ pub(crate) fn execute_sparse<T: Element, O: ReduceOp<T> + Clone + 'static>(
             stagger_offset: rank as u64 * step,
             retransmit_after: tuning.retransmit_after,
             block_base: 0,
+            wake_seq: 0,
         };
         let host = SparseFlareHost::new(
             cfg,

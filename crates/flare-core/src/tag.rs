@@ -1,0 +1,180 @@
+//! Namespaced wake tags for flow-multiplexed host programs.
+//!
+//! The DES delivers host timers as an opaque `u64` tag. When a single
+//! `HostProgram` multiplexes many flows (the traffic engine's per-tenant
+//! mux), every layer that arms a timer must share one namespace or the
+//! tags collide: the legacy scheme used a flat constant (`0xF1A8`) for
+//! host retransmission while the engine packed `kind | cell << 8`, so an
+//! inner host's retransmit wake decoded as an engine event for an
+//! arbitrary cell index. [`FlowTag`] fixes the namespace: every wake tag
+//! names the *flow* that owns it, a *kind* within that flow, and a *seq*
+//! that disambiguates successive incarnations (DNN iterations) of the
+//! flow so a stale timer from iteration `k` can never fire into
+//! iteration `k+1`.
+//!
+//! Layout (bijective with `u64`):
+//!
+//! ```text
+//! 63            32 31     24 23                  0
+//! +---------------+---------+---------------------+
+//! |   flow (u32)  | kind u8 |      seq (24 bit)   |
+//! +---------------+---------+---------------------+
+//! ```
+//!
+//! `flow` is the allreduce id for collective traffic, `kind` partitions
+//! timer types within the flow (the host retransmit timer owns
+//! [`KIND_RETRANSMIT`]; multiplexers allocate kinds from
+//! [`KIND_ENGINE_BASE`] upward), and `seq` is bounded by [`MAX_SEQ`] with
+//! a typed [`FlowTagOverflow`] error rather than silent truncation.
+
+use std::fmt;
+
+/// Wake-tag kind reserved for the host retransmission timer
+/// (`DenseFlareHost` / `SparseFlareHost`).
+pub const KIND_RETRANSMIT: u8 = 0x01;
+
+/// First kind value available to outer multiplexers (traffic engines and
+/// similar): kinds below this are reserved for inner host programs.
+pub const KIND_ENGINE_BASE: u8 = 0x10;
+
+/// Number of bits carried by [`FlowTag::seq`].
+pub const SEQ_BITS: u32 = 24;
+
+/// Largest representable [`FlowTag::seq`] value.
+pub const MAX_SEQ: u32 = (1 << SEQ_BITS) - 1;
+
+/// A namespaced wake tag: `(flow, kind, seq)` packed into the DES's
+/// `u64` tag word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowTag {
+    /// Owning flow — the allreduce id for collective programs.
+    pub flow: u32,
+    /// Timer type within the flow ([`KIND_RETRANSMIT`], engine kinds, …).
+    pub kind: u8,
+    /// Incarnation counter (e.g. the global iteration index of a traffic
+    /// tenant); at most [`MAX_SEQ`].
+    pub seq: u32,
+}
+
+/// Typed error: a [`FlowTag::seq`] exceeded the 24-bit field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowTagOverflow {
+    /// Flow whose tag could not be packed.
+    pub flow: u32,
+    /// The out-of-range sequence value.
+    pub seq: u32,
+}
+
+impl fmt::Display for FlowTagOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wake-tag seq {} for flow {} exceeds the {SEQ_BITS}-bit field (max {MAX_SEQ})",
+            self.seq, self.flow
+        )
+    }
+}
+
+impl std::error::Error for FlowTagOverflow {}
+
+impl FlowTag {
+    /// Construct a tag without packing it (packing validates `seq`).
+    pub fn new(flow: u32, kind: u8, seq: u32) -> Self {
+        Self { flow, kind, seq }
+    }
+
+    /// The retransmission-timer tag for `flow` at incarnation `seq`.
+    pub fn retransmit(flow: u32, seq: u32) -> Self {
+        Self::new(flow, KIND_RETRANSMIT, seq)
+    }
+
+    /// Pack into the DES tag word; fails with a typed error if `seq`
+    /// does not fit its 24-bit field.
+    pub fn pack(self) -> Result<u64, FlowTagOverflow> {
+        if self.seq > MAX_SEQ {
+            return Err(FlowTagOverflow {
+                flow: self.flow,
+                seq: self.seq,
+            });
+        }
+        Ok(((self.flow as u64) << 32) | ((self.kind as u64) << SEQ_BITS) | self.seq as u64)
+    }
+
+    /// Decode a DES tag word. Total (every `u64` is some tag); packing
+    /// then unpacking is the identity for in-range tags.
+    pub fn unpack(raw: u64) -> Self {
+        Self {
+            flow: (raw >> 32) as u32,
+            kind: ((raw >> SEQ_BITS) & 0xFF) as u8,
+            seq: (raw & MAX_SEQ as u64) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        for tag in [
+            FlowTag::new(0, 0, 0),
+            FlowTag::new(7, KIND_RETRANSMIT, 12),
+            FlowTag::new(u32::MAX, 0xFF, MAX_SEQ),
+            FlowTag::retransmit(42, 1_000_000),
+        ] {
+            let raw = tag.pack().expect("in range");
+            assert_eq!(FlowTag::unpack(raw), tag);
+        }
+    }
+
+    #[test]
+    fn seq_overflow_is_a_typed_error() {
+        let err = FlowTag::retransmit(9, MAX_SEQ + 1).pack().unwrap_err();
+        assert_eq!(
+            err,
+            FlowTagOverflow {
+                flow: 9,
+                seq: MAX_SEQ + 1
+            }
+        );
+        assert!(err.to_string().contains("24-bit"));
+    }
+
+    #[test]
+    fn distinct_fields_never_collide() {
+        // Same flow, different kind; same kind, different seq; etc.
+        let a = FlowTag::new(3, KIND_RETRANSMIT, 5).pack().unwrap();
+        let b = FlowTag::new(3, KIND_ENGINE_BASE, 5).pack().unwrap();
+        let c = FlowTag::new(3, KIND_RETRANSMIT, 6).pack().unwrap();
+        let d = FlowTag::new(4, KIND_RETRANSMIT, 5).pack().unwrap();
+        let all = [a, b, c, d];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_flat_tags_collided_with_shifted_cell_schemes() {
+        // The pre-namespace bug class: the host layer used a flat
+        // constant 0xF1A8 while the traffic engine decoded
+        // `kind = tag & 0xFF, cell = tag >> 8`. The host's retransmit
+        // wake therefore decoded as engine kind 0xA8 for cell 0xF1 —
+        // or, for any engine kind ≤ 0xFF, an engine tag for cell 0xF1
+        // was indistinguishable from a host constant. Under FlowTag the
+        // host timer carries KIND_RETRANSMIT < KIND_ENGINE_BASE, so the
+        // two layers can never produce the same word.
+        const LEGACY_RETX: u64 = 0xF1A8;
+        let legacy_kind = LEGACY_RETX & 0xFF;
+        let legacy_cell = LEGACY_RETX >> 8;
+        assert_eq!((legacy_kind, legacy_cell), (0xA8, 0xF1)); // misdecoded
+
+        let host = FlowTag::retransmit(7, 0).pack().unwrap();
+        let engine = FlowTag::new(7, KIND_ENGINE_BASE, 0).pack().unwrap();
+        assert_ne!(host, engine);
+        assert!(FlowTag::unpack(host).kind < KIND_ENGINE_BASE);
+        assert!(FlowTag::unpack(engine).kind >= KIND_ENGINE_BASE);
+    }
+}

@@ -528,6 +528,18 @@ impl NetSim {
         self.core.links[link].drop_prob = p;
     }
 
+    /// Inject loss on every link of the fabric — the common whole-fabric
+    /// configuration shared by the session executors and the traffic
+    /// engine. A no-op when `p == 0.0` so lossless callers can pass the
+    /// tuning value through unconditionally.
+    pub fn set_uniform_drop_prob(&mut self, p: f64) {
+        if p > 0.0 {
+            for link in &mut self.core.links {
+                link.drop_prob = p;
+            }
+        }
+    }
+
     /// Take a switch program back out (to inspect its final state).
     pub fn take_switch(&mut self, node: NodeId) -> Option<Box<dyn SwitchProgram>> {
         self.switch_progs[node.index()].take()

@@ -12,14 +12,17 @@
 //! The [`traffic`] module goes beyond single collectives: a
 //! [`traffic::TrafficEngine`] drives a population of tenants — each a
 //! DNN-style job churn of compute + allreduce iterations — through one
-//! shared simulation with per-tenant tail metrics.
+//! shared simulation with per-tenant tail metrics. The [`trace`] module
+//! replays on-disk cluster traces (CSV / JSON lines) into that engine.
 
 pub mod dense;
 pub mod sparse;
+pub mod trace;
 pub mod traffic;
 
 pub use dense::{dense_i32, dense_normal_f32, dense_uniform_f32, gradient_like_f32};
 pub use sparse::{
     densify_f32, overlap_controlled, sparsify_random_k, sparsify_top1_per_bucket, union_nnz,
 };
+pub use trace::{load_trace, parse_trace, tenant_specs, TraceError, TraceRecord};
 pub use traffic::{ArrivalProcess, TenantSpec, TrafficEngine, TrafficError};

@@ -1,0 +1,446 @@
+//! On-disk arrival-trace loader: replay real cluster traces through the
+//! traffic engine (ROADMAP item 2c).
+//!
+//! Two line-oriented formats carry the same four fields —
+//! `arrival_ns, tenant, elems, iterations`:
+//!
+//! * **CSV** — an optional header line (detected by a non-numeric first
+//!   field) followed by `arrival_ns,tenant,elems,iterations` rows.
+//! * **JSON lines** — one flat object per line:
+//!   `{"arrival_ns": 1200, "tenant": "resnet", "elems": 4096,
+//!   "iterations": 3}`. Parsed by a small hand-rolled scanner (this
+//!   workspace vendors no serde); nested objects are not supported and
+//!   not needed.
+//!
+//! A file mixes freely into tenants: every distinct `tenant` value
+//! becomes one [`TenantSpec`] whose jobs arrive at that tenant's rows'
+//! instants ([`ArrivalProcess::Trace`]), in first-appearance order so
+//! admission order — and therefore allreduce-id assignment — is
+//! deterministic. `elems`/`iterations` must agree across one tenant's
+//! rows ([`TraceError::InconsistentTenant`] otherwise); payloads and
+//! compute phases are layered on afterwards by the caller via the
+//! returned specs' builder methods.
+
+use std::fmt;
+use std::path::Path;
+
+use flare_des::Time;
+
+use crate::traffic::{ArrivalProcess, TenantSpec};
+
+/// One trace row: a job arrival for `tenant`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Arrival instant, ns.
+    pub arrival_ns: Time,
+    /// Tenant name (groups rows into one [`TenantSpec`]).
+    pub tenant: String,
+    /// Elements per allreduce for this tenant.
+    pub elems: usize,
+    /// Iterations per job for this tenant.
+    pub iterations: usize,
+}
+
+/// Why a trace failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The file could not be read.
+    Io(String),
+    /// A line failed to parse; `line` is 1-based.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        why: String,
+    },
+    /// One tenant's rows disagree on `elems` or `iterations`.
+    InconsistentTenant {
+        /// The tenant whose rows disagree.
+        tenant: String,
+        /// 1-based line number of the disagreeing row.
+        line: usize,
+        /// What disagreed.
+        why: String,
+    },
+    /// The trace contains no records.
+    Empty,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(why) => write!(f, "trace I/O error: {why}"),
+            TraceError::Malformed { line, why } => {
+                write!(f, "malformed trace line {line}: {why}")
+            }
+            TraceError::InconsistentTenant { tenant, line, why } => {
+                write!(f, "trace line {line}: tenant {tenant:?} {why}")
+            }
+            TraceError::Empty => write!(f, "trace holds no records"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parse trace `text`, auto-detecting the format per line: lines whose
+/// first non-space byte is `{` parse as JSON objects, everything else as
+/// CSV. Blank lines, `#` comments and one CSV header line are skipped.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut records = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let s = raw.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        if s.starts_with('{') {
+            records.push(parse_json_line(s, line)?);
+        } else if let Some(rec) = parse_csv_line(s, line, records.is_empty())? {
+            records.push(rec);
+        }
+    }
+    if records.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    Ok(records)
+}
+
+/// [`parse_trace`] over a file's contents.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Vec<TraceRecord>, TraceError> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| TraceError::Io(format!("{}: {e}", path.as_ref().display())))?;
+    parse_trace(&text)
+}
+
+/// Group `records` into per-tenant [`TenantSpec`]s (first-appearance
+/// order) with [`ArrivalProcess::Trace`] arrivals. Each spec starts from
+/// [`TenantSpec::new`] defaults; chain builder methods (payload, compute,
+/// hosts…) on the result.
+pub fn tenant_specs(records: &[TraceRecord]) -> Result<Vec<TenantSpec>, TraceError> {
+    if records.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    let mut specs: Vec<TenantSpec> = Vec::new();
+    let mut arrivals: Vec<Vec<Time>> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        match specs.iter().position(|s| s.name == r.tenant) {
+            Some(k) => {
+                let s = &specs[k];
+                if s.elems != r.elems {
+                    return Err(TraceError::InconsistentTenant {
+                        tenant: r.tenant.clone(),
+                        line: i + 1,
+                        why: format!("elems {} disagrees with earlier {}", r.elems, s.elems),
+                    });
+                }
+                if s.iterations != r.iterations {
+                    return Err(TraceError::InconsistentTenant {
+                        tenant: r.tenant.clone(),
+                        line: i + 1,
+                        why: format!(
+                            "iterations {} disagrees with earlier {}",
+                            r.iterations, s.iterations
+                        ),
+                    });
+                }
+                arrivals[k].push(r.arrival_ns);
+            }
+            None => {
+                specs.push(TenantSpec::new(r.tenant.clone(), r.elems).iterations(r.iterations));
+                arrivals.push(vec![r.arrival_ns]);
+            }
+        }
+    }
+    for (s, a) in specs.iter_mut().zip(arrivals) {
+        *s = s.clone().arrivals(ArrivalProcess::Trace(a));
+    }
+    Ok(specs)
+}
+
+/// Render `records` as CSV with a header (the round-trip inverse of
+/// [`parse_trace`] for CSV input).
+pub fn to_csv(records: &[TraceRecord]) -> String {
+    let mut out = String::from("arrival_ns,tenant,elems,iterations\n");
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            r.arrival_ns, r.tenant, r.elems, r.iterations
+        ));
+    }
+    out
+}
+
+/// Render `records` as JSON lines (the round-trip inverse of
+/// [`parse_trace`] for JSON input). Tenant names are emitted with the
+/// same minimal escaping the parser understands (`\"` and `\\`).
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let name = r.tenant.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "{{\"arrival_ns\": {}, \"tenant\": \"{name}\", \"elems\": {}, \"iterations\": {}}}\n",
+            r.arrival_ns, r.elems, r.iterations
+        ));
+    }
+    out
+}
+
+/// Parse one CSV row. Returns `Ok(None)` for the header: a first row
+/// whose `arrival_ns` field is non-numeric while later fields look like
+/// column names is treated as a header only when no records have been
+/// read yet (`first`).
+fn parse_csv_line(s: &str, line: usize, first: bool) -> Result<Option<TraceRecord>, TraceError> {
+    let fields: Vec<&str> = s.split(',').map(str::trim).collect();
+    if fields.len() != 4 {
+        return Err(TraceError::Malformed {
+            line,
+            why: format!("expected 4 comma-separated fields, got {}", fields.len()),
+        });
+    }
+    if first && fields[0].parse::<u64>().is_err() {
+        // Header line (e.g. "arrival_ns,tenant,elems,iterations").
+        return Ok(None);
+    }
+    let arrival_ns = fields[0]
+        .parse::<Time>()
+        .map_err(|_| TraceError::Malformed {
+            line,
+            why: format!("arrival_ns {:?} is not a non-negative integer", fields[0]),
+        })?;
+    if fields[1].is_empty() {
+        return Err(TraceError::Malformed {
+            line,
+            why: "tenant name is empty".into(),
+        });
+    }
+    let elems = parse_positive(fields[2], "elems", line)?;
+    let iterations = parse_positive(fields[3], "iterations", line)?;
+    Ok(Some(TraceRecord {
+        arrival_ns,
+        tenant: fields[1].to_string(),
+        elems,
+        iterations,
+    }))
+}
+
+/// Parse one flat JSON object. A minimal scanner: string values support
+/// `\"` / `\\` escapes, numeric values are unsigned integers, unknown
+/// keys are rejected so typos fail loudly.
+fn parse_json_line(s: &str, line: usize) -> Result<TraceRecord, TraceError> {
+    let malformed = |why: String| TraceError::Malformed { line, why };
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| malformed("JSON object is not `{…}`".into()))?;
+
+    let mut arrival_ns: Option<Time> = None;
+    let mut tenant: Option<String> = None;
+    let mut elems: Option<usize> = None;
+    let mut iterations: Option<usize> = None;
+
+    let bytes = inner.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+    // Scan a quoted string starting at `pos` (which must be `"`),
+    // returning (value, next position past the closing quote).
+    let scan_string = |start: usize| -> Result<(String, usize), TraceError> {
+        if bytes.get(start) != Some(&b'"') {
+            return Err(malformed("expected a string".into()));
+        }
+        let mut out = String::new();
+        let mut i = start + 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => {
+                    match bytes.get(i + 1) {
+                        Some(&b'"') => out.push('"'),
+                        Some(&b'\\') => out.push('\\'),
+                        _ => return Err(malformed("unsupported string escape".into())),
+                    }
+                    i += 2;
+                }
+                b'"' => return Ok((out, i + 1)),
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through byte by
+                    // byte; re-assemble via the source slice.
+                    let ch_start = i;
+                    let mut ch_end = i + 1;
+                    while ch_end < bytes.len() && (bytes[ch_end] & 0xC0) == 0x80 {
+                        ch_end += 1;
+                    }
+                    out.push_str(&inner[ch_start..ch_end]);
+                    i = ch_end;
+                }
+            }
+        }
+        Err(malformed("unterminated string".into()))
+    };
+
+    loop {
+        skip_ws(&mut pos);
+        if pos >= bytes.len() {
+            break;
+        }
+        let (key, next) = scan_string(pos)?;
+        pos = next;
+        skip_ws(&mut pos);
+        if bytes.get(pos) != Some(&b':') {
+            return Err(malformed(format!("expected `:` after key {key:?}")));
+        }
+        pos += 1;
+        skip_ws(&mut pos);
+        match key.as_str() {
+            "tenant" => {
+                let (v, next) = scan_string(pos)?;
+                if v.is_empty() {
+                    return Err(malformed("tenant name is empty".into()));
+                }
+                tenant = Some(v);
+                pos = next;
+            }
+            "arrival_ns" | "elems" | "iterations" => {
+                let start = pos;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let n: u64 = inner[start..pos]
+                    .parse()
+                    .map_err(|_| malformed(format!("{key} is not a non-negative integer")))?;
+                match key.as_str() {
+                    "arrival_ns" => arrival_ns = Some(n),
+                    "elems" => elems = Some(n as usize),
+                    _ => iterations = Some(n as usize),
+                }
+            }
+            other => return Err(malformed(format!("unknown key {other:?}"))),
+        }
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(&b',') => pos += 1,
+            None => break,
+            _ => return Err(malformed("expected `,` between fields".into())),
+        }
+    }
+
+    let rec = TraceRecord {
+        arrival_ns: arrival_ns.ok_or_else(|| malformed("missing arrival_ns".into()))?,
+        tenant: tenant.ok_or_else(|| malformed("missing tenant".into()))?,
+        elems: elems.ok_or_else(|| malformed("missing elems".into()))?,
+        iterations: iterations.ok_or_else(|| malformed("missing iterations".into()))?,
+    };
+    if rec.elems == 0 {
+        return Err(malformed("elems must be positive".into()));
+    }
+    if rec.iterations == 0 {
+        return Err(malformed("iterations must be positive".into()));
+    }
+    Ok(rec)
+}
+
+fn parse_positive(field: &str, name: &str, line: usize) -> Result<usize, TraceError> {
+    match field.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(TraceError::Malformed {
+            line,
+            why: format!("{name} {field:?} is not a positive integer"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                arrival_ns: 0,
+                tenant: "resnet".into(),
+                elems: 4096,
+                iterations: 3,
+            },
+            TraceRecord {
+                arrival_ns: 1_500,
+                tenant: "bert".into(),
+                elems: 8192,
+                iterations: 2,
+            },
+            TraceRecord {
+                arrival_ns: 9_000,
+                tenant: "resnet".into(),
+                elems: 4096,
+                iterations: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let recs = sample();
+        assert_eq!(parse_trace(&to_csv(&recs)).unwrap(), recs);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut recs = sample();
+        recs[1].tenant = "bert \"large\" \\v2".into(); // escaping survives
+        assert_eq!(parse_trace(&to_jsonl(&recs)).unwrap(), recs);
+    }
+
+    #[test]
+    fn formats_mix_with_comments_and_blanks() {
+        let text = "# cluster trace\narrival_ns,tenant,elems,iterations\n0,a,64,1\n\n{\"arrival_ns\": 5, \"tenant\": \"b\", \"elems\": 32, \"iterations\": 2}\n";
+        let recs = parse_trace(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!((recs[0].tenant.as_str(), recs[0].elems), ("a", 64));
+        assert_eq!((recs[1].tenant.as_str(), recs[1].iterations), ("b", 2));
+    }
+
+    #[test]
+    fn malformed_lines_carry_the_line_number() {
+        let bad_fields = parse_trace("0,a,64\n").unwrap_err();
+        assert!(matches!(bad_fields, TraceError::Malformed { line: 1, .. }));
+
+        let bad_number = parse_trace("0,a,64,1\nnope,b,32,1\n").unwrap_err();
+        assert!(matches!(bad_number, TraceError::Malformed { line: 2, .. }));
+
+        let bad_json = parse_trace("{\"arrival_ns\": 1, \"tenant\": \"x\"}\n").unwrap_err();
+        assert!(
+            matches!(&bad_json, TraceError::Malformed { line: 1, why } if why.contains("elems"))
+        );
+
+        let unknown_key =
+            parse_trace("{\"arrival_ns\": 1, \"tenant\": \"x\", \"elems\": 4, \"iterations\": 1, \"color\": \"red\"}\n")
+                .unwrap_err();
+        assert!(matches!(&unknown_key, TraceError::Malformed { why, .. } if why.contains("color")));
+
+        assert_eq!(
+            parse_trace("# only comments\n").unwrap_err(),
+            TraceError::Empty
+        );
+    }
+
+    #[test]
+    fn tenant_specs_group_and_validate() {
+        let specs = tenant_specs(&sample()).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "resnet"); // first-appearance order
+        assert_eq!(specs[0].arrivals, ArrivalProcess::Trace(vec![0, 9_000]));
+        assert_eq!(specs[0].iterations, 3);
+        assert_eq!(specs[1].name, "bert");
+        assert_eq!(specs[1].arrivals, ArrivalProcess::Trace(vec![1_500]));
+
+        let mut recs = sample();
+        recs[2].elems = 1; // resnet rows now disagree
+        let err = tenant_specs(&recs).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::InconsistentTenant { line: 3, .. }
+        ));
+    }
+}

@@ -15,11 +15,11 @@
 //!   runs are bitwise-reproducible.
 //! * **Iteration loop** — per job, every host cycles through the DNN phase
 //!   machine: compute delay (jittered around `compute_ns`) → allreduce
-//!   (a real windowed [`DenseFlareHost`] over the tenant's admitted
-//!   reduction tree) → next iteration. Successive iterations of one
-//!   tenant reuse its allreduce id with a bumped
-//!   [`HostConfig::block_base`], so block ids never alias across
-//!   iterations.
+//!   (a real windowed [`DenseFlareHost`] or [`SparseFlareHost`] over the
+//!   tenant's admitted reduction tree, per [`TenantSpec::payload`]) →
+//!   next iteration. Successive iterations of one tenant reuse its
+//!   allreduce id with a bumped [`HostConfig::block_base`], so block ids
+//!   never alias across iterations.
 //! * **Shared fabric** — one switch program multiplexes every tenant's
 //!   flow on each switch, under the session's [`SwitchModel`]: with
 //!   `Hpu`, all tenants contend for the same cores and per-subset FIFOs.
@@ -33,9 +33,23 @@
 //! [`Sequencer`] (labels submitted per host rank), mirroring how a real
 //! deployment avoids cross-rank issue-order deadlocks.
 //!
-//! Scope (v1): dense f32 [`Sum`] iterations on a lossless fabric. Loss
-//! injection is rejected ([`TrafficError::LossyUnsupported`]) because the
-//! per-host retransmission timer protocol is not yet flow-multiplexed.
+//! **Flow-scoped wake tags.** Every timer in the engine — job arrivals,
+//! compute phases, *and the inner hosts' retransmission timers* — carries
+//! a packed [`FlowTag`] naming the owning flow (the tenant's allreduce
+//! id), a kind, and an iteration sequence. `TrafficHost::on_wake` decodes
+//! the flow and re-dispatches: engine kinds drive the phase machine,
+//! kinds below [`KIND_ENGINE_BASE`] are forwarded verbatim to the owning
+//! inner host. That is what makes lossy tenants first-class: an inner
+//! host armed with the session's `retransmit_after` tuning gets its
+//! wakes back even
+//! though the mux owns the `HostProgram` slot, and a stale timer from
+//! iteration `k` is ignored by iteration `k+1` because the sequence no
+//! longer matches ([`HostConfig::wake_seq`]).
+//!
+//! Payloads are per-tenant ([`PayloadSpec`]): dense f32 [`Sum`] or
+//! sparse `(index, value)` at a configured density, mixed freely in one
+//! fabric. Lossy tunings (`link_drop_prob > 0`) require
+//! `retransmit_after`, exactly like `Collective::run`.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -44,13 +58,18 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 
 use flare_core::collectives::Sequencer;
-use flare_core::host::{result_sink, DenseFlareHost, HostConfig, ResultSink};
+use flare_core::handlers::SparseStorageKind;
+use flare_core::host::{result_sink, DenseFlareHost, HostConfig, ResultSink, SparseFlareHost};
 use flare_core::op::Sum;
-use flare_core::report::{jain_index, FabricStats, HpuSwitchReport, TenantReport, TenantSection};
-use flare_core::session::{
-    placement_for, stagger_step, CollectiveHandle, FlareSession, RunReport, SessionError,
+use flare_core::report::{
+    jain_index, FabricStats, HpuSwitchReport, PayloadSpec, TenantReport, TenantSection,
 };
-use flare_core::switch_prog::{FlareDenseProgram, ProgramStats};
+use flare_core::session::{
+    placement_for, resolve_threads, stagger_step, CollectiveHandle, FlareSession, RunReport,
+    SessionError, SparsePolicy,
+};
+use flare_core::switch_prog::{FlareDenseProgram, FlareSparseProgram, ProgramStats};
+use flare_core::tag::{FlowTag, FlowTagOverflow, KIND_ENGINE_BASE};
 use flare_core::PoolStats;
 use flare_des::rng::{exp_time, rng_stream};
 use flare_des::Time;
@@ -63,6 +82,20 @@ const ARRIVAL_STREAM: u64 = 0xA121_77A1;
 /// Stream-id salt for per-host compute jitter.
 const COMPUTE_STREAM: u64 = 0xC0_0B17;
 
+/// Engine wake kinds, allocated from [`KIND_ENGINE_BASE`] upward so they
+/// can never collide with inner-host kinds (`KIND_RETRANSMIT` & co).
+const KIND_ARRIVAL: u8 = KIND_ENGINE_BASE;
+const KIND_COMPUTE: u8 = KIND_ENGINE_BASE + 1;
+
+/// Pack an engine-owned wake tag for `flow`. Engine wakes carry seq 0
+/// (the phase machine keys off per-cell state, not the tag), so packing
+/// cannot overflow.
+fn engine_tag(flow: u32, kind: u8) -> u64 {
+    FlowTag::new(flow, kind, 0)
+        .pack()
+        .expect("seq 0 always fits")
+}
+
 /// Why the traffic engine refused a tenant or a run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TrafficError {
@@ -70,9 +103,9 @@ pub enum TrafficError {
     Session(SessionError),
     /// A [`TenantSpec`] is internally inconsistent; the message says how.
     InvalidSpec(String),
-    /// The session tuning injects packet loss, which the engine does not
-    /// support yet (the inner hosts run without retransmission timers).
-    LossyUnsupported,
+    /// The tenant's `jobs × iterations` exceeds the [`FlowTag`] sequence
+    /// space, so per-iteration wake tags would alias across iterations.
+    TagOverflow(FlowTagOverflow),
     /// [`TrafficEngine::run`] was called with no admitted tenants.
     NoTenants,
 }
@@ -82,12 +115,7 @@ impl std::fmt::Display for TrafficError {
         match self {
             TrafficError::Session(e) => write!(f, "session error: {e}"),
             TrafficError::InvalidSpec(why) => write!(f, "invalid tenant spec: {why}"),
-            TrafficError::LossyUnsupported => {
-                write!(
-                    f,
-                    "traffic engine requires a lossless fabric (link_drop_prob = 0)"
-                )
-            }
+            TrafficError::TagOverflow(e) => write!(f, "tenant too long-running: {e}"),
             TrafficError::NoTenants => write!(f, "no tenants admitted"),
         }
     }
@@ -178,6 +206,9 @@ pub struct TenantSpec {
     pub reproducible: bool,
     /// When this tenant's jobs arrive.
     pub arrivals: ArrivalProcess,
+    /// What the per-iteration gradient looks like on the wire
+    /// (dense f32 or sparse `(index, value)` at a density).
+    pub payload: PayloadSpec,
 }
 
 impl TenantSpec {
@@ -193,6 +224,7 @@ impl TenantSpec {
             compute_jitter: 0.0,
             reproducible: false,
             arrivals: ArrivalProcess::AtStart { jobs: 1 },
+            payload: PayloadSpec::Dense,
         }
     }
 
@@ -227,6 +259,29 @@ impl TenantSpec {
         self
     }
 
+    /// Set the wire payload (dense by default).
+    pub fn payload(mut self, p: PayloadSpec) -> Self {
+        self.payload = p;
+        self
+    }
+
+    /// Shorthand for [`payload`](Self::payload) with
+    /// [`PayloadSpec::Sparse`] at `density`.
+    pub fn sparse(self, density: f64) -> Self {
+        self.payload(PayloadSpec::Sparse { density })
+    }
+
+    /// Non-zero pairs per iteration under this spec's payload (`elems`
+    /// for dense).
+    fn nnz(&self) -> usize {
+        match self.payload {
+            PayloadSpec::Dense => self.elems,
+            PayloadSpec::Sparse { density } => {
+                (((self.elems as f64) * density).round() as usize).clamp(1, self.elems)
+            }
+        }
+    }
+
     fn validate(&self) -> Result<(), TrafficError> {
         if self.elems == 0 {
             return Err(TrafficError::InvalidSpec("elems must be positive".into()));
@@ -253,7 +308,25 @@ impl TenantSpec {
                 ));
             }
         }
+        if let PayloadSpec::Sparse { density } = self.payload {
+            if !(density > 0.0 && density <= 1.0) {
+                return Err(TrafficError::InvalidSpec(format!(
+                    "sparse density {density} outside (0, 1]"
+                )));
+            }
+        }
         Ok(())
+    }
+}
+
+/// Blocks per iteration under `spec`'s payload: dense blocks are one
+/// packet each (`elems_per_packet` elements), sparse blocks span
+/// [`SparsePolicy::default`]`.span` elements (the engine runs sparse
+/// tenants under the default policy).
+fn blocks_per_iteration(spec: &TenantSpec, elems_per_packet: usize) -> u64 {
+    match spec.payload {
+        PayloadSpec::Dense => spec.elems.div_ceil(elems_per_packet) as u64,
+        PayloadSpec::Sparse { .. } => spec.elems.div_ceil(SparsePolicy::default().span) as u64,
     }
 }
 
@@ -308,7 +381,11 @@ impl<'s> TrafficEngine<'s> {
             Some(h) => h.clone(),
             None => self.session.hosts().to_vec(),
         };
-        let bytes = (spec.elems * 4) as u64; // f32 wire bytes
+        let bytes = match spec.payload {
+            PayloadSpec::Dense => (spec.elems * 4) as u64, // f32 wire bytes
+            // (u32 index, f32 value) wire pairs.
+            PayloadSpec::Sparse { .. } => (spec.nnz() * 8) as u64,
+        };
         let mut handle = self
             .session
             .admit_on(Some(&hosts), bytes, spec.reproducible)?;
@@ -317,14 +394,23 @@ impl<'s> TrafficEngine<'s> {
         }
         // Wire block ids are u32; every (job, iteration) gets a fresh
         // block_base, so the whole run must fit.
-        let epp = self.session.tuning().elems_per_packet;
-        let bpi = spec.elems.div_ceil(epp) as u64;
-        let total_blocks = (spec.arrivals.jobs() * spec.iterations) as u64 * bpi;
+        let bpi = blocks_per_iteration(&spec, self.session.tuning().elems_per_packet);
+        let total_iters = (spec.arrivals.jobs() * spec.iterations) as u64;
+        let total_blocks = total_iters * bpi;
         if total_blocks > u32::MAX as u64 {
             self.session.release(handle)?;
             return Err(TrafficError::InvalidSpec(format!(
                 "jobs × iterations × blocks = {total_blocks} exceeds the u32 wire block-id space"
             )));
+        }
+        // Every iteration also gets a fresh wake-tag sequence; the last
+        // one must fit the FlowTag seq field or stale-timer suppression
+        // would alias across iterations.
+        if let Err(e) =
+            FlowTag::retransmit(handle.id(), total_iters.saturating_sub(1) as u32).pack()
+        {
+            self.session.release(handle)?;
+            return Err(TrafficError::TagOverflow(e));
         }
         // Track the fabric-wide reservation high-water mark as tenants
         // are admitted (max is order-independent over the key set).
@@ -367,15 +453,23 @@ impl<'s> TrafficEngine<'s> {
         if self.tenants.is_empty() {
             return Err(TrafficError::NoTenants);
         }
-        let tuning = self.session.tuning().clone();
-        if tuning.link_drop_prob > 0.0 {
-            return Err(TrafficError::LossyUnsupported);
+        let mut tuning = self.session.tuning().clone();
+        // Same fault-handling and driver validation as `Collective::run`:
+        // lossy fabrics need a usable retransmission timeout, and the
+        // worker-thread count resolves explicit-knob-then-environment.
+        tuning.threads = resolve_threads(tuning.threads)?;
+        if tuning.retransmit_after == Some(0) {
+            return Err(TrafficError::Session(SessionError::ZeroRetransmitTimeout));
+        }
+        if tuning.link_drop_prob > 0.0 && tuning.retransmit_after.is_none() {
+            return Err(TrafficError::Session(SessionError::LossWithoutRetransmit));
         }
         if let SwitchModel::Hpu(params) = &tuning.switch_model {
             params
                 .validate()
                 .map_err(|e| TrafficError::Session(SessionError::InvalidSwitchModel(e)))?;
         }
+        let lossy = tuning.link_drop_prob > 0.0;
 
         // Horovod-style issue-order negotiation: every host rank submits
         // the labels of the tenants it participates in, in admission
@@ -430,18 +524,23 @@ impl<'s> TrafficEngine<'s> {
             .map(|t| {
                 let plan = t.handle.plan();
                 let n = t.hosts.len();
-                let bpi = t.spec.elems.div_ceil(tuning.elems_per_packet) as u64;
+                let bpi = blocks_per_iteration(&t.spec, tuning.elems_per_packet);
                 Arc::new(TenantStatic {
                     id: plan.id,
                     window: plan.window,
                     step: stagger_step(plan.window, bpi, n),
                     epp: tuning.elems_per_packet,
+                    ppp: tuning.pairs_per_packet,
                     elems: t.spec.elems,
+                    payload: t.spec.payload,
+                    nnz: t.spec.nnz(),
+                    span: SparsePolicy::default().span,
                     bpi,
                     iterations: t.spec.iterations,
                     jobs: t.arrivals.len(),
                     compute_ns: t.spec.compute_ns,
                     jitter: t.spec.compute_jitter,
+                    retransmit_after: tuning.retransmit_after,
                     // Tree-sum of per-rank constants (rank+1): exact in f32
                     // for any realistic host count.
                     expected: (n * (n + 1) / 2) as f32,
@@ -511,35 +610,72 @@ impl<'s> TrafficEngine<'s> {
             sws
         };
         let mut switch_programs: Vec<(NodeId, TrafficSwitch)> = Vec::new();
+        let policy = SparsePolicy::default();
         for &sw in &union_switches {
             let mut entries = Vec::new();
             for &ti in &order {
-                let plan = self.tenants[ti].handle.plan();
-                if plan.tree.switch(sw).is_some() {
-                    entries.push(FlowEntry {
-                        flow: plan.id,
-                        bytes: 0,
-                        prog: FlareDenseProgram::new(placement_for(plan, sw), Sum),
-                    });
-                }
+                let t = &self.tenants[ti];
+                let plan = t.handle.plan();
+                let Some(rec) = plan.tree.switch(sw) else {
+                    continue;
+                };
+                let prog = match t.spec.payload {
+                    PayloadSpec::Dense => FlowSwitch::Dense(
+                        FlareDenseProgram::new(placement_for(plan, sw), Sum)
+                            .with_loss_recovery(lossy),
+                    ),
+                    PayloadSpec::Sparse { .. } => {
+                        // Hash storage in the tree, array at the densified
+                        // root — the same shape `Collective::run` wires.
+                        let storage = if rec.parent.is_none() && policy.array_at_root {
+                            SparseStorageKind::Array { span: policy.span }
+                        } else {
+                            SparseStorageKind::Hash {
+                                slots: policy.hash_slots,
+                                spill_cap: policy.spill_cap,
+                            }
+                        };
+                        FlowSwitch::Sparse(
+                            FlareSparseProgram::new(
+                                placement_for(plan, sw),
+                                Sum,
+                                storage,
+                                tuning.pairs_per_packet,
+                            )
+                            .with_loss_recovery(lossy),
+                        )
+                    }
+                };
+                entries.push(FlowEntry {
+                    flow: plan.id,
+                    bytes: 0,
+                    prog,
+                });
             }
             switch_programs.push((sw, TrafficSwitch { entries }));
         }
 
-        // One shared simulation over the session's fabric.
+        // One shared simulation over the session's fabric, driven by the
+        // same serial/partitioned driver selection as `Collective::run`.
         let seed = self.seed;
         let deadline = self.deadline;
         let switch_model = tuning.switch_model.clone();
+        let drop_prob = tuning.link_drop_prob;
+        let threads = tuning.threads;
         let hpu_switches = union_switches.clone();
         let (net, flow_bytes, pools, hpu) = self.session.lend_topology(move |topo| {
             let mut sim = NetSim::new(topo, seed);
+            sim.set_uniform_drop_prob(drop_prob);
             for (sw, prog) in switch_programs {
                 sim.install_switch_model(sw, Box::new(prog), switch_model.clone());
             }
             for (h, prog) in host_programs {
                 sim.install_host(h, Box::new(prog));
             }
-            let net = sim.run(deadline);
+            let net = match threads {
+                Some(n) => sim.run_threads(deadline, n as usize),
+                None => sim.run(deadline),
+            };
 
             let mut hpu = Vec::new();
             for &sw in &hpu_switches {
@@ -590,6 +726,8 @@ impl<'s> TrafficEngine<'s> {
                 iteration_makespans_ns: tr.makespans.iter().map(|&(_, m)| m).collect(),
                 queueing_delays_ns: tr.queue_delays.iter().map(|&(_, d)| d).collect(),
                 switch_bytes,
+                payload: t.spec.payload,
+                retransmits: tr.retransmits,
             });
         }
         let fabric = FabricStats {
@@ -650,15 +788,75 @@ struct TenantStatic {
     id: u32,
     window: usize,
     step: u64,
+    /// Dense elements per packet (session tuning).
     epp: usize,
+    /// Sparse pairs per packet (session tuning).
+    ppp: usize,
     elems: usize,
+    payload: PayloadSpec,
+    /// Non-zero pairs per iteration (`elems` for dense).
+    nnz: usize,
+    /// Sparse block span in elements ([`SparsePolicy::default`]).
+    span: usize,
     bpi: u64,
     iterations: usize,
     jobs: usize,
     compute_ns: Time,
     jitter: f64,
+    /// Inner hosts arm their retransmission timer with this (session
+    /// tuning); `None` on a lossless fabric keeps the event schedule
+    /// free of timer wakes.
+    retransmit_after: Option<Time>,
     expected: f32,
     arrivals: Vec<Time>,
+}
+
+impl TenantStatic {
+    /// The deterministic sparse index set every rank contributes:
+    /// `nnz` indexes spread evenly over `0..elems` (identical across
+    /// ranks, so the reduced value at each is the full tree sum).
+    fn sparse_index(&self, j: usize) -> u32 {
+        (j * self.elems / self.nnz) as u32
+    }
+}
+
+/// The per-flow host program an iteration runs on: the payload half of
+/// the engine's flow-scoped program dispatch (the switch half is
+/// [`FlowSwitch`]). One variant per payload × op the engine admits.
+enum FlowHost {
+    Dense(DenseFlareHost<f32>),
+    Sparse(SparseFlareHost<f32, Sum>),
+}
+
+impl FlowHost {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        match self {
+            FlowHost::Dense(h) => h.on_start(ctx),
+            FlowHost::Sparse(h) => h.on_start(ctx),
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_>, pkt: NetPacket) {
+        match self {
+            FlowHost::Dense(h) => h.on_packet(ctx, pkt),
+            FlowHost::Sparse(h) => h.on_packet(ctx, pkt),
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_>, tag: u64) {
+        match self {
+            FlowHost::Dense(h) => h.on_wake(ctx, tag),
+            FlowHost::Sparse(h) => h.on_wake(ctx, tag),
+        }
+    }
+
+    /// Blocks this incarnation's retransmission timer re-sent.
+    fn retransmits(&self) -> u64 {
+        match self {
+            FlowHost::Dense(h) => h.retransmits,
+            FlowHost::Sparse(h) => h.retransmits,
+        }
+    }
 }
 
 /// One tenant's state machine on one host.
@@ -673,7 +871,7 @@ struct Cell {
     job: usize,
     iter: usize,
     running: bool,
-    inner: Option<DenseFlareHost<f32>>,
+    inner: Option<FlowHost>,
     sink: ResultSink<f32>,
     checked: bool,
 }
@@ -700,19 +898,23 @@ struct Core {
 
 struct TenantRun {
     hosts: usize,
-    /// job → hosts that started it (removed once all have).
-    job_starts: HashMap<usize, usize>,
+    /// job → (hosts that started it, max start − arrival across hosts);
+    /// removed once all have started.
+    job_starts: HashMap<usize, (usize, Time)>,
     /// (job, last-host start − arrival), completion order.
     queue_delays: Vec<(usize, Time)>,
-    /// global iteration → first-host submit time.
+    /// global iteration → earliest submit time across hosts.
     iter_first_submit: HashMap<u64, Time>,
-    /// global iteration → hosts done (removed once all are).
-    iter_done: HashMap<u64, usize>,
+    /// global iteration → (hosts done, latest done time across hosts);
+    /// removed once all are done.
+    iter_done: HashMap<u64, (usize, Time)>,
     /// (global iteration, makespan), completion order.
     makespans: Vec<(u64, Time)>,
     /// job → hosts finished (removed once all have).
     job_done: HashMap<usize, usize>,
     jobs_completed: usize,
+    /// Timer-driven block re-sends, summed over completed iterations.
+    retransmits: u64,
 }
 
 impl TenantRun {
@@ -726,38 +928,49 @@ impl TenantRun {
             makespans: Vec::new(),
             job_done: HashMap::new(),
             jobs_completed: 0,
+            retransmits: 0,
         }
     }
 }
 
+// Every time-valued metric folds with min/max instead of trusting call
+// order: under the partitioned parallel driver, hosts in different
+// lanes report within one lookahead window in lock-acquisition order,
+// not simulated-time order, so "first/last caller wins" would be racy.
+// Under the serial driver events fire in nondecreasing time order, so
+// the folds reduce to first/last caller and every value is unchanged.
 impl Core {
     fn job_start(&mut self, t: usize, job: usize, arrival: Time, now: Time) {
         let tr = &mut self.tenants[t];
-        let c = tr.job_starts.entry(job).or_insert(0);
-        *c += 1;
-        if *c == tr.hosts {
-            tr.job_starts.remove(&job);
-            tr.queue_delays.push((job, now - arrival));
+        let e = tr.job_starts.entry(job).or_insert((0, 0));
+        e.0 += 1;
+        e.1 = e.1.max(now - arrival);
+        if e.0 == tr.hosts {
+            let (_, delay) = tr.job_starts.remove(&job).expect("entry just touched");
+            tr.queue_delays.push((job, delay));
         }
     }
 
     fn iter_submit(&mut self, t: usize, g: u64, now: Time) {
-        // Events fire in nondecreasing time order, so the first recorded
-        // submit is the earliest across hosts.
-        self.tenants[t].iter_first_submit.entry(g).or_insert(now);
+        self.tenants[t]
+            .iter_first_submit
+            .entry(g)
+            .and_modify(|first| *first = (*first).min(now))
+            .or_insert(now);
     }
 
     fn iter_done(&mut self, t: usize, g: u64, now: Time) {
         let tr = &mut self.tenants[t];
-        let c = tr.iter_done.entry(g).or_insert(0);
-        *c += 1;
-        if *c == tr.hosts {
-            tr.iter_done.remove(&g);
+        let e = tr.iter_done.entry(g).or_insert((0, 0));
+        e.0 += 1;
+        e.1 = e.1.max(now);
+        if e.0 == tr.hosts {
+            let (_, last) = tr.iter_done.remove(&g).expect("entry just touched");
             let first = tr
                 .iter_first_submit
                 .remove(&g)
                 .expect("iteration completed without a submit");
-            tr.makespans.push((g, now - first));
+            tr.makespans.push((g, last - first));
         }
     }
 
@@ -772,14 +985,9 @@ impl Core {
     }
 }
 
-const TAG_ARRIVAL: u64 = 1;
-const TAG_COMPUTE: u64 = 2;
-
-fn tag(kind: u64, cell: usize) -> u64 {
-    kind | ((cell as u64) << 8)
-}
-
-/// Host program multiplexing every tenant cell on one host.
+/// Host program multiplexing every tenant cell on one host. All wake
+/// tags — the engine's own and the inner hosts' — are packed
+/// [`FlowTag`]s, dispatched to the owning cell by flow id.
 struct TrafficHost {
     core: Arc<Mutex<Core>>,
     cells: Vec<Cell>,
@@ -815,7 +1023,8 @@ impl TrafficHost {
         if delay == 0 {
             self.submit_iteration(ctx, ci);
         } else {
-            ctx.wake_in(delay, tag(TAG_COMPUTE, ci));
+            let flow = self.cells[ci].stat.id;
+            ctx.wake_in(delay, engine_tag(flow, KIND_COMPUTE));
         }
     }
 
@@ -831,12 +1040,34 @@ impl TrafficHost {
                 child_index: cell.child_index,
                 window: cell.stat.window,
                 stagger_offset: cell.stagger_offset,
-                retransmit_after: None,
+                retransmit_after: cell.stat.retransmit_after,
                 block_base: g * cell.stat.bpi,
+                // The iteration index namespaces this incarnation's
+                // retransmit timer (validated ≤ MAX_SEQ at admission).
+                wake_seq: g as u32,
             };
-            let data = vec![(cell.rank + 1) as f32; cell.stat.elems];
             let sink = result_sink();
-            let inner = DenseFlareHost::new(cfg, cell.stat.epp, data, sink.clone());
+            let inner = match cell.stat.payload {
+                PayloadSpec::Dense => {
+                    let data = vec![(cell.rank + 1) as f32; cell.stat.elems];
+                    FlowHost::Dense(DenseFlareHost::new(cfg, cell.stat.epp, data, sink.clone()))
+                }
+                PayloadSpec::Sparse { .. } => {
+                    let v = (cell.rank + 1) as f32;
+                    let pairs: Vec<(u32, f32)> = (0..cell.stat.nnz)
+                        .map(|j| (cell.stat.sparse_index(j), v))
+                        .collect();
+                    FlowHost::Sparse(SparseFlareHost::new(
+                        cfg,
+                        Sum,
+                        cell.stat.elems,
+                        cell.stat.span,
+                        cell.stat.ppp,
+                        pairs,
+                        sink.clone(),
+                    ))
+                }
+            };
             (cell.tenant, g, inner, sink)
         };
         self.core
@@ -851,9 +1082,9 @@ impl TrafficHost {
 
     fn finish_iteration(&mut self, ctx: &mut HostCtx<'_>, ci: usize) {
         let now = ctx.now();
-        let (tenant, g, job, job_done) = {
+        let (tenant, g, job, job_done, retx) = {
             let cell = &mut self.cells[ci];
-            cell.inner = None;
+            let retx = cell.inner.take().map_or(0, |h| h.retransmits());
             let result = cell
                 .sink
                 .lock()
@@ -866,20 +1097,39 @@ impl TrafficHost {
                 cell.checked = true;
                 let want = cell.stat.expected;
                 assert_eq!(result.len(), cell.stat.elems);
-                assert!(
-                    result.iter().all(|&v| v == want),
-                    "tenant {} produced a wrong reduction (want {want})",
-                    cell.stat.id
-                );
+                match cell.stat.payload {
+                    PayloadSpec::Dense => assert!(
+                        result.iter().all(|&v| v == want),
+                        "tenant {} produced a wrong dense reduction (want {want})",
+                        cell.stat.id
+                    ),
+                    PayloadSpec::Sparse { .. } => {
+                        // The tree sum lands exactly on the shared index
+                        // set; everything else stays at the Sum identity.
+                        let mut contributed = vec![false; cell.stat.elems];
+                        for j in 0..cell.stat.nnz {
+                            contributed[cell.stat.sparse_index(j) as usize] = true;
+                        }
+                        for (i, &v) in result.iter().enumerate() {
+                            let expect = if contributed[i] { want } else { 0.0 };
+                            assert!(
+                                v == expect,
+                                "tenant {} sparse result[{i}] = {v}, want {expect}",
+                                cell.stat.id
+                            );
+                        }
+                    }
+                }
             }
             let g = (cell.job * cell.stat.iterations + cell.iter) as u64;
             let job = cell.job;
             cell.iter += 1;
             let job_done = cell.iter == cell.stat.iterations;
-            (cell.tenant, g, job, job_done)
+            (cell.tenant, g, job, job_done, retx)
         };
         {
             let mut core = self.core.lock().expect("core lock");
+            core.tenants[tenant].retransmits += retx;
             core.iter_done(tenant, g, now);
             if job_done {
                 core.job_done(tenant, job);
@@ -900,10 +1150,10 @@ impl TrafficHost {
 
 impl HostProgram for TrafficHost {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-        for ci in 0..self.cells.len() {
-            for i in 0..self.cells[ci].stat.arrivals.len() {
-                let at = self.cells[ci].stat.arrivals[i];
-                ctx.wake_in(at, tag(TAG_ARRIVAL, ci));
+        for cell in &self.cells {
+            let t = engine_tag(cell.stat.id, KIND_ARRIVAL);
+            for &at in &cell.stat.arrivals {
+                ctx.wake_in(at, t);
             }
         }
     }
@@ -927,14 +1177,23 @@ impl HostProgram for TrafficHost {
     }
 
     fn on_wake(&mut self, ctx: &mut HostCtx<'_>, wake_tag: u64) {
-        let ci = (wake_tag >> 8) as usize;
-        if ci >= self.cells.len() {
+        let ft = FlowTag::unpack(wake_tag);
+        let Some(ci) = self.cells.iter().position(|c| c.stat.id == ft.flow) else {
             return;
-        }
-        match wake_tag & 0xFF {
-            TAG_ARRIVAL => self.try_start_job(ctx, ci),
-            TAG_COMPUTE if self.cells[ci].running && self.cells[ci].inner.is_none() => {
+        };
+        match ft.kind {
+            KIND_ARRIVAL => self.try_start_job(ctx, ci),
+            KIND_COMPUTE if self.cells[ci].running && self.cells[ci].inner.is_none() => {
                 self.submit_iteration(ctx, ci);
+            }
+            // Inner-host kinds (retransmission timers): forward the raw
+            // tag to the incarnation in flight. The inner host compares
+            // it against its own `(flow, kind, wake_seq)` tag, so a wake
+            // armed by an earlier iteration dies there without re-arming.
+            k if k < KIND_ENGINE_BASE => {
+                if let Some(inner) = self.cells[ci].inner.as_mut() {
+                    inner.on_wake(ctx, wake_tag);
+                }
             }
             _ => {}
         }
@@ -952,7 +1211,30 @@ struct FlowEntry {
     flow: u32,
     /// Wire bytes of matched packets (the fairness-index resource).
     bytes: u64,
-    prog: FlareDenseProgram<f32, Sum>,
+    prog: FlowSwitch,
+}
+
+/// The per-flow switch program: the switch half of the engine's
+/// flow-scoped program dispatch (the host half is [`FlowHost`]).
+enum FlowSwitch {
+    Dense(FlareDenseProgram<f32, Sum>),
+    Sparse(FlareSparseProgram<f32, Sum>),
+}
+
+impl FlowSwitch {
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, in_port: PortId, pkt: NetPacket) {
+        match self {
+            FlowSwitch::Dense(p) => p.on_packet(ctx, in_port, pkt),
+            FlowSwitch::Sparse(p) => p.on_packet(ctx, in_port, pkt),
+        }
+    }
+
+    fn stats(&self) -> ProgramStats {
+        match self {
+            FlowSwitch::Dense(p) => p.stats(),
+            FlowSwitch::Sparse(p) => p.stats(),
+        }
+    }
 }
 
 impl SwitchProgram for TrafficSwitch {
@@ -1057,16 +1339,94 @@ mod tests {
     }
 
     #[test]
-    fn lossy_sessions_are_refused() {
+    fn lossy_without_retransmit_is_refused_with_the_session_error() {
+        // Loss is first-class now, but a drop with no retransmission
+        // timer would stall forever — same typed error as
+        // `Collective::run`.
         let (topo, _sw, _hosts) = Topology::star(3, LinkSpec::hundred_gig());
         let mut session = flare_core::session::FlareSession::builder(topo)
             .link_drop_prob(0.01)
-            .retransmit_after(Some(10_000))
             .build();
         let mut eng = TrafficEngine::new(&mut session, 7);
         eng.add_tenant(TenantSpec::new("t", 256)).unwrap();
-        assert_eq!(eng.run().err(), Some(TrafficError::LossyUnsupported));
+        assert_eq!(
+            eng.run().err(),
+            Some(TrafficError::Session(SessionError::LossWithoutRetransmit))
+        );
         eng.release_all().unwrap();
+    }
+
+    #[test]
+    fn lossy_tenants_complete_and_record_retransmits() {
+        let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut session = flare_core::session::FlareSession::builder(topo)
+            .link_drop_prob(0.05)
+            .retransmit_after(Some(50_000))
+            .build();
+        let mut eng = TrafficEngine::new(&mut session, 13);
+        eng.add_tenant(TenantSpec::new("lossy", 2048).iterations(2))
+            .unwrap();
+        let report = eng.run().unwrap();
+        let t = &report.tenants.as_ref().unwrap().tenants[0];
+        assert_eq!(t.jobs_completed, 1);
+        assert_eq!(t.iterations_completed, 2);
+        eng.release_all().unwrap();
+    }
+
+    #[test]
+    fn sparse_and_dense_tenants_mix_in_one_fabric() {
+        let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut session = FlareSession::new(topo);
+        let mut eng = TrafficEngine::new(&mut session, 5);
+        eng.add_tenant(TenantSpec::new("dense", 4096).iterations(2))
+            .unwrap();
+        eng.add_tenant(TenantSpec::new("sparse", 4096).sparse(0.1).iterations(2))
+            .unwrap();
+        let report = eng.run().unwrap();
+        let section = report.tenants.as_ref().unwrap();
+        assert_eq!(section.tenants[0].payload, PayloadSpec::Dense);
+        assert_eq!(
+            section.tenants[1].payload,
+            PayloadSpec::Sparse { density: 0.1 }
+        );
+        for t in &section.tenants {
+            assert_eq!(t.iterations_completed, 2, "tenant {}", t.label);
+            assert_eq!(t.retransmits, 0, "lossless run must never retransmit");
+            assert!(t.switch_bytes > 0);
+        }
+        // The sparse tenant moves an order of magnitude fewer wire bytes.
+        assert!(section.tenants[1].switch_bytes < section.tenants[0].switch_bytes / 4);
+        eng.release_all().unwrap();
+    }
+
+    #[test]
+    fn invalid_sparse_density_is_rejected() {
+        let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut session = FlareSession::new(topo);
+        let mut eng = TrafficEngine::new(&mut session, 7);
+        for d in [0.0, -0.5, 1.5] {
+            assert!(matches!(
+                eng.add_tenant(TenantSpec::new("t", 64).sparse(d)),
+                Err(TrafficError::InvalidSpec(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn wake_seq_overflow_is_a_typed_error() {
+        // 1 element per iteration → bpi = 1, so the u32 block-id check
+        // passes, but jobs × iterations exceeds the 24-bit FlowTag seq.
+        let (topo, _sw, _hosts) = Topology::star(3, LinkSpec::hundred_gig());
+        let mut session = FlareSession::new(topo);
+        let mut eng = TrafficEngine::new(&mut session, 7);
+        let spec = TenantSpec::new("t", 1)
+            .iterations(1 << 13)
+            .arrivals(ArrivalProcess::AtStart { jobs: 1 << 12 });
+        assert!(matches!(
+            eng.add_tenant(spec),
+            Err(TrafficError::TagOverflow(_))
+        ));
+        assert_eq!(session.active_collectives(), 0, "handle released on error");
     }
 
     #[test]

@@ -26,13 +26,16 @@ pub use flare_workloads as workloads;
 pub mod prelude {
     pub use flare_core::op::{golden_reduce, Custom, Max, Min, Prod, ReduceOp, Sum};
     pub use flare_core::report::{
-        jain_index, FabricStats, HpuSwitchReport, TailStats, TenantReport, TenantSection,
+        jain_index, FabricStats, HpuSwitchReport, PayloadSpec, TailStats, TenantReport,
+        TenantSection,
     };
     pub use flare_core::session::{
         Collective, CollectiveHandle, CollectiveResult, FlareSession, FlareSessionBuilder,
         RunReport, SessionError, SparsePolicy, Tuning,
     };
+    pub use flare_core::tag::{FlowTag, FlowTagOverflow};
     pub use flare_model::{AggKind, SparseStorage, SwitchParams};
     pub use flare_net::{HpuParams, LinkSpec, NodeId, SwitchModel, Topology};
+    pub use flare_workloads::trace::{load_trace, parse_trace, tenant_specs, TraceError};
     pub use flare_workloads::traffic::{ArrivalProcess, TenantSpec, TrafficEngine, TrafficError};
 }

@@ -1,8 +1,11 @@
 //! System-level tests of the multi-tenant traffic engine: the PR 6
 //! acceptance run (64 Poisson tenants on a fat tree with the paper's HPU
-//! switch model), queueing-delay semantics, bitwise reproducibility, and
-//! a churn soak asserting switch memory and buffer pools reach a steady
-//! state instead of growing monotonically.
+//! switch model), queueing-delay semantics, bitwise reproducibility, a
+//! churn soak asserting switch memory and buffer pools reach a steady
+//! state instead of growing monotonically, and the PR 8 flow-scoped
+//! program layer: lossy mixed dense/sparse tenant populations whose
+//! retransmission timers are multiplexed through the [`FlowTag`]
+//! namespace, bit-identical across serial and partitioned drivers.
 
 use flare::prelude::*;
 
@@ -186,4 +189,150 @@ fn churn_soak_reaches_a_steady_state() {
         late.windows(2).all(|w| w[0] == w[1]),
         "late rounds must allocate a constant (steady-state) shell count: {late:?}"
     );
+}
+
+#[test]
+fn inner_retransmit_timers_survive_the_traffic_mux() {
+    // Regression for the latent wake-tag collision. Before the FlowTag
+    // namespace, inner hosts armed their retransmission timer with a
+    // flat constant (0xF1A8) while the engine decoded wake tags as
+    // `kind | cell << 8` — so the timer wake decoded as cell index 0xF1
+    // and was dropped, meaning a lossy tenant's dropped blocks were
+    // never re-sent and the run stalled with incomplete jobs. With
+    // flow-scoped tags the wake routes back to the owning inner host:
+    // every job completes and the re-sends are visible in the report.
+    let (topo, _sw, _hosts) = Topology::star(6, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo)
+        .link_drop_prob(0.05)
+        .retransmit_after(Some(100_000))
+        .build();
+    let mut engine = TrafficEngine::new(&mut session, 41);
+    engine
+        .add_tenant(TenantSpec::new("dense", 16 * 1024).iterations(3))
+        .unwrap();
+    engine
+        .add_tenant(
+            TenantSpec::new("sparse", 16 * 1024)
+                .sparse(0.25)
+                .iterations(3),
+        )
+        .unwrap();
+    let report = engine.run().expect("lossy tenants complete");
+    let section = report.tenants.as_ref().unwrap();
+    let mut total_retx = 0;
+    for t in &section.tenants {
+        assert_eq!(t.jobs_completed, t.jobs, "{}: lossy job finishes", t.label);
+        assert_eq!(t.iterations_completed, 3, "{}: all iterations", t.label);
+        total_retx += t.retransmits;
+    }
+    assert!(
+        total_retx > 0,
+        "at 5% drop over {} iterations some block must have been re-sent",
+        6
+    );
+    engine.release_all().unwrap();
+}
+
+/// One lossy mixed dense/sparse 16-tenant epoch on a fat tree; the
+/// worker-thread count is pinned via the session builder (which wins
+/// over `FLARE_DES_THREADS`, so the test is meaningful under the CI
+/// env-matrix too).
+fn lossy_mixed_epoch(threads: u32) -> (TenantSection, u64) {
+    let (topo, ft) = Topology::fat_tree_two_level(4, 4, 2, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo)
+        .hosts(ft.hosts)
+        .link_drop_prob(0.01)
+        .retransmit_after(Some(150_000))
+        .threads(threads)
+        .build();
+    let mut engine = TrafficEngine::new(&mut session, 29);
+    for i in 0..16 {
+        let mut spec = TenantSpec::new(format!("m{i:02}"), 2048)
+            .iterations(2)
+            .compute(4_000, 0.2)
+            .arrivals(ArrivalProcess::Poisson {
+                mean_interarrival_ns: 30_000.0,
+                jobs: 1,
+            });
+        if i % 2 == 1 {
+            spec = spec.sparse(0.2);
+        }
+        engine.add_tenant(spec).expect("admit mixed tenant");
+    }
+    let report = engine.run().expect("lossy mixed epoch completes");
+    let section = report.tenants.clone().expect("tenant section");
+    engine.release_all().expect("release");
+    assert_eq!(session.active_collectives(), 0);
+    (section, report.net.makespan)
+}
+
+#[test]
+fn lossy_mixed_fleet_is_bitwise_identical_across_drivers_and_epochs() {
+    // The acceptance bar for the flow-scoped program layer: a 16-tenant
+    // mixed dense/sparse fat-tree run at link_drop_prob = 0.01 completes
+    // with bitwise-correct results on every rank (the engine's in-sim
+    // first-iteration check), and the full tenant section — makespans,
+    // queueing delays, byte counts, retransmit counts — is identical
+    // under the serial and 4-thread partitioned drivers, and across two
+    // fresh engine epochs of each.
+    let (serial_a, mk_serial_a) = lossy_mixed_epoch(1);
+    let (serial_b, mk_serial_b) = lossy_mixed_epoch(1);
+    let (par_a, mk_par_a) = lossy_mixed_epoch(4);
+    let (par_b, mk_par_b) = lossy_mixed_epoch(4);
+
+    assert_eq!(serial_a, serial_b, "fresh serial epochs must match");
+    assert_eq!(par_a, par_b, "fresh parallel epochs must match");
+    assert_eq!(serial_a, par_a, "serial vs partitioned driver must match");
+    assert_eq!(mk_serial_a, mk_serial_b);
+    assert_eq!(mk_serial_a, mk_par_a);
+    assert_eq!(mk_par_a, mk_par_b);
+
+    for t in &serial_a.tenants {
+        assert_eq!(t.jobs_completed, 1, "{} completes under loss", t.label);
+        assert_eq!(t.iterations_completed, 2, "{}", t.label);
+    }
+    let dense_n = serial_a
+        .tenants
+        .iter()
+        .filter(|t| t.payload == PayloadSpec::Dense)
+        .count();
+    assert_eq!((dense_n, serial_a.tenants.len()), (8, 16));
+}
+
+#[test]
+fn disk_traces_replay_into_the_engine() {
+    // ROADMAP 2c end to end: a CSV trace on disk becomes tenant specs
+    // becomes a run. Two tenants, interleaved arrivals, one backlogged.
+    let dir = std::env::temp_dir().join(format!("flare_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cluster.csv");
+    std::fs::write(
+        &path,
+        "arrival_ns,tenant,elems,iterations\n0,alpha,1024,2\n0,beta,512,1\n40000,alpha,1024,2\n",
+    )
+    .unwrap();
+
+    let records = load_trace(&path).expect("trace loads");
+    let specs = tenant_specs(&records).expect("specs group");
+    assert_eq!(specs.len(), 2);
+
+    let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+    let mut session = FlareSession::builder(topo).build();
+    let mut engine = TrafficEngine::new(&mut session, 3);
+    for spec in specs {
+        engine.add_tenant(spec).expect("admit trace tenant");
+    }
+    let report = engine.run().expect("trace replay completes");
+    let section = report.tenants.as_ref().unwrap();
+    let alpha = &section.tenants[0];
+    assert_eq!(
+        (alpha.label.as_str(), alpha.jobs, alpha.jobs_completed),
+        ("alpha", 2, 2)
+    );
+    assert_eq!(alpha.iterations_completed, 4);
+    let beta = &section.tenants[1];
+    assert_eq!((beta.label.as_str(), beta.jobs_completed), ("beta", 1));
+    engine.release_all().unwrap();
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
 }

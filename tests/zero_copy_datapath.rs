@@ -51,6 +51,7 @@ fn star_dense(hosts: usize) -> (NetSim, NodeId, Vec<ResultSink<f32>>) {
             stagger_offset: 0,
             retransmit_after: None,
             block_base: 0,
+            wake_seq: 0,
         };
         sim.install_host(
             h,
@@ -198,6 +199,7 @@ fn shell_allocations_do_not_scale_with_block_count() {
                 stagger_offset: 0,
                 retransmit_after: None,
                 block_base: 0,
+                wake_seq: 0,
             };
             sim.install_host(
                 h,
@@ -261,6 +263,7 @@ fn dense_pool_misses_do_not_scale_with_block_count() {
                 stagger_offset: 0,
                 retransmit_after: None,
                 block_base: 0,
+                wake_seq: 0,
             };
             sim.install_host(
                 h,
@@ -330,6 +333,7 @@ fn sparse_program_reuses_pair_batches_and_reclaims_payloads() {
             stagger_offset: 0,
             retransmit_after: None,
             block_base: 0,
+            wake_seq: 0,
         };
         // ~3% density, striped.
         let pairs: Vec<(u32, f32)> = (0..total / 32)
