@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   perf [--smoke] [--out PATH] [--only SUBSTR] [--baseline PATH]
-//!        [--threads N]
+//!        [--threads N] [--trace PATH]
 //!
 //! `--smoke` runs the reduced CI matrix; `--out` sets
 //! the JSON output path (default `BENCH_PR8.json` in the working
@@ -19,9 +19,15 @@
 //! datapath against other `/parN` runs. Traffic cells stay serial (the
 //! engine drives the simulator directly) and are dropped from a
 //! `--threads` run.
+//!
+//! `--trace PATH` additionally captures a lossy multi-tenant run with
+//! telemetry enabled and writes its chrome-trace JSON to PATH — load it
+//! at `ui.perfetto.dev` to browse link utilization, in-flight gauges and
+//! per-tenant flow lifecycles. The trace is schema-validated before it
+//! is written, so CI archiving the file is also a correctness check.
 
 use flare_bench::perf::{
-    diff_against_baseline, matrix, parse_baseline, run, smoke_matrix, to_json,
+    diff_against_baseline, dump_trace, matrix, parse_baseline, run, smoke_matrix, to_json,
 };
 use flare_bench::table::render;
 
@@ -49,6 +55,11 @@ fn main() {
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--threads takes an integer >= 1"));
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let mut scenarios = if smoke { smoke_matrix() } else { matrix() };
     if let Some(n) = threads {
         assert!(n >= 1, "--threads takes an integer >= 1");
@@ -93,6 +104,11 @@ fn main() {
     let json = to_json(label, &rows);
     std::fs::write(&out_path, json).expect("write JSON output");
     eprintln!("wrote {out_path}");
+    if let Some(path) = trace_path {
+        let trace = dump_trace();
+        std::fs::write(&path, &trace).expect("write trace output");
+        eprintln!("wrote {path} ({} bytes, Perfetto-loadable)", trace.len());
+    }
     if let Some(path) = baseline_path {
         let doc =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));

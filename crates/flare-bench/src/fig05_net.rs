@@ -124,7 +124,11 @@ pub fn run_des(params: HpuParams, trace: &[(u64, u64, u16)]) -> (f64, usize) {
         SwitchModel::Hpu(params),
     );
     sim.run(None);
-    let stats = sim.compute_stats(sw).expect("Hpu switch has stats");
+    // One Hpu switch in this rig, so the fleet-wide view has one entry.
+    let all = sim.all_compute_stats();
+    assert_eq!(all.len(), 1, "exactly one Hpu-modeled switch");
+    let (stats_sw, stats) = all[0];
+    assert_eq!(stats_sw, sw);
     assert_eq!(
         stats.handlers,
         trace.len() as u64,

@@ -13,7 +13,7 @@ use std::time::Instant;
 use flare_core::op::Sum;
 use flare_core::report::TailStats;
 use flare_core::session::FlareSession;
-use flare_net::{HpuParams, LinkSpec, NodeId, SwitchModel, Topology};
+use flare_net::{HpuParams, LinkSpec, NodeId, SwitchModel, TelemetryConfig, Topology};
 use flare_workloads::traffic::{ArrivalProcess, TenantSpec, TrafficEngine};
 
 /// Dense or sparse allreduce.
@@ -94,6 +94,13 @@ pub struct Scenario {
     /// lossless baseline match and are tracked against each other
     /// instead. Ignored by traffic cells (the engine is serial-only).
     pub threads: usize,
+    /// Run with fabric telemetry capture enabled
+    /// ([`flare_net::TelemetryConfig::default`]). Trace cells carry a
+    /// `/trace` name suffix: their makespans are bit-identical to the
+    /// plain twin (capture never perturbs the schedule) but their wall
+    /// numbers measure the instrumented datapath, so the twin pair is the
+    /// telemetry-overhead record.
+    pub trace: bool,
 }
 
 impl Scenario {
@@ -128,6 +135,9 @@ impl Scenario {
         }
         if self.threads > 0 {
             name.push_str(&format!("/par{}", self.threads));
+        }
+        if self.trace {
+            name.push_str("/trace");
         }
         name
     }
@@ -182,6 +192,7 @@ pub fn matrix() -> Vec<Scenario> {
                         hpu: false,
                         tenants: 0,
                         threads: 0,
+                        trace: false,
                     });
                 }
             }
@@ -201,6 +212,7 @@ pub fn matrix() -> Vec<Scenario> {
                 hpu: false,
                 tenants: 0,
                 threads: 0,
+                trace: false,
             });
         }
     }
@@ -214,6 +226,7 @@ pub fn matrix() -> Vec<Scenario> {
         hpu: false,
         tenants: 0,
         threads: 0,
+        trace: false,
     });
     // Parallel twins of the biggest scale rows: same simulation, the
     // partitioned conservative-lookahead driver on 4 workers. Their
@@ -232,6 +245,7 @@ pub fn matrix() -> Vec<Scenario> {
             hpu: false,
             tenants: 0,
             threads: 4,
+            trace: false,
         });
     }
     // Hpu rows: the multi-core compute model on the ROADMAP's slowest
@@ -254,6 +268,7 @@ pub fn matrix() -> Vec<Scenario> {
             hpu: true,
             tenants: 0,
             threads: 0,
+            trace: false,
         });
     }
     // Traffic rows: the multi-tenant engine churning Poisson job arrivals
@@ -271,6 +286,7 @@ pub fn matrix() -> Vec<Scenario> {
             hpu: false,
             tenants,
             threads: 0,
+            trace: false,
         });
     }
     // Lossy traffic row: 16 mixed dense/sparse tenants at 1% link loss,
@@ -288,6 +304,24 @@ pub fn matrix() -> Vec<Scenario> {
         hpu: false,
         tenants: 16,
         threads: 0,
+        trace: false,
+    });
+    // Telemetry-overhead twin: the tracked small dense fat-tree cell with
+    // fabric telemetry capturing every link bucket, HPU sample and
+    // lifecycle event. Same simulated makespan as the plain twin (capture
+    // never perturbs the schedule); the wall-time ratio of the pair is
+    // the documented telemetry overhead.
+    out.push(Scenario {
+        mode: Mode::Dense,
+        topo: TopoKind::FatTree,
+        hosts: 8,
+        bytes_per_host: 128 * 1024,
+        reps: 3,
+        drop_prob: 0.0,
+        hpu: false,
+        tenants: 0,
+        threads: 0,
+        trace: true,
     });
     out
 }
@@ -314,6 +348,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hpu: true,
             tenants: 0,
             threads: 0,
+            trace: false,
         },
         Scenario {
             mode: Mode::Dense,
@@ -325,6 +360,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         },
         Scenario {
             mode: Mode::Sparse,
@@ -336,6 +372,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         },
         Scenario {
             mode: Mode::Dense,
@@ -347,6 +384,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         },
         Scenario {
             mode: Mode::Sparse,
@@ -358,6 +396,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         },
         Scenario {
             mode: Mode::Dense,
@@ -369,6 +408,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hpu: false,
             tenants: 4,
             threads: 0,
+            trace: false,
         },
         // One lossy traffic cell: a mixed dense/sparse fleet under 1%
         // link loss, so CI exercises the flow-scoped retransmission
@@ -383,6 +423,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hpu: false,
             tenants: 4,
             threads: 0,
+            trace: false,
         },
         // One parallel-driver cell: the same shape as the tracked serial
         // smoke cell, on 2 workers, so CI exercises the partitioned
@@ -397,6 +438,7 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             hpu: false,
             tenants: 0,
             threads: 2,
+            trace: false,
         },
     ]
 }
@@ -449,6 +491,9 @@ pub fn run(s: &Scenario) -> Measurement {
         }
         if s.threads > 0 {
             b = b.threads(s.threads as u32);
+        }
+        if s.trace {
+            b = b.telemetry(TelemetryConfig::default());
         }
         b.build()
     };
@@ -536,6 +581,9 @@ fn run_traffic(s: &Scenario) -> Measurement {
                 .link_drop_prob(s.drop_prob)
                 .retransmit_after(Some(200_000));
         }
+        if s.trace {
+            builder = builder.telemetry(TelemetryConfig::default());
+        }
         let mut session = builder.build();
         let mut engine = TrafficEngine::new(&mut session, 7);
         for i in 0..s.tenants {
@@ -581,6 +629,39 @@ fn run_traffic(s: &Scenario) -> Measurement {
     best.expect("at least one rep")
 }
 
+/// Capture a Perfetto trace from a lossy multi-tenant fleet and return
+/// the chrome-trace JSON, validated before it is handed back. The CI
+/// smoke job writes this next to the bench JSON so every run leaves an
+/// artifact that `ui.perfetto.dev` loads directly — link utilization
+/// counters, HPU-free in-flight gauges, retransmits, and per-tenant
+/// job/flow lifecycle tracks from a run that actually drops packets.
+pub fn dump_trace() -> String {
+    let (topo, hosts) = build_topology(TopoKind::FatTree, 8);
+    let mut session = FlareSession::builder(topo)
+        .hosts(hosts)
+        .link_drop_prob(0.02)
+        .retransmit_after(Some(200_000))
+        .telemetry(TelemetryConfig::default())
+        .build();
+    let mut engine = TrafficEngine::new(&mut session, 7);
+    for i in 0..4 {
+        let mut spec = TenantSpec::new(format!("tenant-{i}"), 4096)
+            .iterations(2)
+            .compute(5_000, 0.2);
+        if i % 2 == 1 {
+            spec = spec.sparse(0.2);
+        }
+        engine.add_tenant(spec).expect("admit traffic tenant");
+    }
+    let report = engine.run().expect("traffic run");
+    engine.release_all().expect("release tenants");
+    let trace = report.trace.as_ref().expect("telemetry was enabled");
+    let json = trace.chrome_trace();
+    let events = flare_net::telemetry::validate_chrome_trace(&json).expect("trace validates");
+    assert!(events > 0, "trace must carry events");
+    json
+}
+
 /// Render measurements as the checked-in `BENCH_*.json` document.
 pub fn to_json(label: &str, rows: &[Measurement]) -> String {
     let mut out = String::new();
@@ -607,6 +688,9 @@ pub fn to_json(label: &str, rows: &[Measurement]) -> String {
         }
         if s.threads > 0 {
             traffic.push_str(&format!(", \"threads\": {}", s.threads));
+        }
+        if s.trace {
+            traffic.push_str(", \"trace\": true");
         }
         out.push_str(&format!(
             "    {{\"mode\": \"{}\", \"topology\": \"{}\", \"hosts\": {}, \"payload_bytes\": {}, \
@@ -705,6 +789,9 @@ pub fn parse_baseline(json: &str) -> Vec<BaselineRow> {
         if let Some(threads) = json_u64_field(line, "threads").filter(|&t| t > 0) {
             name.push_str(&format!("/par{threads}"));
         }
+        if line.contains("\"trace\": true") {
+            name.push_str("/trace");
+        }
         out.push(BaselineRow {
             name,
             makespan_ns: makespan,
@@ -756,12 +843,12 @@ mod tests {
         let m = matrix();
         assert_eq!(
             m.len(),
-            29,
-            "16 tracked cells + 5 scale rows + 2 parallel + 3 hpu + 3 traffic"
+            30,
+            "16 tracked cells + 5 scale rows + 2 parallel + 3 hpu + 3 traffic + 1 trace"
         );
         let serial: Vec<&Scenario> = m
             .iter()
-            .filter(|s| !s.hpu && s.tenants == 0 && s.threads == 0)
+            .filter(|s| !s.hpu && s.tenants == 0 && s.threads == 0 && !s.trace)
             .collect();
         assert_eq!(serial.len(), 21);
         assert_eq!(serial.iter().filter(|s| s.mode == Mode::Sparse).count(), 8);
@@ -823,6 +910,7 @@ mod tests {
             hpu: false,
             tenants: 0,
             threads: 4,
+            trace: false,
         };
         assert_eq!(s.name(), "dense/fat_tree/256h/8MiB/par4");
         let json = to_json("perf", &[measurement(s, 694397)]);
@@ -849,9 +937,11 @@ mod tests {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         };
         let par = Scenario {
             threads: 2,
+            trace: false,
             ..serial
         };
         let a = run(&serial);
@@ -882,6 +972,101 @@ mod tests {
     }
 
     #[test]
+    fn matrix_trace_cell_twins_a_tracked_row_outside_the_baseline() {
+        let m = matrix();
+        let trace: Vec<&Scenario> = m.iter().filter(|s| s.trace).collect();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].name(), "dense/fat_tree/8h/128KiB/trace");
+        // The telemetry-overhead ratio needs a plain twin of the same
+        // shape in the same matrix run.
+        assert!(
+            m.iter().any(|s| !s.trace
+                && !s.hpu
+                && s.threads == 0
+                && s.mode == trace[0].mode
+                && s.topo == trace[0].topo
+                && s.hosts == trace[0].hosts
+                && s.bytes_per_host == trace[0].bytes_per_host),
+            "no plain twin for {}",
+            trace[0].name()
+        );
+        // The suffix keeps the traced cell from matching the plain
+        // baseline row of the same shape.
+        let baseline = vec![BaselineRow {
+            name: "dense/fat_tree/8h/128KiB".into(),
+            makespan_ns: 1,
+        }];
+        let diff = diff_against_baseline(&[measurement(*trace[0], 2)], &baseline);
+        assert_eq!(diff.compared, 0);
+        assert!(diff.drift.is_empty());
+    }
+
+    #[test]
+    fn trace_rows_roundtrip_with_their_suffix() {
+        let s = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 128 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+            tenants: 0,
+            threads: 0,
+            trace: true,
+        };
+        assert_eq!(s.name(), "dense/fat_tree/8h/128KiB/trace");
+        let json = to_json("perf", &[measurement(s, 424242)]);
+        assert!(json.contains("\"trace\": true"));
+        let rows = parse_baseline(&json);
+        assert_eq!(
+            rows,
+            vec![BaselineRow {
+                name: "dense/fat_tree/8h/128KiB/trace".into(),
+                makespan_ns: 424242,
+            }]
+        );
+    }
+
+    #[test]
+    fn dump_trace_produces_a_loadable_chrome_trace() {
+        let json = dump_trace();
+        let events = flare_net::telemetry::validate_chrome_trace(&json).expect("valid trace");
+        assert!(events > 0);
+        // Lifecycle tracks are labeled by tenant, and the lossy fleet
+        // must actually exercise the recovery path.
+        assert!(json.contains("tenant-3"));
+        assert!(json.contains("retransmit"));
+    }
+
+    #[test]
+    fn trace_cell_runs_and_matches_the_plain_makespan() {
+        let plain = Scenario {
+            mode: Mode::Dense,
+            topo: TopoKind::FatTree,
+            hosts: 8,
+            bytes_per_host: 32 * 1024,
+            reps: 1,
+            drop_prob: 0.0,
+            hpu: false,
+            tenants: 0,
+            threads: 0,
+            trace: false,
+        };
+        let traced = Scenario {
+            trace: true,
+            ..plain
+        };
+        let a = run(&plain);
+        let b = run(&traced);
+        // The zero-perturbation contract, end to end through the
+        // harness: capture changes the wall clock, never the schedule.
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.total_link_bytes, b.total_link_bytes);
+    }
+
+    #[test]
     fn hpu_cell_runs_and_differs_from_the_serial_pipeline() {
         let serial = Scenario {
             mode: Mode::Dense,
@@ -893,11 +1078,13 @@ mod tests {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         };
         let hpu = Scenario {
             hpu: true,
             tenants: 0,
             threads: 0,
+            trace: false,
             ..serial
         };
         let a = run(&serial);
@@ -922,6 +1109,7 @@ mod tests {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         };
         let m = run(&s);
         assert!(m.wall_ms > 0.0);
@@ -943,6 +1131,7 @@ mod tests {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         };
         let m = run(&s);
         assert!(m.events > 0 && m.total_link_bytes > 0);
@@ -974,6 +1163,7 @@ mod tests {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         };
         let json = to_json("perf", &[measurement(s, 694397)]);
         let rows = parse_baseline(&json);
@@ -998,6 +1188,7 @@ mod tests {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         };
         let baseline = vec![
             BaselineRow {
@@ -1029,6 +1220,7 @@ mod tests {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         };
         let vacuous = diff_against_baseline(&[measurement(new_cell, 1)], &baseline);
         assert!(vacuous.drift.is_empty());
@@ -1121,6 +1313,7 @@ mod tests {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         };
         let m = run(&s);
         assert!(m.events > 0 && m.makespan_ns > 0);
@@ -1139,6 +1332,7 @@ mod tests {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         };
         let m = Measurement {
             scenario: s,
@@ -1172,6 +1366,7 @@ mod tests {
             hpu: false,
             tenants: 8,
             threads: 0,
+            trace: false,
         };
         assert_eq!(s.name(), "dense/fat_tree/8h/64KiB/traffic8");
         let mut m = measurement(s, 4242);
@@ -1214,6 +1409,7 @@ mod tests {
             hpu: false,
             tenants: 4,
             threads: 0,
+            trace: false,
         };
         let a = run(&s);
         let b = run(&s);
@@ -1274,6 +1470,7 @@ mod tests {
             hpu: false,
             tenants: 16,
             threads: 0,
+            trace: false,
         };
         assert_eq!(s.name(), "dense/fat_tree/8h/64KiB/traffic16/loss1%");
         let json = to_json("perf", &[measurement(s, 777)]);
@@ -1300,6 +1497,7 @@ mod tests {
             hpu: true,
             tenants: 0,
             threads: 0,
+            trace: false,
         };
         let json = to_json("perf", &[measurement(s, 4242)]);
         assert!(json.contains("\"hpu\": true"));
@@ -1325,6 +1523,7 @@ mod tests {
             hpu: false,
             tenants: 4,
             threads: 0,
+            trace: false,
         };
         let a = run(&s);
         let b = run(&s);

@@ -94,7 +94,7 @@ pub fn run_dense_allreduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
     inputs: Vec<Vec<T>>,
     opts: &RunOptions,
 ) -> (Vec<Vec<T>>, NetReport) {
-    let (results, report, _topo) =
+    let (results, report, _trace, _topo) =
         execute_dense(topo, hosts, plan, op, inputs, &opts.tuning(), opts.seed);
     (results, report)
 }
@@ -116,7 +116,7 @@ pub fn run_sparse_allreduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
     policy: SparsePolicy,
     opts: &RunOptions,
 ) -> (Vec<Vec<T>>, NetReport) {
-    let (results, report, _topo) = execute_sparse(
+    let (results, report, _trace, _topo) = execute_sparse(
         topo,
         hosts,
         plan,
@@ -145,7 +145,7 @@ pub fn run_reduce<T: Element, O: ReduceOp<T> + Clone + 'static>(
     root_rank: usize,
     opts: &RunOptions,
 ) -> (Vec<T>, NetReport) {
-    let (mut results, report, _topo) =
+    let (mut results, report, _trace, _topo) =
         execute_dense(topo, hosts, plan, op, inputs, &opts.tuning(), opts.seed);
     (results.swap_remove(root_rank), report)
 }
@@ -176,7 +176,7 @@ pub fn run_broadcast<T: Element, O: ReduceOp<T> + Clone + 'static>(
             }
         })
         .collect();
-    let (results, report, _topo) =
+    let (results, report, _trace, _topo) =
         execute_dense(topo, hosts, plan, op, inputs, &opts.tuning(), opts.seed);
     (results, report)
 }
@@ -194,7 +194,7 @@ pub fn run_barrier(
     opts: &RunOptions,
 ) -> (Time, NetReport) {
     let inputs: Vec<Vec<i32>> = vec![vec![1]; hosts.len()];
-    let (_, report, _topo) = execute_dense(
+    let (_, report, _trace, _topo) = execute_dense(
         topo,
         hosts,
         plan,

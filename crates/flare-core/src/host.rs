@@ -13,7 +13,7 @@
 use std::sync::{Arc, Mutex};
 
 use flare_des::Time;
-use flare_net::{HostCtx, HostProgram, NetPacket, NodeId};
+use flare_net::{HostCtx, HostProgram, NetPacket, NodeId, TraceKind};
 
 use crate::dtype::Element;
 use crate::op::ReduceOp;
@@ -208,9 +208,13 @@ impl<T: Element> DenseFlareHost<T> {
             0,
             payload,
         );
+        let wire = pkt.wire_bytes as u64;
         ctx.send(pkt);
         self.sent_packets += 1;
         self.outstanding.insert(block, ctx.now());
+        let flow = self.cfg.allreduce as u64;
+        ctx.trace(TraceKind::ShardSend, flow, wire_block, wire);
+        ctx.trace(TraceKind::InFlight, flow, self.outstanding.len() as u64, 0);
     }
 
     fn pump(&mut self, ctx: &mut HostCtx<'_>) {
@@ -224,6 +228,12 @@ impl<T: Element> DenseFlareHost<T> {
 
 impl<T: Element> HostProgram for DenseFlareHost<T> {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        ctx.trace(
+            TraceKind::FlowSubmit,
+            self.cfg.allreduce as u64,
+            self.total_blocks(),
+            (self.data.len() * T::WIRE_BYTES) as u64,
+        );
         self.pump(ctx);
         if let Some(t) = self.cfg.retransmit_after {
             ctx.wake_in(t, self.retx_tag);
@@ -268,6 +278,9 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
         // held the last reference.
         self.scratch.reclaim(pkt.payload);
         self.completed += 1;
+        let flow = self.cfg.allreduce as u64;
+        ctx.trace(TraceKind::BlockRetire, flow, pkt.block, 0);
+        ctx.trace(TraceKind::InFlight, flow, self.outstanding.len() as u64, 0);
         if self.completed == self.total_blocks() {
             *self.sink.lock().expect("sink lock") = Some(std::mem::take(&mut self.data));
             ctx.mark_done();
@@ -293,6 +306,12 @@ impl<T: Element> HostProgram for DenseFlareHost<T> {
             .collect();
         for block in overdue {
             self.retransmits += 1;
+            ctx.trace(
+                TraceKind::Retransmit,
+                self.cfg.allreduce as u64,
+                self.cfg.block_base + block,
+                0,
+            );
             self.send_block(ctx, block);
         }
         ctx.wake_in(timeout, self.retx_tag);
@@ -423,11 +442,24 @@ impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
                 0,
                 payload,
             );
+            let wire = pkt.wire_bytes as u64;
             ctx.send(pkt);
             self.sent_packets += 1;
+            ctx.trace(
+                TraceKind::ShardSend,
+                self.cfg.allreduce as u64,
+                wire_block,
+                wire,
+            );
         }
         self.shards_out[block as usize] = shards;
         self.outstanding.insert(block, ctx.now());
+        ctx.trace(
+            TraceKind::InFlight,
+            self.cfg.allreduce as u64,
+            self.outstanding.len() as u64,
+            0,
+        );
     }
 
     fn pump(&mut self, ctx: &mut HostCtx<'_>) {
@@ -441,6 +473,18 @@ impl<T: Element, O: ReduceOp<T>> SparseFlareHost<T, O> {
 
 impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        let pairs: usize = self
+            .shards_out
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(Vec::len)
+            .sum();
+        ctx.trace(
+            TraceKind::FlowSubmit,
+            self.cfg.allreduce as u64,
+            self.trackers.len() as u64,
+            (pairs * (4 + T::WIRE_BYTES)) as u64,
+        );
         self.pump(ctx);
         if let Some(t) = self.cfg.retransmit_after {
             ctx.wake_in(t, self.retx_tag);
@@ -477,6 +521,12 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
             self.scratch.reclaim(pkt.payload);
             return;
         }
+        ctx.trace(
+            TraceKind::ShardRecv,
+            self.cfg.allreduce as u64,
+            pkt.block,
+            header.shard_index() as u64,
+        );
         // Combine: spilled elements may deliver the same index in several
         // result shards, so accumulation (not overwrite) is required.
         let base = block * self.span;
@@ -492,6 +542,9 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
             self.outstanding.remove(local);
             // The block can never be re-sent again: free its shards.
             self.shards_out[block] = Vec::new();
+            let flow = self.cfg.allreduce as u64;
+            ctx.trace(TraceKind::BlockRetire, flow, pkt.block, 0);
+            ctx.trace(TraceKind::InFlight, flow, self.outstanding.len() as u64, 0);
             if self.blocks_done == self.trackers.len() as u64 {
                 *self.sink.lock().expect("sink lock") = Some(std::mem::take(&mut self.result));
                 ctx.mark_done();
@@ -516,6 +569,12 @@ impl<T: Element, O: ReduceOp<T>> HostProgram for SparseFlareHost<T, O> {
             .collect();
         for block in overdue {
             self.retransmits += 1;
+            ctx.trace(
+                TraceKind::Retransmit,
+                self.cfg.allreduce as u64,
+                self.cfg.block_base + block,
+                0,
+            );
             self.send_block(ctx, block);
         }
         ctx.wake_in(timeout, self.retx_tag);

@@ -36,7 +36,9 @@
 
 use flare_des::Time;
 use flare_model::AggKind;
-use flare_net::{NetReport, NetSim, NodeId, SwitchModel, Topology};
+use flare_net::{
+    NetReport, NetSim, NodeId, SwitchModel, TelemetryConfig, TelemetryReport, Topology,
+};
 
 use crate::dtype::Element;
 use crate::handlers::SparseStorageKind;
@@ -255,6 +257,13 @@ pub struct Tuning {
     /// bitwise-identical results — see the README's "Parallel simulation"
     /// section for the determinism contract.
     pub threads: Option<u32>,
+    /// Fabric telemetry capture (`None` = off, the default). When set,
+    /// every run records windowed per-link utilization, HPU occupancy
+    /// timelines and flow-lifecycle trace events, returned as
+    /// [`RunReport::trace`]. Capture never perturbs the schedule:
+    /// makespans and results are bit-identical with telemetry on or off,
+    /// at any thread count.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for Tuning {
@@ -271,6 +280,7 @@ impl Default for Tuning {
             packet_bytes: 1024,
             link_drop_prob: 0.0,
             threads: None,
+            telemetry: None,
         }
     }
 }
@@ -369,6 +379,15 @@ impl FlareSessionBuilder {
     /// over the `FLARE_DES_THREADS` environment variable.
     pub fn threads(mut self, n: u32) -> Self {
         self.tuning.threads = Some(n);
+        self
+    }
+
+    /// Capture fabric telemetry on every run (see [`Tuning::telemetry`]):
+    /// per-link utilization timelines, HPU occupancy and flow-lifecycle
+    /// trace events, exported via [`RunReport::trace`] as a Perfetto-
+    /// loadable Chrome trace or a CSV utilization dump.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.tuning.telemetry = Some(cfg);
         self
     }
 
@@ -886,7 +905,7 @@ impl<T: Element, O: ReduceOp<T> + Clone + 'static> Collective<'_, T, O> {
         // Lend the session's topology to the simulator and take it back
         // afterwards — no per-collective deep copy.
         let topo = std::mem::take(&mut self.session.topology);
-        let (ranks, net, topo) = match resolved {
+        let (ranks, net, trace, topo) = match resolved {
             Resolved::Dense(inputs) => {
                 execute_dense(topo, &hosts, &plan, op, inputs, &tuning, seed)
             }
@@ -904,6 +923,16 @@ impl<T: Element, O: ReduceOp<T> + Clone + 'static> Collective<'_, T, O> {
         };
         self.session.topology = topo;
 
+        // Name the collective's trace track after its label (or the
+        // default `allreduce-<id>`) so Perfetto shows a readable lane.
+        let trace = trace.map(|mut t| {
+            let label = self
+                .label
+                .clone()
+                .unwrap_or_else(|| format!("allreduce-{}", plan.id));
+            t.tracks = vec![(plan.id as u64, label)];
+            Box::new(t)
+        });
         let report = RunReport {
             collective: plan.id,
             label: self.label,
@@ -913,6 +942,7 @@ impl<T: Element, O: ReduceOp<T> + Clone + 'static> Collective<'_, T, O> {
             tree_depth: plan.tree.max_depth(),
             net,
             tenants: None,
+            trace,
         };
         if owned {
             self.session.manager.teardown(plan.id);
@@ -946,6 +976,12 @@ pub struct RunReport {
     /// for multi-tenant traffic-engine runs (see
     /// [`crate::report::TenantSection`]), `None` for single collectives.
     pub tenants: Option<crate::report::TenantSection>,
+    /// Captured fabric telemetry; `Some` only when the session enabled it
+    /// (builder [`FlareSessionBuilder::telemetry`] / [`Tuning::telemetry`]).
+    /// Export with [`TelemetryReport::chrome_trace`] (Perfetto-loadable)
+    /// or [`TelemetryReport::utilization_csv`]. Boxed: the capture can
+    /// dwarf the rest of the report.
+    pub trace: Option<Box<TelemetryReport>>,
 }
 
 impl RunReport {
@@ -1085,9 +1121,12 @@ pub(crate) fn execute_dense<T: Element, O: ReduceOp<T> + Clone + 'static>(
     inputs: Vec<Vec<T>>,
     tuning: &Tuning,
     seed: u64,
-) -> (Vec<Vec<T>>, NetReport, Topology) {
+) -> (Vec<Vec<T>>, NetReport, Option<TelemetryReport>, Topology) {
     assert_eq!(hosts.len(), inputs.len(), "one input per host");
     let mut sim = NetSim::new(topo, seed);
+    if let Some(cfg) = tuning.telemetry {
+        sim.enable_telemetry(cfg);
+    }
     sim.set_uniform_drop_prob(tuning.link_drop_prob);
     for s in &plan.tree.switches {
         let prog = FlareDenseProgram::new(placement_for(plan, s.switch), op.clone())
@@ -1115,11 +1154,12 @@ pub(crate) fn execute_dense<T: Element, O: ReduceOp<T> + Clone + 'static>(
         sim.install_host(h, Box::new(host));
     }
     let report = run_sim(&mut sim, tuning);
+    let trace = sim.take_telemetry();
     let results = sinks
         .into_iter()
         .map(|s| s.lock().expect("sink lock").take().expect("host completed"))
         .collect();
-    (results, report, sim.into_topology())
+    (results, report, trace, sim.into_topology())
 }
 
 /// Wire a sparse run: hash/array stores per the policy, shard-tracking
@@ -1137,9 +1177,12 @@ pub(crate) fn execute_sparse<T: Element, O: ReduceOp<T> + Clone + 'static>(
     policy: SparsePolicy,
     tuning: &Tuning,
     seed: u64,
-) -> (Vec<Vec<T>>, NetReport, Topology) {
+) -> (Vec<Vec<T>>, NetReport, Option<TelemetryReport>, Topology) {
     assert_eq!(hosts.len(), inputs.len());
     let mut sim = NetSim::new(topo, seed);
+    if let Some(cfg) = tuning.telemetry {
+        sim.enable_telemetry(cfg);
+    }
     sim.set_uniform_drop_prob(tuning.link_drop_prob);
     for s in &plan.tree.switches {
         let storage = if s.parent.is_none() && policy.array_at_root {
@@ -1188,11 +1231,12 @@ pub(crate) fn execute_sparse<T: Element, O: ReduceOp<T> + Clone + 'static>(
         sim.install_host(h, Box::new(host));
     }
     let report = run_sim(&mut sim, tuning);
+    let trace = sim.take_telemetry();
     let results = sinks
         .into_iter()
         .map(|s| s.lock().expect("sink lock").take().expect("host completed"))
         .collect();
-    (results, report, sim.into_topology())
+    (results, report, trace, sim.into_topology())
 }
 
 #[cfg(test)]
@@ -1495,6 +1539,42 @@ mod tests {
         // The session still works after the loan.
         let out = session.allreduce(vec![vec![1i32; 8]; 3]).run().unwrap();
         assert_eq!(out.rank(0), &[3i32; 8][..]);
+    }
+
+    #[test]
+    fn telemetry_capture_rides_a_run_without_perturbing_it() {
+        let inputs: Vec<Vec<i32>> = (0..4).map(|r| vec![r; 2048]).collect();
+        let mut plain = star_session(4);
+        let base = plain.allreduce(inputs.clone()).run().unwrap();
+        assert!(base.report.trace.is_none(), "telemetry defaults to off");
+        // Lossless runs report zero drops on every link.
+        assert!(base.report.net.links.iter().all(|l| l.drops == 0));
+
+        let (topo, _sw, _hosts) = Topology::star(4, LinkSpec::hundred_gig());
+        let mut session = FlareSession::builder(topo)
+            .telemetry(flare_net::TelemetryConfig::default())
+            .build();
+        let out = session.allreduce(inputs).named("grad.dense").run().unwrap();
+        assert_eq!(
+            out.report.net.makespan, base.report.net.makespan,
+            "capture must not change the schedule"
+        );
+        let trace = out.report.trace.expect("telemetry was enabled");
+        assert_eq!(
+            trace.tracks,
+            vec![(out.report.collective as u64, "grad.dense".to_string())]
+        );
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.kind == flare_net::TraceKind::FlowSubmit));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.kind == flare_net::TraceKind::BlockRetire));
+        let json = trace.chrome_trace();
+        assert!(flare_net::telemetry::validate_chrome_trace(&json).expect("valid trace") > 0);
+        assert!(json.contains("grad.dense"));
     }
 
     #[test]

@@ -214,6 +214,9 @@ pub struct SwitchCompute {
     /// (`stats.queue_peak` is the max of this vector).
     subset_peak: Vec<usize>,
     stats: ComputeStats,
+    /// Per-subset occupancy samples, recorded only when telemetry armed
+    /// the timeline (see [`SwitchCompute::enable_timeline`]).
+    timeline: Option<Vec<crate::telemetry::ComputeSample>>,
 }
 
 impl SwitchCompute {
@@ -235,7 +238,27 @@ impl SwitchCompute {
             pending: vec![VecDeque::new(); subsets],
             subset_peak: vec![0; subsets],
             stats: ComputeStats::default(),
+            timeline: None,
         }
+    }
+
+    /// Number of scheduling subsets.
+    pub fn subsets(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Start recording per-subset occupancy samples on every dispatch
+    /// (idempotent; already-recorded samples are kept). Timing is never
+    /// affected — the recorder observes the schedule the scheduler
+    /// produced.
+    pub fn enable_timeline(&mut self) {
+        self.timeline.get_or_insert_with(Vec::new);
+    }
+
+    /// Take the recorded occupancy timeline (disabling further capture);
+    /// `None` unless [`enable_timeline`](Self::enable_timeline) ran.
+    pub fn take_timeline(&mut self) -> Option<Vec<crate::telemetry::ComputeSample>> {
+        self.timeline.take()
     }
 
     /// The configuration this scheduler was built from.
@@ -308,6 +331,14 @@ impl SwitchCompute {
             self.stats.queued += 1;
             self.stats.queue_peak = self.stats.queue_peak.max(q.len());
             self.subset_peak[subset] = self.subset_peak[subset].max(q.len());
+        }
+        if let Some(timeline) = &mut self.timeline {
+            timeline.push(crate::telemetry::ComputeSample {
+                time: now,
+                subset: subset as u32,
+                // FIFO depth plus the handler just dispatched.
+                depth: q.len() as u32 + 1,
+            });
         }
 
         self.stats.handlers += 1;

@@ -26,10 +26,12 @@ pub mod compute;
 pub mod packet;
 pub mod partition;
 pub mod sim;
+pub mod telemetry;
 pub mod topology;
 
 pub use compute::{ComputeStats, HpuParams, SwitchCompute, SwitchModel};
 pub use packet::NetPacket;
 pub use partition::PartitionPlan;
-pub use sim::{HostCtx, HostProgram, NetReport, NetSim, SwitchCtx, SwitchProgram};
+pub use sim::{HostCtx, HostProgram, LinkTotals, NetReport, NetSim, SwitchCtx, SwitchProgram};
+pub use telemetry::{TelemetryConfig, TelemetryReport, TraceEvent, TraceKind};
 pub use topology::{LinkSpec, NodeId, PortId, Topology};

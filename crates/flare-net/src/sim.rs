@@ -29,6 +29,7 @@ use flare_des::{EventQueue, Simulator, Time};
 use crate::compute::{ComputeStats, SwitchCompute, SwitchModel};
 use crate::packet::NetPacket;
 use crate::partition::PartitionPlan;
+use crate::telemetry::{ComputeTimeline, Telemetry, TelemetryConfig, TelemetryReport, TraceKind};
 use crate::topology::{NodeId, NodeKind, PortId, Routing, Topology};
 
 /// Events processed by [`NetSim`].
@@ -100,6 +101,7 @@ struct DirState {
     busy_until: Time,
     bytes: u64,
     packets: u64,
+    drops: u64,
 }
 
 struct LinkState {
@@ -129,6 +131,9 @@ struct SimCore {
     compute: Vec<Option<Box<SwitchCompute>>>,
     done_at: Vec<Option<Time>>,
     drops: u64,
+    /// Observability capture ([`Telemetry::Off`] by default: one
+    /// discriminant test per hook, no state, no allocation).
+    telemetry: Telemetry,
 }
 
 impl SimCore {
@@ -151,7 +156,11 @@ impl SimCore {
         d.busy_until = fin;
         d.bytes += bytes as u64;
         d.packets += 1;
-        if state.drop_prob > 0.0 && state.rngs[dir].random::<f64>() < state.drop_prob {
+        let dropped = state.drop_prob > 0.0 && state.rngs[dir].random::<f64>() < state.drop_prob;
+        self.telemetry
+            .record_tx(2 * pl.link + dir, start, bytes as u64, dropped);
+        if dropped {
+            self.links[pl.link].dirs[dir].drops += 1;
             self.drops += 1;
             return None;
         }
@@ -222,6 +231,18 @@ impl<'a> CoreMut<'a> {
             }
         }
     }
+
+    /// `(telemetry state, node slot)` — the slot is the node's index in
+    /// whichever sink this view writes to (global id on the whole core,
+    /// partition-local on a lane).
+    fn telemetry_slot(&mut self, node: NodeId) -> (&mut Telemetry, usize) {
+        match self {
+            CoreMut::Whole(c) => (&mut c.telemetry, node.index()),
+            CoreMut::Lane { plan, state, .. } => {
+                (&mut state.telemetry, plan.node_local[node.index()] as usize)
+            }
+        }
+    }
 }
 
 macro_rules! ctx_common {
@@ -263,6 +284,16 @@ macro_rules! ctx_common {
                         pkt,
                     },
                 );
+            }
+
+            /// Record a flow-lifecycle telemetry event for this node
+            /// (no-op unless [`crate::NetSim`] telemetry is enabled; see
+            /// [`crate::telemetry::TraceKind`] for the `(a, b)` payload
+            /// conventions per kind).
+            pub fn trace(&mut self, kind: TraceKind, flow: u64, a: u64, b: u64) {
+                let (node, now) = (self.node, self.now);
+                let (telemetry, slot) = self.core.telemetry_slot(node);
+                telemetry.event(slot, node.0, now, kind, flow, a, b);
             }
         }
     };
@@ -374,6 +405,19 @@ impl<'a> SwitchCtx<'a> {
     }
 }
 
+/// Always-on per-link totals (both directions summed), indexed by link
+/// id in [`NetReport::links`]. Cheap: folded from counters the rate
+/// limiter maintains regardless of telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkTotals {
+    /// Bytes that traversed the link (both directions).
+    pub bytes: u64,
+    /// Packets that traversed the link (both directions).
+    pub packets: u64,
+    /// Packets loss injection dropped on the link (both directions).
+    pub drops: u64,
+}
+
 /// Final measurements of a network simulation.
 #[derive(Debug, Clone)]
 pub struct NetReport {
@@ -390,6 +434,9 @@ pub struct NetReport {
     pub total_link_packets: u64,
     /// Packets dropped by loss injection.
     pub drops: u64,
+    /// Per-link byte/packet/drop totals, indexed by link id (lossless
+    /// runs report zero drops on every link).
+    pub links: Vec<LinkTotals>,
     /// Events processed.
     pub events: u64,
 }
@@ -410,18 +457,7 @@ impl NetSim {
         let n = topo.node_count();
         let links = (0..topo.link_count())
             .map(|link| LinkState {
-                dirs: [
-                    DirState {
-                        busy_until: 0,
-                        bytes: 0,
-                        packets: 0,
-                    },
-                    DirState {
-                        busy_until: 0,
-                        bytes: 0,
-                        packets: 0,
-                    },
-                ],
+                dirs: [DirState::default(), DirState::default()],
                 drop_prob: 0.0,
                 rngs: [
                     rng_stream(seed, 2 * link as u64),
@@ -439,6 +475,7 @@ impl NetSim {
                 compute: (0..n).map(|_| None).collect(),
                 done_at: vec![None; n],
                 drops: 0,
+                telemetry: Telemetry::Off,
             },
             host_progs: (0..n).map(|_| None).collect(),
             switch_progs: (0..n).map(|_| None).collect(),
@@ -523,6 +560,70 @@ impl NetSim {
             .map(|c| c.subset_queue_peaks().to_vec())
     }
 
+    /// Compute-model counters of *every* switch installed with
+    /// [`SwitchModel::Hpu`], ascending by node id — so callers stop
+    /// probing node ids blindly through
+    /// [`compute_stats`](Self::compute_stats).
+    pub fn all_compute_stats(&self) -> Vec<(NodeId, ComputeStats)> {
+        self.core
+            .compute
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (NodeId(i as u32), *c.stats())))
+            .collect()
+    }
+
+    /// Enable observability capture for subsequent runs (see
+    /// [`crate::telemetry`]); extract results with
+    /// [`take_telemetry`](Self::take_telemetry). Capture never perturbs
+    /// simulated timestamps — with or without it, makespans are
+    /// bit-identical.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        let sink = crate::telemetry::TelemetrySink::new(
+            cfg,
+            self.core.topo.node_count(),
+            2 * self.core.topo.link_count(),
+        );
+        self.core.telemetry = Telemetry::On(Box::new(sink));
+    }
+
+    /// Whether telemetry capture is enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.core.telemetry.is_on()
+    }
+
+    /// Extract everything telemetry captured (disabling further capture);
+    /// `None` unless [`enable_telemetry`](Self::enable_telemetry) was
+    /// called. Drains HPU occupancy timelines from the installed compute
+    /// models, so call before [`take_switch`](Self::take_switch)-style
+    /// teardown if both are needed.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        let telemetry = std::mem::take(&mut self.core.telemetry);
+        let (cfg, dirs, events) = telemetry.into_parts()?;
+        let compute: Vec<ComputeTimeline> = self
+            .core
+            .compute
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let hpu = c.as_mut()?;
+                let samples = hpu.take_timeline()?;
+                Some(ComputeTimeline {
+                    node: i as u32,
+                    subsets: hpu.subsets(),
+                    samples,
+                })
+            })
+            .collect();
+        Some(TelemetryReport::assemble(
+            &self.core.topo,
+            cfg,
+            dirs,
+            events,
+            compute,
+        ))
+    }
+
     /// Inject loss on a link (both directions).
     pub fn set_link_drop_prob(&mut self, link: usize, p: f64) {
         self.core.links[link].drop_prob = p;
@@ -550,8 +651,20 @@ impl NetSim {
         self.host_progs[node.index()].take()
     }
 
+    /// With telemetry on, arm HPU occupancy timelines on every installed
+    /// compute model (idempotent — resumed runs keep their samples).
+    fn arm_compute_timelines(&mut self) {
+        if !self.core.telemetry.is_on() {
+            return;
+        }
+        for hpu in self.core.compute.iter_mut().flatten() {
+            hpu.enable_timeline();
+        }
+    }
+
     /// Run to quiescence (or `deadline`); returns the report.
     pub fn run(&mut self, deadline: Option<Time>) -> NetReport {
+        self.arm_compute_timelines();
         let mut queue = EventQueue::new();
         // Start hosts.
         for node in self.core.topo.hosts() {
@@ -595,6 +708,7 @@ impl NetSim {
         if plan.parts <= 1 {
             return self.run(deadline);
         }
+        self.arm_compute_timelines();
         let threads = threads.max(1);
         // Split the per-run mutable state and the installed programs into
         // per-partition lanes: workers never alias a node, link direction,
@@ -664,25 +778,24 @@ impl NetSim {
     }
 
     fn assemble_report(&self, makespan: Time, events: u64) -> NetReport {
-        let total_link_bytes: u64 = self
+        let links: Vec<LinkTotals> = self
             .core
             .links
             .iter()
-            .map(|l| l.dirs[0].bytes + l.dirs[1].bytes)
-            .sum();
-        let total_link_packets: u64 = self
-            .core
-            .links
-            .iter()
-            .map(|l| l.dirs[0].packets + l.dirs[1].packets)
-            .sum();
+            .map(|l| LinkTotals {
+                bytes: l.dirs[0].bytes + l.dirs[1].bytes,
+                packets: l.dirs[0].packets + l.dirs[1].packets,
+                drops: l.dirs[0].drops + l.dirs[1].drops,
+            })
+            .collect();
         NetReport {
             makespan,
             done_at: self.core.done_at.clone(),
             last_done: self.core.done_at.iter().flatten().max().copied(),
-            total_link_bytes,
-            total_link_packets,
+            total_link_bytes: links.iter().map(|l| l.bytes).sum(),
+            total_link_packets: links.iter().map(|l| l.packets).sum(),
             drops: self.core.drops,
+            links,
             events,
         }
     }
@@ -813,11 +926,15 @@ struct LaneState {
     drop_prob: Vec<f64>,
     rngs: Vec<StdRng>,
     drops: u64,
+    /// This lane's telemetry slice (mirrors the core's on/off state; see
+    /// [`Telemetry::split`]).
+    telemetry: Telemetry,
 }
 
 impl LaneState {
     /// Move the per-run state out of `core` into one lane per partition.
     fn split(plan: &PartitionPlan, core: &mut SimCore) -> Vec<LaneState> {
+        let mut telemetry_lanes = core.telemetry.split(plan).into_iter();
         let mut lanes: Vec<LaneState> = (0..plan.parts)
             .map(|p| {
                 let k = plan.nodes_of[p].len();
@@ -831,6 +948,7 @@ impl LaneState {
                     drop_prob: Vec::new(),
                     rngs: Vec::new(),
                     drops: 0,
+                    telemetry: telemetry_lanes.next().expect("one telemetry lane per part"),
                 };
                 for &m in &plan.nodes_of[p] {
                     let i = m.index();
@@ -858,6 +976,13 @@ impl LaneState {
 
     /// Move every lane's state back into the whole-core layout.
     fn merge(plan: &PartitionPlan, mut lanes: Vec<LaneState>, core: &mut SimCore) {
+        core.telemetry.merge(
+            plan,
+            lanes
+                .iter_mut()
+                .map(|lane| std::mem::take(&mut lane.telemetry))
+                .collect(),
+        );
         for (p, lane) in lanes.iter_mut().enumerate() {
             for (li, &m) in plan.nodes_of[p].iter().enumerate() {
                 let i = m.index();
@@ -913,7 +1038,11 @@ impl LaneState {
         d.busy_until = fin;
         d.bytes += bytes as u64;
         d.packets += 1;
-        if self.drop_prob[li] > 0.0 && self.rngs[li].random::<f64>() < self.drop_prob[li] {
+        let dropped =
+            self.drop_prob[li] > 0.0 && self.rngs[li].random::<f64>() < self.drop_prob[li];
+        self.telemetry.record_tx(li, start, bytes as u64, dropped);
+        if dropped {
+            self.dirs[li].drops += 1;
             self.drops += 1;
             return None;
         }
@@ -1507,6 +1636,231 @@ mod tests {
             assert_eq!(got.makespan, want.makespan, "deadline {deadline}");
             assert_eq!(got.events, want.events, "deadline {deadline}");
         }
+    }
+
+    /// Satellite regression: lossless runs must report zero drops on
+    /// every link, and the per-link totals must fold to the grand totals.
+    #[test]
+    fn lossless_runs_report_zero_per_link_drops() {
+        let (topo, ft) = Topology::fat_tree_two_level(2, 2, 1, spec());
+        let mut sim = NetSim::new(topo, 1);
+        sim.install_host(
+            ft.hosts[0],
+            Box::new(Sender {
+                peer: ft.hosts[3],
+                count: 20,
+                bytes: 1000,
+            }),
+        );
+        sim.install_host(
+            ft.hosts[3],
+            Box::new(Receiver {
+                expect: 20,
+                ..Default::default()
+            }),
+        );
+        let report = sim.run(None);
+        assert_eq!(report.links.len(), sim.topology().link_count());
+        assert!(report.links.iter().all(|l| l.drops == 0));
+        assert_eq!(report.drops, 0);
+        assert_eq!(
+            report.links.iter().map(|l| l.bytes).sum::<u64>(),
+            report.total_link_bytes
+        );
+        assert_eq!(
+            report.links.iter().map(|l| l.packets).sum::<u64>(),
+            report.total_link_packets
+        );
+    }
+
+    /// Lossy runs attribute every drop to the link it happened on.
+    #[test]
+    fn per_link_drop_totals_localize_the_loss() {
+        let (topo, _sw, hosts) = Topology::star(3, spec());
+        let mut sim = NetSim::new(topo, 42);
+        sim.install_host(
+            hosts[0],
+            Box::new(Sender {
+                peer: hosts[1],
+                count: 500,
+                bytes: 100,
+            }),
+        );
+        sim.install_host(
+            hosts[1],
+            Box::new(Receiver {
+                expect: 1,
+                ..Default::default()
+            }),
+        );
+        sim.set_link_drop_prob(0, 0.3); // only host 0's uplink drops
+        let report = sim.run(None);
+        assert!(report.links[0].drops > 0);
+        assert!(report.links.iter().skip(1).all(|l| l.drops == 0));
+        assert_eq!(
+            report.links.iter().map(|l| l.drops).sum::<u64>(),
+            report.drops
+        );
+    }
+
+    /// Telemetry observes the schedule without participating in it: the
+    /// same simulation with capture on must report identical timings.
+    #[test]
+    fn telemetry_capture_never_changes_the_schedule() {
+        let build = || {
+            let (topo, ft) = Topology::fat_tree_two_level(2, 2, 1, spec());
+            let mut sim = NetSim::new(topo, 9);
+            sim.install_host(
+                ft.hosts[0],
+                Box::new(Sender {
+                    peer: ft.hosts[3],
+                    count: 30,
+                    bytes: 800,
+                }),
+            );
+            sim.install_host(
+                ft.hosts[3],
+                Box::new(Receiver {
+                    expect: 30,
+                    ..Default::default()
+                }),
+            );
+            sim.set_link_drop_prob(0, 0.1);
+            sim
+        };
+        let plain = build().run(None);
+        let mut sim = build();
+        sim.enable_telemetry(TelemetryConfig::default());
+        let traced = sim.run(None);
+        assert_eq!(traced.makespan, plain.makespan);
+        assert_eq!(traced.events, plain.events);
+        assert_eq!(traced.done_at, plain.done_at);
+        assert_eq!(traced.drops, plain.drops);
+        let report = sim.take_telemetry().expect("telemetry was enabled");
+        // The bucket series must account for every transmitted byte and
+        // every drop.
+        let bucket_bytes: u64 = report
+            .links
+            .iter()
+            .flat_map(|l| l.dirs.iter())
+            .flat_map(|d| d.buckets.iter())
+            .map(|b| b.bytes)
+            .sum();
+        assert_eq!(bucket_bytes, traced.total_link_bytes);
+        let bucket_drops: u64 = report
+            .links
+            .iter()
+            .flat_map(|l| l.dirs.iter())
+            .flat_map(|d| d.buckets.iter())
+            .map(|b| b.drops)
+            .sum();
+        assert_eq!(bucket_drops, traced.drops);
+        // Second take is empty (capture was consumed).
+        assert!(sim.take_telemetry().is_none());
+    }
+
+    /// A host program that narrates its traffic through `ctx.trace`.
+    struct TracingSender {
+        peer: NodeId,
+        count: u64,
+    }
+    impl HostProgram for TracingSender {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            let me = ctx.node();
+            ctx.trace(TraceKind::FlowSubmit, 7, self.count, 0);
+            for i in 0..self.count {
+                ctx.send(NetPacket::new(
+                    me,
+                    self.peer,
+                    7,
+                    i,
+                    0,
+                    0,
+                    0,
+                    Bytes::from(vec![0u8; 256]),
+                ));
+                ctx.trace(TraceKind::ShardSend, 7, i, 256);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut HostCtx<'_>, _pkt: NetPacket) {}
+    }
+
+    /// The full capture — utilization buckets, lifecycle events and their
+    /// canonical order — must be bitwise-identical between the serial and
+    /// partitioned drivers at every thread count.
+    #[test]
+    fn telemetry_capture_is_thread_count_invariant() {
+        let build = || {
+            let (topo, ft) = Topology::fat_tree_two_level(3, 3, 2, spec());
+            let mut sim = NetSim::new(topo, 23);
+            let dst = ft.hosts[0];
+            for &h in ft.hosts.iter().skip(1) {
+                sim.install_host(
+                    h,
+                    Box::new(TracingSender {
+                        peer: dst,
+                        count: 6,
+                    }),
+                );
+            }
+            sim.install_host(
+                dst,
+                Box::new(Receiver {
+                    expect: 48,
+                    ..Default::default()
+                }),
+            );
+            sim.set_link_drop_prob(2, 0.2);
+            sim.enable_telemetry(TelemetryConfig { bucket_ns: 64 });
+            sim
+        };
+        let mut serial = build();
+        serial.run(None);
+        let want = serial.take_telemetry().expect("serial capture");
+        for threads in [1, 2, 8] {
+            let mut par = build();
+            par.run_threads(None, threads);
+            let got = par.take_telemetry().expect("parallel capture");
+            assert_eq!(got, want, "telemetry must be identical at t={threads}");
+            assert_eq!(got.chrome_trace(), want.chrome_trace());
+            assert_eq!(got.utilization_csv(), want.utilization_csv());
+        }
+        // And the export is structurally valid Perfetto input.
+        let events = crate::telemetry::validate_chrome_trace(&want.chrome_trace())
+            .expect("trace must validate");
+        assert!(events > 0);
+    }
+
+    #[test]
+    fn all_compute_stats_lists_every_hpu_switch() {
+        use crate::compute::HpuParams;
+        struct Agg;
+        impl SwitchProgram for Agg {
+            fn matches(&self, _: &NetPacket) -> bool {
+                true
+            }
+            fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, _in: PortId, pkt: NetPacket) {
+                let _ = ctx.processing_done_for(pkt.block, pkt.wire_bytes);
+            }
+        }
+        let (topo, ft) = Topology::fat_tree_two_level(2, 2, 1, spec());
+        let leaf0 = ft.leaf_of(0);
+        let mut sim = NetSim::new(topo, 1);
+        sim.install_host(
+            ft.hosts[0],
+            Box::new(Sender {
+                peer: ft.hosts[1],
+                count: 4,
+                bytes: 64,
+            }),
+        );
+        sim.install_switch_model(leaf0, Box::new(Agg), SwitchModel::Hpu(HpuParams::figure5()));
+        sim.run(None);
+        let all = sim.all_compute_stats();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, leaf0);
+        assert_eq!(all[0].1.handlers, 4);
+        assert_eq!(sim.compute_stats(leaf0).unwrap().handlers, 4);
     }
 
     #[test]

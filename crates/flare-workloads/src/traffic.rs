@@ -75,6 +75,7 @@ use flare_des::rng::{exp_time, rng_stream};
 use flare_des::Time;
 use flare_net::{
     HostCtx, HostProgram, NetPacket, NetSim, NodeId, PortId, SwitchCtx, SwitchModel, SwitchProgram,
+    TraceKind,
 };
 
 /// Stream-id salt for arrival processes (xor'd with the tenant index).
@@ -662,9 +663,13 @@ impl<'s> TrafficEngine<'s> {
         let switch_model = tuning.switch_model.clone();
         let drop_prob = tuning.link_drop_prob;
         let threads = tuning.threads;
+        let telemetry = tuning.telemetry;
         let hpu_switches = union_switches.clone();
-        let (net, flow_bytes, pools, hpu) = self.session.lend_topology(move |topo| {
+        let (net, flow_bytes, pools, hpu, trace) = self.session.lend_topology(move |topo| {
             let mut sim = NetSim::new(topo, seed);
+            if let Some(cfg) = telemetry {
+                sim.enable_telemetry(cfg);
+            }
             sim.set_uniform_drop_prob(drop_prob);
             for (sw, prog) in switch_programs {
                 sim.install_switch_model(sw, Box::new(prog), switch_model.clone());
@@ -676,17 +681,19 @@ impl<'s> TrafficEngine<'s> {
                 Some(n) => sim.run_threads(deadline, n as usize),
                 None => sim.run(deadline),
             };
+            // Extract the capture before the switch teardown below: the
+            // HPU occupancy timelines still live inside the compute units.
+            let trace = sim.take_telemetry();
 
-            let mut hpu = Vec::new();
-            for &sw in &hpu_switches {
-                if let Some(stats) = sim.compute_stats(sw) {
-                    hpu.push(HpuSwitchReport {
-                        switch: sw,
-                        stats,
-                        subset_peaks: sim.compute_subset_peaks(sw).unwrap_or_default(),
-                    });
-                }
-            }
+            let hpu: Vec<HpuSwitchReport> = sim
+                .all_compute_stats()
+                .into_iter()
+                .map(|(sw, stats)| HpuSwitchReport {
+                    switch: sw,
+                    stats,
+                    subset_peaks: sim.compute_subset_peaks(sw).unwrap_or_default(),
+                })
+                .collect();
             let mut flow_bytes: HashMap<u32, u64> = HashMap::new();
             let mut pools = ProgramStats::default();
             for &sw in &hpu_switches {
@@ -703,7 +710,18 @@ impl<'s> TrafficEngine<'s> {
                     }
                 }
             }
-            (sim.into_topology(), (net, flow_bytes, pools, hpu))
+            (sim.into_topology(), (net, flow_bytes, pools, hpu, trace))
+        });
+
+        // Label every tenant's trace track with its handle name so the
+        // Perfetto flow lanes read "tenant-3", not "flow 9".
+        let trace = trace.map(|mut t| {
+            t.tracks = self
+                .tenants
+                .iter()
+                .map(|t| (t.handle.id() as u64, t.handle.label().to_string()))
+                .collect();
+            Box::new(t)
         });
 
         // Assemble per-tenant reports (admission order).
@@ -759,6 +777,7 @@ impl<'s> TrafficEngine<'s> {
                 tenants: reports,
                 fabric,
             }),
+            trace,
         })
     }
 }
@@ -1009,6 +1028,7 @@ impl TrafficHost {
             }
             cell.running = true;
             cell.iter = 0;
+            ctx.trace(TraceKind::JobStart, cell.stat.id as u64, cell.job as u64, 0);
             (cell.tenant, cell.job, arrival)
         };
         self.core
@@ -1137,6 +1157,7 @@ impl TrafficHost {
         }
         if job_done {
             let cell = &mut self.cells[ci];
+            ctx.trace(TraceKind::JobDone, cell.stat.id as u64, cell.job as u64, 0);
             cell.running = false;
             cell.job += 1;
             cell.iter = 0;
@@ -1427,6 +1448,65 @@ mod tests {
             Err(TrafficError::TagOverflow(_))
         ));
         assert_eq!(session.active_collectives(), 0, "handle released on error");
+    }
+
+    /// The PR's acceptance bar: a lossy 16-tenant mixed dense/sparse
+    /// fleet with telemetry on exports a Perfetto-loadable trace that is
+    /// bitwise-identical between the 1-thread and 4-thread drivers.
+    #[test]
+    fn lossy_fleet_traces_are_thread_count_invariant() {
+        use flare_net::TelemetryConfig;
+        let run_with = |threads: u32| {
+            let (topo, _ft) = Topology::fat_tree_two_level(2, 2, 2, LinkSpec::hundred_gig());
+            let mut session = FlareSession::builder(topo)
+                .link_drop_prob(0.02)
+                .retransmit_after(Some(200_000))
+                .threads(threads)
+                .telemetry(TelemetryConfig::default())
+                .build();
+            let mut eng = TrafficEngine::new(&mut session, 33);
+            for i in 0..16 {
+                let mut spec = TenantSpec::new(format!("tenant-{i}"), 512).iterations(2);
+                if i % 2 == 1 {
+                    spec = spec.sparse(0.2);
+                }
+                eng.add_tenant(spec).unwrap();
+            }
+            let report = eng.run().unwrap();
+            eng.release_all().unwrap();
+            report
+        };
+        let r1 = run_with(1);
+        let r4 = run_with(4);
+        assert_eq!(r1.net.makespan, r4.net.makespan);
+        assert!(r1.net.drops > 0, "the fleet must actually lose packets");
+        let t1 = r1.trace.expect("telemetry was enabled");
+        let t4 = r4.trace.expect("telemetry was enabled");
+        assert_eq!(t1, t4, "captures must be thread-count invariant");
+        let json = t1.chrome_trace();
+        assert_eq!(json, t4.chrome_trace());
+        assert!(flare_net::telemetry::validate_chrome_trace(&json).expect("valid trace") > 0);
+        // Every lifecycle stage of the mixed fleet shows up in the stream:
+        // submits and sends everywhere, sparse result shards, retirements,
+        // loss-driven retransmissions and the engine's job bracketing.
+        for kind in [
+            TraceKind::FlowSubmit,
+            TraceKind::ShardSend,
+            TraceKind::ShardRecv,
+            TraceKind::Retransmit,
+            TraceKind::BlockRetire,
+            TraceKind::JobStart,
+            TraceKind::JobDone,
+            TraceKind::InFlight,
+        ] {
+            assert!(
+                t1.events.iter().any(|e| e.kind == kind),
+                "no {kind:?} event in the capture"
+            );
+        }
+        // Flow tracks carry tenant labels into the export.
+        assert!(t1.tracks.iter().any(|(_, l)| l == "tenant-3"));
+        assert!(json.contains("tenant-3"));
     }
 
     #[test]

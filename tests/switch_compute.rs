@@ -157,6 +157,7 @@ fn default_model_reproduces_the_pr3_makespans() {
             hpu: false,
             tenants: 0,
             threads: 0,
+            trace: false,
         });
         assert_eq!(
             m.makespan_ns,
